@@ -1,0 +1,1 @@
+examples/degree_distribution.ml: Array Float Printf Wpinq_core Wpinq_data Wpinq_graph Wpinq_infer Wpinq_prng

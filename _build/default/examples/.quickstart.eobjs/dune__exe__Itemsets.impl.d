@@ -1,0 +1,1 @@
+examples/itemsets.ml: Format List String Wpinq_core Wpinq_prng Wpinq_weighted

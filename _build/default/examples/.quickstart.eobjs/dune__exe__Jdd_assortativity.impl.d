@@ -1,0 +1,1 @@
+examples/jdd_assortativity.ml: Hashtbl List Option Printf String Wpinq_core Wpinq_data Wpinq_graph Wpinq_prng Wpinq_queries

@@ -1,0 +1,1 @@
+examples/jdd_assortativity.mli:

@@ -1,0 +1,1 @@
+examples/microdata.ml: Float Format List Wpinq_core Wpinq_data Wpinq_prng Wpinq_weighted

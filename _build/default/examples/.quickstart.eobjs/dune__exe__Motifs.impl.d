@@ -1,0 +1,1 @@
+examples/motifs.ml: Printf Wpinq_core Wpinq_graph Wpinq_infer Wpinq_prng Wpinq_queries

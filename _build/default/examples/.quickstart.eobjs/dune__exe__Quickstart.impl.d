@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Wpinq_core Wpinq_graph Wpinq_prng Wpinq_queries Wpinq_weighted

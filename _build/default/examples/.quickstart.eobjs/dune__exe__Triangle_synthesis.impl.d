@@ -1,0 +1,1 @@
+examples/triangle_synthesis.ml: List Printf Wpinq_data Wpinq_graph Wpinq_infer Wpinq_prng

@@ -1,0 +1,82 @@
+(* Quickstart: weighted datasets, stable transformations, privacy budgets,
+   and why calibrating *data* to sensitivity beats calibrating noise.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Wdata = Wpinq_weighted.Wdata
+module Ops = Wpinq_weighted.Ops
+module Prng = Wpinq_prng.Prng
+module Budget = Wpinq_core.Budget
+module Batch = Wpinq_core.Batch
+module Measurement = Wpinq_core.Measurement
+module Graph = Wpinq_graph.Graph
+module Q = Wpinq_queries.Queries.Make (Batch)
+
+let pp_int = Format.pp_print_int
+
+let print_wdata name d =
+  Format.printf "%-22s %a@." name (Wdata.pp pp_int) d
+
+let () =
+  (* --- 1. Weighted datasets (paper, Section 2.1) --- *)
+  Format.printf "=== Weighted datasets ===@.";
+  let a = Wdata.of_list [ (1, 0.75); (2, 2.0); (3, 1.0) ] in
+  let b = Wdata.of_list [ (1, 3.0); (4, 2.0) ] in
+  print_wdata "A =" a;
+  print_wdata "B =" b;
+  Format.printf "‖A‖ = %g, ‖A − B‖ = %g@.@." (Wdata.norm a) (Wdata.dist a b);
+
+  (* --- 2. Stable transformations rescale weights, not noise --- *)
+  Format.printf "=== Stable transformations ===@.";
+  print_wdata "Select (mod 2) A =" (Ops.select (fun x -> x mod 2) a);
+  print_wdata "Where (x² < 5) A =" (Ops.where (fun x -> x * x < 5) a);
+  print_wdata "Concat A B =" (Ops.concat a b);
+  print_wdata "Intersect A B =" (Ops.intersect a b);
+  let joined =
+    Ops.join ~kl:(fun x -> x mod 2) ~kr:(fun y -> y mod 2) ~reduce:(fun x y -> (10 * x) + y) a b
+  in
+  print_wdata "Join A B (parity) =" joined;
+  Format.printf "@.";
+
+  (* --- 3. Differentially-private aggregation with a budget --- *)
+  Format.printf "=== NoisyCount under a privacy budget ===@.";
+  let budget = Budget.create ~name:"demo" 1.0 in
+  let source = Batch.source ~budget [ (1, 0.75); (2, 2.0); (3, 1.0) ] in
+  let rng = Prng.create 42 in
+  let m = Batch.noisy_count ~rng ~epsilon:0.5 (Batch.select (fun x -> x mod 2) source) in
+  Format.printf "noisy count of odd records: %.3f (true 1.75)@." (Measurement.value m 1);
+  Format.printf "noisy count of a record never present: %.3f (pure noise)@."
+    (Measurement.value m 99);
+  Format.printf "budget: spent %.2f of %.2f@.@." (Budget.spent budget) (Budget.total budget);
+
+  (* --- 4. Figure 1: counting triangles without worst-case noise --- *)
+  Format.printf "=== Figure 1: triangles, worst case vs. best case ===@.";
+  (* Worst case: two hubs joined to everyone; adding edge (0,1) would
+     create |V|−2 triangles at once.  Best case: a ring of triangles. *)
+  let v = 60 in
+  let worst =
+    Graph.of_edges (List.concat_map (fun i -> [ (0, i); (1, i) ]) (List.init (v - 2) (fun i -> i + 2)))
+  in
+  let best =
+    Graph.of_edges
+      (List.concat_map
+         (fun i -> [ (3 * i, (3 * i) + 1); ((3 * i) + 1, (3 * i) + 2); (3 * i, (3 * i) + 2) ])
+         (List.init (v / 3) (fun i -> i)))
+  in
+  let measure g name =
+    let budget = Budget.create ~name 1e9 in
+    let sym = Batch.source_records ~budget (Graph.directed_edges g) in
+    (* The TbI query weighs each triangle by ~1/max-degree, so one noisy
+       count at constant noise measures the triangle mass. *)
+    let m = Batch.noisy_count ~rng ~epsilon:0.5 (Q.tbi sym) in
+    let noisy = Measurement.value m () in
+    Format.printf
+      "%-12s true triangles: %4d; TbI weighted signal: %7.2f measured %7.2f (constant noise)@."
+      name (Graph.triangle_count g) (Graph.tbi_signal g) noisy
+  in
+  measure worst "worst-case";
+  measure best "best-case";
+  Format.printf
+    "With worst-case sensitivity both graphs would need noise ∝ |V|−2 = %d;@." (v - 2);
+  Format.printf
+    "with weighted data the best-case graph keeps a strong signal at O(1) noise.@."

@@ -1,0 +1,46 @@
+(* End-to-end private graph synthesis (paper, Sections 4-5).
+
+   Measures a protected graph with the TbI query, throws the graph away,
+   and fits a public synthetic graph to the noisy measurements with the
+   edge-swap Metropolis-Hastings walk over the incremental engine.
+
+   Run with:  dune exec examples/triangle_synthesis.exe *)
+
+module Graph = Wpinq_graph.Graph
+module Prng = Wpinq_prng.Prng
+module Workflow = Wpinq_infer.Workflow
+module Datasets = Wpinq_data.Datasets
+
+let () =
+  let secret = Datasets.load ~scale:0.5 Datasets.grqc in
+  let random = Datasets.random_counterpart secret in
+  Printf.printf "secret graph:      %5d triangles, assortativity %+.3f\n"
+    (Graph.triangle_count secret) (Graph.assortativity secret);
+  Printf.printf "random same-degree: %5d triangles (the control)\n\n"
+    (Graph.triangle_count random);
+
+  let run name g =
+    let r =
+      Workflow.synthesize ~rng:(Prng.create 7) ~epsilon:0.1 ~query:(Some Workflow.Tbi)
+        ~steps:30_000 ~trace_every:5_000 ~secret:g ()
+    in
+    Printf.printf "%s: privacy cost %.2f (3eps seed + 4eps TbI)\n" name
+      r.Workflow.total_epsilon;
+    Printf.printf "%10s %10s %14s %10s\n" "step" "triangles" "assortativity" "energy";
+    List.iter
+      (fun (p : Workflow.trace_point) ->
+        Printf.printf "%10d %10d %+14.3f %10.2f\n" p.Workflow.step p.Workflow.triangles
+          p.Workflow.assortativity p.Workflow.energy)
+      r.Workflow.trace;
+    Printf.printf "accepted %d of %d proposals\n\n" r.Workflow.stats.Wpinq_infer.Mcmc.accepted
+      r.Workflow.stats.Wpinq_infer.Mcmc.steps;
+    r
+  in
+  let real = run "fitting the real graph" secret in
+  let rand = run "fitting the random control" random in
+  Printf.printf
+    "MCMC pushed the synthetic graph to %d triangles for the real graph but only\n\
+     %d for the degree-matched random control: the TbI measurement carries real\n\
+     triangle information, not just degree structure.\n"
+    (Graph.triangle_count real.Workflow.synthetic)
+    (Graph.triangle_count rand.Workflow.synthetic)

@@ -1,0 +1,1 @@
+lib/baselines/pinq.ml: Hashtbl Lazy List Option Wpinq_core Wpinq_prng

@@ -1,0 +1,1 @@
+lib/baselines/pinq.mli: Wpinq_core Wpinq_prng

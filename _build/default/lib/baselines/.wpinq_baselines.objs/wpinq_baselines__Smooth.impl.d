@@ -1,0 +1,1 @@
+lib/baselines/smooth.ml: Array Float Hashtbl List Option Wpinq_graph Wpinq_prng

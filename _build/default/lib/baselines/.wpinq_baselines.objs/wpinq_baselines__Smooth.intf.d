@@ -1,0 +1,1 @@
+lib/baselines/smooth.mli: Wpinq_graph Wpinq_prng

@@ -1,0 +1,148 @@
+module Prng = Wpinq_prng.Prng
+module Budget = Wpinq_core.Budget
+
+type 'a t = {
+  data : ('a, int) Hashtbl.t Lazy.t;
+  stability : (Budget.t * int) list;
+}
+
+let counts_of_list xs =
+  let h = Hashtbl.create (max 8 (List.length xs)) in
+  List.iter (fun x -> Hashtbl.replace h x (1 + Option.value ~default:0 (Hashtbl.find_opt h x))) xs;
+  h
+
+let merge_stability ua ub =
+  List.fold_left
+    (fun acc (b, n) ->
+      let rec bump = function
+        | [] -> [ (b, n) ]
+        | (b', n') :: rest when b' == b -> (b', n' + n) :: rest
+        | pair :: rest -> pair :: bump rest
+      in
+      bump acc)
+    ua ub
+
+let amplify c factor = List.map (fun (b, n) -> (b, n * factor)) c.stability
+
+let source ~budget xs = { data = lazy (counts_of_list xs); stability = [ (budget, 1) ] }
+
+let lift1 ~factor op c = { data = lazy (op (Lazy.force c.data)); stability = amplify c factor }
+
+let lift2 ~factor op a b =
+  {
+    data = lazy (op (Lazy.force a.data) (Lazy.force b.data));
+    stability = merge_stability (amplify a factor) (amplify b factor);
+  }
+
+let select f =
+  lift1 ~factor:1 (fun h ->
+      let out = Hashtbl.create (Hashtbl.length h) in
+      Hashtbl.iter
+        (fun x n ->
+          let y = f x in
+          Hashtbl.replace out y (n + Option.value ~default:0 (Hashtbl.find_opt out y)))
+        h;
+      out)
+
+let where p =
+  lift1 ~factor:1 (fun h ->
+      let out = Hashtbl.create (Hashtbl.length h) in
+      Hashtbl.iter (fun x n -> if p x then Hashtbl.replace out x n) h;
+      out)
+
+let concat a b =
+  lift2 ~factor:1
+    (fun ha hb ->
+      let out = Hashtbl.copy ha in
+      Hashtbl.iter
+        (fun x n -> Hashtbl.replace out x (n + Option.value ~default:0 (Hashtbl.find_opt out x)))
+        hb;
+      out)
+    a b
+
+let intersect a b =
+  lift2 ~factor:1
+    (fun ha hb ->
+      let out = Hashtbl.create 16 in
+      Hashtbl.iter
+        (fun x n ->
+          match Hashtbl.find_opt hb x with
+          | Some m -> Hashtbl.replace out x (min n m)
+          | None -> ())
+        ha;
+      out)
+    a b
+
+let distinct c =
+  lift1 ~factor:1
+    (fun h ->
+      let out = Hashtbl.create (Hashtbl.length h) in
+      Hashtbl.iter (fun x _ -> Hashtbl.replace out x 1) h;
+      out)
+    c
+
+let group_by ~key ~reduce =
+  lift1 ~factor:2 (fun h ->
+      let parts = Hashtbl.create 16 in
+      Hashtbl.iter
+        (fun x n ->
+          let k = key x in
+          let cur = Option.value ~default:[] (Hashtbl.find_opt parts k) in
+          Hashtbl.replace parts k (List.rev_append (List.init n (fun _ -> x)) cur))
+        h;
+      let out = Hashtbl.create (Hashtbl.length parts) in
+      Hashtbl.iter (fun k members -> Hashtbl.replace out (k, reduce members) 1) parts;
+      out)
+
+let join ~kl ~kr ~reduce a b =
+  lift2 ~factor:2
+    (fun ha hb ->
+      (* Guarded join: a key contributes only if each side holds exactly
+         one record (with multiplicity one) under it. *)
+      let index key h =
+        let parts = Hashtbl.create 16 in
+        Hashtbl.iter
+          (fun x n ->
+            let k = key x in
+            let cur = Option.value ~default:[] (Hashtbl.find_opt parts k) in
+            Hashtbl.replace parts k ((x, n) :: cur))
+          h;
+        parts
+      in
+      let pa = index kl ha and pb = index kr hb in
+      let out = Hashtbl.create 16 in
+      Hashtbl.iter
+        (fun k left ->
+          match (left, Hashtbl.find_opt pb k) with
+          | [ (x, 1) ], Some [ (y, 1) ] -> Hashtbl.replace out (reduce x y) 1
+          | _ -> ())
+        pa;
+      out)
+    a b
+
+let stability c = c.stability
+
+let charge ~epsilon c =
+  List.iter
+    (fun (b, n) ->
+      let cost = float_of_int n *. epsilon in
+      if cost > Budget.remaining b +. 1e-9 then
+        raise
+          (Budget.Exhausted
+             { name = Budget.name b; requested = cost; remaining = Budget.remaining b }))
+    c.stability;
+  List.iter
+    (fun (b, n) -> Budget.charge ~label:"pinq" b (float_of_int n *. epsilon))
+    c.stability
+
+let noisy_count ~rng ~epsilon c x =
+  charge ~epsilon c;
+  let n = Option.value ~default:0 (Hashtbl.find_opt (Lazy.force c.data) x) in
+  float_of_int n +. Prng.laplace rng ~scale:(1.0 /. epsilon)
+
+let noisy_total ~rng ~epsilon c =
+  charge ~epsilon c;
+  let n = Hashtbl.fold (fun _ n acc -> acc + n) (Lazy.force c.data) 0 in
+  float_of_int n +. Prng.laplace rng ~scale:(1.0 /. epsilon)
+
+let unsafe_contents c = Hashtbl.fold (fun x n acc -> (x, n) :: acc) (Lazy.force c.data) []

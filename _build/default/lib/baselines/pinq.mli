@@ -1,0 +1,60 @@
+(** The PINQ baseline (McSherry, SIGMOD 2009): the multiset system wPINQ
+    generalizes, reimplemented as a comparator.
+
+    PINQ works with integer-multiplicity multisets and tracks a per-source
+    {e stability factor}: a transformation with stability [c] multiplies
+    the privacy cost of any downstream aggregation by [c].  Its crucial
+    weakness for graph analysis — the paper's motivation — is the [Join]:
+    lacking weights to rescale, PINQ's join must suppress every non-unique
+    match to stay stable, which destroys the length-two paths every
+    triangle analysis needs.  {!Compare} in [lib/experiments] runs the two
+    systems head to head. *)
+
+type 'a t
+(** A PINQ collection: a multiset of ['a] with provenance. *)
+
+val source : budget:Wpinq_core.Budget.t -> 'a list -> 'a t
+(** A protected multiset (duplicates allowed). *)
+
+val select : ('a -> 'b) -> 'a t -> 'b t
+(** Per-record map; stability 1. *)
+
+val where : ('a -> bool) -> 'a t -> 'a t
+(** Filter; stability 1. *)
+
+val concat : 'a t -> 'a t -> 'a t
+(** Multiset union (adds multiplicities); stability 1 per input. *)
+
+val intersect : 'a t -> 'a t -> 'a t
+(** Multiset minimum; stability 1 per input. *)
+
+val distinct : 'a t -> 'a t
+(** Caps multiplicities at one; stability 1. *)
+
+val group_by : key:('a -> 'k) -> reduce:('a list -> 'r) -> 'a t -> ('k * 'r) t
+(** Groups by key and reduces each group to one record; stability 2 (one
+    input record moving in or out replaces a whole output group). *)
+
+val join :
+  kl:('a -> 'k) -> kr:('b -> 'k) -> reduce:('a -> 'b -> 'c) -> 'a t -> 'b t -> 'c t
+(** PINQ's guarded join: emits [reduce a b] only for keys carrying
+    {e exactly one} record on each side; all other matches are suppressed
+    (the damage the paper's Section 2.7 describes).  Stability 2 per
+    input. *)
+
+val stability : 'a t -> (Wpinq_core.Budget.t * int) list
+(** Accumulated per-source cost factor: use-count × the product of
+    stability constants along each path. *)
+
+val noisy_count :
+  rng:Wpinq_prng.Prng.t -> epsilon:float -> 'a t -> 'a -> float
+(** [noisy_count ~rng ~epsilon c x] releases [multiplicity x + Laplace(1/epsilon)],
+    charging [stability × epsilon] to each source.  (Record-by-record, the
+    PINQ idiom; repeated queries re-draw and re-charge.) *)
+
+val noisy_total :
+  rng:Wpinq_prng.Prng.t -> epsilon:float -> 'a t -> float
+(** Total multiset size plus [Laplace(1/epsilon)], at the same cost. *)
+
+val unsafe_contents : 'a t -> ('a * int) list
+(** Exact contents, no privacy ({b testing only}). *)

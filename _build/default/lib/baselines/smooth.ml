@@ -1,0 +1,43 @@
+module Graph = Wpinq_graph.Graph
+module Prng = Wpinq_prng.Prng
+
+let local_sensitivity g =
+  (* Max common neighbors over all pairs: enumerate through each middle
+     vertex's neighbor pairs, as in Graph.square_count.  O(Σ d²). *)
+  let best = ref 0 in
+  let counts = Hashtbl.create (16 * max 1 (Graph.n g)) in
+  for v = 0 to Graph.n g - 1 do
+    let nbrs = Graph.adj g v in
+    let d = Array.length nbrs in
+    for i = 0 to d - 2 do
+      for j = i + 1 to d - 1 do
+        let key = (nbrs.(i), nbrs.(j)) in
+        let c = 1 + Option.value ~default:0 (Hashtbl.find_opt counts key) in
+        Hashtbl.replace counts key c;
+        if c > !best then best := c
+      done
+    done
+  done;
+  !best
+
+let smooth_bound ~epsilon ~delta g =
+  if delta <= 0.0 || delta >= 1.0 then invalid_arg "Smooth.smooth_bound: delta in (0,1)";
+  let beta = epsilon /. (2.0 *. log (2.0 /. delta)) in
+  let ls = float_of_int (local_sensitivity g) in
+  let cap = float_of_int (max 1 (Graph.n g - 2)) in
+  (* S = max_t e^{-beta t} min(ls + t, cap).  The inner function rises
+     linearly then saturates; its maximum lies at t = 0, at the kink
+     t = cap - ls, or where the derivative of e^{-bt}(ls+t) vanishes
+     (t* = 1/beta - ls). *)
+  let value t = exp (-.beta *. t) *. Float.min (ls +. t) cap in
+  let candidates = [ 0.0; Float.max 0.0 (cap -. ls); Float.max 0.0 ((1.0 /. beta) -. ls) ] in
+  List.fold_left (fun acc t -> Float.max acc (value t)) 0.0 candidates
+
+let noisy_triangles ~rng ~epsilon ~delta g =
+  let s = smooth_bound ~epsilon ~delta g in
+  let scale = 2.0 *. s /. epsilon in
+  (float_of_int (Graph.triangle_count g) +. Prng.laplace rng ~scale, scale)
+
+let worst_case_noisy_triangles ~rng ~epsilon g =
+  let scale = float_of_int (max 1 (Graph.n g - 2)) /. epsilon in
+  (float_of_int (Graph.triangle_count g) +. Prng.laplace rng ~scale, scale)

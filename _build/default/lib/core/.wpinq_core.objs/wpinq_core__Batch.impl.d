@@ -1,0 +1,1 @@
+lib/core/batch.ml: Budget Lazy List Measurement Wpinq_weighted

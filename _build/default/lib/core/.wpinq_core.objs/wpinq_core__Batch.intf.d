@@ -1,0 +1,1 @@
+lib/core/batch.mli: Budget Lang Measurement Wpinq_prng Wpinq_weighted

@@ -1,0 +1,1 @@
+lib/core/flow.ml: Float Hashtbl List Measurement Wpinq_dataflow

@@ -1,0 +1,1 @@
+lib/core/flow.mli: Lang Measurement Wpinq_dataflow Wpinq_weighted

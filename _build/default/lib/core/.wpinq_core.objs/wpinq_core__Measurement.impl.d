@@ -1,0 +1,1 @@
+lib/core/measurement.ml: Hashtbl Wpinq_prng Wpinq_weighted

@@ -1,0 +1,1 @@
+lib/core/mechanisms.ml: Batch Float List Wpinq_prng Wpinq_weighted

@@ -1,0 +1,1 @@
+lib/core/mechanisms.mli: Batch Wpinq_prng Wpinq_weighted

@@ -1,0 +1,56 @@
+type t = {
+  name : string;
+  total : float; (* for children: capacity is dynamic; see [remaining] *)
+  mutable spent : float;
+  mutable log : (string * float) list;
+  kind : kind;
+}
+
+and kind = Root | Child of group
+and group = { parent : t; mutable max_spent : float }
+
+exception Exhausted of { name : string; requested : float; remaining : float }
+
+let create ~name total =
+  if total < 0.0 then invalid_arg "Budget.create: negative budget";
+  { name; total; spent = 0.0; log = []; kind = Root }
+
+let name t = t.name
+
+(* Tolerate float rounding when a sequence of charges sums to the total. *)
+let slack = 1e-9
+
+let rec remaining t =
+  match t.kind with
+  | Root -> t.total -. t.spent
+  | Child g ->
+      (* The child may reuse the headroom other siblings already paid for
+         (up to the group maximum), plus whatever the parent still has. *)
+      remaining g.parent +. g.max_spent -. t.spent
+
+let total t = match t.kind with Root -> t.total | Child _ -> t.spent +. remaining t
+let spent t = t.spent
+
+let rec charge ?(label = "noisy_count") t eps =
+  if eps < 0.0 then invalid_arg "Budget.charge: negative epsilon";
+  (match t.kind with
+  | Root ->
+      if eps > t.total -. t.spent +. slack then
+        raise (Exhausted { name = t.name; requested = eps; remaining = t.total -. t.spent })
+  | Child g ->
+      (* Parallel composition: only the excess over the group's maximum
+         reaches the parent.  The parent charge happens first so a parent
+         Exhausted leaves this child untouched. *)
+      let excess = Float.max 0.0 (t.spent +. eps -. g.max_spent) in
+      if excess > 0.0 then charge ~label:(t.name ^ "/" ^ label) g.parent excess);
+  t.spent <- t.spent +. eps;
+  (match t.kind with
+  | Root -> ()
+  | Child g -> g.max_spent <- Float.max g.max_spent t.spent);
+  t.log <- (label, eps) :: t.log
+
+let log t = List.rev t.log
+let parallel_group parent = { parent; max_spent = 0.0 }
+
+let parallel_child g ~name =
+  { name; total = 0.0; spent = 0.0; log = []; kind = Child g }

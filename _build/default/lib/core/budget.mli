@@ -1,0 +1,50 @@
+(** Privacy budgets.
+
+    Every protected dataset owns a budget: the total ε it is willing to
+    spend across all differentially-private aggregations (sequential
+    composition, paper Section 2.1).  Aggregations charge the budget before
+    releasing anything; once the budget is exhausted, further measurements
+    raise {!Exhausted} and release nothing. *)
+
+type t
+
+exception Exhausted of { name : string; requested : float; remaining : float }
+(** Raised by {!charge} when a request would overdraw the budget. *)
+
+val create : name:string -> float -> t
+(** [create ~name total] makes a budget of [total] ε for the dataset called
+    [name].  [total] must be non-negative. *)
+
+val name : t -> string
+val total : t -> float
+val spent : t -> float
+val remaining : t -> float
+
+val charge : ?label:string -> t -> float -> unit
+(** [charge ?label b eps] debits [eps] (≥ 0), recording [label] in the
+    audit log.  Raises {!Exhausted} — {e before} spending anything — if
+    [eps > remaining b] (with a tiny tolerance for rounding). *)
+
+val log : t -> (string * float) list
+(** Audit log of successful charges, oldest first. *)
+
+(** {1 Parallel composition}
+
+    Queries over {e disjoint} parts of a dataset compose in parallel
+    (McSherry, PINQ): the dataset's exposure is the {e maximum} spent on
+    any one part, not the sum.  A {!group} represents one partitioning of
+    a parent budget; each part charges its own {!parallel_child}, and the
+    parent is debited only when some child's cumulative spend exceeds the
+    group's previous maximum. *)
+
+type group
+
+val parallel_group : t -> group
+(** A fresh parallel account over [parent] (one per Partition operation). *)
+
+val parallel_child : group -> name:string -> t
+(** A child budget for one part.  [charge child eps] forwards
+    [max 0 (child_spent + eps − group_max)] to the parent — checking the
+    parent {e before} recording anything, so exhaustion is atomic.  A
+    child's [remaining] reflects what it could still spend given the
+    parent's state and the group maximum. *)

@@ -1,0 +1,82 @@
+module Dataflow = Wpinq_dataflow.Dataflow
+
+type 'a t = 'a Dataflow.node
+type 'a collection = 'a t
+type 'a handle = 'a Dataflow.Input.t
+
+let select = Dataflow.select
+let where = Dataflow.where
+let select_many = Dataflow.select_many
+let select_many_list = Dataflow.select_many_list
+let concat = Dataflow.concat
+let except = Dataflow.except
+let union = Dataflow.union
+let intersect = Dataflow.intersect
+let join = Dataflow.join
+let group_by = Dataflow.group_by
+let distinct = Dataflow.distinct
+let shave = Dataflow.shave
+let shave_const = Dataflow.shave_const
+
+let input engine =
+  let i = Dataflow.Input.create engine in
+  (i, Dataflow.Input.node i)
+
+let feed = Dataflow.Input.feed
+let current = Dataflow.Input.current
+let node n = n
+
+module Target = struct
+  (* The distance is maintained over a growing "tracked" set: the records
+     the measurement materialized, plus any record that has ever appeared in
+     the synthetic output.  A record entering the tracked set lazily (its
+     observation drawn on first sight) shifts the distance by the constant
+     [-|m x|] relative to the mathematical ‖Q(A) − m‖₁ over that record;
+     constants cancel in energy differences, which is all MCMC consumes.
+     [recompute] re-derives the same convention from scratch. *)
+  type t = {
+    epsilon : float;
+    distance : unit -> float;
+    recompute : unit -> unit;
+  }
+
+  let create (type a) (q : a collection) (m : a Measurement.t) =
+    let sink = Dataflow.Sink.attach q in
+    (* tracked: record -> (observation, counts_baseline).  [counts_baseline]
+       is true for records observed at measurement time, whose |0 - m x| is
+       part of the initial distance. *)
+    let tracked : (a, float * bool) Hashtbl.t = Hashtbl.create 64 in
+    let distance = ref 0.0 in
+    List.iter
+      (fun (x, v) ->
+        Hashtbl.replace tracked x (v, true);
+        distance := !distance +. Float.abs v)
+      (Measurement.observed m);
+    Dataflow.Sink.on_change sink (fun x ~old_weight ~new_weight ->
+        let obs =
+          match Hashtbl.find_opt tracked x with
+          | Some (v, _) -> v
+          | None ->
+              let v = Measurement.value m x in
+              Hashtbl.replace tracked x (v, false);
+              v
+        in
+        distance := !distance +. Float.abs (new_weight -. obs) -. Float.abs (old_weight -. obs));
+    let recompute () =
+      let d = ref 0.0 in
+      Hashtbl.iter
+        (fun x (v, baseline) ->
+          let q = Dataflow.Sink.weight sink x in
+          d := !d +. Float.abs (q -. v);
+          if not baseline then d := !d -. Float.abs v)
+        tracked;
+      distance := !d
+    in
+    { epsilon = Measurement.epsilon m; distance = (fun () -> !distance); recompute }
+
+  let distance t = t.distance ()
+  let weighted_distance t = t.epsilon *. t.distance ()
+  let epsilon t = t.epsilon
+  let recompute t = t.recompute ()
+  let energy targets = List.fold_left (fun acc t -> acc +. weighted_distance t) 0.0 targets
+end

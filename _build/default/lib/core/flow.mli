@@ -1,0 +1,69 @@
+(** Incremental execution of wPINQ queries over a synthetic dataset, with
+    live scoring against released measurements.
+
+    This is the fitting half of the platform (paper, Section 4): after the
+    protected data has been measured and discarded, the same query text —
+    instantiated through this module instead of {!Batch} — runs over a
+    public synthetic candidate.  {!Target}s subscribe below each pipeline
+    and maintain [‖Q(A) − m‖₁] incrementally as the candidate is edited, so
+    a Metropolis–Hastings step costs only the propagation of its delta. *)
+
+type 'a t
+(** A collection in the incremental engine. *)
+
+include Lang.S with type 'a t := 'a t
+
+type 'a collection = 'a t
+(** Alias usable where [t] is shadowed (inside {!Target}). *)
+
+type 'a handle
+(** The feed side of a synthetic input. *)
+
+val input : Wpinq_dataflow.Dataflow.Engine.t -> 'a handle * 'a t
+(** Declares a synthetic (public) input collection, initially empty. *)
+
+val feed : 'a handle -> ('a * float) list -> unit
+(** Applies a weight-change batch to the input and propagates it through
+    every query and target built on it.  Feed related changes (e.g. all
+    edge records of one swap) as {e one} batch: correctness never depends
+    on batching, but weight-preserving batches take Join's fast path. *)
+
+val current : 'a handle -> 'a Wpinq_weighted.Wdata.t
+(** The synthetic collection as accumulated so far. *)
+
+val node : 'a t -> 'a Wpinq_dataflow.Dataflow.node
+(** Escape hatch to the underlying dataflow node (used by tests and custom
+    sinks). *)
+
+module Target : sig
+  type t
+  (** A fitted measurement: one wPINQ pipeline over the synthetic input,
+      scored against the noisy observations [m] of the corresponding
+      pipeline over the (discarded) protected input. *)
+
+  val create : 'a collection -> 'a Measurement.t -> t
+  (** [create q m] attaches a scoring sink under [q].  Records [m] observed
+      at measurement time contribute immediately; records that first appear
+      in the synthetic output draw (and memoize) their noisy observation
+      lazily, exactly as {!Measurement.value} specifies. *)
+
+  val distance : t -> float
+  (** Current [‖Q(A) − m‖₁] over all tracked records, up to a constant
+      offset per lazily-observed record (constant offsets cancel in the
+      MCMC acceptance ratio; see the implementation note). *)
+
+  val weighted_distance : t -> float
+  (** [epsilon m × distance t] — this target's term in the posterior energy
+      [Σ_i ε_i ‖Q_i(A) − m_i‖₁]. *)
+
+  val epsilon : t -> float
+
+  val recompute : t -> unit
+  (** Recomputes the distance from the sink's current state, discarding any
+      floating-point drift accumulated by incremental updates.  Cheap; call
+      it every ~10⁵ steps on long MCMC runs. *)
+
+  val energy : t list -> float
+  (** [energy targets] is [Σ weighted_distance] — the quantity
+      Metropolis–Hastings exponentiates. *)
+end

@@ -1,0 +1,31 @@
+(** The wPINQ transformation language, abstracted over its execution mode.
+
+    Queries are written as functors over {!S} so that the same text runs in
+    two ways: once against the protected data through {!Batch} (whole-input
+    evaluation, feeding {!Measurement}s and debiting {!Budget}s), and again
+    during synthesis through {!Flow} (incremental evaluation against an
+    evolving synthetic dataset).  This mirrors the paper's design, where the
+    analyst's query both defines the private measurements and, unchanged,
+    drives the MCMC scoring engine (Section 4). *)
+
+module type S = sig
+  type 'a t
+  (** A weighted collection of records of type ['a]. *)
+
+  val select : ('a -> 'b) -> 'a t -> 'b t
+  val where : ('a -> bool) -> 'a t -> 'a t
+  val select_many : ('a -> ('b * float) list) -> 'a t -> 'b t
+  val select_many_list : ('a -> 'b list) -> 'a t -> 'b t
+  val concat : 'a t -> 'a t -> 'a t
+  val except : 'a t -> 'a t -> 'a t
+  val union : 'a t -> 'a t -> 'a t
+  val intersect : 'a t -> 'a t -> 'a t
+
+  val join :
+    kl:('a -> 'k) -> kr:('b -> 'k) -> reduce:('a -> 'b -> 'c) -> 'a t -> 'b t -> 'c t
+
+  val group_by : key:('a -> 'k) -> reduce:('a list -> 'r) -> 'a t -> ('k * 'r) t
+  val distinct : ?bound:float -> 'a t -> 'a t
+  val shave : ('a -> float Seq.t) -> 'a t -> ('a * int) t
+  val shave_const : float -> 'a t -> ('a * int) t
+end

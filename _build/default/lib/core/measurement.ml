@@ -1,0 +1,30 @@
+module Wdata = Wpinq_weighted.Wdata
+module Prng = Wpinq_prng.Prng
+
+type 'a t = {
+  epsilon : float;
+  rng : Prng.t; (* private stream for lazily-drawn records *)
+  values : ('a, float) Hashtbl.t;
+}
+
+let create ~rng ~epsilon ~true_data =
+  if epsilon <= 0.0 then invalid_arg "Measurement.create: epsilon must be positive";
+  let rng = Prng.split rng in
+  let values = Hashtbl.create (max 16 (Wdata.support_size true_data)) in
+  Wdata.iter
+    (fun x w -> Hashtbl.replace values x (w +. Prng.laplace rng ~scale:(1.0 /. epsilon)))
+    true_data;
+  { epsilon; rng; values }
+
+let epsilon t = t.epsilon
+
+let value t x =
+  match Hashtbl.find_opt t.values x with
+  | Some v -> v
+  | None ->
+      let v = Prng.laplace t.rng ~scale:(1.0 /. t.epsilon) in
+      Hashtbl.replace t.values x v;
+      v
+
+let observed t = Hashtbl.fold (fun x v acc -> (x, v) :: acc) t.values []
+let observed_size t = Hashtbl.length t.values

@@ -1,0 +1,31 @@
+(** Differentially-private measurements: the output of [NoisyCount]
+    (paper, Section 2.2).
+
+    A measurement is a dictionary from records to noisy counts.  Records
+    that carried nonzero weight at measurement time are materialized
+    eagerly; any other record's value is fresh Laplace noise, drawn on first
+    request and memoized so later requests (and the MCMC scorer) see a
+    consistent function.  The protected data is captured only long enough to
+    draw the noisy values — nothing unnoised escapes this module. *)
+
+type 'a t
+
+val create :
+  rng:Wpinq_prng.Prng.t -> epsilon:float -> true_data:'a Wpinq_weighted.Wdata.t -> 'a t
+(** [create ~rng ~epsilon ~true_data] draws [true_data x + Laplace(1/epsilon)]
+    for every supported record.  The caller ({!Batch.noisy_count}) is
+    responsible for budget accounting {e before} calling this. *)
+
+val epsilon : 'a t -> float
+(** The per-record noise parameter (counts carry [Laplace(1/epsilon)]
+    noise).  This is the ε the posterior weighs this measurement by. *)
+
+val value : 'a t -> 'a -> float
+(** [value m x] is the released noisy count for [x]; memoized fresh noise if
+    [x] had zero weight and has not been asked before. *)
+
+val observed : 'a t -> ('a * float) list
+(** All records materialized so far (eager support plus any lazily-drawn
+    records), with their noisy counts. *)
+
+val observed_size : 'a t -> int

@@ -1,0 +1,40 @@
+module Prng = Wpinq_prng.Prng
+module Wdata = Wpinq_weighted.Wdata
+
+let clip clamp v = Float.max (-.clamp) (Float.min clamp v)
+
+let noisy_sum ~rng ~epsilon ~clamp ~f c =
+  if clamp <= 0.0 then invalid_arg "Mechanisms.noisy_sum: clamp must be positive";
+  if epsilon <= 0.0 then invalid_arg "Mechanisms.noisy_sum: epsilon must be positive";
+  Batch.charge ~label:"noisy_sum" ~epsilon c;
+  let data = Batch.unsafe_value c in
+  let total = Wdata.fold (fun x w acc -> acc +. (w *. clip clamp (f x))) data 0.0 in
+  total +. Prng.laplace rng ~scale:(clamp /. epsilon)
+
+let noisy_average ~rng ~epsilon ~clamp ~f c =
+  if clamp <= 0.0 then invalid_arg "Mechanisms.noisy_average: clamp must be positive";
+  if epsilon <= 0.0 then invalid_arg "Mechanisms.noisy_average: epsilon must be positive";
+  Batch.charge ~label:"noisy_average" ~epsilon c;
+  let data = Batch.unsafe_value c in
+  let half = epsilon /. 2.0 in
+  let sum = Wdata.fold (fun x w acc -> acc +. (w *. clip clamp (f x))) data 0.0 in
+  let noisy_sum = sum +. Prng.laplace rng ~scale:(clamp /. half) in
+  let noisy_weight = Wdata.total data +. Prng.laplace rng ~scale:(1.0 /. half) in
+  noisy_sum /. Float.max 1.0 noisy_weight
+
+let exponential ~rng ~epsilon ~candidates ~score c =
+  if candidates = [] then invalid_arg "Mechanisms.exponential: no candidates";
+  if epsilon <= 0.0 then invalid_arg "Mechanisms.exponential: epsilon must be positive";
+  Batch.charge ~label:"exponential" ~epsilon c;
+  let data = Batch.unsafe_value c in
+  let scores = List.map (fun r -> (r, score r data)) candidates in
+  (* Normalize by the max score so the exponentials stay finite. *)
+  let best = List.fold_left (fun acc (_, s) -> Float.max acc s) neg_infinity scores in
+  let weights = List.map (fun (r, s) -> (r, exp (epsilon *. (s -. best) /. 2.0))) scores in
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 weights in
+  let draw = Prng.uniform rng *. total in
+  let rec pick acc = function
+    | [] -> fst (List.hd (List.rev weights))
+    | (r, w) :: rest -> if acc +. w >= draw then r else pick (acc +. w) rest
+  in
+  pick 0.0 weights

@@ -1,0 +1,45 @@
+(** Further differentially-private aggregations (paper, Section 2.2).
+
+    [NoisyCount] is the workhorse, but the paper notes that noisy sums,
+    noisy averages, and the exponential mechanism all generalize to
+    weighted datasets.  Like [NoisyCount], each debits
+    [epsilon × (source use-count)] from every source budget before
+    releasing anything. *)
+
+val noisy_sum :
+  rng:Wpinq_prng.Prng.t ->
+  epsilon:float ->
+  clamp:float ->
+  f:('a -> float) ->
+  'a Batch.t ->
+  float
+(** [noisy_sum ~rng ~epsilon ~clamp ~f c] releases
+    [Σ_x A(x) · clip(f x) + Laplace(clamp/epsilon)], where [clip] truncates
+    [f] to [[-clamp, clamp]].  A unit of record weight moves the true sum
+    by at most [clamp], so the added noise suffices for [epsilon]-DP. *)
+
+val noisy_average :
+  rng:Wpinq_prng.Prng.t ->
+  epsilon:float ->
+  clamp:float ->
+  f:('a -> float) ->
+  'a Batch.t ->
+  float
+(** [noisy_average] estimates [Σ A(x)·clip(f x) / Σ A(x)] by splitting
+    [epsilon] evenly between a noisy clipped sum and a noisy total weight
+    (clamped below at 1), the standard PINQ construction.  Total cost is
+    [epsilon] per source use. *)
+
+val exponential :
+  rng:Wpinq_prng.Prng.t ->
+  epsilon:float ->
+  candidates:'r list ->
+  score:('r -> 'a Wpinq_weighted.Wdata.t -> float) ->
+  'a Batch.t ->
+  'r
+(** [exponential ~rng ~epsilon ~candidates ~score c] draws a candidate [r]
+    with probability proportional to [exp (epsilon · score r A / 2)]
+    (McSherry–Talwar).  The guarantee requires each [score r] to be
+    1-Lipschitz with respect to [‖·‖] on weighted datasets — e.g. any
+    per-candidate weight total, or a stable query's record weight.
+    [candidates] must be non-empty. *)

@@ -1,0 +1,1 @@
+lib/data/datasets.ml: Float Wpinq_graph Wpinq_prng

@@ -1,0 +1,1 @@
+lib/data/datasets.mli: Wpinq_graph

@@ -1,0 +1,1 @@
+lib/data/microdata.ml: Array Float List Wpinq_prng

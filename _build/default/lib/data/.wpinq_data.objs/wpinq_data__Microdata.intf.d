@@ -1,0 +1,1 @@
+lib/data/microdata.mli: Wpinq_prng

@@ -1,0 +1,165 @@
+module Graph = Wpinq_graph.Graph
+module Gen = Wpinq_graph.Gen
+module Rewire = Wpinq_graph.Rewire
+module Prng = Wpinq_prng.Prng
+
+type paper_stats = {
+  nodes : int;
+  edges : int;
+  dmax : int;
+  triangles : int;
+  assortativity : float;
+}
+
+type spec = {
+  name : string;
+  description : string;
+  paper : paper_stats;
+  paper_random_triangles : int;
+  paper_random_assortativity : float;
+  generate : float -> Graph.t;
+}
+
+let scaled scale n = max 8 (int_of_float (Float.round (scale *. float_of_int n)))
+
+let grqc =
+  {
+    name = "CA-GrQc";
+    description = "general-relativity collaboration network stand-in";
+    paper =
+      { nodes = 5242; edges = 28980; dmax = 81; triangles = 48260; assortativity = 0.66 };
+    paper_random_triangles = 586;
+    paper_random_assortativity = 0.00;
+    generate =
+      (fun scale ->
+        Gen.clustered ~n:(scaled scale 1300) ~community:11 ~p_in:0.85
+          ~extra:(scaled scale 350) (Prng.create 0x6711));
+  }
+
+let hepph =
+  {
+    name = "CA-HepPh";
+    description = "high-energy-physics (phenomenology) collaboration stand-in";
+    paper =
+      {
+        nodes = 12008;
+        edges = 237010;
+        dmax = 491;
+        triangles = 3_358_499;
+        assortativity = 0.63;
+      };
+    paper_random_triangles = 323_867;
+    paper_random_assortativity = 0.04;
+    generate =
+      (fun scale ->
+        Gen.clustered ~n:(scaled scale 1000) ~community:22 ~p_in:0.6
+          ~extra:(scaled scale 700) (Prng.create 0x4e94));
+  }
+
+let hepth =
+  {
+    name = "CA-HepTh";
+    description = "high-energy-physics (theory) collaboration stand-in";
+    paper =
+      { nodes = 9877; edges = 51971; dmax = 65; triangles = 28339; assortativity = 0.27 };
+    paper_random_triangles = 322;
+    paper_random_assortativity = 0.05;
+    generate =
+      (fun scale ->
+        Gen.clustered ~n:(scaled scale 1250) ~community:9 ~p_in:0.6
+          ~extra:(scaled scale 900) (Prng.create 0x7e77));
+  }
+
+let caltech =
+  {
+    name = "Caltech";
+    description = "dense campus social-network stand-in";
+    paper =
+      { nodes = 769; edges = 33312; dmax = 248; triangles = 119_563; assortativity = -0.06 };
+    paper_random_triangles = 50_269;
+    paper_random_assortativity = 0.17;
+    generate =
+      (fun scale ->
+        Gen.powerlaw_cluster ~n:(scaled scale 300) ~m:12 ~p_triad:0.95 (Prng.create 0xca17));
+  }
+
+let epinions =
+  {
+    name = "Epinions";
+    description = "heavy-tailed trust-network stand-in";
+    paper =
+      {
+        nodes = 75879;
+        edges = 1_017_674;
+        dmax = 3079;
+        triangles = 1_624_481;
+        assortativity = -0.01;
+      };
+    paper_random_triangles = 1_059_864;
+    paper_random_assortativity = 0.00;
+    generate =
+      (fun scale ->
+        Gen.powerlaw_cluster ~n:(scaled scale 2200) ~m:6 ~p_triad:0.3 ~alpha:1.08
+          (Prng.create 0xe919));
+  }
+
+let table1 = [ grqc; hepph; hepth; caltech; epinions ]
+let load ?(scale = 1.0) spec = spec.generate scale
+let random_counterpart ?(seed = 0x5eed) g = Rewire.randomize g (Prng.create seed)
+
+type ba_spec = {
+  label : string;
+  beta : float;
+  alpha : float;
+  paper_dmax : int;
+  paper_triangles : int;
+  paper_sum_deg_sq : int;
+}
+
+let table3 =
+  [
+    {
+      label = "Barabasi 1";
+      beta = 0.50;
+      alpha = 1.0;
+      paper_dmax = 377;
+      paper_triangles = 16091;
+      paper_sum_deg_sq = 71_859_718;
+    };
+    {
+      label = "Barabasi 2";
+      beta = 0.55;
+      alpha = 1.1;
+      paper_dmax = 475;
+      paper_triangles = 18515;
+      paper_sum_deg_sq = 77_819_452;
+    };
+    {
+      label = "Barabasi 3";
+      beta = 0.60;
+      alpha = 1.2;
+      paper_dmax = 573;
+      paper_triangles = 22209;
+      paper_sum_deg_sq = 86_576_336;
+    };
+    {
+      label = "Barabasi 4";
+      beta = 0.65;
+      alpha = 1.3;
+      paper_dmax = 751;
+      paper_triangles = 28241;
+      paper_sum_deg_sq = 99_641_108;
+    };
+    {
+      label = "Barabasi 5";
+      beta = 0.70;
+      alpha = 1.4;
+      paper_dmax = 965;
+      paper_triangles = 35741;
+      paper_sum_deg_sq = 119_340_328;
+    };
+  ]
+
+let ba_graph ?(scale = 1.0) spec =
+  Gen.barabasi_albert ~n:(scaled scale 2000) ~m:5 ~alpha:spec.alpha
+    (Prng.create (0xba00 + int_of_float (100.0 *. spec.beta)))

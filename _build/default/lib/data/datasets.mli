@@ -1,0 +1,69 @@
+(** The evaluation datasets (paper, Tables 1 and 3), as deterministic
+    synthetic stand-ins.
+
+    The paper's experiments run on SNAP/Facebook graphs that cannot be
+    bundled here (sealed environment; see DESIGN.md "Substitutions").  Each
+    {!spec} pairs the paper's reported statistics with a generator tuned to
+    reproduce that graph's {e qualitative} profile at a laptop scale:
+    triangle-rich and assortative for the collaboration networks, dense and
+    weakly disassortative for Caltech, heavy-tailed for Epinions.  Every
+    experiment also builds the paper's own control, {!random_counterpart}
+    — a degree-preserving randomization with the triangles destroyed — so
+    all real-vs-random comparisons are preserved.
+
+    If the real edge lists are available, load them with
+    {!Wpinq_graph.Io.read} and pass them to the same experiment code. *)
+
+type paper_stats = {
+  nodes : int;
+  edges : int;  (** directed edge records, as Table 1 prints them *)
+  dmax : int;
+  triangles : int;
+  assortativity : float;
+}
+
+type spec = {
+  name : string;
+  description : string;
+  paper : paper_stats;  (** Table 1's row for the real graph *)
+  paper_random_triangles : int;  (** Table 1's Random(G) triangle count *)
+  paper_random_assortativity : float;
+  generate : float -> Wpinq_graph.Graph.t;  (** scale factor -> graph *)
+}
+
+val grqc : spec
+val hepph : spec
+val hepth : spec
+val caltech : spec
+val epinions : spec
+
+val table1 : spec list
+(** All five rows of Table 1, in the paper's order. *)
+
+val load : ?scale:float -> spec -> Wpinq_graph.Graph.t
+(** [load ?scale spec] materializes the stand-in (deterministic per spec
+    and scale).  [scale] (default 1.0) multiplies the vertex count; the
+    default sizes keep the heaviest experiment (TbI state ~ Σ d²) within a
+    laptop's memory. *)
+
+val random_counterpart : ?seed:int -> Wpinq_graph.Graph.t -> Wpinq_graph.Graph.t
+(** Degree-preserving rewiring of a graph — Table 1's [Random(G)] rows. *)
+
+(** {1 Table 3: the Barabási–Albert scalability sweep} *)
+
+type ba_spec = {
+  label : string;
+  beta : float;  (** the paper's "dynamical exponent" knob *)
+  alpha : float;  (** our attachment exponent implementing the same skew *)
+  paper_dmax : int;
+  paper_triangles : int;
+  paper_sum_deg_sq : int;
+}
+
+val table3 : ba_spec list
+(** The five rows of Table 3 (β from 0.5 to 0.7, 100k nodes / 2M edges in
+    the paper). *)
+
+val ba_graph : ?scale:float -> ba_spec -> Wpinq_graph.Graph.t
+(** The stand-in for one Table 3 row: [2000 × scale] vertices, 5 edges per
+    arrival, attachment exponent [alpha]. *)

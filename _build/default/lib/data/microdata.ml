@@ -1,0 +1,36 @@
+module Prng = Wpinq_prng.Prng
+
+type person = { age : int; income : float; region : string; household : int }
+
+let regions = [ "north"; "south"; "east"; "west"; "coast" ]
+
+(* Region income multipliers: the signal the example's per-region queries
+   are supposed to find. *)
+let region_scale = function
+  | "north" -> 1.0
+  | "south" -> 0.8
+  | "east" -> 1.1
+  | "west" -> 0.9
+  | "coast" -> 1.6
+  | _ -> 1.0
+
+let generate ~n rng =
+  let rng = Prng.copy rng in
+  List.init n (fun _ ->
+      let age = 18 + Prng.int rng 70 in
+      let region = Prng.choose rng (Array.of_list regions) in
+      (* Log-normal-ish income rising with age until retirement. *)
+      let age_factor = 0.5 +. (float_of_int (min age 60) /. 60.0) in
+      let base = 20_000.0 *. exp (0.8 *. Prng.gaussian rng) in
+      let income = Float.max 0.0 (base *. age_factor *. region_scale region) in
+      let household = 1 + Prng.int rng 6 in
+      { age; income; region; household })
+
+let exact_mean_income people =
+  List.fold_left (fun acc p -> acc +. p.income) 0.0 people
+  /. float_of_int (max 1 (List.length people))
+
+let exact_region_counts people =
+  List.map
+    (fun r -> (r, List.length (List.filter (fun p -> p.region = r) people)))
+    regions

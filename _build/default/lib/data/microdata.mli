@@ -1,0 +1,24 @@
+(** Synthetic microdata — a census-style population for exercising the
+    platform's tabular side (PINQ's home turf): histograms, partitions
+    with parallel composition, noisy averages, and the exponential
+    mechanism.  Nothing here is graph-shaped; it demonstrates that wPINQ's
+    weighted datasets subsume the multiset workloads of its predecessor. *)
+
+type person = {
+  age : int;  (** 0 – 99 *)
+  income : float;  (** annual, ≥ 0, heavy-tailed *)
+  region : string;  (** one of {!regions} *)
+  household : int;  (** household size, 1 – 6 *)
+}
+
+val regions : string list
+(** The fixed region domain (public knowledge). *)
+
+val generate : n:int -> Wpinq_prng.Prng.t -> person list
+(** [generate ~n rng] draws a deterministic synthetic population with
+    region-dependent income scales and age-dependent income growth, so the
+    conditional statistics the example queries estimate actually exist. *)
+
+val exact_mean_income : person list -> float
+val exact_region_counts : person list -> (string * int) list
+(** Ground truths for tests and examples. *)

@@ -1,0 +1,1 @@
+lib/dataflow/dataflow.ml: Float Hashtbl List Option Seq Wpinq_weighted

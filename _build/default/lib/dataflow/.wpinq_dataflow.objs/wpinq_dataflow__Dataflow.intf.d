@@ -1,0 +1,1 @@
+lib/dataflow/dataflow.mli: Seq Wpinq_weighted

@@ -1,0 +1,410 @@
+module Wdata = Wpinq_weighted.Wdata
+module Ops = Wpinq_weighted.Ops
+
+let near_zero w = Float.abs w < Wdata.epsilon_weight
+
+module Engine = struct
+  type t = {
+    mutable state_records : int;
+    mutable work : int;
+    mutable join_fast : int;
+    mutable join_full : int;
+  }
+
+  let create () = { state_records = 0; work = 0; join_fast = 0; join_full = 0 }
+  let state_records t = t.state_records
+  let work t = t.work
+  let join_fast_updates t = t.join_fast
+  let join_full_rescales t = t.join_full
+end
+
+type 'a delta = ('a * float) list
+type 'a node = { engine : Engine.t; mutable subs : ('a delta -> unit) list }
+
+let engine_of n = n.engine
+let make engine = { engine; subs = [] }
+
+(* Subscribers fire in subscription order; propagation is a synchronous
+   depth-first walk of the DAG.  Correctness does not depend on the order
+   because every stateful operator retires each delta batch against its
+   current state. *)
+let subscribe n f = n.subs <- n.subs @ [ f ]
+let emit n d = if d <> [] then List.iter (fun f -> f d) n.subs
+
+let coalesce d =
+  match d with
+  | [] -> []
+  | [ (_, w) ] -> if near_zero w then [] else d
+  | _ ->
+      let h = Hashtbl.create (List.length d) in
+      List.iter
+        (fun (x, w) ->
+          match Hashtbl.find_opt h x with
+          | None -> Hashtbl.replace h x w
+          | Some w0 -> Hashtbl.replace h x (w0 +. w))
+        d;
+      Hashtbl.fold (fun x w acc -> if near_zero w then acc else (x, w) :: acc) h []
+
+let count_work (engine : Engine.t) d = engine.work <- engine.work + List.length d
+
+(* A mutable weight table whose entry count is reported to the engine's
+   state-size statistic. *)
+module Wtbl = struct
+  type 'a t = { tbl : ('a, float) Hashtbl.t; engine : Engine.t }
+
+  let create engine = { tbl = Hashtbl.create 16; engine }
+  let get t x = Option.value ~default:0.0 (Hashtbl.find_opt t.tbl x)
+
+  let set t x w =
+    let had = Hashtbl.mem t.tbl x in
+    if near_zero w then begin
+      if had then begin
+        Hashtbl.remove t.tbl x;
+        t.engine.state_records <- t.engine.state_records - 1
+      end
+    end
+    else begin
+      if not had then t.engine.state_records <- t.engine.state_records + 1;
+      Hashtbl.replace t.tbl x w
+    end
+
+  (* Adds [dw] and returns the old weight. *)
+  let bump t x dw =
+    let old = get t x in
+    set t x (old +. dw);
+    old
+
+  let size t = Hashtbl.length t.tbl
+  let to_list t = Hashtbl.fold (fun x w acc -> (x, w) :: acc) t.tbl []
+end
+
+module Input = struct
+  type 'a t = { node : 'a node; state : 'a Wtbl.t }
+
+  let create engine = { node = make engine; state = Wtbl.create engine }
+  let node t = t.node
+
+  let feed t delta =
+    let delta = coalesce delta in
+    List.iter (fun (x, w) -> ignore (Wtbl.bump t.state x w)) delta;
+    emit t.node delta
+
+  let current t = Wdata.of_list (Wtbl.to_list t.state)
+end
+
+let select f up =
+  let out = make up.engine in
+  subscribe up (fun d ->
+      count_work up.engine d;
+      emit out (List.rev_map (fun (x, w) -> (f x, w)) d));
+  out
+
+let where p up =
+  let out = make up.engine in
+  subscribe up (fun d ->
+      count_work up.engine d;
+      emit out (List.filter (fun (x, _) -> p x) d));
+  out
+
+let select_many f up =
+  let out = make up.engine in
+  subscribe up (fun d ->
+      count_work up.engine d;
+      let produced = ref [] in
+      List.iter
+        (fun (x, w) ->
+          let ys = f x in
+          let n = List.fold_left (fun acc (_, wy) -> acc +. Float.abs wy) 0.0 ys in
+          let scale = w /. Float.max 1.0 n in
+          List.iter (fun (y, wy) -> produced := (y, wy *. scale) :: !produced) ys)
+        d;
+      emit out !produced);
+  out
+
+let select_many_list f up = select_many (fun x -> List.map (fun y -> (y, 1.0)) (f x)) up
+
+let same_engine a b =
+  if a.engine != b.engine then invalid_arg "Dataflow: nodes belong to different engines";
+  a.engine
+
+let concat a b =
+  let engine = same_engine a b in
+  let out = make engine in
+  let pass d =
+    count_work engine d;
+    emit out d
+  in
+  subscribe a pass;
+  subscribe b pass;
+  out
+
+let except a b =
+  let engine = same_engine a b in
+  let out = make engine in
+  subscribe a (fun d ->
+      count_work engine d;
+      emit out d);
+  subscribe b (fun d ->
+      count_work engine d;
+      emit out (List.rev_map (fun (x, w) -> (x, -.w)) d));
+  out
+
+(* Union and Intersect keep both sides' weights per record and emit the
+   change to max/min when either side moves. *)
+let merge_node fop a b =
+  let engine = same_engine a b in
+  let out = make engine in
+  let wa = Wtbl.create engine and wb = Wtbl.create engine in
+  let handle mine other flip d =
+    count_work engine d;
+    let changes = ref [] in
+    List.iter
+      (fun (x, dw) ->
+        let old_mine = Wtbl.bump mine x dw in
+        let v_other = Wtbl.get other x in
+        let old_out = if flip then fop v_other old_mine else fop old_mine v_other in
+        let new_mine = old_mine +. dw in
+        let new_out = if flip then fop v_other new_mine else fop new_mine v_other in
+        let diff = new_out -. old_out in
+        if not (near_zero diff) then changes := (x, diff) :: !changes)
+      d;
+    emit out (coalesce !changes)
+  in
+  subscribe a (handle wa wb false);
+  subscribe b (handle wb wa true);
+  out
+
+let union a b = merge_node Float.max a b
+let intersect a b = merge_node Float.min a b
+
+(* Per-key state of one Join input. *)
+type 'r part = { recs : ('r, float) Hashtbl.t; mutable norm : float }
+
+let part_get p x = Option.value ~default:0.0 (Hashtbl.find_opt p.recs x)
+
+let part_set (engine : Engine.t) p x w =
+  let had = Hashtbl.mem p.recs x in
+  if near_zero w then begin
+    if had then begin
+      Hashtbl.remove p.recs x;
+      engine.state_records <- engine.state_records - 1
+    end
+  end
+  else begin
+    if not had then engine.state_records <- engine.state_records + 1;
+    Hashtbl.replace p.recs x w
+  end
+
+let find_part index k =
+  match Hashtbl.find_opt index k with
+  | Some p -> p
+  | None ->
+      let p = { recs = Hashtbl.create 4; norm = 0.0 } in
+      Hashtbl.replace index k p;
+      p
+
+let group_delta_by_key key d =
+  let by_key = Hashtbl.create 16 in
+  List.iter
+    (fun (x, w) ->
+      let k = key x in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_key k) in
+      Hashtbl.replace by_key k ((x, w) :: cur))
+    d;
+  by_key
+
+let join ~kl ~kr ~reduce a b =
+  let engine = same_engine a b in
+  let out = make engine in
+  let ia : ('k, 'ra part) Hashtbl.t = Hashtbl.create 64 in
+  let ib : ('k, 'rb part) Hashtbl.t = Hashtbl.create 64 in
+  (* Retire a batch arriving on one side.  [cross changed_rec other_rec]
+     orients the output pair correctly for whichever side changed. *)
+  let handle mine_index other_index key_of cross d =
+    count_work engine d;
+    let by_key = group_delta_by_key key_of d in
+    let changes = ref [] in
+    Hashtbl.iter
+      (fun k entries ->
+        let mine = find_part mine_index k in
+        let other =
+          match Hashtbl.find_opt other_index k with
+          | Some p -> p
+          | None -> { recs = Hashtbl.create 1; norm = 0.0 }
+        in
+        let net = coalesce entries in
+        let norm_change =
+          List.fold_left
+            (fun acc (x, dw) ->
+              let old = part_get mine x in
+              acc +. (Float.abs (old +. dw) -. Float.abs old))
+            0.0 net
+        in
+        let denom_old = mine.norm +. other.norm in
+        let denom_new = denom_old +. norm_change in
+        if Float.abs norm_change < Wdata.epsilon_weight && denom_old > Wdata.epsilon_weight
+        then begin
+          (* Appendix B optimization: the normalizer is unchanged, so only
+             pairs involving changed records move. *)
+          engine.join_fast <- engine.join_fast + 1;
+          List.iter
+            (fun (x, dw) ->
+              let old = part_get mine x in
+              part_set engine mine x (old +. dw);
+              Hashtbl.iter
+                (fun y wy -> changes := (cross x y, dw *. wy /. denom_old) :: !changes)
+                other.recs)
+            net
+        end
+        else begin
+          (* The normalizer moved: every pair under this key is rescaled. *)
+          engine.join_full <- engine.join_full + 1;
+          if denom_old > Wdata.epsilon_weight then
+            Hashtbl.iter
+              (fun x wx ->
+                Hashtbl.iter
+                  (fun y wy -> changes := (cross x y, -.(wx *. wy) /. denom_old) :: !changes)
+                  other.recs)
+              mine.recs;
+          List.iter
+            (fun (x, dw) ->
+              let old = part_get mine x in
+              part_set engine mine x (old +. dw))
+            net;
+          mine.norm <- mine.norm +. norm_change;
+          if denom_new > Wdata.epsilon_weight then
+            Hashtbl.iter
+              (fun x wx ->
+                Hashtbl.iter
+                  (fun y wy -> changes := (cross x y, wx *. wy /. denom_new) :: !changes)
+                  other.recs)
+              mine.recs
+        end;
+        if Float.abs norm_change < Wdata.epsilon_weight then
+          (* Fold the (sub-threshold) norm dust in so norms stay exact. *)
+          mine.norm <- mine.norm +. norm_change;
+        if Hashtbl.length mine.recs = 0 && Float.abs mine.norm < Wdata.epsilon_weight then
+          Hashtbl.remove mine_index k)
+      by_key;
+    emit out (coalesce !changes)
+  in
+  subscribe a (handle ia ib kl (fun x y -> reduce x y));
+  subscribe b (handle ib ia kr (fun y x -> reduce x y));
+  out
+
+let group_by ~key ~reduce up =
+  let engine = up.engine in
+  let out = make engine in
+  let index : ('k, ('a, float) Hashtbl.t) Hashtbl.t = Hashtbl.create 64 in
+  let positive_part tbl = Hashtbl.fold (fun x w acc -> if w > 0.0 then (x, w) :: acc else acc) tbl [] in
+  let emissions k tbl =
+    List.map
+      (fun (members, w) -> ((k, reduce members), w))
+      (Ops.group_emissions (positive_part tbl))
+  in
+  subscribe up (fun d ->
+      count_work engine d;
+      let by_key = group_delta_by_key key d in
+      let changes = ref [] in
+      Hashtbl.iter
+        (fun k entries ->
+          let tbl =
+            match Hashtbl.find_opt index k with
+            | Some t -> t
+            | None ->
+                let t = Hashtbl.create 4 in
+                Hashtbl.replace index k t;
+                t
+          in
+          List.iter (fun (r, w) -> changes := (r, -.w) :: !changes) (emissions k tbl);
+          List.iter
+            (fun (x, dw) ->
+              let old = Option.value ~default:0.0 (Hashtbl.find_opt tbl x) in
+              let w = old +. dw in
+              let had = Hashtbl.mem tbl x in
+              if near_zero w then begin
+                if had then begin
+                  Hashtbl.remove tbl x;
+                  engine.state_records <- engine.state_records - 1
+                end
+              end
+              else begin
+                if not had then engine.state_records <- engine.state_records + 1;
+                Hashtbl.replace tbl x w
+              end)
+            (coalesce entries);
+          List.iter (fun (r, w) -> changes := (r, w) :: !changes) (emissions k tbl);
+          if Hashtbl.length tbl = 0 then Hashtbl.remove index k)
+        by_key;
+      emit out (coalesce !changes));
+  out
+
+let distinct ?(bound = 1.0) up =
+  if bound <= 0.0 then invalid_arg "Dataflow.distinct: bound must be positive";
+  let engine = up.engine in
+  let out = make engine in
+  let state = Wtbl.create engine in
+  let cap w = Float.max 0.0 (Float.min bound w) in
+  subscribe up (fun d ->
+      count_work engine d;
+      let changes = ref [] in
+      List.iter
+        (fun (x, dw) ->
+          let old = Wtbl.bump state x dw in
+          let diff = cap (old +. dw) -. cap old in
+          if not (near_zero diff) then changes := (x, diff) :: !changes)
+        (coalesce d);
+      emit out (coalesce !changes));
+  out
+
+let shave f up =
+  let engine = up.engine in
+  let out = make engine in
+  let state = Wtbl.create engine in
+  subscribe up (fun d ->
+      count_work engine d;
+      let changes = ref [] in
+      List.iter
+        (fun (x, dw) ->
+          let old = Wtbl.bump state x dw in
+          let w = old +. dw in
+          if old > 0.0 then
+            List.iter
+              (fun (i, wi) -> changes := ((x, i), -.wi) :: !changes)
+              (Ops.shave_emissions (f x) old);
+          if w > 0.0 then
+            List.iter
+              (fun (i, wi) -> changes := ((x, i), wi) :: !changes)
+              (Ops.shave_emissions (f x) w))
+        (coalesce d);
+      emit out (coalesce !changes));
+  out
+
+let shave_const w up =
+  if w <= 0.0 then invalid_arg "Dataflow.shave_const: slab weight must be positive";
+  shave (fun _ -> Seq.repeat w) up
+
+module Sink = struct
+  type 'a t = {
+    state : 'a Wtbl.t;
+    mutable callbacks : ('a -> old_weight:float -> new_weight:float -> unit) list;
+  }
+
+  let attach node =
+    let t = { state = Wtbl.create node.engine; callbacks = [] } in
+    subscribe node (fun d ->
+        List.iter
+          (fun (x, dw) ->
+            let old = Wtbl.bump t.state x dw in
+            let nw = old +. dw in
+            let nw = if near_zero nw then 0.0 else nw in
+            List.iter (fun f -> f x ~old_weight:old ~new_weight:nw) t.callbacks)
+          d);
+    t
+
+  let weight t x = Wtbl.get t.state x
+  let support_size t = Wtbl.size t.state
+  let current t = Wdata.of_list (Wtbl.to_list t.state)
+  let to_list t = Wtbl.to_list t.state
+  let on_change t f = t.callbacks <- t.callbacks @ [ f ]
+end

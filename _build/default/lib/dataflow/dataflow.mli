@@ -1,0 +1,139 @@
+(** Incremental, data-parallel dataflow over weighted collections
+    (paper, Section 4.3 and Appendix B).
+
+    A query is built once as a DAG of operator nodes over one or more
+    {!Input}s.  Feeding a {e delta} — a batch of [(record, weight-change)]
+    pairs — to an input propagates through the DAG synchronously: every
+    stateful operator keeps its inputs indexed by the key it is
+    data-parallel over, recomputes only the parts whose inputs changed, and
+    emits the difference between its old and new outputs.  This is what lets
+    Metropolis–Hastings re-score a candidate dataset after a small change
+    (e.g. one edge swap) in time proportional to the records the change
+    touches, instead of re-running the query from scratch.
+
+    Operator semantics match {!module:Wpinq_weighted.Ops} exactly: after any
+    sequence of deltas, a {!Sink} below a pipeline holds the same weighted
+    dataset as the batch operators applied to the accumulated input (this is
+    property-tested).
+
+    Correctness does not depend on delta granularity, but performance does:
+    all entries of one [feed] batch that share an operator key are processed
+    together, so a weight-preserving change (e.g. an edge swap, which
+    removes one edge of a vertex and adds another) keeps Join's key norms
+    unchanged and triggers the cheap linear update of Appendix B rather than
+    a full per-key recomputation. *)
+
+module Engine : sig
+  type t
+  (** A dataflow context: owns the DAG, tracks engine-wide statistics. *)
+
+  val create : unit -> t
+
+  val state_records : t -> int
+  (** Number of weighted records currently indexed across all stateful
+      operators and sinks — the engine's memory footprint proxy, the
+      quantity the paper's [O(Σ_v d_v²)] memory argument (Figure 6) is
+      about. *)
+
+  val work : t -> int
+  (** Total delta entries processed by operators since creation; a
+      machine-independent measure of propagation cost. *)
+
+  val join_fast_updates : t -> int
+  (** Number of per-key Join updates retired via the Appendix B
+      norm-preserving linear path. *)
+
+  val join_full_rescales : t -> int
+  (** Number of per-key Join updates that changed the normalizer and forced
+      a full per-key rescale. *)
+end
+
+type 'a node
+(** A stream of weight changes for records of type ['a]; one vertex of the
+    query DAG. *)
+
+type 'a delta = ('a * float) list
+(** A batch of weight changes.  Entries may repeat records; weights add. *)
+
+val engine_of : _ node -> Engine.t
+
+module Input : sig
+  type 'a t
+  (** A root of the DAG: the mutable collection the analyst (or the MCMC
+      walk) edits. *)
+
+  val create : Engine.t -> 'a t
+
+  val node : 'a t -> 'a node
+
+  val feed : 'a t -> 'a delta -> unit
+  (** [feed input delta] applies the batch and synchronously propagates all
+      consequences through the DAG.  Must not be called re-entrantly from a
+      sink callback. *)
+
+  val current : 'a t -> 'a Wpinq_weighted.Wdata.t
+  (** The accumulated input collection (for checkpointing and testing). *)
+end
+
+(** {1 Stable transformations} *)
+
+val select : ('a -> 'b) -> 'a node -> 'b node
+val where : ('a -> bool) -> 'a node -> 'a node
+
+val select_many : ('a -> ('b * float) list) -> 'a node -> 'b node
+(** Stateless: SelectMany's output is linear in each input record's
+    weight, because the produced dataset and its normalization depend only
+    on the record, not its weight. *)
+
+val select_many_list : ('a -> 'b list) -> 'a node -> 'b node
+val concat : 'a node -> 'a node -> 'a node
+val except : 'a node -> 'a node -> 'a node
+val union : 'a node -> 'a node -> 'a node
+val intersect : 'a node -> 'a node -> 'a node
+
+val join :
+  kl:('a -> 'k) ->
+  kr:('b -> 'k) ->
+  reduce:('a -> 'b -> 'c) ->
+  'a node ->
+  'b node ->
+  'c node
+(** Indexes both inputs by key.  A delta that leaves a key's total absolute
+    weight unchanged is retired with the bilinear update
+    [δa × B / (‖A_k‖+‖B_k‖)] touching only matched records; a delta that
+    changes the norm rescales the key's whole output (old cross product
+    out, new cross product in), as wPINQ's normalization requires. *)
+
+val group_by : key:('a -> 'k) -> reduce:('a list -> 'r) -> 'a node -> ('k * 'r) node
+(** Maintains each part's records; on change, re-derives the part's prefix
+    emissions and emits the difference. *)
+
+val distinct : ?bound:float -> 'a node -> 'a node
+(** Weight-capping [Distinct] (stateful: tracks each record's current
+    weight to emit the change in the capped value). *)
+
+val shave : ('a -> float Seq.t) -> 'a node -> ('a * int) node
+val shave_const : float -> 'a node -> ('a * int) node
+
+(** {1 Sinks} *)
+
+module Sink : sig
+  type 'a t
+  (** A leaf accumulating the current output collection of a pipeline. *)
+
+  val attach : 'a node -> 'a t
+
+  val weight : 'a t -> 'a -> float
+  val support_size : 'a t -> int
+  val current : 'a t -> 'a Wpinq_weighted.Wdata.t
+  val to_list : 'a t -> ('a * float) list
+
+  val on_change : 'a t -> ('a -> old_weight:float -> new_weight:float -> unit) -> unit
+  (** Registers a callback fired on every record weight change reaching the
+      sink (after the sink's own state is updated).  This is the hook the
+      scoring layer uses to maintain [‖Q(A) − m‖₁] incrementally. *)
+end
+
+val coalesce : 'a delta -> 'a delta
+(** Combines duplicate records and drops ~zero entries.  Exposed for
+    tests and for callers assembling composite deltas. *)

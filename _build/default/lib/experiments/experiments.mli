@@ -1,0 +1,92 @@
+(** Reproductions of every table and figure in the paper's evaluation
+    (Section 5), printed as text to stdout.
+
+    Each function regenerates one artifact on the synthetic stand-in
+    datasets (see {!Wpinq_data.Datasets} and DESIGN.md), printing the
+    paper's reported numbers alongside the measured ones.  Absolute values
+    differ — the stand-ins are laptop-scale — but the comparisons the paper
+    draws (real vs. random, bucketed vs. raw, scaling trends) are
+    reproduced.  EXPERIMENTS.md records a run's results against the paper.
+
+    All experiments are deterministic in [seed].  [scale] multiplies
+    dataset sizes; [steps] the MCMC length.  Defaults are sized so the full
+    suite finishes in minutes; the paper's settings (5×10⁶ steps, full
+    sizes) are reachable through the flags of [bin/experiments.exe]. *)
+
+type config = {
+  scale : float;  (** dataset size multiplier (default 1.0) *)
+  steps : int;  (** MCMC steps for fitting experiments *)
+  epsilon : float;  (** per-query ε (default 0.1, the paper's) *)
+  pow : float;  (** MCMC sharpening (default 10⁴, the paper's) *)
+  seed : int;  (** master PRNG seed *)
+  repeats : int;  (** repetitions where variance is reported (Figure 5) *)
+}
+
+val default : config
+
+val table1 : config -> unit
+(** Graph statistics of every dataset and its degree-preserving
+    randomization: nodes, edges, dmax, Δ, r. *)
+
+val figure3 : config -> unit
+(** TbD-driven synthesis on CA-GrQc vs Random(GrQc), with and without
+    degree bucketing (k = 20): triangle and assortativity trajectories,
+    plus the Section 5.2 signal analysis (total TbD weight and its
+    concentration in the lowest bucket). *)
+
+val table2 : config -> unit
+(** Triangles before MCMC (seed), after TbI-driven MCMC, and in the
+    original graph, for GrQc / HepPh / HepTh / Caltech. *)
+
+val figure4 : config -> unit
+(** TbI-driven triangle trajectories for the four graphs, real vs
+    random. *)
+
+val figure5 : config -> unit
+(** TbI fits of CA-GrQc across ε ∈ {0.01, 0.1, 1, 10}: final triangle
+    counts, mean ± std over [config.repeats] runs. *)
+
+val table3 : config -> unit
+(** The Barabási–Albert sweep: dmax, Δ, Σ d² as the attachment skew
+    grows. *)
+
+val figure6 : config -> unit
+(** Scalability: MCMC steps/second and engine state size against Σ d² on
+    the five BA graphs (left), and the TbI trajectory on Epinions vs
+    Random(Epinions) (right). *)
+
+val all : config -> unit
+(** Every table and figure, in paper order. *)
+
+(** {1 Ablations} — design-choice experiments beyond the paper's artifacts
+    (DESIGN.md lists them). *)
+
+val ablation_incremental : config -> unit
+(** Incremental re-evaluation vs from-scratch re-execution of TbI under
+    edge swaps: per-step latency of both strategies. *)
+
+val ablation_join : config -> unit
+(** How often Join's norm-preserving fast path fires during a fit, and the
+    work saved. *)
+
+val ablation_seed : config -> unit
+(** Degree-matched seed vs an Erdős–Rényi seed of equal size: fit progress
+    from each start. *)
+
+val ablation_postprocess : config -> unit
+(** Degree-sequence accuracy of raw noisy measurements vs PAVA vs the
+    CCDF+sequence grid-path fit, across ε. *)
+
+val ablation_combined : config -> unit
+(** Fitting several measurements at once (Section 1.2, benefit 2): TbI
+    alone vs JDD alone vs both together — the combined posterior should
+    recover triangles {e and} assortativity better than either alone. *)
+
+val baselines : config -> unit
+(** Head-to-head triangle counting on the Figure 1 graphs (worst-case
+    two-hub graph, best-case triangle ring, and their union): worst-case
+    Laplace vs. smooth sensitivity vs. PINQ's guarded join vs. wPINQ's
+    TbI — the comparison the paper's introduction makes. *)
+
+val ablations : config -> unit
+(** All ablations (includes {!baselines}). *)

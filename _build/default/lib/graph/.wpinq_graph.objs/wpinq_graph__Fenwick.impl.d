@@ -1,0 +1,1 @@
+lib/graph/fenwick.ml: Array Wpinq_prng

@@ -1,0 +1,1 @@
+lib/graph/fenwick.mli: Wpinq_prng

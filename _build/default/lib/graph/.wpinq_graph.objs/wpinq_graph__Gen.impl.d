@@ -1,0 +1,1 @@
+lib/graph/gen.ml: Array Fenwick Graph Hashtbl List Wpinq_prng

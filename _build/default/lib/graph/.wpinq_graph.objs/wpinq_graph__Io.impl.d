@@ -1,0 +1,1 @@
+lib/graph/io.ml: Fun Graph List Printf String

@@ -1,0 +1,1 @@
+lib/graph/rewire.ml: Graph

@@ -1,0 +1,1 @@
+lib/graph/rewire.mli: Graph Wpinq_prng

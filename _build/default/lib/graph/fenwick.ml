@@ -1,0 +1,54 @@
+module Prng = Wpinq_prng.Prng
+
+type t = { tree : float array; values : float array }
+
+let create n =
+  if n < 0 then invalid_arg "Fenwick.create";
+  { tree = Array.make (n + 1) 0.0; values = Array.make (max n 1) 0.0 }
+
+let size t = Array.length t.values
+let get t i = t.values.(i)
+
+let add t i dw =
+  t.values.(i) <- t.values.(i) +. dw;
+  let n = Array.length t.tree - 1 in
+  let j = ref (i + 1) in
+  while !j <= n do
+    t.tree.(!j) <- t.tree.(!j) +. dw;
+    j := !j + (!j land - !j)
+  done
+
+let set t i w = add t i (w -. t.values.(i))
+
+let prefix_sum t i =
+  let acc = ref 0.0 in
+  let j = ref i in
+  while !j > 0 do
+    acc := !acc +. t.tree.(!j);
+    j := !j - (!j land - !j)
+  done;
+  !acc
+
+let total t = prefix_sum t (Array.length t.tree - 1)
+
+let sample t rng =
+  let tot = total t in
+  if tot <= 0.0 then invalid_arg "Fenwick.sample: zero total weight";
+  let target = Prng.uniform rng *. tot in
+  (* Walk down the implicit tree to find the first index whose prefix sum
+     exceeds the target. *)
+  let n = Array.length t.tree - 1 in
+  let log2 =
+    let rec go p acc = if p * 2 <= n then go (p * 2) (acc + 1) else acc in
+    go 1 0
+  in
+  let pos = ref 0 and remaining = ref target in
+  for k = log2 downto 0 do
+    let next = !pos + (1 lsl k) in
+    if next <= n && t.tree.(next) < !remaining then begin
+      remaining := !remaining -. t.tree.(next);
+      pos := next
+    end
+  done;
+  (* !pos is the count of indices with cumulative weight < target. *)
+  min !pos (size t - 1)

@@ -1,0 +1,32 @@
+(** Fenwick (binary-indexed) tree over non-negative float weights.
+
+    Supports point updates and prefix sums in [O(log n)], plus sampling an
+    index with probability proportional to its weight — the primitive the
+    nonlinear preferential-attachment generator needs to pick targets
+    proportionally to [degreeᵅ] as degrees evolve. *)
+
+type t
+
+val create : int -> t
+(** [create n] builds a tree over indices [0 .. n-1], all weights zero. *)
+
+val size : t -> int
+
+val get : t -> int -> float
+(** Current weight at an index. *)
+
+val set : t -> int -> float -> unit
+(** [set t i w] assigns weight [w ≥ 0] to index [i]. *)
+
+val add : t -> int -> float -> unit
+(** [add t i dw] adds [dw] to index [i] (the result must stay ≥ 0). *)
+
+val total : t -> float
+(** Sum of all weights. *)
+
+val prefix_sum : t -> int -> float
+(** [prefix_sum t i] is the sum of weights at indices [< i]. *)
+
+val sample : t -> Wpinq_prng.Prng.t -> int
+(** [sample t rng] draws index [i] with probability [get t i / total t].
+    Raises [Invalid_argument] if the total weight is zero. *)

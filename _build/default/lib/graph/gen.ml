@@ -1,0 +1,167 @@
+module Prng = Wpinq_prng.Prng
+
+let erdos_renyi ~n ~m rng =
+  if n < 2 then invalid_arg "Gen.erdos_renyi: need at least two vertices";
+  let max_edges = n * (n - 1) / 2 in
+  if m > max_edges then invalid_arg "Gen.erdos_renyi: too many edges";
+  let seen = Hashtbl.create (2 * m) in
+  let edges = ref [] in
+  while Hashtbl.length seen < m do
+    let u = Prng.int rng n and v = Prng.int rng n in
+    if u <> v then begin
+      let e = if u < v then (u, v) else (v, u) in
+      if not (Hashtbl.mem seen e) then begin
+        Hashtbl.replace seen e ();
+        edges := e :: !edges
+      end
+    end
+  done;
+  Graph.of_edges ~n !edges
+
+let erdos_renyi_p ~n ~p rng =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Prng.uniform rng < p then edges := (u, v) :: !edges
+    done
+  done;
+  Graph.of_edges ~n !edges
+
+let barabasi_albert ~n ~m ?(alpha = 1.0) rng =
+  if m < 1 || n <= m then invalid_arg "Gen.barabasi_albert: need n > m >= 1";
+  let deg = Array.make n 0 in
+  let weights = Fenwick.create n in
+  (* Attachment weight of a vertex: (degree)^alpha + 1, the +1 keeping
+     zero-degree vertices reachable and smoothing early steps. *)
+  let weight_of d = (float_of_int d ** alpha) +. 1.0 in
+  let edges = ref [] in
+  let add_edge u v =
+    edges := (u, v) :: !edges;
+    deg.(u) <- deg.(u) + 1;
+    deg.(v) <- deg.(v) + 1;
+    Fenwick.set weights u (weight_of deg.(u));
+    Fenwick.set weights v (weight_of deg.(v))
+  in
+  (* Seed: a path on the first m+1 vertices. *)
+  for v = 0 to m - 1 do
+    Fenwick.set weights v (weight_of 0)
+  done;
+  for v = 1 to m do
+    Fenwick.set weights v (weight_of 0);
+    add_edge (v - 1) v
+  done;
+  for v = m + 1 to n - 1 do
+    (* Draw m distinct existing targets proportional to weight; the target
+       pool is vertices [0, v). *)
+    let chosen = Hashtbl.create m in
+    let attempts = ref 0 in
+    while Hashtbl.length chosen < m && !attempts < 200 * m do
+      incr attempts;
+      let t = Fenwick.sample weights rng in
+      if t < v && not (Hashtbl.mem chosen t) then Hashtbl.replace chosen t ()
+    done;
+    Fenwick.set weights v (weight_of 0);
+    Hashtbl.iter (fun t () -> add_edge t v) chosen
+  done;
+  Graph.of_edges ~n !edges
+
+let configuration_model ~degrees rng =
+  let n = Array.length degrees in
+  let total = Array.fold_left ( + ) 0 degrees in
+  let stubs = Array.make (total - (total mod 2)) 0 in
+  let pos = ref 0 in
+  Array.iteri
+    (fun v d ->
+      for _ = 1 to d do
+        if !pos < Array.length stubs then begin
+          stubs.(!pos) <- v;
+          incr pos
+        end
+      done)
+    degrees;
+  Prng.shuffle rng stubs;
+  let edges = ref [] in
+  let k = Array.length stubs / 2 in
+  for i = 0 to k - 1 do
+    let u = stubs.(2 * i) and v = stubs.((2 * i) + 1) in
+    if u <> v then edges := (u, v) :: !edges
+  done;
+  (* Graph.of_edges erases remaining parallel edges. *)
+  Graph.of_edges ~n !edges
+
+let clustered ~n ~community ~p_in ~extra rng =
+  if community < 2 then invalid_arg "Gen.clustered: community size must be >= 2";
+  let edges = ref [] in
+  (* Partition [0, n) into contiguous communities with sizes jittered
+     around [community] so degrees vary across communities (this is what
+     makes same-community vertices degree-correlated, hence assortative). *)
+  let start = ref 0 in
+  while !start < n do
+    let jitter = Prng.int rng community in
+    let size = min (n - !start) (max 2 ((community / 2) + jitter)) in
+    for u = !start to !start + size - 1 do
+      for v = u + 1 to !start + size - 1 do
+        if Prng.uniform rng < p_in then edges := (u, v) :: !edges
+      done
+    done;
+    start := !start + size
+  done;
+  (* Sparse random cross edges knit the communities together. *)
+  let added = ref 0 in
+  while !added < extra do
+    let u = Prng.int rng n and v = Prng.int rng n in
+    if u <> v then begin
+      edges := (u, v) :: !edges;
+      incr added
+    end
+  done;
+  Graph.of_edges ~n !edges
+
+let powerlaw_cluster ~n ~m ~p_triad ?(alpha = 1.0) rng =
+  if m < 1 || n <= m then invalid_arg "Gen.powerlaw_cluster: need n > m >= 1";
+  if p_triad < 0.0 || p_triad > 1.0 then invalid_arg "Gen.powerlaw_cluster: p_triad in [0,1]";
+  let deg = Array.make n 0 in
+  let nbrs = Array.make n [] in
+  let weights = Fenwick.create n in
+  let weight_of d = (float_of_int d ** alpha) +. 1.0 in
+  let edges = ref [] in
+  let connected u v = u = v || List.mem v nbrs.(u) in
+  let add_edge u v =
+    edges := (u, v) :: !edges;
+    nbrs.(u) <- v :: nbrs.(u);
+    nbrs.(v) <- u :: nbrs.(v);
+    deg.(u) <- deg.(u) + 1;
+    deg.(v) <- deg.(v) + 1;
+    Fenwick.set weights u (weight_of deg.(u));
+    Fenwick.set weights v (weight_of deg.(v))
+  in
+  for v = 0 to m - 1 do
+    Fenwick.set weights v (weight_of 0)
+  done;
+  for v = 1 to m do
+    Fenwick.set weights v (weight_of 0);
+    add_edge (v - 1) v
+  done;
+  for v = m + 1 to n - 1 do
+    Fenwick.set weights v (weight_of 0);
+    let prev = ref (-1) in
+    let made = ref 0 in
+    let attempts = ref 0 in
+    while !made < m && !attempts < 200 * m do
+      incr attempts;
+      let target =
+        if !prev >= 0 && Prng.uniform rng < p_triad && nbrs.(!prev) <> [] then
+          (* Triad formation: a random neighbor of the previous target. *)
+          List.nth nbrs.(!prev) (Prng.int rng (List.length nbrs.(!prev)))
+        else
+          let t = Fenwick.sample weights rng in
+          t
+      in
+      if target < v && not (connected v target) then begin
+        add_edge v target;
+        prev := target;
+        incr made
+      end
+    done
+  done;
+  Graph.of_edges ~n !edges

@@ -1,0 +1,46 @@
+(** Random graph generators.
+
+    These provide the workloads of the paper's experiments: Barabási–Albert
+    graphs with tunable attachment skew (Table 3, Figure 6), the
+    configuration model that turns a DP-fitted degree sequence into a seed
+    graph (Phase 1, Section 5.1), and clustered generators used as stand-ins
+    for the collaboration networks of Table 1.  All generators are
+    deterministic given the PRNG stream. *)
+
+val erdos_renyi : n:int -> m:int -> Wpinq_prng.Prng.t -> Graph.t
+(** [G(n, m)]: [m] distinct uniformly random edges. *)
+
+val erdos_renyi_p : n:int -> p:float -> Wpinq_prng.Prng.t -> Graph.t
+(** [G(n, p)]: each edge present independently with probability [p]. *)
+
+val barabasi_albert : n:int -> m:int -> ?alpha:float -> Wpinq_prng.Prng.t -> Graph.t
+(** Preferential attachment: each arriving vertex attaches [m] distinct
+    edges to existing vertices drawn with probability ∝ [(degree)^alpha]
+    (plus a unit smoothing term so isolated vertices stay reachable).
+    [alpha = 1] (default) is classic Barabási–Albert; [alpha > 1] skews the
+    degree distribution harder, raising [dmax] and [Σ d²] the way the
+    paper's "dynamical exponent" sweep does (Table 3). *)
+
+val configuration_model : degrees:int array -> Wpinq_prng.Prng.t -> Graph.t
+(** Erased configuration model: pair up degree stubs uniformly at random,
+    then drop self-loops and parallel edges.  Realized degrees therefore
+    track the requested ones closely but not exactly (as in any erased
+    stub-matching).  An odd stub total loses one stub. *)
+
+val clustered : n:int -> community:int -> p_in:float -> extra:int -> Wpinq_prng.Prng.t -> Graph.t
+(** Collaboration-network stand-in: vertices are partitioned into
+    communities of expected size [community]; within a community each edge
+    appears with probability [p_in] (yielding dense, triangle-rich
+    pockets), and [extra] uniformly random cross edges are added.  Produces
+    the positively-assortative, high-triangle-count profile of the CA-*
+    graphs in Table 1. *)
+
+val powerlaw_cluster :
+  n:int -> m:int -> p_triad:float -> ?alpha:float -> Wpinq_prng.Prng.t -> Graph.t
+(** Holme–Kim model: preferential attachment with triad formation.  Each
+    arriving vertex makes [m] links; after a preferential first link, each
+    further link copies a random neighbor of the previous target with
+    probability [p_triad] (closing a triangle) and otherwise attaches
+    preferentially (∝ [degreeᵅ + 1]).  Produces the heavy-tailed,
+    triangle-rich, weakly-disassortative profile of real social networks
+    (the Caltech and Epinions rows of Table 1). *)

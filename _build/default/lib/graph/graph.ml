@@ -1,0 +1,327 @@
+module Prng = Wpinq_prng.Prng
+
+type t = { n : int; adj : int array array; m : int }
+
+let normalize (u, v) = if u <= v then (u, v) else (v, u)
+
+let of_edges ?n edge_list =
+  let max_id = List.fold_left (fun acc (u, v) -> max acc (max u v)) (-1) edge_list in
+  let n = match n with Some n -> max n (max_id + 1) | None -> max_id + 1 in
+  let seen = Hashtbl.create (max 16 (List.length edge_list)) in
+  let deg = Array.make (max n 1) 0 in
+  List.iter
+    (fun e ->
+      let u, v = normalize e in
+      if u <> v && u >= 0 && not (Hashtbl.mem seen (u, v)) then begin
+        Hashtbl.replace seen (u, v) ();
+        deg.(u) <- deg.(u) + 1;
+        deg.(v) <- deg.(v) + 1
+      end)
+    edge_list;
+  let adj = Array.init n (fun v -> Array.make deg.(v) 0) in
+  let fill = Array.make n 0 in
+  Hashtbl.iter
+    (fun (u, v) () ->
+      adj.(u).(fill.(u)) <- v;
+      fill.(u) <- fill.(u) + 1;
+      adj.(v).(fill.(v)) <- u;
+      fill.(v) <- fill.(v) + 1)
+    seen;
+  Array.iter (fun nbrs -> Array.sort compare nbrs) adj;
+  { n; adj; m = Hashtbl.length seen }
+
+let n g = g.n
+let m g = g.m
+
+let edges g =
+  let acc = ref [] in
+  Array.iteri
+    (fun u nbrs -> Array.iter (fun v -> if u < v then acc := (u, v) :: !acc) nbrs)
+    g.adj;
+  !acc
+
+let directed_edges g =
+  let acc = ref [] in
+  Array.iteri (fun u nbrs -> Array.iter (fun v -> acc := (u, v) :: !acc) nbrs) g.adj;
+  !acc
+
+let adj g v = g.adj.(v)
+
+let has_edge g u v =
+  if u < 0 || u >= g.n || v < 0 || v >= g.n then false
+  else
+    let nbrs = g.adj.(u) in
+    let rec bsearch lo hi =
+      if lo >= hi then false
+      else
+        let mid = (lo + hi) / 2 in
+        if nbrs.(mid) = v then true
+        else if nbrs.(mid) < v then bsearch (mid + 1) hi
+        else bsearch lo mid
+    in
+    bsearch 0 (Array.length nbrs)
+
+let degree g v = Array.length g.adj.(v)
+let degrees g = Array.map Array.length g.adj
+let dmax g = Array.fold_left (fun acc nbrs -> max acc (Array.length nbrs)) 0 g.adj
+
+let sum_deg_sq g =
+  Array.fold_left (fun acc nbrs -> acc + (Array.length nbrs * Array.length nbrs)) 0 g.adj
+
+let degree_sequence_desc g =
+  let d = degrees g in
+  Array.sort (fun a b -> compare b a) d;
+  d
+
+let degree_ccdf g =
+  let dm = dmax g in
+  let ccdf = Array.make (max dm 1) 0 in
+  Array.iter
+    (fun nbrs ->
+      let d = Array.length nbrs in
+      for i = 0 to d - 1 do
+        ccdf.(i) <- ccdf.(i) + 1
+      done)
+    g.adj;
+  ccdf
+
+(* Sorted-array intersection, counting common neighbors greater than
+   [floor].  Used to enumerate each triangle exactly once as u < v < w. *)
+let iter_common_above g u v floor f =
+  let a = g.adj.(u) and b = g.adj.(v) in
+  let la = Array.length a and lb = Array.length b in
+  let i = ref 0 and j = ref 0 in
+  while !i < la && !j < lb do
+    let x = a.(!i) and y = b.(!j) in
+    if x = y then begin
+      if x > floor then f x;
+      incr i;
+      incr j
+    end
+    else if x < y then incr i
+    else incr j
+  done
+
+let iter_triangles g f =
+  Array.iteri
+    (fun u nbrs ->
+      Array.iter (fun v -> if u < v then iter_common_above g u v v (fun w -> f u v w)) nbrs)
+    g.adj
+
+let triangle_count g =
+  let c = ref 0 in
+  iter_triangles g (fun _ _ _ -> incr c);
+  !c
+
+let sort3 (a, b, c) =
+  let x = min a (min b c) and z = max a (max b c) in
+  (x, a + b + c - x - (max a (max b c)), z)
+
+let triangles_by_degree g =
+  let counts = Hashtbl.create 64 in
+  iter_triangles g (fun u v w ->
+      let key = sort3 (degree g u, degree g v, degree g w) in
+      Hashtbl.replace counts key (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)));
+  Hashtbl.fold (fun k c acc -> (k, c) :: acc) counts []
+
+(* Common-neighbor counts per unordered vertex pair: for every vertex, every
+   pair of its neighbors gains one common neighbor.  O(Σ d²) work. *)
+let common_neighbor_counts g =
+  let counts = Hashtbl.create (16 * g.n) in
+  Array.iter
+    (fun nbrs ->
+      let d = Array.length nbrs in
+      for i = 0 to d - 2 do
+        for j = i + 1 to d - 1 do
+          let key = (nbrs.(i), nbrs.(j)) in
+          Hashtbl.replace counts key (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+        done
+      done)
+    g.adj;
+  counts
+
+let square_count g =
+  (* Each 4-cycle is seen from both diagonals: #C4 = Σ C(cnt,2) / 2. *)
+  let pairs =
+    Hashtbl.fold (fun _ c acc -> acc + (c * (c - 1) / 2)) (common_neighbor_counts g) 0
+  in
+  pairs / 2
+
+let sort4 (a, b, c, d) =
+  match List.sort compare [ a; b; c; d ] with
+  | [ w; x; y; z ] -> (w, x, y, z)
+  | _ -> assert false
+
+let squares_by_degree g =
+  (* For each diagonal pair (u,w) and each unordered pair {x,y} of their
+     common neighbors, the cycle u-x-w-y is counted; each square appears
+     from both of its diagonals, so halve at the end. *)
+  let commons = Hashtbl.create (16 * g.n) in
+  Array.iteri
+    (fun v nbrs ->
+      let d = Array.length nbrs in
+      for i = 0 to d - 2 do
+        for j = i + 1 to d - 1 do
+          let key = (nbrs.(i), nbrs.(j)) in
+          let cur = Option.value ~default:[] (Hashtbl.find_opt commons key) in
+          Hashtbl.replace commons key (v :: cur)
+        done
+      done)
+    g.adj;
+  let doubled = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun (u, w) middles ->
+      let rec pairs = function
+        | [] -> ()
+        | x :: rest ->
+            List.iter
+              (fun y ->
+                let key = sort4 (degree g u, degree g x, degree g w, degree g y) in
+                Hashtbl.replace doubled key
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt doubled key)))
+              rest;
+            pairs rest
+      in
+      pairs middles)
+    commons;
+  Hashtbl.fold
+    (fun k c acc ->
+      assert (c mod 2 = 0);
+      (k, c / 2) :: acc)
+    doubled []
+
+let joint_degree_counts g =
+  let counts = Hashtbl.create 64 in
+  Array.iteri
+    (fun u nbrs ->
+      Array.iter
+        (fun v ->
+          if u < v then begin
+            let du = degree g u and dv = degree g v in
+            let key = (min du dv, max du dv) in
+            Hashtbl.replace counts key
+              (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+          end)
+        nbrs)
+    g.adj;
+  Hashtbl.fold (fun k c acc -> (k, c) :: acc) counts []
+
+let assortativity g =
+  (* Newman's r over directed edge endpoints (j, k): both orientations. *)
+  let sum_jk = ref 0.0 and sum_j = ref 0.0 and sum_j2 = ref 0.0 and cnt = ref 0 in
+  Array.iteri
+    (fun u nbrs ->
+      let du = float_of_int (degree g u) in
+      Array.iter
+        (fun v ->
+          let dv = float_of_int (degree g v) in
+          sum_jk := !sum_jk +. (du *. dv);
+          sum_j := !sum_j +. du;
+          sum_j2 := !sum_j2 +. (du *. du);
+          incr cnt)
+        nbrs)
+    g.adj;
+  let c = float_of_int !cnt in
+  if c = 0.0 then Float.nan
+  else
+    let mean = !sum_j /. c in
+    let num = (!sum_jk /. c) -. (mean *. mean) in
+    let den = (!sum_j2 /. c) -. (mean *. mean) in
+    if Float.abs den < 1e-12 then Float.nan else num /. den
+
+let clustering_coefficient g =
+  let open_paths =
+    Array.fold_left
+      (fun acc nbrs ->
+        let d = Array.length nbrs in
+        acc + (d * (d - 1) / 2))
+      0 g.adj
+  in
+  if open_paths = 0 then 0.0
+  else 3.0 *. float_of_int (triangle_count g) /. float_of_int open_paths
+
+let tbi_signal g =
+  let acc = ref 0.0 in
+  iter_triangles g (fun u v w ->
+      let da = 1.0 /. float_of_int (degree g u)
+      and db = 1.0 /. float_of_int (degree g v)
+      and dc = 1.0 /. float_of_int (degree g w) in
+      acc := !acc +. Float.min da db +. Float.min da dc +. Float.min db dc);
+  !acc
+
+module Mutable = struct
+  type graph = t
+
+  type t = {
+    n : int;
+    mutable edges : (int * int) array; (* normalized u < v *)
+    index : (int * int, int) Hashtbl.t; (* edge -> position in [edges] *)
+    deg : int array;
+  }
+
+  type swap = { remove : (int * int) * (int * int); add : (int * int) * (int * int) }
+
+  let of_graph (g : graph) =
+    let es = Array.of_list (edges g) in
+    let index = Hashtbl.create (Array.length es * 2) in
+    Array.iteri (fun i e -> Hashtbl.replace index e i) es;
+    { n = g.n; edges = es; index; deg = degrees g }
+
+  let to_graph t = of_edges ~n:t.n (Array.to_list t.edges)
+
+  let copy t =
+    { n = t.n; edges = Array.copy t.edges; index = Hashtbl.copy t.index; deg = Array.copy t.deg }
+
+  let n t = t.n
+  let m t = Array.length t.edges
+  let has_edge t u v = Hashtbl.mem t.index (normalize (u, v))
+  let degree t v = t.deg.(v)
+
+  let propose_swap t rng =
+    let m = Array.length t.edges in
+    if m < 2 then None
+    else
+      let i = Prng.int rng m in
+      let j = Prng.int rng m in
+      if i = j then None
+      else
+        let a, b = t.edges.(i) in
+        let c, d = t.edges.(j) in
+        (* Randomly orient the second edge so both re-pairings are
+           reachable. *)
+        let c, d = if Prng.bool rng then (c, d) else (d, c) in
+        let e1 = (a, d) and e2 = (c, b) in
+        if a = d || c = b then None
+        else
+          let e1 = normalize e1 and e2 = normalize e2 in
+          if e1 = e2 || Hashtbl.mem t.index e1 || Hashtbl.mem t.index e2 then None
+          else Some { remove = ((a, b), (c, d)); add = (e1, e2) }
+
+  let apply t { remove = r1, r2; add = a1, a2 } =
+    let r1 = normalize r1 and r2 = normalize r2 in
+    let a1 = normalize a1 and a2 = normalize a2 in
+    let i =
+      match Hashtbl.find_opt t.index r1 with
+      | Some i -> i
+      | None -> invalid_arg "Mutable.apply: removed edge absent"
+    in
+    let j =
+      match Hashtbl.find_opt t.index r2 with
+      | Some j -> j
+      | None -> invalid_arg "Mutable.apply: removed edge absent"
+    in
+    if Hashtbl.mem t.index a1 || Hashtbl.mem t.index a2 then
+      invalid_arg "Mutable.apply: added edge already present";
+    Hashtbl.remove t.index r1;
+    Hashtbl.remove t.index r2;
+    t.edges.(i) <- a1;
+    t.edges.(j) <- a2;
+    Hashtbl.replace t.index a1 i;
+    Hashtbl.replace t.index a2 j
+
+  let invert { remove; add } = { remove = add; add = remove }
+
+  let delta { remove = r1, r2; add = a1, a2 } =
+    let both w (u, v) = [ ((u, v), w); ((v, u), w) ] in
+    List.concat [ both (-1.0) r1; both (-1.0) r2; both 1.0 a1; both 1.0 a2 ]
+end

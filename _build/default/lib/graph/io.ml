@@ -1,0 +1,37 @@
+let write g path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "# nodes %d edges %d\n" (Graph.n g) (Graph.m g);
+      List.iter (fun (u, v) -> Printf.fprintf oc "%d %d\n" u v) (Graph.edges g))
+
+let read path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let edges = ref [] in
+      let n = ref 0 in
+      (try
+         while true do
+           let line = String.trim (input_line ic) in
+           if line = "" then ()
+           else if String.length line > 0 && line.[0] = '#' then begin
+             (* Honor a "# nodes N ..." header if present. *)
+             match String.split_on_char ' ' line with
+             | "#" :: "nodes" :: count :: _ -> (
+                 match int_of_string_opt count with Some c -> n := c | None -> ())
+             | _ -> ()
+           end
+           else
+             match
+               line |> String.split_on_char ' '
+               |> List.filter (fun s -> s <> "")
+               |> List.map int_of_string_opt
+             with
+             | [ Some u; Some v ] -> edges := (u, v) :: !edges
+             | _ -> failwith (Printf.sprintf "Io.read: malformed line %S" line)
+         done
+       with End_of_file -> ());
+      Graph.of_edges ~n:!n !edges)

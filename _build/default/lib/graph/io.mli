@@ -1,0 +1,11 @@
+(** Plain-text edge-list serialization (one ["u v"] pair per line, [#]
+    comments ignored) — the format SNAP datasets ship in, so real data can
+    be dropped in for the synthetic stand-ins when available. *)
+
+val write : Graph.t -> string -> unit
+(** [write g path] saves the edge list (with a header comment recording
+    [n]). *)
+
+val read : string -> Graph.t
+(** [read path] parses an edge list.  Raises [Failure] on malformed
+    lines. *)

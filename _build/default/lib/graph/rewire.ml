@@ -1,0 +1,15 @@
+let randomize ?(swaps_per_edge = 10) g rng =
+  let mg = Graph.Mutable.of_graph g in
+  let wanted = swaps_per_edge * Graph.m g in
+  let done_ = ref 0 in
+  let attempts = ref 0 in
+  let max_attempts = 50 * (wanted + 1) in
+  while !done_ < wanted && !attempts < max_attempts do
+    incr attempts;
+    match Graph.Mutable.propose_swap mg rng with
+    | None -> ()
+    | Some swap ->
+        Graph.Mutable.apply mg swap;
+        incr done_
+  done;
+  Graph.Mutable.to_graph mg

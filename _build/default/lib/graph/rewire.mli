@@ -1,0 +1,12 @@
+(** Degree-preserving randomization — the paper's [Random(G)] control.
+
+    Section 5 pairs every real graph with a random graph of the same degree
+    distribution but far fewer triangles, produced by repeated double-edge
+    swaps.  The comparison shows whether MCMC extracts triangle information
+    from the measurements or merely reproduces the degree sequence. *)
+
+val randomize : ?swaps_per_edge:int -> Graph.t -> Wpinq_prng.Prng.t -> Graph.t
+(** [randomize ?swaps_per_edge g rng] applies on the order of
+    [swaps_per_edge × m] successful double-edge swaps (default 10 per
+    edge, enough to mix in practice).  Degrees are preserved exactly;
+    triangles and degree correlations are destroyed. *)

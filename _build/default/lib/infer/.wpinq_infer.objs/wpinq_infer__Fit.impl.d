@@ -1,0 +1,1 @@
+lib/infer/fit.ml: List Mcmc Wpinq_core Wpinq_dataflow Wpinq_graph Wpinq_prng

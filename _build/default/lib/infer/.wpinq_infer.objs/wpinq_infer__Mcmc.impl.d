@@ -1,0 +1,1 @@
+lib/infer/mcmc.ml: Wpinq_prng

@@ -1,0 +1,1 @@
+lib/infer/mcmc.mli: Wpinq_prng

@@ -1,0 +1,1 @@
+lib/infer/workflow.ml: Array Fit Float List Mcmc Wpinq_core Wpinq_graph Wpinq_postprocess Wpinq_prng Wpinq_queries

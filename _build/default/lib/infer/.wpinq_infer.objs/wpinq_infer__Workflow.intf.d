@@ -1,0 +1,1 @@
+lib/infer/workflow.mli: Mcmc Wpinq_core Wpinq_graph Wpinq_prng

@@ -1,0 +1,75 @@
+module Prng = Wpinq_prng.Prng
+module Graph = Wpinq_graph.Graph
+module Flow = Wpinq_core.Flow
+module Dataflow = Wpinq_dataflow.Dataflow
+
+type t = {
+  rng : Prng.t;
+  engine : Dataflow.Engine.t;
+  handle : (int * int) Flow.handle;
+  graph : Graph.Mutable.t;
+  targets : Flow.Target.t list;
+  mutable energy : float;
+}
+
+let create ~rng ~seed_graph ~targets () =
+  let engine = Dataflow.Engine.create () in
+  let handle, sym = Flow.input engine in
+  (* Targets attach before any data flows, so their initial distances
+     account for every observed record. *)
+  let targets = List.map (fun build -> build sym) targets in
+  Flow.feed handle (List.map (fun e -> (e, 1.0)) (Graph.directed_edges seed_graph));
+  let t =
+    {
+      rng;
+      engine;
+      handle;
+      graph = Graph.Mutable.of_graph seed_graph;
+      targets;
+      energy = 0.0;
+    }
+  in
+  t.energy <- Flow.Target.energy targets;
+  t
+
+let graph t = Graph.Mutable.to_graph t.graph
+let energy t = t.energy
+let engine t = t.engine
+let targets t = t.targets
+
+let apply_swap t swap =
+  Graph.Mutable.apply t.graph swap;
+  Flow.feed t.handle (Graph.Mutable.delta swap)
+
+let step ?(pow = 1.0) t =
+  match Graph.Mutable.propose_swap t.graph t.rng with
+  | None -> false
+  | Some swap ->
+      apply_swap t swap;
+      let proposed = Flow.Target.energy t.targets in
+      let delta = proposed -. t.energy in
+      if delta <= 0.0 || Prng.uniform t.rng < exp (-.pow *. delta) then begin
+        t.energy <- proposed;
+        true
+      end
+      else begin
+        apply_swap t (Graph.Mutable.invert swap);
+        false
+      end
+
+let refresh t =
+  List.iter Flow.Target.recompute t.targets;
+  t.energy <- Flow.Target.energy t.targets
+
+let run t ~steps ?(pow = 1.0) ?on_step () =
+  let stats =
+    Mcmc.run ~rng:t.rng ~steps ~pow ~refresh:(fun () -> refresh t) ~refresh_every:100_000
+      ?on_step
+      ~energy:(fun () -> Flow.Target.energy t.targets)
+      ~propose:(fun () -> Graph.Mutable.propose_swap t.graph t.rng)
+      ~apply:(fun swap -> apply_swap t swap)
+      ~revert:(fun swap -> apply_swap t (Graph.Mutable.invert swap))
+      ()
+  in
+  t.energy <- stats.Mcmc.final_energy;
+  stats

@@ -1,0 +1,36 @@
+module Prng = Wpinq_prng.Prng
+
+type stats = {
+  steps : int;
+  accepted : int;
+  invalid : int;
+  initial_energy : float;
+  final_energy : float;
+}
+
+let run ~rng ~steps ?(pow = 1.0) ?refresh ?(refresh_every = 100_000) ?on_step ~energy
+    ~propose ~apply ~revert () =
+  let accepted = ref 0 and invalid = ref 0 in
+  let initial_energy = energy () in
+  let current = ref initial_energy in
+  for step = 1 to steps do
+    (match propose () with
+    | None -> incr invalid
+    | Some move ->
+        apply move;
+        let proposed = energy () in
+        let delta = proposed -. !current in
+        let accept = delta <= 0.0 || Prng.uniform rng < exp (-.pow *. delta) in
+        if accept then begin
+          current := proposed;
+          incr accepted
+        end
+        else revert move);
+    (match refresh with
+    | Some f when step mod refresh_every = 0 ->
+        f ();
+        current := energy ()
+    | _ -> ());
+    match on_step with Some f -> f ~step ~energy:!current | None -> ()
+  done;
+  { steps; accepted = !accepted; invalid = !invalid; initial_energy; final_energy = !current }

@@ -1,0 +1,41 @@
+(** Metropolis–Hastings over an abstract mutable state (paper, Section 4.2).
+
+    The caller supplies the three ingredients of the paper's pseudo-code: a
+    proposal generator (the random walk), apply/revert editors, and an
+    energy function.  The chain targets the distribution
+    [∝ exp(−pow · energy)]; with [energy = Σ_i ε_i ‖Q_i(A) − m_i‖₁] this is
+    exactly the posterior over datasets given the noisy wPINQ measurements
+    (Section 4.1), sharpened by [pow] toward a greedy search for the
+    best-fitting dataset. *)
+
+type stats = {
+  steps : int;  (** proposal attempts made *)
+  accepted : int;  (** proposals accepted (state changed) *)
+  invalid : int;  (** proposals the walk itself rejected (returned [None]) *)
+  initial_energy : float;
+  final_energy : float;
+}
+
+val run :
+  rng:Wpinq_prng.Prng.t ->
+  steps:int ->
+  ?pow:float ->
+  ?refresh:(unit -> unit) ->
+  ?refresh_every:int ->
+  ?on_step:(step:int -> energy:float -> unit) ->
+  energy:(unit -> float) ->
+  propose:(unit -> 'move option) ->
+  apply:('move -> unit) ->
+  revert:('move -> unit) ->
+  unit ->
+  stats
+(** [run ~rng ~steps ... ()] performs [steps] iterations.  Each iteration
+    draws a proposal; [None] counts as invalid and leaves the state
+    untouched.  Otherwise the move is applied, the new energy read, and the
+    move kept with probability [min 1 (exp (-pow *. (e_new -. e_old)))]
+    (default [pow = 1.0]); rejected moves are reverted.
+
+    [refresh] (with [refresh_every], default [100_000]) is called
+    periodically to let incrementally-maintained energies discard
+    floating-point drift; the energy is re-read afterwards.  [on_step] is
+    invoked after every iteration with the current energy. *)

@@ -1,0 +1,138 @@
+module Prng = Wpinq_prng.Prng
+module Graph = Wpinq_graph.Graph
+module Gen = Wpinq_graph.Gen
+module Budget = Wpinq_core.Budget
+module Batch = Wpinq_core.Batch
+module Flow = Wpinq_core.Flow
+module Measurement = Wpinq_core.Measurement
+module Gridpath = Wpinq_postprocess.Gridpath
+module Isotonic = Wpinq_postprocess.Isotonic
+module Qb = Wpinq_queries.Queries.Make (Batch)
+module Qf = Wpinq_queries.Queries.Make (Flow)
+
+type seed_measurements = {
+  epsilon : float;
+  deg_seq : int Measurement.t;
+  ccdf : int Measurement.t;
+  node_count : unit Measurement.t;
+}
+
+let measure_seed ~rng ~epsilon ~sym =
+  {
+    epsilon;
+    deg_seq = Batch.noisy_count ~rng ~epsilon (Qb.degree_sequence sym);
+    ccdf = Batch.noisy_count ~rng ~epsilon (Qb.degree_ccdf sym);
+    node_count = Batch.noisy_count ~rng ~epsilon (Qb.node_count sym);
+  }
+
+(* Estimated number of vertices: the node-count query weighs each vertex
+   0.5.  Clamped away from degenerate values so the fit always has room. *)
+let estimated_nodes ms =
+  let nc = 2.0 *. Measurement.value ms.node_count () in
+  max 2 (int_of_float (Float.round nc))
+
+(* The noisy CCDF continues past the true dmax as pure noise; cut it where
+   sustained counts drop below a few noise standard deviations (the analyst
+   judgment the paper describes). *)
+let estimated_dmax ms ~bound =
+  let threshold = Float.max 2.0 (2.0 /. ms.epsilon) in
+  let last = ref 0 in
+  for y = 0 to bound - 1 do
+    if Measurement.value ms.ccdf y >= threshold then last := y
+  done;
+  min bound (!last + 3)
+
+let fit_degrees ms =
+  let x_max = estimated_nodes ms in
+  let y_max = max 1 (estimated_dmax ms ~bound:x_max) in
+  let v = Array.init x_max (fun x -> Measurement.value ms.deg_seq x) in
+  let h = Array.init y_max (fun y -> Measurement.value ms.ccdf y) in
+  Gridpath.fit ~v ~h
+
+let fit_degrees_pava_only ms =
+  let x_max = estimated_nodes ms in
+  let v = Array.init x_max (fun x -> Measurement.value ms.deg_seq x) in
+  let fitted = Isotonic.non_increasing v in
+  Array.map (fun f -> max 0 (int_of_float (Float.round f))) fitted
+
+let seed_graph ~rng ~degrees = Gen.configuration_model ~degrees rng
+
+type query = Tbd of int | Tbi | Sbi | Jdd
+
+let query_cost q eps =
+  match q with Tbd _ -> 9.0 *. eps | Tbi -> 4.0 *. eps | Sbi -> 6.0 *. eps | Jdd -> 4.0 *. eps
+
+type query_measurement =
+  | Mtbd of int * (int * int * int) Measurement.t
+  | Mtbi of unit Measurement.t
+  | Msbi of unit Measurement.t
+  | Mjdd of (int * int) Measurement.t
+
+let measure_query ~rng ~epsilon ~sym = function
+  | Tbd bucket -> Mtbd (bucket, Batch.noisy_count ~rng ~epsilon (Qb.tbd ~bucket sym))
+  | Tbi -> Mtbi (Batch.noisy_count ~rng ~epsilon (Qb.tbi sym))
+  | Sbi -> Msbi (Batch.noisy_count ~rng ~epsilon (Qb.sbi sym))
+  | Jdd -> Mjdd (Batch.noisy_count ~rng ~epsilon (Qb.jdd sym))
+
+let target_of_query qm sym =
+  match qm with
+  | Mtbd (bucket, m) -> Flow.Target.create (Qf.tbd ~bucket sym) m
+  | Mtbi m -> Flow.Target.create (Qf.tbi sym) m
+  | Msbi m -> Flow.Target.create (Qf.sbi sym) m
+  | Mjdd m -> Flow.Target.create (Qf.jdd sym) m
+
+type trace_point = { step : int; triangles : int; assortativity : float; energy : float }
+
+type result = {
+  synthetic : Graph.t;
+  seed : Graph.t;
+  stats : Mcmc.stats;
+  trace : trace_point list;
+  total_epsilon : float;
+}
+
+let trace_of ~step ~energy g =
+  { step; triangles = Graph.triangle_count g; assortativity = Graph.assortativity g; energy }
+
+let synthesize ?(pow = 10_000.0) ?(steps = 100_000) ?trace_every ~rng ~epsilon ~query
+    ~secret () =
+  let trace_every =
+    match trace_every with Some t -> max 1 t | None -> max 1 (steps / 20)
+  in
+  let total_budget =
+    (3.0 *. epsilon)
+    +. (match query with Some q -> query_cost q epsilon | None -> 0.0)
+  in
+  let budget = Budget.create ~name:"secret-graph" total_budget in
+  let sym = Batch.source_records ~budget (Graph.directed_edges secret) in
+  (* Phase 0/1: measure, discard the secret, build the seed. *)
+  let seed_ms = measure_seed ~rng ~epsilon ~sym in
+  let degrees = fit_degrees seed_ms in
+  let seed = seed_graph ~rng ~degrees in
+  match query with
+  | None ->
+      {
+        synthetic = seed;
+        seed;
+        stats =
+          { Mcmc.steps = 0; accepted = 0; invalid = 0; initial_energy = 0.0; final_energy = 0.0 };
+        trace = [ trace_of ~step:0 ~energy:0.0 seed ];
+        total_epsilon = Budget.spent budget;
+      }
+  | Some q ->
+      let qm = measure_query ~rng ~epsilon ~sym q in
+      (* Phase 2: fit the seed to the triangle measurement. *)
+      let fit = Fit.create ~rng ~seed_graph:seed ~targets:[ target_of_query qm ] () in
+      let trace = ref [ trace_of ~step:0 ~energy:(Fit.energy fit) seed ] in
+      let on_step ~step ~energy =
+        if step mod trace_every = 0 then
+          trace := trace_of ~step ~energy (Fit.graph fit) :: !trace
+      in
+      let stats = Fit.run fit ~steps ~pow ~on_step () in
+      {
+        synthetic = Fit.graph fit;
+        seed;
+        stats;
+        trace = List.rev !trace;
+        total_epsilon = Budget.spent budget;
+      }

@@ -1,0 +1,101 @@
+(** The end-to-end graph synthesis workflow of Section 5.1.
+
+    Phase 0 (measure): run wPINQ queries against the protected graph,
+    recording noisy measurements and debiting the privacy budget; the
+    protected graph is then discarded.  Phase 1 (seed): post-process the
+    degree measurements into a consistent degree sequence and generate a
+    random seed graph matching it.  Phase 2 (fit): run the edge-swap
+    Metropolis–Hastings walk, scoring candidates against the remaining
+    measurements through the incremental engine.
+
+    Everything here consumes only released measurements — the [secret]
+    graph is touched exclusively through {!Wpinq_core.Batch} aggregations
+    whose costs appear in the returned budget log. *)
+
+module Measurement = Wpinq_core.Measurement
+
+type seed_measurements = {
+  epsilon : float;  (** per-query ε (total seed cost: 3 × this) *)
+  deg_seq : int Measurement.t;  (** noisy non-increasing degree sequence *)
+  ccdf : int Measurement.t;  (** noisy degree CCDF *)
+  node_count : unit Measurement.t;  (** noisy |V| / 2 *)
+}
+
+val measure_seed :
+  rng:Wpinq_prng.Prng.t ->
+  epsilon:float ->
+  sym:(int * int) Wpinq_core.Batch.t ->
+  seed_measurements
+(** Takes the three Phase-1 measurements (cost [3 ε]: each query uses the
+    symmetric edge source once). *)
+
+val fit_degrees : seed_measurements -> int array
+(** Reconciles the noisy degree sequence and CCDF into a single
+    non-increasing integer degree sequence via the lowest-cost grid path
+    (Section 3.1); the estimated node count bounds the sequence length. *)
+
+val fit_degrees_pava_only : seed_measurements -> int array
+(** Ablation baseline: isotonic regression of the degree sequence alone
+    (Hay et al.'s original post-processing), ignoring the CCDF. *)
+
+val seed_graph : rng:Wpinq_prng.Prng.t -> degrees:int array -> Wpinq_graph.Graph.t
+(** A uniform random simple graph approximately realizing [degrees]
+    (erased configuration model). *)
+
+(** Which motif query drives Phase 2. *)
+type query =
+  | Tbd of int  (** triangles by degree, with bucket size (Section 5.2); cost 9 ε *)
+  | Tbi  (** triangles by intersect (Section 5.3); cost 4 ε *)
+  | Sbi  (** squares by intersect (our Section 3.5 extension); cost 6 ε *)
+  | Jdd  (** joint degree distribution (Section 3.2) — the workshop-paper
+             workflow the paper builds on; cost 4 ε *)
+
+val query_cost : query -> float -> float
+(** [query_cost q eps] is the privacy cost of measuring [q] at [eps]. *)
+
+type query_measurement
+
+val measure_query :
+  rng:Wpinq_prng.Prng.t ->
+  epsilon:float ->
+  sym:(int * int) Wpinq_core.Batch.t ->
+  query ->
+  query_measurement
+
+val target_of_query :
+  query_measurement -> (int * int) Wpinq_core.Flow.t -> Wpinq_core.Flow.Target.t
+(** Rebuilds the measured query over a synthetic input and scores it
+    against the recorded observations. *)
+
+type trace_point = {
+  step : int;
+  triangles : int;
+  assortativity : float;
+  energy : float;
+}
+
+type result = {
+  synthetic : Wpinq_graph.Graph.t;  (** the fitted synthetic graph *)
+  seed : Wpinq_graph.Graph.t;  (** the Phase-1 seed graph *)
+  stats : Mcmc.stats;
+  trace : trace_point list;  (** oldest first; includes step 0 (the seed) *)
+  total_epsilon : float;  (** budget actually spent *)
+}
+
+val synthesize :
+  ?pow:float ->
+  ?steps:int ->
+  ?trace_every:int ->
+  rng:Wpinq_prng.Prng.t ->
+  epsilon:float ->
+  query:query option ->
+  secret:Wpinq_graph.Graph.t ->
+  unit ->
+  result
+(** The full pipeline at per-query cost [epsilon]: seed measurements
+    ([3 ε]), optional triangle query, seed generation, and [steps]
+    (default 100_000) MCMC iterations at [pow] (default 10_000, the
+    paper's setting), tracing triangle count and assortativity of the
+    public synthetic graph every [trace_every] steps (default
+    [steps / 20]).  [query = None] stops after Phase 1 (the seed graph is
+    returned as [synthetic], with an empty walk). *)

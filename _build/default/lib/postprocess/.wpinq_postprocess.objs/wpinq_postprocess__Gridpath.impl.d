@@ -1,0 +1,1 @@
+lib/postprocess/gridpath.ml: Array Float Hashtbl Pqueue

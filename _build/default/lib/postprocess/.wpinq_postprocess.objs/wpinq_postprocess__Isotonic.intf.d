@@ -1,0 +1,1 @@
+lib/postprocess/isotonic.mli:

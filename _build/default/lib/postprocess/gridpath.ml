@@ -1,0 +1,55 @@
+let fit_cost ~v ~h =
+  let xmax = Array.length v and ymax = Array.length h in
+  (* Node (x, y) encoded as x * (ymax + 1) + y. *)
+  let encode x y = (x * (ymax + 1)) + y in
+  let dist : (int, float) Hashtbl.t = Hashtbl.create 1024 in
+  let parent : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let queue = Pqueue.create () in
+  let start = encode 0 ymax and goal = encode xmax 0 in
+  Hashtbl.replace dist start 0.0;
+  Pqueue.push queue 0.0 start;
+  let settled = Hashtbl.create 1024 in
+  let rec search () =
+    match Pqueue.pop queue with
+    | None -> failwith "Gridpath.fit: goal unreachable"
+    | Some (d, node) ->
+        if Hashtbl.mem settled node then search ()
+        else begin
+          Hashtbl.replace settled node ();
+          if node = goal then d
+          else begin
+            let x = node / (ymax + 1) and y = node mod (ymax + 1) in
+            let relax nx ny cost =
+              let next = encode nx ny in
+              if not (Hashtbl.mem settled next) then begin
+                let nd = d +. cost in
+                match Hashtbl.find_opt dist next with
+                | Some old when old <= nd -> ()
+                | _ ->
+                    Hashtbl.replace dist next nd;
+                    Hashtbl.replace parent next node;
+                    Pqueue.push queue nd next
+              end
+            in
+            if x < xmax then relax (x + 1) y (Float.abs (v.(x) -. float_of_int y));
+            if y > 0 then relax x (y - 1) (Float.abs (h.(y - 1) -. float_of_int x));
+            search ()
+          end
+        end
+  in
+  let cost = search () in
+  (* Walk the parent chain; a horizontal step leaving x fixes degree y. *)
+  let seq = Array.make xmax 0 in
+  let rec backtrack node =
+    match Hashtbl.find_opt parent node with
+    | None -> ()
+    | Some prev ->
+        let x = node / (ymax + 1) and y = node mod (ymax + 1) in
+        let px = prev / (ymax + 1) and py = prev mod (ymax + 1) in
+        if px = x - 1 && py = y then seq.(px) <- y;
+        backtrack prev
+  in
+  backtrack goal;
+  (seq, cost)
+
+let fit ~v ~h = fst (fit_cost ~v ~h)

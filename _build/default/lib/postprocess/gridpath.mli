@@ -1,0 +1,26 @@
+(** Joint post-processing of the noisy degree sequence and noisy degree
+    CCDF (paper, Section 3.1).
+
+    A non-increasing degree sequence is a monotone staircase path on the
+    integer grid from [(0, ymax)] down-and-right to [(xmax, 0)].  Given the
+    noisy "vertical" degree-sequence measurements [v] (indexed by position)
+    and the noisy "horizontal" CCDF measurements [h] (indexed by degree),
+    the best consistent sequence minimizes
+
+      [Σ_{(x,y) ∈ path} |v.(x) − y| + |h.(y) − x|]
+
+    which is exactly a shortest path where a rightward step at height [y]
+    costs [|v.(x) − y|] (committing position [x] to degree [y]) and a
+    downward step at position [x] costs [|h.(y) − x|].  The search is a
+    lazy Dijkstra: nodes are materialized on demand, so only the low-cost
+    trough near the data is ever visited. *)
+
+val fit : v:float array -> h:float array -> int array
+(** [fit ~v ~h] returns the fitted non-increasing degree sequence:
+    [length v] entries, each in [0 .. length h].  [v.(x)] is the noisy
+    count for sequence position [x]; [h.(y)] the noisy count of vertices
+    with degree > [y]. *)
+
+val fit_cost : v:float array -> h:float array -> int array * float
+(** Like {!fit}, also returning the optimal path cost (for tests and
+    diagnostics). *)

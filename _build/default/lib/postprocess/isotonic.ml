@@ -1,0 +1,38 @@
+(* Pool adjacent violators: maintain a stack of blocks (weighted means);
+   when a new value breaks monotonicity, merge blocks until restored.  Each
+   element is merged at most once, so the whole fit is O(n). *)
+
+let non_decreasing ?weights y =
+  let n = Array.length y in
+  let w = match weights with Some w -> w | None -> Array.make n 1.0 in
+  if Array.length w <> n then invalid_arg "Isotonic: weights length mismatch";
+  let mean = Array.make n 0.0 in
+  let weight = Array.make n 0.0 in
+  let count = Array.make n 0 in
+  let top = ref 0 in
+  for i = 0 to n - 1 do
+    mean.(!top) <- y.(i);
+    weight.(!top) <- w.(i);
+    count.(!top) <- 1;
+    incr top;
+    while !top > 1 && mean.(!top - 2) > mean.(!top - 1) do
+      let wa = weight.(!top - 2) and wb = weight.(!top - 1) in
+      mean.(!top - 2) <- ((mean.(!top - 2) *. wa) +. (mean.(!top - 1) *. wb)) /. (wa +. wb);
+      weight.(!top - 2) <- wa +. wb;
+      count.(!top - 2) <- count.(!top - 2) + count.(!top - 1);
+      decr top
+    done
+  done;
+  let out = Array.make n 0.0 in
+  let pos = ref 0 in
+  for b = 0 to !top - 1 do
+    for _ = 1 to count.(b) do
+      out.(!pos) <- mean.(b);
+      incr pos
+    done
+  done;
+  out
+
+let non_increasing ?weights y =
+  let flipped = Array.map (fun v -> -.v) y in
+  Array.map (fun v -> -.v) (non_decreasing ?weights flipped)

@@ -1,0 +1,13 @@
+(** Isotonic regression by pool-adjacent-violators (PAVA).
+
+    Hay et al.'s degree-sequence post-processing (paper, Section 3.1)
+    projects the noisy sequence onto the cone of monotone sequences,
+    filtering most of the Laplace noise.  This is the L2 projection:
+    the unique monotone sequence minimizing [Σ wᵢ (fitᵢ − yᵢ)²]. *)
+
+val non_decreasing : ?weights:float array -> float array -> float array
+(** [non_decreasing y] is the L2-optimal non-decreasing fit to [y]. *)
+
+val non_increasing : ?weights:float array -> float array -> float array
+(** [non_increasing y] is the L2-optimal non-increasing fit to [y] — the
+    shape of a degree sequence sorted descending. *)

@@ -1,0 +1,58 @@
+type 'a t = { mutable heap : (float * 'a) array; mutable len : int }
+
+let create () = { heap = [||]; len = 0 }
+let is_empty q = q.len = 0
+let size q = q.len
+
+let grow q =
+  let cap = Array.length q.heap in
+  if q.len >= cap then begin
+    let bigger = Array.make (max 16 (2 * cap)) q.heap.(0) in
+    Array.blit q.heap 0 bigger 0 q.len;
+    q.heap <- bigger
+  end
+
+let push q prio payload =
+  if Array.length q.heap = 0 then q.heap <- Array.make 16 (prio, payload);
+  grow q;
+  q.heap.(q.len) <- (prio, payload);
+  q.len <- q.len + 1;
+  (* Sift up. *)
+  let i = ref (q.len - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    fst q.heap.(parent) > fst q.heap.(!i)
+  do
+    let parent = (!i - 1) / 2 in
+    let tmp = q.heap.(parent) in
+    q.heap.(parent) <- q.heap.(!i);
+    q.heap.(!i) <- tmp;
+    i := parent
+  done
+
+let pop q =
+  if q.len = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.len <- q.len - 1;
+    q.heap.(0) <- q.heap.(q.len);
+    (* Sift down. *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < q.len && fst q.heap.(l) < fst q.heap.(!smallest) then smallest := l;
+      if r < q.len && fst q.heap.(r) < fst q.heap.(!smallest) then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        let tmp = q.heap.(!smallest) in
+        q.heap.(!smallest) <- q.heap.(!i);
+        q.heap.(!i) <- tmp;
+        i := !smallest
+      end
+    done;
+    Some top
+  end

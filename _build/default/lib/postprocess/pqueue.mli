@@ -1,0 +1,14 @@
+(** Minimal binary min-heap priority queue (keys are floats), used by the
+    lazy Dijkstra search of {!Gridpath}. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> float -> 'a -> unit
+(** [push q priority payload] inserts an element. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the minimum-priority element. *)

@@ -1,0 +1,71 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+let copy t = { state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t = { state = mix64 (bits64 t) }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling on the top bits for exact uniformity. *)
+  let b = Int64.of_int bound in
+  let rec draw () =
+    let r = Int64.shift_right_logical (bits64 t) 1 in
+    let v = Int64.rem r b in
+    if Int64.(sub r v > add (sub max_int b) 1L) then draw ()
+    else Int64.to_int v
+  in
+  draw ()
+
+let uniform t =
+  (* 53 random bits scaled into [0,1). *)
+  let r = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float r *. 0x1.0p-53
+
+let uniform_pos t = 1.0 -. uniform t
+let float t bound = uniform t *. bound
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let laplace t ~scale =
+  (* Inverse-CDF: u uniform in (-1/2, 1/2]; x = -b * sgn(u) * ln(1 - 2|u|). *)
+  let u = uniform_pos t -. 0.5 in
+  let s = if u >= 0.0 then 1.0 else -1.0 in
+  -.scale *. s *. log (1.0 -. (2.0 *. Float.abs u))
+
+let exponential t ~rate =
+  if rate <= 0.0 then invalid_arg "Prng.exponential: rate must be positive";
+  -.log (uniform_pos t) /. rate
+
+let geometric t ~p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Prng.geometric: p must be in (0,1]";
+  if p = 1.0 then 0
+  else
+    let u = uniform_pos t in
+    int_of_float (Float.floor (log u /. log (1.0 -. p)))
+
+let gaussian t =
+  let u1 = uniform_pos t and u2 = uniform t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Prng.choose: empty array";
+  a.(int t (Array.length a))

@@ -1,0 +1,69 @@
+(** Deterministic, splittable pseudo-random number generation and the noise
+    distributions used by differentially-private mechanisms.
+
+    Every randomized component of the platform (the Laplace mechanism, graph
+    generators, the Metropolis–Hastings walk) draws from a {!t} so that whole
+    experiments are reproducible from a single integer seed.  The generator is
+    SplitMix64: a small, fast, well-tested mixer whose streams can be
+    {!split} into statistically independent child streams, which lets
+    concurrent subsystems (e.g. one noise stream per measurement) share one
+    master seed without correlation. *)
+
+type t
+(** A mutable pseudo-random stream. *)
+
+val create : int -> t
+(** [create seed] builds a stream deterministically from [seed].  Equal seeds
+    yield equal streams. *)
+
+val copy : t -> t
+(** [copy t] duplicates the stream state; the copy and the original then
+    evolve independently but identically if fed the same draw sequence. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a child stream that is statistically
+    independent of the parent's subsequent output. *)
+
+val bits64 : t -> int64
+(** [bits64 t] draws 64 uniformly random bits. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound).  [bound] must be
+    positive.  Uses rejection sampling, so the result is exactly uniform. *)
+
+val float : t -> float -> float
+(** [float t bound] draws uniformly from [0, bound). *)
+
+val uniform : t -> float
+(** [uniform t] draws uniformly from [0, 1). *)
+
+val uniform_pos : t -> float
+(** [uniform_pos t] draws uniformly from (0, 1]; never returns [0.], making
+    it safe as input to [log]. *)
+
+val bool : t -> bool
+(** [bool t] draws a fair coin flip. *)
+
+val laplace : t -> scale:float -> float
+(** [laplace t ~scale] draws from the zero-mean Laplace distribution with
+    scale parameter [b = scale]: density [exp (-|x| / b) / 2b], variance
+    [2 b²].  The Laplace mechanism for an [eps]-DP count uses
+    [~scale:(1. /. eps)]. *)
+
+val exponential : t -> rate:float -> float
+(** [exponential t ~rate] draws from the exponential distribution with the
+    given rate (mean [1. /. rate]). *)
+
+val geometric : t -> p:float -> int
+(** [geometric t ~p] draws the number of failures before the first success
+    of a Bernoulli([p]) sequence; support {0, 1, 2, ...}. *)
+
+val gaussian : t -> float
+(** [gaussian t] draws from the standard normal distribution
+    (Box–Muller). *)
+
+val shuffle : t -> 'a array -> unit
+(** [shuffle t a] permutes [a] uniformly in place (Fisher–Yates). *)
+
+val choose : t -> 'a array -> 'a
+(** [choose t a] draws a uniformly random element.  [a] must be nonempty. *)

@@ -1,0 +1,1 @@
+lib/queries/queries.ml: Float List Wpinq_core

@@ -1,0 +1,1 @@
+lib/queries/queries.mli: Wpinq_core

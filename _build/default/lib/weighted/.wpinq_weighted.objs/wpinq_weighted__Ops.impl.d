@@ -1,0 +1,1 @@
+lib/weighted/ops.ml: Array Float Hashtbl List Option Seq Wdata

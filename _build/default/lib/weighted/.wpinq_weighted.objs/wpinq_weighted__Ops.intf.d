@@ -1,0 +1,1 @@
+lib/weighted/ops.mli: Seq Wdata

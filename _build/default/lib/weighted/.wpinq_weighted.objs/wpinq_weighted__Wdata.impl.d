@@ -1,0 +1,1 @@
+lib/weighted/wdata.ml: Float Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/weighted/wdata.mli: Format

@@ -1,0 +1,125 @@
+let select f a =
+  Wdata.of_list (Wdata.fold (fun x w acc -> (f x, w) :: acc) a [])
+
+let where p a = Wdata.filter (fun x _ -> p x) a
+
+let select_many f a =
+  let out = ref [] in
+  Wdata.iter
+    (fun x w ->
+      let produced = f x in
+      let n = List.fold_left (fun acc (_, wy) -> acc +. Float.abs wy) 0.0 produced in
+      let scale = w /. Float.max 1.0 n in
+      List.iter (fun (y, wy) -> out := (y, wy *. scale) :: !out) produced)
+    a;
+  Wdata.of_list !out
+
+let select_many_list f a = select_many (fun x -> List.map (fun y -> (y, 1.0)) (f x)) a
+
+(* Prefix emissions of one GroupBy part: records ordered by non-increasing
+   weight (record order breaking ties, for determinism), each prefix emitted
+   with half the drop in weight at its boundary. *)
+let group_emissions part =
+  let sorted =
+    List.sort (fun (x, wx) (y, wy) -> match compare wy wx with 0 -> compare x y | c -> c) part
+  in
+  let arr = Array.of_list sorted in
+  let n = Array.length arr in
+  let out = ref [] in
+  let prefix = ref [] in
+  for i = 0 to n - 1 do
+    let x, w = arr.(i) in
+    prefix := x :: !prefix;
+    let w_next = if i + 1 < n then snd arr.(i + 1) else 0.0 in
+    let emitted = (w -. w_next) /. 2.0 in
+    if emitted > Wdata.epsilon_weight then out := (List.rev !prefix, emitted) :: !out
+  done;
+  List.rev !out
+
+let group_by ~key ~reduce a =
+  let parts : ('k, ('a * float) list) Hashtbl.t = Hashtbl.create 16 in
+  Wdata.iter
+    (fun x w ->
+      if w > 0.0 then
+        let k = key x in
+        let cur = Option.value ~default:[] (Hashtbl.find_opt parts k) in
+        Hashtbl.replace parts k ((x, w) :: cur))
+    a;
+  let out = ref [] in
+  Hashtbl.iter
+    (fun k part ->
+      List.iter (fun (members, w) -> out := ((k, reduce members), w) :: !out) (group_emissions part))
+    parts;
+  Wdata.of_list !out
+
+let merge_with f a b =
+  let out = ref [] in
+  Wdata.iter (fun x wa -> out := (x, f wa (Wdata.weight b x)) :: !out) a;
+  Wdata.iter (fun x wb -> if not (Wdata.mem a x) then out := (x, f 0.0 wb) :: !out) b;
+  Wdata.of_list !out
+
+let union a b = merge_with Float.max a b
+let intersect a b = merge_with Float.min a b
+let concat a b = merge_with ( +. ) a b
+let except a b = merge_with ( -. ) a b
+
+let join ~kl ~kr ~reduce a b =
+  let index key d =
+    let parts = Hashtbl.create 16 in
+    Wdata.iter
+      (fun x w ->
+        let k = key x in
+        let cur = Option.value ~default:(0.0, []) (Hashtbl.find_opt parts k) in
+        Hashtbl.replace parts k (fst cur +. Float.abs w, (x, w) :: snd cur))
+      d;
+    parts
+  in
+  let pa = index kl a and pb = index kr b in
+  let out = ref [] in
+  Hashtbl.iter
+    (fun k (na, xs) ->
+      match Hashtbl.find_opt pb k with
+      | None -> ()
+      | Some (nb, ys) ->
+          let denom = na +. nb in
+          if denom > Wdata.epsilon_weight then
+            List.iter
+              (fun (x, wx) ->
+                List.iter (fun (y, wy) -> out := (reduce x y, wx *. wy /. denom) :: !out) ys)
+              xs)
+    pa;
+  Wdata.of_list !out
+
+(* Emissions of Shave for a single record of weight [w]: indexed slabs drawn
+   from [seq], clipped to the remaining weight.  Stops on exhaustion of
+   either the sequence, the weight, or at a non-positive slab. *)
+let shave_emissions seq w =
+  let rec go i remaining seq acc =
+    if remaining <= Wdata.epsilon_weight then List.rev acc
+    else
+      match Seq.uncons seq with
+      | None -> List.rev acc
+      | Some (slab, rest) ->
+          if slab <= 0.0 then List.rev acc
+          else
+            let emitted = Float.min slab remaining in
+            go (i + 1) (remaining -. emitted) rest ((i, emitted) :: acc)
+  in
+  go 0 w seq []
+
+let shave f a =
+  let out = ref [] in
+  Wdata.iter
+    (fun x w ->
+      if w > 0.0 then
+        List.iter (fun (i, wi) -> out := ((x, i), wi) :: !out) (shave_emissions (f x) w))
+    a;
+  Wdata.of_list !out
+
+let distinct ?(bound = 1.0) a =
+  if bound <= 0.0 then invalid_arg "Ops.distinct: bound must be positive";
+  Wdata.map_weights (fun _ w -> Float.max 0.0 (Float.min bound w)) a
+
+let shave_const w a =
+  if w <= 0.0 then invalid_arg "Ops.shave_const: slab weight must be positive";
+  shave (fun _ -> Seq.repeat w) a

@@ -1,0 +1,104 @@
+(** Batch (reference) semantics of wPINQ's stable transformations
+    (paper, Sections 2.3–2.8).
+
+    A transformation [T] is {e stable} when
+    [‖T A − T A'‖ ≤ ‖A − A'‖] for all datasets [A, A'] (binary
+    transformations bound the output change by the sum of the input
+    changes).  Stability is what lets a single differentially-private
+    aggregation of a pipeline's output protect the pipeline's input
+    (Theorem 1): the operators below each rescale record weights just enough
+    to absorb worst-case input changes, rather than forcing the aggregation
+    to add worst-case noise.
+
+    These implementations compute whole outputs from whole inputs.  They are
+    the executable specification against which the incremental engine
+    ({!module:Wpinq_dataflow}) is property-tested, and they are used directly
+    wherever a query is evaluated only once. *)
+
+val select : ('a -> 'b) -> 'a Wdata.t -> 'b Wdata.t
+(** [select f a] maps every record through [f], accumulating the weights of
+    records that collide: [Select(A,f)(y) = Σ_{x : f x = y} A x]. *)
+
+val where : ('a -> bool) -> 'a Wdata.t -> 'a Wdata.t
+(** [where p a] keeps records satisfying [p] with their weights. *)
+
+val select_many : ('a -> ('b * float) list) -> 'a Wdata.t -> 'b Wdata.t
+(** [select_many f a] maps each record [x] to the weighted dataset [f x],
+    rescaled to at most unit norm and then by [A x]:
+    [Σ_x A x · f x / max 1 ‖f x‖].  The per-record rescaling — by the norm
+    each record {e actually} produces, not a worst-case bound — is what
+    makes the one-to-many mapping stable. *)
+
+val select_many_list : ('a -> 'b list) -> 'a Wdata.t -> 'b Wdata.t
+(** [select_many_list f] is {!select_many} with every produced record given
+    weight [1.0] (the common LINQ-style usage). *)
+
+val group_by : key:('a -> 'k) -> reduce:('a list -> 'r) -> 'a Wdata.t -> ('k * 'r) Wdata.t
+(** [group_by ~key ~reduce a] groups records by [key] and applies [reduce]
+    to each group.  Within the part [A_k], records [x₀, x₁, ...] are ordered
+    by non-increasing weight and, for each prefix, the record
+    [(k, reduce [x₀; ...; x_i])] is emitted with weight
+    [(A_k x_i − A_k x_{i+1}) / 2] (zero beyond the last record).  When all
+    input records share one weight [w] — the common case — only the full
+    group survives, with weight [w / 2].  This halving is what makes the
+    grouping stable (paper, Section 2.5 and Appendix A). *)
+
+val union : 'a Wdata.t -> 'a Wdata.t -> 'a Wdata.t
+(** Record-wise maximum of weights. *)
+
+val intersect : 'a Wdata.t -> 'a Wdata.t -> 'a Wdata.t
+(** Record-wise minimum of weights. *)
+
+val concat : 'a Wdata.t -> 'a Wdata.t -> 'a Wdata.t
+(** Record-wise sum of weights. *)
+
+val except : 'a Wdata.t -> 'a Wdata.t -> 'a Wdata.t
+(** Record-wise difference of weights ([A − B]; may produce negative
+    weights). *)
+
+val join :
+  kl:('a -> 'k) ->
+  kr:('b -> 'k) ->
+  reduce:('a -> 'b -> 'c) ->
+  'a Wdata.t ->
+  'b Wdata.t ->
+  'c Wdata.t
+(** [join ~kl ~kr ~reduce a b] is wPINQ's stable equi-join (Section 2.7).
+    With [A_k, B_k] the restrictions of the inputs to key [k], the output is
+    [Σ_k (A_k × B_kᵀ) / (‖A_k‖ + ‖B_k‖)]: every matched pair
+    [(x, y)] contributes [reduce x y] with weight
+    [A x · B y / (‖A_k‖ + ‖B_k‖)].  Scaling the outer product down by the
+    total key weight is what bounds the influence of any one input record,
+    where the standard relational join is unboundedly sensitive. *)
+
+val shave : ('a -> float Seq.t) -> 'a Wdata.t -> ('a * int) Wdata.t
+(** [shave f a] decomposes each record [x] of weight [A x > 0] into indexed
+    records [(x, 0), (x, 1), ...] with weights [w₀, w₁, ...] drawn from
+    [f x], each clipped so the emitted weights sum to exactly [A x]
+    (Section 2.8).  Emission stops at the first non-positive weight in
+    [f x], so constant sequences are safe.  Records with non-positive
+    weight produce nothing. *)
+
+val distinct : ?bound:float -> 'a Wdata.t -> 'a Wdata.t
+(** [distinct ?bound a] caps every weight into [[0, bound]] (default 1.0):
+    the weighted analogue of PINQ's [Distinct].  Stable: capping is a
+    1-Lipschitz map of each record's weight. *)
+
+val shave_const : float -> 'a Wdata.t -> ('a * int) Wdata.t
+(** [shave_const w] shaves every record into slabs of constant weight [w];
+    [shave_const 1.0] is the paper's [Shave(1.0)]. *)
+
+(** {1 Semantics helpers}
+
+    Pure per-part/per-record emission rules, shared with the incremental
+    engine and exercised directly by tests. *)
+
+val group_emissions : ('a * float) list -> ('a list * float) list
+(** [group_emissions part] lists the prefix emissions of one GroupBy part:
+    members ordered by non-increasing weight (ties broken by record order),
+    each prefix paired with half the weight drop at its boundary.  Only
+    positive-weight input records belong in [part]. *)
+
+val shave_emissions : float Seq.t -> float -> (int * float) list
+(** [shave_emissions seq w] lists the [(index, weight)] slabs Shave emits
+    for a single record of weight [w]. *)

@@ -1,0 +1,86 @@
+type 'a t = ('a, float) Hashtbl.t
+(* Internally a hashtable, but never mutated after construction: every
+   operation copies.  All construction goes through [normalize]-style
+   filtering so the support never contains ~zero weights. *)
+
+let epsilon_weight = 1e-12
+
+let is_zero w = Float.abs w < epsilon_weight
+
+let empty () = Hashtbl.create 1
+
+let singleton x w =
+  let h = Hashtbl.create 4 in
+  if not (is_zero w) then Hashtbl.replace h x w;
+  h
+
+let bump h x w =
+  match Hashtbl.find_opt h x with
+  | None -> if not (is_zero w) then Hashtbl.replace h x w
+  | Some w0 ->
+      let w' = w0 +. w in
+      if is_zero w' then Hashtbl.remove h x else Hashtbl.replace h x w'
+
+let of_list assoc =
+  let h = Hashtbl.create (max 8 (List.length assoc)) in
+  List.iter (fun (x, w) -> bump h x w) assoc;
+  h
+
+let of_records xs = of_list (List.map (fun x -> (x, 1.0)) xs)
+
+let to_list h = Hashtbl.fold (fun x w acc -> (x, w) :: acc) h []
+
+let to_sorted_list h =
+  List.sort (fun (x, _) (y, _) -> compare x y) (to_list h)
+
+let weight h x = match Hashtbl.find_opt h x with Some w -> w | None -> 0.0
+let mem h x = Hashtbl.mem h x
+let support_size = Hashtbl.length
+let norm h = Hashtbl.fold (fun _ w acc -> acc +. Float.abs w) h 0.0
+let total h = Hashtbl.fold (fun _ w acc -> acc +. w) h 0.0
+
+let dist a b =
+  let d = Hashtbl.fold (fun x wa acc -> acc +. Float.abs (wa -. weight b x)) a 0.0 in
+  Hashtbl.fold (fun x wb acc -> if Hashtbl.mem a x then acc else acc +. Float.abs wb) b d
+
+let copy = Hashtbl.copy
+
+let add a x w =
+  let h = copy a in
+  bump h x w;
+  h
+
+let update a delta =
+  let h = copy a in
+  List.iter (fun (x, w) -> bump h x w) delta;
+  h
+
+let scale c a =
+  let h = Hashtbl.create (max 8 (Hashtbl.length a)) in
+  Hashtbl.iter (fun x w -> let w' = c *. w in if not (is_zero w') then Hashtbl.replace h x w') a;
+  h
+
+let map_weights f a =
+  let h = Hashtbl.create (max 8 (Hashtbl.length a)) in
+  Hashtbl.iter (fun x w -> let w' = f x w in if not (is_zero w') then Hashtbl.replace h x w') a;
+  h
+
+let filter p a =
+  let h = Hashtbl.create (max 8 (Hashtbl.length a)) in
+  Hashtbl.iter (fun x w -> if p x w then Hashtbl.replace h x w) a;
+  h
+
+let fold f a init = Hashtbl.fold f a init
+let iter f a = Hashtbl.iter f a
+
+let equal ?(tol = 1e-9) a b = dist a b <= tol
+
+let pp pp_record fmt a =
+  let items = to_sorted_list a in
+  Format.fprintf fmt "@[<hov 1>{";
+  List.iteri
+    (fun i (x, w) ->
+      if i > 0 then Format.fprintf fmt ";@ ";
+      Format.fprintf fmt "(%a, %g)" pp_record x w)
+    items;
+  Format.fprintf fmt "}@]"

@@ -1,0 +1,86 @@
+(** Weighted datasets: the data model of wPINQ (paper, Section 2.1).
+
+    A weighted dataset over a domain ['a] is a finitely-supported function
+    [A : 'a -> float]; [A x] is the real-valued multiplicity of record [x].
+    Multisets are the special case of non-negative integer weights.  The
+    distance between two datasets is the L1 norm of their difference,
+    [‖A − B‖ = Σ_x |A x − B x|], and differential privacy for weighted
+    datasets is defined with respect to that distance (Definition 1).
+
+    Values of this type are immutable: every operation returns a fresh
+    dataset.  Records are compared with structural equality and hashed with
+    the polymorphic hash, so any immutable OCaml value (ints, strings,
+    tuples, variants...) can serve as a record. *)
+
+type 'a t
+(** An immutable weighted dataset with records of type ['a]. *)
+
+val epsilon_weight : float
+(** Weights with absolute value below this threshold are treated as zero and
+    dropped from the support.  Keeps floating-point dust from accumulating
+    through long operator pipelines. *)
+
+val empty : unit -> 'a t
+(** [empty ()] is the dataset with empty support. *)
+
+val singleton : 'a -> float -> 'a t
+(** [singleton x w] is the dataset [{x ↦ w}] (empty if [w] is ~0). *)
+
+val of_list : ('a * float) list -> 'a t
+(** [of_list assoc] accumulates the weights of duplicate records, as wPINQ
+    does implicitly everywhere: [(x, 1.); (x, 0.5)] yields [x ↦ 1.5]. *)
+
+val of_records : 'a list -> 'a t
+(** [of_records xs] gives each listed occurrence weight [1.0] (so duplicates
+    accumulate), matching the encoding of an input multiset. *)
+
+val to_list : 'a t -> ('a * float) list
+(** The support with its weights, in unspecified order. *)
+
+val to_sorted_list : 'a t -> ('a * float) list
+(** Like {!to_list} but sorted by record (polymorphic compare), for stable
+    printing and testing. *)
+
+val weight : 'a t -> 'a -> float
+(** [weight a x] is [A x]; [0.] off the support. *)
+
+val mem : 'a t -> 'a -> bool
+(** [mem a x] tests whether [x] has nonzero weight. *)
+
+val support_size : 'a t -> int
+(** Number of records with nonzero weight. *)
+
+val norm : 'a t -> float
+(** [norm a] is [‖A‖ = Σ_x |A x|] — the "size" of the dataset. *)
+
+val total : 'a t -> float
+(** [total a] is [Σ_x A x] (signed, unlike {!norm}). *)
+
+val dist : 'a t -> 'a t -> float
+(** [dist a b] is [‖A − B‖], the record-wise L1 distance driving the privacy
+    definition and the stability bounds. *)
+
+val add : 'a t -> 'a -> float -> 'a t
+(** [add a x w] is the dataset with [w] added to [x]'s weight. *)
+
+val update : 'a t -> ('a * float) list -> 'a t
+(** [update a delta] adds every [(x, w)] of [delta] to [a]; the batch
+    analogue of feeding a delta to the incremental engine. *)
+
+val scale : float -> 'a t -> 'a t
+(** [scale c a] multiplies every weight by [c]. *)
+
+val map_weights : ('a -> float -> float) -> 'a t -> 'a t
+(** [map_weights f a] replaces each weight [w] of record [x] by [f x w]. *)
+
+val filter : ('a -> float -> bool) -> 'a t -> 'a t
+(** Keeps the records (with their weights) satisfying the predicate. *)
+
+val fold : ('a -> float -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+val iter : ('a -> float -> unit) -> 'a t -> unit
+
+val equal : ?tol:float -> 'a t -> 'a t -> bool
+(** [equal ?tol a b] holds when [dist a b <= tol] (default [1e-9]). *)
+
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit
+(** [pp pp_record fmt a] prints [{(x, w); ...}] sorted by record. *)

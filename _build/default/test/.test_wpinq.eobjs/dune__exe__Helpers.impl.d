@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Float Format List Printf QCheck String Wpinq_prng Wpinq_weighted

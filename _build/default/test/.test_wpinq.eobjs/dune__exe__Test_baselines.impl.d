@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Helpers List Printf Wpinq_baselines Wpinq_core Wpinq_graph Wpinq_prng

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Float Format Hashtbl Helpers List Option Wpinq_core Wpinq_dataflow Wpinq_prng Wpinq_weighted

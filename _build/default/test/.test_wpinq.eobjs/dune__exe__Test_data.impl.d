@@ -1,0 +1,1 @@
+test/test_data.ml: Alcotest List Printf Wpinq_data Wpinq_graph Wpinq_prng

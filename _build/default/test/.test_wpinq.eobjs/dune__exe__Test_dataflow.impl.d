@@ -1,0 +1,1 @@
+test/test_dataflow.ml: Alcotest Format Helpers List QCheck QCheck_alcotest String Wpinq_dataflow Wpinq_weighted

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array Filename Float Format Fun Helpers List String Sys Wpinq_core Wpinq_dataflow Wpinq_graph Wpinq_infer Wpinq_postprocess Wpinq_prng Wpinq_queries Wpinq_weighted

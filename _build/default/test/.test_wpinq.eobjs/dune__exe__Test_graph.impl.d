@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Filename Float Fun Helpers List Sys Wpinq_graph Wpinq_prng

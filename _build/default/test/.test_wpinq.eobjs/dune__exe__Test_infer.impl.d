@@ -1,0 +1,1 @@
+test/test_infer.ml: Alcotest Array Float Helpers List Printf Wpinq_core Wpinq_graph Wpinq_infer Wpinq_prng Wpinq_queries

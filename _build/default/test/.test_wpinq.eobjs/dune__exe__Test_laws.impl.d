@@ -1,0 +1,1 @@
+test/test_laws.ml: Alcotest Float Helpers List QCheck QCheck_alcotest Wpinq_core Wpinq_prng Wpinq_weighted

@@ -1,0 +1,1 @@
+test/test_postprocess.ml: Alcotest Array Float Helpers List Printf QCheck QCheck_alcotest Wpinq_postprocess Wpinq_prng

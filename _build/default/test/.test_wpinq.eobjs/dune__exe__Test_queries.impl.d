@@ -1,0 +1,1 @@
+test/test_queries.ml: Alcotest Array Fmt Format Hashtbl Helpers List Option Printf Wpinq_core Wpinq_dataflow Wpinq_graph Wpinq_prng Wpinq_queries Wpinq_weighted

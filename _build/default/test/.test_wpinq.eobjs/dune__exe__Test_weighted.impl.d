@@ -1,0 +1,1 @@
+test/test_weighted.ml: Alcotest Format Helpers List QCheck QCheck_alcotest String Wpinq_weighted

@@ -1,0 +1,52 @@
+(* Shared test helpers: Wdata testables and generators. *)
+
+module Wdata = Wpinq_weighted.Wdata
+module Ops = Wpinq_weighted.Ops
+module Prng = Wpinq_prng.Prng
+
+let check_close ?(tol = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let pp_int = Format.pp_print_int
+
+let check_wdata ?(tol = 1e-9) pp msg expected actual =
+  if not (Wdata.equal ~tol expected actual) then
+    Alcotest.failf "%s:@ expected %a@ got %a (distance %g)" msg (Wdata.pp pp) expected
+      (Wdata.pp pp) actual (Wdata.dist expected actual)
+
+(* QCheck generator for small weighted datasets over int records. *)
+let wdata_gen ?(max_record = 8) ?(signed = true) () =
+  let open QCheck.Gen in
+  let weight =
+    if signed then float_range (-3.0) 3.0
+    else float_range 0.05 3.0
+  in
+  let entry = pair (int_range 0 max_record) weight in
+  map Wdata.of_list (list_size (int_range 0 12) entry)
+
+let wdata_arb ?max_record ?signed () =
+  QCheck.make
+    ~print:(fun d ->
+      Format.asprintf "%a" (Wdata.pp pp_int) d)
+    (wdata_gen ?max_record ?signed ())
+
+(* A generator of record-level deltas for incremental/batch comparisons. *)
+let delta_gen ?(max_record = 8) () =
+  let open QCheck.Gen in
+  let entry = pair (int_range 0 max_record) (float_range (-2.0) 2.0) in
+  list_size (int_range 1 6) entry
+
+let deltas_arb ?(batches = 8) ?max_record () =
+  QCheck.make
+    ~print:(fun ds ->
+      String.concat "; "
+        (List.map
+           (fun d ->
+             "["
+             ^ String.concat ","
+                 (List.map (fun (x, w) -> Printf.sprintf "(%d,%.3f)" x w) d)
+             ^ "]")
+           ds))
+    QCheck.Gen.(list_size (int_range 1 batches) (delta_gen ?max_record ()))
+

@@ -1,0 +1,147 @@
+(* The PINQ and smooth-sensitivity comparators. *)
+
+module Pinq = Wpinq_baselines.Pinq
+module Smooth = Wpinq_baselines.Smooth
+module Graph = Wpinq_graph.Graph
+module Gen = Wpinq_graph.Gen
+module Budget = Wpinq_core.Budget
+module Prng = Wpinq_prng.Prng
+open Helpers
+
+let contents c = List.sort compare (Pinq.unsafe_contents c)
+
+let test_pinq_multiset_ops () =
+  let b = Budget.create ~name:"p" 1e9 in
+  let src = Pinq.source ~budget:b [ 1; 2; 2; 3; 3; 3 ] in
+  Alcotest.(check (list (pair int int))) "source counts" [ (1, 1); (2, 2); (3, 3) ]
+    (contents src);
+  Alcotest.(check (list (pair int int))) "select accumulates" [ (0, 2); (1, 4) ]
+    (contents (Pinq.select (fun x -> x mod 2) src));
+  Alcotest.(check (list (pair int int))) "where" [ (2, 2) ]
+    (contents (Pinq.where (fun x -> x = 2) src));
+  Alcotest.(check (list (pair int int))) "distinct" [ (1, 1); (2, 1); (3, 1) ]
+    (contents (Pinq.distinct src));
+  Alcotest.(check (list (pair int int))) "concat" [ (1, 2); (2, 4); (3, 6) ]
+    (contents (Pinq.concat src src));
+  let other = Pinq.source ~budget:b [ 2; 3; 3; 3; 3 ] in
+  Alcotest.(check (list (pair int int))) "intersect" [ (2, 1); (3, 3) ]
+    (contents (Pinq.intersect src other))
+
+let test_pinq_group_by () =
+  let b = Budget.create ~name:"p" 1e9 in
+  let src = Pinq.source ~budget:b [ 1; 2; 3; 4 ] in
+  let grouped = Pinq.group_by ~key:(fun x -> x mod 2) ~reduce:List.length src in
+  Alcotest.(check (list (pair (pair int int) int))) "group sizes"
+    [ ((0, 2), 1); ((1, 2), 1) ]
+    (List.sort compare (Pinq.unsafe_contents grouped))
+
+let test_pinq_guarded_join () =
+  let b = Budget.create ~name:"p" 1e9 in
+  (* Keys: 0 has one record on each side -> emitted; 1 has two on the left
+     -> suppressed; 2 has multiplicity 2 on the right -> suppressed. *)
+  let left = Pinq.source ~budget:b [ (0, "a"); (1, "b"); (1, "c"); (2, "d") ] in
+  let right = Pinq.source ~budget:b [ (0, "x"); (1, "y"); (2, "z"); (2, "z") ] in
+  let j = Pinq.join ~kl:fst ~kr:fst ~reduce:(fun (_, a) (_, x) -> a ^ x) left right in
+  Alcotest.(check (list (pair string int))) "only unique matches" [ ("ax", 1) ]
+    (List.sort compare (Pinq.unsafe_contents j))
+
+let test_pinq_join_kills_paths () =
+  (* The motivating failure: on any graph with a degree>=2 vertex, PINQ's
+     join of edges with edges yields no length-two paths through it. *)
+  let g = Gen.clustered ~n:60 ~community:8 ~p_in:0.7 ~extra:30 (Prng.create 1) in
+  let b = Budget.create ~name:"p" 1e9 in
+  let edges = Pinq.source ~budget:b (Graph.directed_edges g) in
+  let paths = Pinq.join ~kl:snd ~kr:fst ~reduce:(fun (a, b) (_, c) -> (a, b, c)) edges edges in
+  (* Only degree-1 middle vertices have unique matches, and those yield the
+     degenerate back-and-forth walk (a, b, a) - no triangle raw material. *)
+  List.iter
+    (fun ((a, b, c), _) ->
+      Alcotest.(check int) "degree-1 middle" 1 (Graph.degree g b);
+      Alcotest.(check int) "degenerate walk" a c)
+    (Pinq.unsafe_contents paths);
+  Alcotest.(check bool) "graph does have real paths" true
+    (Array.exists (fun d -> d >= 2) (Graph.degrees g))
+
+let test_pinq_stability_accounting () =
+  let b = Budget.create ~name:"p" 1e9 in
+  let src = Pinq.source ~budget:b [ 1; 2 ] in
+  let factor c = match Pinq.stability c with [ (_, n) ] -> n | _ -> -1 in
+  Alcotest.(check int) "source" 1 (factor src);
+  Alcotest.(check int) "select" 1 (factor (Pinq.select (fun x -> x) src));
+  Alcotest.(check int) "group_by doubles" 2
+    (factor (Pinq.group_by ~key:(fun x -> x) ~reduce:List.length src));
+  Alcotest.(check int) "self-join: 2+2" 4
+    (factor (Pinq.join ~kl:(fun x -> x) ~kr:(fun x -> x) ~reduce:(fun x _ -> x) src src));
+  (* noisy_count charges stability x epsilon. *)
+  let j = Pinq.join ~kl:(fun x -> x) ~kr:(fun x -> x) ~reduce:(fun x _ -> x) src src in
+  let _ = Pinq.noisy_count ~rng:(Prng.create 2) ~epsilon:0.25 j 1 in
+  check_close "charged 4 x 0.25" 1.0 (Budget.spent b)
+
+let test_pinq_noisy_count_accuracy () =
+  let b = Budget.create ~name:"p" 1e12 in
+  let src = Pinq.source ~budget:b [ 5; 5; 5; 7 ] in
+  let v = Pinq.noisy_count ~rng:(Prng.create 3) ~epsilon:1e9 src 5 in
+  check_close ~tol:1e-6 "count of 5" 3.0 v;
+  let t = Pinq.noisy_total ~rng:(Prng.create 4) ~epsilon:1e9 src in
+  check_close ~tol:1e-6 "total" 4.0 t
+
+(* ---- smooth sensitivity ---- *)
+
+let two_hub v =
+  Graph.of_edges (List.concat_map (fun i -> [ (0, i); (1, i) ]) (List.init (v - 2) (fun i -> i + 2)))
+
+let triangle_ring k =
+  Graph.of_edges
+    (List.concat_map
+       (fun i -> [ (3 * i, (3 * i) + 1); ((3 * i) + 1, (3 * i) + 2); (3 * i, (3 * i) + 2) ])
+       (List.init k (fun i -> i)))
+
+let test_local_sensitivity () =
+  Alcotest.(check int) "K3" 1 (Smooth.local_sensitivity (Graph.of_edges [ (0, 1); (1, 2); (0, 2) ]));
+  Alcotest.(check int) "star: leaves share the hub" 1
+    (Smooth.local_sensitivity (Graph.of_edges [ (0, 1); (0, 2); (0, 3) ]));
+  Alcotest.(check int) "two-hub graph: hubs share v-2" 58
+    (Smooth.local_sensitivity (two_hub 60));
+  Alcotest.(check int) "triangle ring" 1 (Smooth.local_sensitivity (triangle_ring 10));
+  Alcotest.(check int) "empty" 0 (Smooth.local_sensitivity (Graph.of_edges [ (0, 1) ]))
+
+let test_smooth_bound_bracket () =
+  (* LS <= S <= n-2 always; and the bound is monotone in LS across our two
+     extreme graphs. *)
+  let check g =
+    let s = Smooth.smooth_bound ~epsilon:0.5 ~delta:1e-6 g in
+    let ls = float_of_int (Smooth.local_sensitivity g) in
+    Alcotest.(check bool) "S >= LS" true (s >= ls -. 1e-9);
+    Alcotest.(check bool) "S <= n-2" true (s <= float_of_int (Graph.n g))
+  in
+  check (two_hub 60);
+  check (triangle_ring 10);
+  (* At this epsilon/delta the smoothing horizon is 1/beta = 58 edge flips,
+     so the benefit only shows once n - 2 exceeds it: a 300-vertex ring sits
+     near 58/e regardless of n, while the two-hub graph pins S at n - 2. *)
+  let s_good = Smooth.smooth_bound ~epsilon:0.5 ~delta:1e-6 (triangle_ring 100) in
+  let s_bad = Smooth.smooth_bound ~epsilon:0.5 ~delta:1e-6 (two_hub 300) in
+  Alcotest.(check bool)
+    (Printf.sprintf "ring %.1f far below hub graph %.1f" s_good s_bad)
+    true
+    (s_good *. 4.0 < s_bad)
+
+let test_smooth_noise_scales () =
+  let rng = Prng.create 5 in
+  let _, wc = Smooth.worst_case_noisy_triangles ~rng ~epsilon:0.5 (triangle_ring 100) in
+  check_close "worst-case scale" (298.0 /. 0.5) wc;
+  let _, sm = Smooth.noisy_triangles ~rng ~epsilon:0.5 ~delta:1e-6 (triangle_ring 100) in
+  Alcotest.(check bool) "smooth beats worst case on a benign graph" true (sm < wc /. 2.0)
+
+let suite =
+  [
+    Alcotest.test_case "pinq multiset ops" `Quick test_pinq_multiset_ops;
+    Alcotest.test_case "pinq group_by" `Quick test_pinq_group_by;
+    Alcotest.test_case "pinq guarded join" `Quick test_pinq_guarded_join;
+    Alcotest.test_case "pinq join kills paths" `Quick test_pinq_join_kills_paths;
+    Alcotest.test_case "pinq stability accounting" `Quick test_pinq_stability_accounting;
+    Alcotest.test_case "pinq noisy count" `Quick test_pinq_noisy_count_accuracy;
+    Alcotest.test_case "local sensitivity" `Quick test_local_sensitivity;
+    Alcotest.test_case "smooth bound brackets" `Quick test_smooth_bound_bracket;
+    Alcotest.test_case "smooth noise scales" `Quick test_smooth_noise_scales;
+  ]

@@ -1,0 +1,107 @@
+module Graph = Wpinq_graph.Graph
+module Datasets = Wpinq_data.Datasets
+module Microdata = Wpinq_data.Microdata
+module Prng = Wpinq_prng.Prng
+
+let test_deterministic () =
+  let a = Datasets.load Datasets.grqc and b = Datasets.load Datasets.grqc in
+  Alcotest.(check (list (pair int int))) "same graph every time"
+    (List.sort compare (Graph.edges a))
+    (List.sort compare (Graph.edges b))
+
+let test_profiles () =
+  (* Stand-ins must reproduce the qualitative profile of their Table 1 row:
+     assortativity sign and a real >> random triangle gap for the
+     collaboration graphs; weak (dis)assortativity for Caltech/Epinions. *)
+  let check_spec (spec : Datasets.spec) ~min_ratio ~r_low ~r_high =
+    let g = Datasets.load spec in
+    let rand = Datasets.random_counterpart g in
+    let tri = Graph.triangle_count g and tri_r = Graph.triangle_count rand in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: triangles %d vs random %d (>= %.1fx)" spec.Datasets.name tri tri_r
+         min_ratio)
+      true
+      (float_of_int tri >= min_ratio *. float_of_int (max tri_r 1));
+    let r = Graph.assortativity g in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: r=%.3f in [%.2f, %.2f]" spec.Datasets.name r r_low r_high)
+      true (r >= r_low && r <= r_high);
+    Alcotest.(check (array int))
+      (spec.Datasets.name ^ ": random preserves degrees")
+      (Graph.degree_sequence_desc g)
+      (Graph.degree_sequence_desc rand)
+  in
+  check_spec Datasets.grqc ~min_ratio:20.0 ~r_low:0.4 ~r_high:0.9;
+  check_spec Datasets.hepph ~min_ratio:10.0 ~r_low:0.3 ~r_high:0.8;
+  check_spec Datasets.hepth ~min_ratio:20.0 ~r_low:0.1 ~r_high:0.5;
+  check_spec Datasets.caltech ~min_ratio:1.1 ~r_low:(-0.2) ~r_high:0.1;
+  check_spec Datasets.epinions ~min_ratio:1.3 ~r_low:(-0.2) ~r_high:0.1
+
+let test_scale () =
+  let small = Datasets.load ~scale:0.5 Datasets.grqc in
+  let full = Datasets.load Datasets.grqc in
+  Alcotest.(check bool) "scale shrinks" true
+    (Graph.n small < Graph.n full && Graph.n small > Graph.n full / 3)
+
+let test_table3_skew_monotone () =
+  (* The BA sweep must reproduce Table 3's monotone growth of dmax and Σd². *)
+  let graphs = List.map (fun spec -> Datasets.ba_graph spec) Datasets.table3 in
+  let sumd2 = List.map Graph.sum_deg_sq graphs in
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sum d^2 increases with beta" true (increasing sumd2);
+  let dmaxes = List.map Graph.dmax graphs in
+  Alcotest.(check bool) "dmax grows overall" true
+    (List.nth dmaxes 4 > 2 * List.nth dmaxes 0);
+  (* Same node and edge counts across the sweep, as in Table 3. *)
+  List.iter
+    (fun g -> Alcotest.(check int) "n fixed" (Graph.n (List.hd graphs)) (Graph.n g))
+    graphs
+
+let test_paper_reference_values () =
+  (* The recorded Table 1 values themselves (guards against typos). *)
+  Alcotest.(check int) "grqc nodes" 5242 Datasets.grqc.Datasets.paper.Datasets.nodes;
+  Alcotest.(check int) "epinions dmax" 3079 Datasets.epinions.Datasets.paper.Datasets.dmax;
+  Alcotest.(check int) "hepph triangles" 3_358_499
+    Datasets.hepph.Datasets.paper.Datasets.triangles;
+  Alcotest.(check int) "table1 size" 5 (List.length Datasets.table1);
+  Alcotest.(check int) "table3 size" 5 (List.length Datasets.table3)
+
+let test_microdata_generator () =
+  let people = Microdata.generate ~n:2000 (Prng.create 9) in
+  Alcotest.(check int) "population size" 2000 (List.length people);
+  List.iter
+    (fun (p : Microdata.person) ->
+      Alcotest.(check bool) "age range" true (p.Microdata.age >= 18 && p.Microdata.age < 100);
+      Alcotest.(check bool) "income nonneg" true (p.Microdata.income >= 0.0);
+      Alcotest.(check bool) "household range" true
+        (p.Microdata.household >= 1 && p.Microdata.household <= 6);
+      Alcotest.(check bool) "region valid" true (List.mem p.Microdata.region Microdata.regions))
+    people;
+  (* Deterministic per seed. *)
+  let again = Microdata.generate ~n:2000 (Prng.create 9) in
+  Alcotest.(check bool) "deterministic" true (people = again);
+  (* Region counts cover everyone; coast is richest on average. *)
+  let counts = Microdata.exact_region_counts people in
+  Alcotest.(check int) "counts partition" 2000 (List.fold_left (fun a (_, c) -> a + c) 0 counts);
+  let mean_of region =
+    let members = List.filter (fun p -> p.Microdata.region = region) people in
+    Microdata.exact_mean_income members
+  in
+  List.iter
+    (fun r ->
+      if r <> "coast" then
+        Alcotest.(check bool) ("coast richer than " ^ r) true (mean_of "coast" > mean_of r))
+    Microdata.regions
+
+let suite =
+  [
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "qualitative profiles" `Slow test_profiles;
+    Alcotest.test_case "scale parameter" `Quick test_scale;
+    Alcotest.test_case "table 3 skew" `Slow test_table3_skew_monotone;
+    Alcotest.test_case "paper reference values" `Quick test_paper_reference_values;
+    Alcotest.test_case "microdata generator" `Quick test_microdata_generator;
+  ]

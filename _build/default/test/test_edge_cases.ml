@@ -1,0 +1,221 @@
+(* Degenerate inputs and failure injection across the stack. *)
+
+module Wdata = Wpinq_weighted.Wdata
+module Ops = Wpinq_weighted.Ops
+module Dataflow = Wpinq_dataflow.Dataflow
+module Graph = Wpinq_graph.Graph
+module Gen = Wpinq_graph.Gen
+module Io = Wpinq_graph.Io
+module Prng = Wpinq_prng.Prng
+module Budget = Wpinq_core.Budget
+module Batch = Wpinq_core.Batch
+module Flow = Wpinq_core.Flow
+module Gridpath = Wpinq_postprocess.Gridpath
+module Workflow = Wpinq_infer.Workflow
+module Qb = Wpinq_queries.Queries.Make (Batch)
+open Helpers
+
+(* ---- weighted datasets ---- *)
+
+let test_empty_dataset_ops () =
+  let e : int Wdata.t = Wdata.empty () in
+  Alcotest.(check int) "select of empty" 0 (Wdata.support_size (Ops.select (fun x -> x) e));
+  Alcotest.(check int) "join of empty" 0
+    (Wdata.support_size
+       (Ops.join ~kl:(fun x -> x) ~kr:(fun x -> x) ~reduce:(fun a _ -> a) e e));
+  check_close "norm" 0.0 (Wdata.norm e);
+  check_close "dist to empty" 0.0 (Wdata.dist e (Wdata.empty ()))
+
+let test_join_zero_norm_key () =
+  (* Records cancelling to ~zero weight under a key must not divide by
+     zero or emit output. *)
+  let a = Wdata.of_list [ (2, 1.0); (4, -1.0) ] in
+  let b = Wdata.of_list [ (6, 1.0) ] in
+  let j = Ops.join ~kl:(fun _ -> 0) ~kr:(fun _ -> 0) ~reduce:(fun x y -> (x, y)) a b in
+  (* Key 0 on the left has norm 2 (absolute values!), so output exists. *)
+  Alcotest.(check int) "abs norms" 2 (Wdata.support_size j);
+  let a' = Wdata.of_list [ (2, 1e-14) ] in
+  let j' = Ops.join ~kl:(fun _ -> 0) ~kr:(fun _ -> 0) ~reduce:(fun x y -> (x, y)) a' b in
+  Alcotest.(check int) "sub-epsilon weight dropped at construction" 0 (Wdata.support_size j')
+
+let test_group_by_ignores_nonpositive () =
+  let d = Wdata.of_list [ (1, -2.0); (2, 1.0) ] in
+  let g = Ops.group_by ~key:(fun _ -> ()) ~reduce:(fun l -> List.sort compare l) d in
+  check_wdata
+    (fun fmt ((), l) -> Format.fprintf fmt "[%s]" (String.concat ";" (List.map string_of_int l)))
+    "only positive records grouped"
+    (Wdata.of_list [ (((), [ 2 ]), 0.5) ])
+    g
+
+let test_select_many_empty_products () =
+  let d = Wdata.of_list [ (1, 1.0) ] in
+  Alcotest.(check int) "empty product" 0
+    (Wdata.support_size (Ops.select_many (fun _ -> []) d))
+
+(* ---- dataflow ---- *)
+
+let test_feed_empty_and_cancelling () =
+  let engine = Dataflow.Engine.create () in
+  let input = Dataflow.Input.create engine in
+  let sink = Dataflow.Sink.attach (Dataflow.select (fun x -> x) (Dataflow.Input.node input)) in
+  let fired = ref 0 in
+  Dataflow.Sink.on_change sink (fun _ ~old_weight:_ ~new_weight:_ -> incr fired);
+  Dataflow.Input.feed input [];
+  Dataflow.Input.feed input [ (1, 1.0); (1, -1.0) ];
+  Alcotest.(check int) "cancelling batch never fires" 0 !fired;
+  Alcotest.(check int) "no state" 0 (Dataflow.Engine.state_records engine)
+
+let test_flow_negative_weights_roundtrip () =
+  (* Weights may go negative transiently (Except); sinks must track. *)
+  let engine = Dataflow.Engine.create () in
+  let ia = Dataflow.Input.create engine in
+  let ib = Dataflow.Input.create engine in
+  let sink =
+    Dataflow.Sink.attach (Dataflow.except (Dataflow.Input.node ia) (Dataflow.Input.node ib))
+  in
+  Dataflow.Input.feed ib [ (7, 2.0) ];
+  check_close "negative visible" (-2.0) (Dataflow.Sink.weight sink 7);
+  Dataflow.Input.feed ia [ (7, 2.0) ];
+  check_close "back to zero" 0.0 (Dataflow.Sink.weight sink 7);
+  Alcotest.(check int) "support empty" 0 (Dataflow.Sink.support_size sink)
+
+(* ---- graphs ---- *)
+
+let test_empty_graph_stats () =
+  let g = Graph.of_edges [] in
+  Alcotest.(check int) "n" 0 (Graph.n g);
+  Alcotest.(check int) "m" 0 (Graph.m g);
+  Alcotest.(check int) "triangles" 0 (Graph.triangle_count g);
+  Alcotest.(check int) "squares" 0 (Graph.square_count g);
+  Alcotest.(check bool) "assortativity nan" true (Float.is_nan (Graph.assortativity g));
+  check_close "clustering" 0.0 (Graph.clustering_coefficient g);
+  check_close "tbi" 0.0 (Graph.tbi_signal g)
+
+let test_single_edge_graph () =
+  let g = Graph.of_edges [ (0, 1) ] in
+  Alcotest.(check int) "m" 1 (Graph.m g);
+  Alcotest.(check (array int)) "ccdf" [| 2 |] (Graph.degree_ccdf g);
+  Alcotest.(check (array int)) "sequence" [| 1; 1 |] (Graph.degree_sequence_desc g);
+  Alcotest.(check (list (pair (pair int int) int))) "jdd" [ ((1, 1), 1) ]
+    (Graph.joint_degree_counts g)
+
+let test_mutable_apply_invalid () =
+  let g = Graph.of_edges [ (0, 1); (2, 3) ] in
+  let mg = Graph.Mutable.of_graph g in
+  Alcotest.check_raises "absent removal"
+    (Invalid_argument "Mutable.apply: removed edge absent") (fun () ->
+      Graph.Mutable.apply mg { remove = ((0, 2), (1, 3)); add = ((0, 3), (1, 2)) });
+  Alcotest.check_raises "present addition"
+    (Invalid_argument "Mutable.apply: added edge already present") (fun () ->
+      Graph.Mutable.apply mg { remove = ((0, 1), (2, 3)); add = ((0, 1), (2, 3)) })
+
+let test_propose_swap_too_small () =
+  let g = Graph.of_edges [ (0, 1) ] in
+  let mg = Graph.Mutable.of_graph g in
+  Alcotest.(check bool) "no swap on 1 edge" true
+    (Graph.Mutable.propose_swap mg (Prng.create 1) = None)
+
+let test_io_malformed () =
+  let path = Filename.temp_file "wpinq_bad" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "0 1\nnot an edge\n";
+      close_out oc;
+      match Io.read path with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "expected Failure on malformed line")
+
+let test_generator_argument_validation () =
+  let rng = Prng.create 1 in
+  Alcotest.check_raises "ba m too big" (Invalid_argument "Gen.barabasi_albert: need n > m >= 1")
+    (fun () -> ignore (Gen.barabasi_albert ~n:3 ~m:3 rng));
+  Alcotest.check_raises "er overfull" (Invalid_argument "Gen.erdos_renyi: too many edges")
+    (fun () -> ignore (Gen.erdos_renyi ~n:3 ~m:10 rng))
+
+(* ---- queries on degenerate graphs ---- *)
+
+let test_queries_on_tiny_graphs () =
+  let run g =
+    let budget = Budget.create ~name:"t" 1e9 in
+    let sym = Batch.source_records ~budget (Graph.directed_edges g) in
+    ( Wdata.total (Batch.unsafe_value (Qb.tbi sym)),
+      Wdata.support_size (Batch.unsafe_value (Qb.tbd sym)),
+      Wdata.support_size (Batch.unsafe_value (Qb.sbd sym)) )
+  in
+  let empty_tbi, empty_tbd, empty_sbd = run (Graph.of_edges []) in
+  check_close "empty tbi" 0.0 empty_tbi;
+  Alcotest.(check int) "empty tbd" 0 empty_tbd;
+  Alcotest.(check int) "empty sbd" 0 empty_sbd;
+  let e_tbi, e_tbd, e_sbd = run (Graph.of_edges [ (0, 1) ]) in
+  check_close "edge tbi" 0.0 e_tbi;
+  Alcotest.(check int) "edge tbd" 0 e_tbd;
+  Alcotest.(check int) "edge sbd" 0 e_sbd;
+  (* K3: exactly one triangle, no squares. *)
+  let k3_tbi, k3_tbd, k3_sbd = run (Graph.of_edges [ (0, 1); (1, 2); (0, 2) ]) in
+  check_close ~tol:1e-9 "k3 tbi" 1.5 k3_tbi;
+  Alcotest.(check int) "k3 tbd one record" 1 k3_tbd;
+  Alcotest.(check int) "k3 sbd" 0 k3_sbd
+
+(* ---- postprocess ---- *)
+
+let test_gridpath_degenerate () =
+  (* Single position: the fit picks the y minimizing cost. *)
+  let fit = Gridpath.fit ~v:[| 3.0 |] ~h:[| 1.0; 1.0; 1.0 |] in
+  Alcotest.(check int) "length" 1 (Array.length fit);
+  Alcotest.(check bool) "in range" true (fit.(0) >= 0 && fit.(0) <= 3);
+  (* All-zero inputs: all-zero fit. *)
+  let z = Gridpath.fit ~v:[| 0.0; 0.0 |] ~h:[| 0.0 |] in
+  Alcotest.(check (array int)) "zeros" [| 0; 0 |] z
+
+(* ---- workflow failure injection ---- *)
+
+let test_workflow_budget_exhaustion () =
+  let secret = Gen.erdos_renyi ~n:20 ~m:40 (Prng.create 2) in
+  let budget = Budget.create ~name:"edges" (2.5 *. 0.1) in
+  let sym = Batch.source_records ~budget (Graph.directed_edges secret) in
+  (* measure_seed needs 3 x 0.1 > 0.25: the third charge must fail and the
+     first two must remain spent (sequential composition is real spending). *)
+  (try
+     ignore (Workflow.measure_seed ~rng:(Prng.create 3) ~epsilon:0.1 ~sym);
+     Alcotest.fail "expected Exhausted"
+   with Budget.Exhausted _ -> ());
+  check_close "two measurements went through" 0.2 (Budget.spent budget)
+
+let test_flow_target_against_mismeasured_graph () =
+  (* Target over a measurement of a *different* graph still works: the
+     distance simply starts high. *)
+  let g1 = Gen.erdos_renyi ~n:30 ~m:60 (Prng.create 4) in
+  let budget = Budget.create ~name:"t" 1e9 in
+  let sym = Batch.source_records ~budget (Graph.directed_edges g1) in
+  let m = Batch.noisy_count ~rng:(Prng.create 5) ~epsilon:1e6 (Qb.degree_sequence sym) in
+  let module QfM = Wpinq_queries.Queries.Make (Flow) in
+  let engine = Dataflow.Engine.create () in
+  let handle, fsym = Flow.input engine in
+  let target = Flow.Target.create (QfM.degree_sequence fsym) m in
+  let d0 = Flow.Target.distance target in
+  Alcotest.(check bool) "positive initial distance" true (d0 > 1.0);
+  Flow.feed handle (List.map (fun e -> (e, 1.0)) (Graph.directed_edges g1));
+  Alcotest.(check bool) "distance collapses on the right graph" true
+    (Flow.Target.distance target < 0.01 *. d0)
+
+let suite =
+  [
+    Alcotest.test_case "empty dataset ops" `Quick test_empty_dataset_ops;
+    Alcotest.test_case "join zero-norm keys" `Quick test_join_zero_norm_key;
+    Alcotest.test_case "group_by non-positive" `Quick test_group_by_ignores_nonpositive;
+    Alcotest.test_case "select_many empty products" `Quick test_select_many_empty_products;
+    Alcotest.test_case "feed empty/cancelling" `Quick test_feed_empty_and_cancelling;
+    Alcotest.test_case "negative weights roundtrip" `Quick test_flow_negative_weights_roundtrip;
+    Alcotest.test_case "empty graph stats" `Quick test_empty_graph_stats;
+    Alcotest.test_case "single edge graph" `Quick test_single_edge_graph;
+    Alcotest.test_case "mutable apply invalid" `Quick test_mutable_apply_invalid;
+    Alcotest.test_case "propose swap too small" `Quick test_propose_swap_too_small;
+    Alcotest.test_case "io malformed" `Quick test_io_malformed;
+    Alcotest.test_case "generator validation" `Quick test_generator_argument_validation;
+    Alcotest.test_case "queries on tiny graphs" `Quick test_queries_on_tiny_graphs;
+    Alcotest.test_case "gridpath degenerate" `Quick test_gridpath_degenerate;
+    Alcotest.test_case "workflow budget exhaustion" `Quick test_workflow_budget_exhaustion;
+    Alcotest.test_case "target against wrong graph" `Quick test_flow_target_against_mismeasured_graph;
+  ]

@@ -1,0 +1,28 @@
+(* Smoke tests: every experiment and ablation runs end to end at micro
+   scale without raising.  (Output goes to the captured test log; numeric
+   claims are validated by the per-library suites — here we exercise the
+   orchestration and printing paths.) *)
+
+module E = Wpinq_experiments.Experiments
+
+let micro =
+  { E.default with E.scale = 0.15; E.steps = 200; E.repeats = 1; E.seed = 7 }
+
+let smoke name f = Alcotest.test_case name `Slow (fun () -> f micro)
+
+let suite =
+  [
+    smoke "table1" E.table1;
+    smoke "figure3" E.figure3;
+    smoke "table2" E.table2;
+    smoke "figure4" E.figure4;
+    smoke "figure5" E.figure5;
+    smoke "table3" (fun cfg -> E.table3 { cfg with E.scale = 0.1 });
+    smoke "figure6" (fun cfg -> E.figure6 { cfg with E.scale = 0.1 });
+    smoke "baselines" E.baselines;
+    smoke "ablation: combined" E.ablation_combined;
+    smoke "ablation: incremental" E.ablation_incremental;
+    smoke "ablation: join" E.ablation_join;
+    smoke "ablation: seed" E.ablation_seed;
+    smoke "ablation: postprocess" E.ablation_postprocess;
+  ]

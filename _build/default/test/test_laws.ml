@@ -1,0 +1,104 @@
+(* Algebraic laws of the weighted-dataset operators, and the composition
+   property that underwrites the whole platform: any pipeline of stable
+   transformations is stable. *)
+
+module Wdata = Wpinq_weighted.Wdata
+module Ops = Wpinq_weighted.Ops
+open Helpers
+
+let law ?(count = 300) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+let eq = Wdata.equal ~tol:1e-9
+
+let one = wdata_arb ()
+let two = QCheck.pair (wdata_arb ()) (wdata_arb ())
+let three = QCheck.triple (wdata_arb ()) (wdata_arb ()) (wdata_arb ())
+
+let algebra_suite =
+  [
+    law "select fusion: select f . select g = select (f.g)" one (fun a ->
+        let f x = x mod 3 and g x = x + 1 in
+        eq (Ops.select f (Ops.select g a)) (Ops.select (fun x -> f (g x)) a));
+    law "where fusion: where p . where q = where (p && q)" one (fun a ->
+        let p x = x mod 2 = 0 and q x = x < 5 in
+        eq (Ops.where p (Ops.where q a)) (Ops.where (fun x -> p x && q x) a));
+    law "concat commutative" two (fun (a, b) -> eq (Ops.concat a b) (Ops.concat b a));
+    law "concat associative" three (fun (a, b, c) ->
+        eq (Ops.concat a (Ops.concat b c)) (Ops.concat (Ops.concat a b) c));
+    law "union commutative" two (fun (a, b) -> eq (Ops.union a b) (Ops.union b a));
+    law "union idempotent" one (fun a -> eq (Ops.union a a) a);
+    law "intersect commutative" two (fun (a, b) -> eq (Ops.intersect a b) (Ops.intersect b a));
+    law "intersect idempotent" one (fun a -> eq (Ops.intersect a a) a);
+    law "except self = empty" one (fun a -> Wdata.support_size (Ops.except a a) = 0);
+    law "except inverts concat" two (fun (a, b) -> eq (Ops.except (Ops.concat a b) b) a);
+    law "union + intersect = concat (min+max=sum)" two (fun (a, b) ->
+        eq (Ops.concat (Ops.union a b) (Ops.intersect a b)) (Ops.concat a b));
+    law "distinct idempotent" one (fun a -> eq (Ops.distinct a) (Ops.distinct (Ops.distinct a)));
+    law "shave then select recovers positive part" one (fun a ->
+        let positive = Wdata.filter (fun _ w -> w > 0.0) a in
+        eq (Ops.select fst (Ops.shave_const 0.4 a)) positive);
+    law "select distributes over concat" two (fun (a, b) ->
+        let f x = x mod 4 in
+        eq (Ops.select f (Ops.concat a b)) (Ops.concat (Ops.select f a) (Ops.select f b)));
+    law "norm after select is preserved for non-negative data"
+      (wdata_arb ~signed:false ()) (fun a ->
+        Float.abs (Wdata.norm (Ops.select (fun x -> x mod 2) a) -. Wdata.norm a) < 1e-9);
+    law "join norm bounded by min of input norms" two (fun (a, b) ->
+        (* ‖Join(A,B)‖ = Σ_k |Ak||Bk|/(|Ak|+|Bk|) <= min(‖A‖,‖B‖). *)
+        let j = Ops.join ~kl:(fun x -> x mod 2) ~kr:(fun x -> x mod 2) ~reduce:(fun x y -> (x, y)) a b in
+        Wdata.norm j <= Float.min (Wdata.norm a) (Wdata.norm b) +. 1e-9);
+    law "group_by output norm at most half input (positives)"
+      (wdata_arb ~signed:false ()) (fun a ->
+        let g = Ops.group_by ~key:(fun x -> x mod 2) ~reduce:(fun l -> List.sort compare l) a in
+        Wdata.norm g <= (Wdata.norm a /. 2.0) +. 1e-9);
+  ]
+
+(* Random pipelines of unary stable operators: composition must stay
+   stable.  Each step is drawn from a small operator menu. *)
+let random_pipeline_stable =
+  let op_of_code code (d : int Wdata.t) : int Wdata.t =
+    match code mod 7 with
+    | 0 -> Ops.select (fun x -> (x * 3) mod 7) d
+    | 1 -> Ops.where (fun x -> x mod 2 = 0) d
+    | 2 -> Ops.select_many (fun x -> List.init (x mod 3) (fun i -> (i + x, 0.8))) d
+    | 3 -> Ops.select (fun (k, l) -> k + List.length l)
+             (Ops.group_by ~key:(fun x -> x mod 2) ~reduce:(fun l -> List.sort compare l) d)
+    | 4 -> Ops.select fst (Ops.shave_const 0.6 d)
+    | 5 -> Ops.distinct ~bound:1.2 d
+    | _ -> Ops.select (fun (x, _) -> x) (Ops.join ~kl:(fun x -> x mod 2) ~kr:(fun x -> x mod 2)
+             ~reduce:(fun x y -> (x, y)) d d)
+  in
+  let apply codes d = List.fold_left (fun acc code -> op_of_code code acc) d codes in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"random pipelines are stable"
+       QCheck.(
+         triple
+           (list_of_size (QCheck.Gen.int_range 1 5) (int_bound 6))
+           (wdata_arb ()) (wdata_arb ()))
+       (fun (codes, a, a') ->
+         (* Self-joins double the bound: track a use multiplier alongside. *)
+         let uses =
+           List.fold_left (fun u code -> if code mod 7 = 6 then 2 * u else u) 1 codes
+         in
+         Wdata.dist (apply codes a) (apply codes a')
+         <= (float_of_int uses *. Wdata.dist a a') +. 1e-6))
+
+(* Sequential composition of measurements: spending adds up exactly. *)
+let test_sequential_composition () =
+  let module Budget = Wpinq_core.Budget in
+  let module Batch = Wpinq_core.Batch in
+  let b = Budget.create ~name:"d" 1.0 in
+  let c = Batch.source ~budget:b [ (1, 1.0) ] in
+  let rng = Wpinq_prng.Prng.create 1 in
+  List.iter
+    (fun eps -> ignore (Batch.noisy_count ~rng ~epsilon:eps c))
+    [ 0.1; 0.2; 0.3 ];
+  check_close "sum of charges" 0.6 (Budget.spent b)
+
+let suite =
+  algebra_suite
+  @ [
+      random_pipeline_stable;
+      Alcotest.test_case "sequential composition" `Quick test_sequential_composition;
+    ]

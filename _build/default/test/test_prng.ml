@@ -1,0 +1,143 @@
+module Prng = Wpinq_prng.Prng
+
+let test_determinism () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.bits64 a = Prng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_copy_independent () =
+  let a = Prng.create 7 in
+  let _ = Prng.bits64 a in
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy agrees" (Prng.bits64 a) (Prng.bits64 b);
+  (* Advancing one does not move the other. *)
+  let _ = Prng.bits64 a in
+  let xa = Prng.bits64 a and xb = Prng.bits64 b in
+  Alcotest.(check bool) "diverged" true (xa <> xb)
+
+let test_split_independent () =
+  let a = Prng.create 9 in
+  let child = Prng.split a in
+  let matches = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.bits64 a = Prng.bits64 child then incr matches
+  done;
+  Alcotest.(check bool) "child stream independent" true (!matches < 4)
+
+let test_int_bounds () =
+  let r = Prng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int r 7 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 7)
+  done
+
+let test_int_uniform () =
+  let r = Prng.create 5 in
+  let counts = Array.make 5 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let v = Prng.int r 5 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let frac = float_of_int c /. float_of_int n in
+      Alcotest.(check bool) "roughly uniform" true (Float.abs (frac -. 0.2) < 0.02))
+    counts
+
+let test_uniform_range () =
+  let r = Prng.create 11 in
+  for _ = 1 to 10_000 do
+    let u = Prng.uniform r in
+    Alcotest.(check bool) "in [0,1)" true (u >= 0.0 && u < 1.0);
+    let v = Prng.uniform_pos r in
+    Alcotest.(check bool) "in (0,1]" true (v > 0.0 && v <= 1.0)
+  done
+
+let mean_of n f =
+  let r = Prng.create 13 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. f r
+  done;
+  !acc /. float_of_int n
+
+let test_laplace_moments () =
+  let n = 100_000 in
+  let scale = 2.5 in
+  let mean = mean_of n (fun r -> Prng.laplace r ~scale) in
+  Alcotest.(check bool) "mean ~ 0" true (Float.abs mean < 0.05);
+  let mad = mean_of n (fun r -> Float.abs (Prng.laplace r ~scale)) in
+  (* E|X| = scale for Laplace. *)
+  Alcotest.(check bool) "E|X| ~ scale" true (Float.abs (mad -. scale) < 0.05)
+
+let test_laplace_median_symmetry () =
+  let r = Prng.create 21 in
+  let n = 100_000 in
+  let pos = ref 0 in
+  for _ = 1 to n do
+    if Prng.laplace r ~scale:1.0 > 0.0 then incr pos
+  done;
+  let frac = float_of_int !pos /. float_of_int n in
+  Alcotest.(check bool) "median at 0" true (Float.abs (frac -. 0.5) < 0.01)
+
+let test_exponential_mean () =
+  let n = 100_000 in
+  let mean = mean_of n (fun r -> Prng.exponential r ~rate:4.0) in
+  Alcotest.(check bool) "mean ~ 1/rate" true (Float.abs (mean -. 0.25) < 0.01)
+
+let test_geometric_mean () =
+  let n = 100_000 in
+  let p = 0.3 in
+  let mean = mean_of n (fun r -> float_of_int (Prng.geometric r ~p)) in
+  (* E = (1-p)/p = 7/3. *)
+  Alcotest.(check bool) "mean ~ (1-p)/p" true (Float.abs (mean -. (0.7 /. 0.3)) < 0.05)
+
+let test_gaussian_moments () =
+  let n = 100_000 in
+  let mean = mean_of n Prng.gaussian in
+  Alcotest.(check bool) "mean ~ 0" true (Float.abs mean < 0.02);
+  let var = mean_of n (fun r -> let x = Prng.gaussian r in x *. x) in
+  Alcotest.(check bool) "var ~ 1" true (Float.abs (var -. 1.0) < 0.03)
+
+let test_shuffle_permutes () =
+  let r = Prng.create 17 in
+  let a = Array.init 10 (fun i -> i) in
+  Prng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 10 (fun i -> i)) sorted
+
+let test_choose () =
+  let r = Prng.create 19 in
+  for _ = 1 to 100 do
+    let v = Prng.choose r [| 1; 2; 3 |] in
+    Alcotest.(check bool) "member" true (List.mem v [ 1; 2; 3 ])
+  done
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "copy independence" `Quick test_copy_independent;
+    Alcotest.test_case "split independence" `Quick test_split_independent;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int uniformity" `Quick test_int_uniform;
+    Alcotest.test_case "uniform ranges" `Quick test_uniform_range;
+    Alcotest.test_case "laplace moments" `Quick test_laplace_moments;
+    Alcotest.test_case "laplace symmetry" `Quick test_laplace_median_symmetry;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+    Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+    Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+    Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
+    Alcotest.test_case "choose members" `Quick test_choose;
+  ]

@@ -1,0 +1,245 @@
+(* Unit tests: the paper's worked examples (Section 2) computed exactly.
+   Property tests: stability of every transformation (Definition 2). *)
+
+module Wdata = Wpinq_weighted.Wdata
+module Ops = Wpinq_weighted.Ops
+open Helpers
+
+(* The running examples of Section 2.1. *)
+let ex_a () = Wdata.of_list [ (1, 0.75); (2, 2.0); (3, 1.0) ]
+let ex_b () = Wdata.of_list [ (1, 3.0); (4, 2.0) ]
+
+let test_basics () =
+  let a = ex_a () in
+  check_close "A(2)" 2.0 (Wdata.weight a 2);
+  check_close "A(0)" 0.0 (Wdata.weight a 0);
+  check_close "norm" 3.75 (Wdata.norm a);
+  check_close "dist A B" (2.25 +. 2.0 +. 1.0 +. 2.0) (Wdata.dist a (ex_b ()));
+  Alcotest.(check int) "support" 3 (Wdata.support_size a)
+
+let test_of_list_accumulates () =
+  let d = Wdata.of_list [ (1, 1.0); (1, 0.5); (2, -0.25); (2, 0.25) ] in
+  check_close "accumulated" 1.5 (Wdata.weight d 1);
+  Alcotest.(check int) "cancelled record dropped" 1 (Wdata.support_size d)
+
+let test_update_and_add () =
+  let d = Wdata.of_list [ (1, 1.0) ] in
+  let d = Wdata.add d 1 (-1.0) in
+  Alcotest.(check int) "cancel removes" 0 (Wdata.support_size d);
+  let d2 = Wdata.update (ex_a ()) [ (1, 0.25); (9, 1.0) ] in
+  check_close "update bump" 1.0 (Wdata.weight d2 1);
+  check_close "update insert" 1.0 (Wdata.weight d2 9)
+
+let test_scale_total () =
+  let d = Wdata.scale (-2.0) (ex_a ()) in
+  check_close "scaled" (-4.0) (Wdata.weight d 2);
+  check_close "total" (-7.5) (Wdata.total d);
+  check_close "norm abs" 7.5 (Wdata.norm d)
+
+(* Section 2.4: Where with x^2 < 5, Select with x mod 2. *)
+let test_where_paper () =
+  let got = Ops.where (fun x -> x * x < 5) (ex_a ()) in
+  check_wdata pp_int "where" (Wdata.of_list [ (1, 0.75); (2, 2.0) ]) got
+
+let test_select_paper () =
+  let got = Ops.select (fun x -> x mod 2) (ex_a ()) in
+  check_wdata pp_int "select accumulates" (Wdata.of_list [ (0, 2.0); (1, 1.75) ]) got
+
+(* Section 2.4: SelectMany with f(x) = {1..x}, unit weights. *)
+let test_select_many_paper () =
+  let got = Ops.select_many_list (fun x -> List.init x (fun i -> i + 1)) (ex_a ()) in
+  let third = 1.0 /. 3.0 in
+  check_wdata pp_int "select_many"
+    (Wdata.of_list [ (1, 0.75 +. 1.0 +. third); (2, 1.0 +. third); (3, third) ])
+    got
+
+let test_select_many_norm_le_one () =
+  (* A record mapping to sub-unit total weight is not scaled up. *)
+  let a = Wdata.of_list [ (1, 2.0) ] in
+  let got = Ops.select_many (fun _ -> [ (10, 0.25) ]) a in
+  check_wdata pp_int "no upscaling" (Wdata.of_list [ (10, 0.5) ]) got
+
+(* Section 2.5's example: grouping C by parity. *)
+let test_group_by_paper () =
+  let c = Wdata.of_list [ (1, 0.75); (2, 2.0); (3, 1.0); (4, 2.0); (5, 2.0) ] in
+  let got = Ops.group_by ~key:(fun x -> x mod 2) ~reduce:(fun l -> List.sort compare l) c in
+  let expected =
+    Wdata.of_list
+      [
+        ((1, [ 1; 3; 5 ]), 0.375);
+        ((1, [ 3; 5 ]), 0.125);
+        ((1, [ 5 ]), 0.5);
+        ((0, [ 2; 4 ]), 1.0);
+      ]
+  in
+  let pp fmt (k, l) =
+    Format.fprintf fmt "(%d,[%s])" k (String.concat ";" (List.map string_of_int l))
+  in
+  check_wdata pp "group_by parity" expected got
+
+let test_group_by_unit_weights_halved () =
+  (* Grouping unit-weight records yields just the full group at weight 1/2
+     (the degree computation of Section 2.5). *)
+  let edges = Wdata.of_records [ (0, 1); (0, 2); (0, 3); (5, 1) ] in
+  let got = Ops.group_by ~key:fst ~reduce:List.length edges in
+  check_wdata
+    (fun fmt (k, n) -> Format.fprintf fmt "(%d,%d)" k n)
+    "degrees"
+    (Wdata.of_list [ ((0, 3), 0.5); ((5, 1), 0.5) ])
+    got
+
+let test_union_intersect_concat_except_paper () =
+  let a = ex_a () and b = ex_b () in
+  check_wdata pp_int "concat"
+    (Wdata.of_list [ (1, 3.75); (2, 2.0); (3, 1.0); (4, 2.0) ])
+    (Ops.concat a b);
+  check_wdata pp_int "intersect" (Wdata.of_list [ (1, 0.75) ]) (Ops.intersect a b);
+  check_wdata pp_int "union"
+    (Wdata.of_list [ (1, 3.0); (2, 2.0); (3, 1.0); (4, 2.0) ])
+    (Ops.union a b);
+  check_wdata pp_int "except"
+    (Wdata.of_list [ (1, -2.25); (2, 2.0); (3, 1.0); (4, -2.0) ])
+    (Ops.except a b)
+
+(* Section 2.7's Join example.  (The paper's printed numbers use A(1)=0.5 —
+   a typo against its own Section 2.1 definition of A; we check the values
+   Eq. (1) actually yields for A(1)=0.75.) *)
+let test_join_paper () =
+  let a = ex_a () and b = ex_b () in
+  let got =
+    Ops.join ~kl:(fun x -> x mod 2) ~kr:(fun y -> y mod 2) ~reduce:(fun x y -> (x, y)) a b
+  in
+  (* Even: A0={2:2}, B0={4:2}: denom 4, (2,4) -> 2*2/4 = 1.
+     Odd: A1={1:.75,3:1}, B1={1:3}: denom 4.75. *)
+  let expected =
+    Wdata.of_list
+      [ ((2, 4), 1.0); ((1, 1), 0.75 *. 3.0 /. 4.75); ((3, 1), 3.0 /. 4.75) ]
+  in
+  let pp fmt (x, y) = Format.fprintf fmt "(%d,%d)" x y in
+  check_wdata pp "join" expected got
+
+let test_join_paths_weights () =
+  (* Length-two paths a-b-c through vertex b get weight 1/(2 d_b)
+     (Section 2.7, "Join and paths") on a symmetric directed edge set. *)
+  let edges = [ (0, 1); (1, 0); (1, 2); (2, 1); (2, 0); (0, 2) ] in
+  let e = Wdata.of_records edges in
+  let paths = Ops.join ~kl:snd ~kr:fst ~reduce:(fun (a, b) (_, c) -> (a, b, c)) e e in
+  (* Triangle on 3 vertices: every vertex has degree 2, every path weight 1/4. *)
+  Wdata.iter
+    (fun (_a, _b, _c) w -> check_close "path weight 1/(2db)" 0.25 w)
+    paths;
+  (* Includes the degenerate a-b-a paths; 3 vertices * 2 choices of (neighbor)² = 12 paths. *)
+  Alcotest.(check int) "path count" 12 (Wdata.support_size paths)
+
+let test_shave_paper () =
+  let got = Ops.shave_const 1.0 (ex_a ()) in
+  let expected =
+    Wdata.of_list [ ((1, 0), 0.75); ((2, 0), 1.0); ((2, 1), 1.0); ((3, 0), 1.0) ]
+  in
+  let pp fmt (x, i) = Format.fprintf fmt "(%d,%d)" x i in
+  check_wdata pp "shave" expected got
+
+let test_shave_select_inverse () =
+  (* Section 2.8: Select(fst) inverts Shave. *)
+  let a = ex_a () in
+  let got = Ops.select fst (Ops.shave_const 1.0 a) in
+  check_wdata pp_int "select o shave = id" a got
+
+let test_shave_custom_sequence () =
+  let a = Wdata.of_list [ (7, 2.0) ] in
+  let got = Ops.shave (fun _ -> List.to_seq [ 0.5; 1.0; 10.0 ]) a in
+  let pp fmt (x, i) = Format.fprintf fmt "(%d,%d)" x i in
+  check_wdata pp "clipped slabs"
+    (Wdata.of_list [ ((7, 0), 0.5); ((7, 1), 1.0); ((7, 2), 0.5) ])
+    got
+
+let test_shave_emissions_stop_conditions () =
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "stops at nonpositive slab"
+    [ (0, 1.0) ]
+    (Ops.shave_emissions (List.to_seq [ 1.0; 0.0; 5.0 ]) 3.0);
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "empty for nonpositive weight" []
+    (Ops.shave_emissions (List.to_seq [ 1.0 ]) (-2.0))
+
+(* Edges-to-nodes pipeline of Section 2.8: each node ends with weight 0.5. *)
+let test_edges_to_nodes () =
+  let edges = Wdata.of_records [ (0, 1); (1, 2); (2, 0); (2, 3) ] in
+  let nodes =
+    Ops.select fst
+      (Ops.where
+         (fun (_, i) -> i = 0)
+         (Ops.shave_const 0.5 (Ops.select_many_list (fun (a, b) -> [ a; b ]) edges)))
+  in
+  check_wdata pp_int "nodes at 0.5"
+    (Wdata.of_list [ (0, 0.5); (1, 0.5); (2, 0.5); (3, 0.5) ])
+    nodes
+
+let test_distinct () =
+  let d = Wdata.of_list [ (1, 2.5); (2, 0.4); (3, -1.0) ] in
+  check_wdata pp_int "caps into [0,1]"
+    (Wdata.of_list [ (1, 1.0); (2, 0.4) ])
+    (Ops.distinct d);
+  check_wdata pp_int "custom bound"
+    (Wdata.of_list [ (1, 2.0); (2, 0.4) ])
+    (Ops.distinct ~bound:2.0 d)
+
+(* ---- Stability properties (Definition 2) ---- *)
+
+let unary_stable name op =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:300 ~name
+       QCheck.(pair (wdata_arb ()) (wdata_arb ()))
+       (fun (a, a') -> Wdata.dist (op a) (op a') <= Wdata.dist a a' +. 1e-9))
+
+let binary_stable name op =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:300 ~name
+       QCheck.(
+         pair (pair (wdata_arb ()) (wdata_arb ())) (pair (wdata_arb ()) (wdata_arb ())))
+       (fun ((a, a'), (b, b')) ->
+         Wdata.dist (op a b) (op a' b')
+         <= Wdata.dist a a' +. Wdata.dist b b' +. 1e-9))
+
+let stability_suite =
+  [
+    unary_stable "stability: select" (Ops.select (fun x -> x mod 3));
+    unary_stable "stability: where" (Ops.where (fun x -> x mod 2 = 0));
+    unary_stable "stability: select_many"
+      (Ops.select_many (fun x -> List.init (x mod 4) (fun i -> (i, 0.5 +. float_of_int i))));
+    unary_stable "stability: group_by"
+      (Ops.group_by ~key:(fun x -> x mod 2) ~reduce:(fun l -> List.sort compare l));
+    unary_stable "stability: shave" (Ops.shave_const 0.7);
+    unary_stable "stability: distinct" (Ops.distinct ~bound:1.0);
+    binary_stable "stability: union" Ops.union;
+    binary_stable "stability: intersect" Ops.intersect;
+    binary_stable "stability: concat" Ops.concat;
+    binary_stable "stability: except" Ops.except;
+    binary_stable "stability: join"
+      (Ops.join ~kl:(fun x -> x mod 2) ~kr:(fun y -> y mod 2) ~reduce:(fun x y -> (x, y)));
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "wdata basics" `Quick test_basics;
+    Alcotest.test_case "of_list accumulates" `Quick test_of_list_accumulates;
+    Alcotest.test_case "update/add" `Quick test_update_and_add;
+    Alcotest.test_case "scale/total" `Quick test_scale_total;
+    Alcotest.test_case "where (paper)" `Quick test_where_paper;
+    Alcotest.test_case "select (paper)" `Quick test_select_paper;
+    Alcotest.test_case "select_many (paper)" `Quick test_select_many_paper;
+    Alcotest.test_case "select_many no upscale" `Quick test_select_many_norm_le_one;
+    Alcotest.test_case "group_by (paper)" `Quick test_group_by_paper;
+    Alcotest.test_case "group_by unit weights" `Quick test_group_by_unit_weights_halved;
+    Alcotest.test_case "union/intersect/concat/except (paper)" `Quick
+      test_union_intersect_concat_except_paper;
+    Alcotest.test_case "join (paper)" `Quick test_join_paper;
+    Alcotest.test_case "join path weights" `Quick test_join_paths_weights;
+    Alcotest.test_case "shave (paper)" `Quick test_shave_paper;
+    Alcotest.test_case "shave/select inverse" `Quick test_shave_select_inverse;
+    Alcotest.test_case "shave custom sequence" `Quick test_shave_custom_sequence;
+    Alcotest.test_case "shave stop conditions" `Quick test_shave_emissions_stop_conditions;
+    Alcotest.test_case "edges to nodes (paper)" `Quick test_edges_to_nodes;
+    Alcotest.test_case "distinct" `Quick test_distinct;
+  ]
+  @ stability_suite

@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "wpinq"
+    [
+      ("prng", Test_prng.suite);
+      ("weighted", Test_weighted.suite);
+      ("dataflow", Test_dataflow.suite);
+      ("core", Test_core.suite);
+      ("graph", Test_graph.suite);
+      ("queries", Test_queries.suite);
+      ("postprocess", Test_postprocess.suite);
+      ("infer", Test_infer.suite);
+      ("data", Test_data.suite);
+      ("edge-cases", Test_edge_cases.suite);
+      ("baselines", Test_baselines.suite);
+      ("laws", Test_laws.suite);
+      ("experiments", Test_experiments.suite);
+    ]
