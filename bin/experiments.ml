@@ -65,40 +65,73 @@ let synthesize_cmd =
     Arg.(value & opt (some string) None
          & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Write the synthetic graph here.")
   in
-  let run cfg input dataset query bucket output =
+  let checkpoint_dir =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint-dir" ] ~docv:"DIR"
+             ~doc:"Write crash-recovery checkpoints to $(docv)/checkpoint.wpinq.")
+  in
+  let checkpoint_every =
+    Arg.(value & opt int 10_000
+         & info [ "checkpoint-every" ] ~docv:"N" ~doc:"Steps between checkpoints.")
+  in
+  let resume =
+    Arg.(value & opt (some file) None
+         & info [ "resume" ] ~docv:"FILE"
+             ~doc:"Resume an interrupted fit from this checkpoint file (the secret \
+                   graph is not re-read; $(b,--input)/$(b,--query) are ignored).")
+  in
+  let run cfg input dataset query bucket output checkpoint_dir checkpoint_every resume =
     let module Graph = Wpinq_graph.Graph in
     let module Io = Wpinq_graph.Io in
     let module W = Wpinq_infer.Workflow in
     let module D = Wpinq_data.Datasets in
-    let secret =
-      match input with
-      | Some path -> Io.read path
-      | None ->
-          let spec =
-            match String.lowercase_ascii dataset with
-            | "grqc" -> D.grqc
-            | "hepph" -> D.hepph
-            | "hepth" -> D.hepth
-            | "caltech" -> D.caltech
-            | "epinions" -> D.epinions
-            | other -> failwith ("unknown dataset " ^ other)
-          in
-          D.load ~scale:cfg.E.scale spec
-    in
-    Printf.printf "secret graph: %d nodes, %d edges, %d triangles, r=%+.3f\n"
-      (Graph.n secret) (Graph.m secret) (Graph.triangle_count secret)
-      (Graph.assortativity secret);
-    let query =
-      match query with
-      | `Tbi -> Some W.Tbi
-      | `Tbd -> Some (W.Tbd bucket)
-      | `Sbi -> Some W.Sbi
-      | `Jdd -> Some W.Jdd
-      | `None -> None
-    in
     let r =
-      W.synthesize ~pow:cfg.E.pow ~steps:cfg.E.steps
-        ~rng:(Wpinq_prng.Prng.create cfg.E.seed) ~epsilon:cfg.E.epsilon ~query ~secret ()
+      match resume with
+      | Some path ->
+          Printf.printf "resuming from %s (%d steps completed)\n" path
+            (W.checkpoint_step path);
+          W.resume ~path ()
+      | None ->
+          let secret =
+            match input with
+            | Some path -> Io.read path
+            | None ->
+                let spec =
+                  match String.lowercase_ascii dataset with
+                  | "grqc" -> D.grqc
+                  | "hepph" -> D.hepph
+                  | "hepth" -> D.hepth
+                  | "caltech" -> D.caltech
+                  | "epinions" -> D.epinions
+                  | other -> failwith ("unknown dataset " ^ other)
+                in
+                D.load ~scale:cfg.E.scale spec
+          in
+          Printf.printf "secret graph: %d nodes, %d edges, %d triangles, r=%+.3f\n"
+            (Graph.n secret) (Graph.m secret) (Graph.triangle_count secret)
+            (Graph.assortativity secret);
+          let query =
+            match query with
+            | `Tbi -> Some W.Tbi
+            | `Tbd -> Some (W.Tbd bucket)
+            | `Sbi -> Some W.Sbi
+            | `Jdd -> Some W.Jdd
+            | `None -> None
+          in
+          let checkpoint =
+            match checkpoint_dir with
+            | None -> None
+            | Some dir ->
+                if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+                Some
+                  {
+                    W.every = checkpoint_every;
+                    path = Filename.concat dir "checkpoint.wpinq";
+                  }
+          in
+          W.synthesize ~pow:cfg.E.pow ~steps:cfg.E.steps ?checkpoint
+            ~rng:(Wpinq_prng.Prng.create cfg.E.seed) ~epsilon:cfg.E.epsilon ~query
+            ~secret ()
     in
     Printf.printf "privacy spent: %.3f epsilon total\n" r.W.total_epsilon;
     Printf.printf "%10s %10s %14s %10s\n" "step" "triangles" "assortativity" "energy";
@@ -120,7 +153,9 @@ let synthesize_cmd =
   Cmd.v
     (Cmd.info "synthesize"
        ~doc:"Run the full measure-and-synthesize workflow on an edge-list file.")
-    Term.(const run $ config_term $ input $ dataset $ query $ bucket $ output)
+    Term.(
+      const run $ config_term $ input $ dataset $ query $ bucket $ output $ checkpoint_dir
+      $ checkpoint_every $ resume)
 
 let cmds =
   [

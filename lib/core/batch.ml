@@ -58,6 +58,8 @@ let partition ~keys ~key c =
     keys
 
 let charge ?(label = "noisy_count") ~epsilon c =
+  if not (Float.is_finite epsilon) || epsilon < 0.0 then
+    invalid_arg "Batch.charge: epsilon must be finite and non-negative";
   (* Check all budgets before charging any, so a failed aggregation leaves
      every budget untouched. *)
   List.iter

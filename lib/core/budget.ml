@@ -1,3 +1,5 @@
+module Codec = Wpinq_persist.Persist.Codec
+
 type t = {
   name : string;
   total : float; (* for children: capacity is dynamic; see [remaining] *)
@@ -9,13 +11,20 @@ type t = {
 and kind = Root | Child of group
 and group = { parent : t; mutable max_spent : float }
 
+type exhausted = { name : string; requested : float; remaining : float }
+
 exception Exhausted of { name : string; requested : float; remaining : float }
 
+let check_epsilon fn eps =
+  if not (Float.is_finite eps) then invalid_arg (fn ^ ": epsilon must be finite");
+  if eps < 0.0 then invalid_arg (fn ^ ": negative epsilon")
+
 let create ~name total =
+  if not (Float.is_finite total) then invalid_arg "Budget.create: budget must be finite";
   if total < 0.0 then invalid_arg "Budget.create: negative budget";
   { name; total; spent = 0.0; log = []; kind = Root }
 
-let name t = t.name
+let name (t : t) = t.name
 
 (* Tolerate float rounding when a sequence of charges sums to the total. *)
 let slack = 1e-9
@@ -31,26 +40,76 @@ let rec remaining t =
 let total t = match t.kind with Root -> t.total | Child _ -> t.spent +. remaining t
 let spent t = t.spent
 
-let rec charge ?(label = "noisy_count") t eps =
-  if eps < 0.0 then invalid_arg "Budget.charge: negative epsilon";
-  (match t.kind with
+(* A dry run of [commit] that reports which budget in the chain would be
+   overdrawn, without mutating anything — so both charge flavors are atomic
+   across parallel-composition parents. *)
+let rec check t eps =
+  match t.kind with
   | Root ->
       if eps > t.total -. t.spent +. slack then
-        raise (Exhausted { name = t.name; requested = eps; remaining = t.total -. t.spent })
+        Some { name = t.name; requested = eps; remaining = t.total -. t.spent }
+      else None
   | Child g ->
       (* Parallel composition: only the excess over the group's maximum
-         reaches the parent.  The parent charge happens first so a parent
-         Exhausted leaves this child untouched. *)
+         reaches the parent. *)
       let excess = Float.max 0.0 (t.spent +. eps -. g.max_spent) in
-      if excess > 0.0 then charge ~label:(t.name ^ "/" ^ label) g.parent excess);
+      if excess > 0.0 then check g.parent excess else None
+
+let rec commit ~label t eps =
+  (match t.kind with
+  | Root -> ()
+  | Child g ->
+      let excess = Float.max 0.0 (t.spent +. eps -. g.max_spent) in
+      if excess > 0.0 then commit ~label:(t.name ^ "/" ^ label) g.parent excess);
   t.spent <- t.spent +. eps;
   (match t.kind with
   | Root -> ()
   | Child g -> g.max_spent <- Float.max g.max_spent t.spent);
   t.log <- (label, eps) :: t.log
 
+let charge ?(label = "noisy_count") t eps =
+  check_epsilon "Budget.charge" eps;
+  match check t eps with
+  | Some { name; requested; remaining } -> raise (Exhausted { name; requested; remaining })
+  | None -> commit ~label t eps
+
+let try_charge ?(label = "noisy_count") t eps =
+  check_epsilon "Budget.try_charge" eps;
+  match check t eps with
+  | Some denial -> Error denial
+  | None ->
+      commit ~label t eps;
+      Ok ()
+
 let log t = List.rev t.log
 let parallel_group parent = { parent; max_spent = 0.0 }
 
 let parallel_child g ~name =
   { name; total = 0.0; spent = 0.0; log = []; kind = Child g }
+
+let save t buf =
+  (match t.kind with
+  | Root -> ()
+  | Child _ -> invalid_arg "Budget.save: parallel children are not serializable");
+  Codec.write_string buf t.name;
+  Codec.write_float buf t.total;
+  Codec.write_float buf t.spent;
+  Codec.write_list
+    (fun buf (label, eps) ->
+      Codec.write_string buf label;
+      Codec.write_float buf eps)
+    buf (List.rev t.log)
+
+let load r =
+  let name = Codec.read_string r in
+  let total = Codec.read_float r in
+  let spent = Codec.read_float r in
+  let log_oldest_first =
+    Codec.read_list
+      (fun r ->
+        let label = Codec.read_string r in
+        let eps = Codec.read_float r in
+        (label, eps))
+      r
+  in
+  { name; total; spent; log = List.rev log_oldest_first; kind = Root }

@@ -8,12 +8,16 @@
 
 type t
 
+type exhausted = { name : string; requested : float; remaining : float }
+(** The denial report of a failed charge: which budget refused, what was
+    asked, what it had left. *)
+
 exception Exhausted of { name : string; requested : float; remaining : float }
 (** Raised by {!charge} when a request would overdraw the budget. *)
 
 val create : name:string -> float -> t
 (** [create ~name total] makes a budget of [total] ε for the dataset called
-    [name].  [total] must be non-negative. *)
+    [name].  [total] must be finite and non-negative. *)
 
 val name : t -> string
 val total : t -> float
@@ -21,12 +25,30 @@ val spent : t -> float
 val remaining : t -> float
 
 val charge : ?label:string -> t -> float -> unit
-(** [charge ?label b eps] debits [eps] (≥ 0), recording [label] in the
-    audit log.  Raises {!Exhausted} — {e before} spending anything — if
-    [eps > remaining b] (with a tiny tolerance for rounding). *)
+(** [charge ?label b eps] debits [eps], recording [label] in the audit
+    log.  Raises {!Exhausted} — {e before} spending anything — if
+    [eps > remaining b] (with a tiny tolerance for rounding).  [eps] must
+    be finite and non-negative: NaN and infinities raise
+    [Invalid_argument] instead of silently poisoning the accounting. *)
+
+val try_charge : ?label:string -> t -> float -> (unit, exhausted) result
+(** Non-raising {!charge}: [Error denial] where [charge] would raise
+    {!Exhausted}, with every budget untouched.  Invalid epsilon (NaN,
+    infinite, negative) is still a programming error and raises
+    [Invalid_argument]. *)
 
 val log : t -> (string * float) list
 (** Audit log of successful charges, oldest first. *)
+
+val save : t -> Buffer.t -> unit
+(** Serializes a {e root} budget — name, total, spent, and the full audit
+    log — for checkpointing.  Only released accounting metadata is written;
+    raises [Invalid_argument] on a parallel-composition child (children are
+    transient per-partition views). *)
+
+val load : Wpinq_persist.Persist.Codec.reader -> t
+(** Rebuilds a root budget written by {!save}.  Raises
+    [Wpinq_persist.Persist.Codec.Decode_error] on malformed input. *)
 
 (** {1 Parallel composition}
 

@@ -8,7 +8,8 @@ type 'a t = {
 }
 
 let create ~rng ~epsilon ~true_data =
-  if epsilon <= 0.0 then invalid_arg "Measurement.create: epsilon must be positive";
+  if not (Float.is_finite epsilon) || epsilon <= 0.0 then
+    invalid_arg "Measurement.create: epsilon must be finite and positive";
   let rng = Prng.split rng in
   let values = Hashtbl.create (max 16 (Wdata.support_size true_data)) in
   Wdata.iter
@@ -28,3 +29,36 @@ let value t x =
 
 let observed t = Hashtbl.fold (fun x v acc -> (x, v) :: acc) t.values []
 let observed_size t = Hashtbl.length t.values
+
+module Codec = Wpinq_persist.Persist.Codec
+
+(* Only released values cross this boundary: the noisy counts, the noise
+   parameter, and the private noise stream's cursor (so lazily-drawn
+   records keep drawing the same sequence after a resume).  The protected
+   [true_data] was consumed by [create] and is not part of the state. *)
+let save write_key t buf =
+  Codec.write_float buf t.epsilon;
+  Codec.write_string buf (Prng.save t.rng);
+  Codec.write_list
+    (fun buf (x, v) ->
+      write_key buf x;
+      Codec.write_float buf v)
+    buf
+    (Hashtbl.fold (fun x v acc -> (x, v) :: acc) t.values [])
+
+let load read_key r =
+  let epsilon = Codec.read_float r in
+  let rng = Prng.restore (Codec.read_string r) in
+  let entries =
+    Codec.read_list
+      (fun r ->
+        let x = read_key r in
+        let v = Codec.read_float r in
+        (x, v))
+      r
+  in
+  if not (Float.is_finite epsilon) || epsilon <= 0.0 then
+    raise (Codec.Decode_error "Measurement.load: epsilon must be finite and positive");
+  let values = Hashtbl.create (max 16 (List.length entries)) in
+  List.iter (fun (x, v) -> Hashtbl.replace values x v) entries;
+  { epsilon; rng; values }

@@ -29,3 +29,16 @@ val observed : 'a t -> ('a * float) list
     records), with their noisy counts. *)
 
 val observed_size : 'a t -> int
+
+val save : (Buffer.t -> 'a -> unit) -> 'a t -> Buffer.t -> unit
+(** [save write_key m buf] serializes the measurement for checkpointing:
+    epsilon, the private noise stream's exact state, and every materialized
+    [(record, noisy count)] pair.  Only {e released} values are written —
+    the protected data was consumed at creation and cannot be recovered
+    from a checkpoint. *)
+
+val load : (Wpinq_persist.Persist.Codec.reader -> 'a) -> Wpinq_persist.Persist.Codec.reader -> 'a t
+(** Rebuilds a measurement written by {!save}.  The restored measurement
+    returns bit-identical values for every materialized record and draws
+    the same future noise sequence for new ones.  Raises
+    [Wpinq_persist.Persist.Codec.Decode_error] on malformed input. *)

@@ -5,7 +5,8 @@ let clip clamp v = Float.max (-.clamp) (Float.min clamp v)
 
 let noisy_sum ~rng ~epsilon ~clamp ~f c =
   if clamp <= 0.0 then invalid_arg "Mechanisms.noisy_sum: clamp must be positive";
-  if epsilon <= 0.0 then invalid_arg "Mechanisms.noisy_sum: epsilon must be positive";
+  if not (Float.is_finite epsilon) || epsilon <= 0.0 then
+    invalid_arg "Mechanisms.noisy_sum: epsilon must be finite and positive";
   Batch.charge ~label:"noisy_sum" ~epsilon c;
   let data = Batch.unsafe_value c in
   let total = Wdata.fold (fun x w acc -> acc +. (w *. clip clamp (f x))) data 0.0 in
@@ -13,7 +14,8 @@ let noisy_sum ~rng ~epsilon ~clamp ~f c =
 
 let noisy_average ~rng ~epsilon ~clamp ~f c =
   if clamp <= 0.0 then invalid_arg "Mechanisms.noisy_average: clamp must be positive";
-  if epsilon <= 0.0 then invalid_arg "Mechanisms.noisy_average: epsilon must be positive";
+  if not (Float.is_finite epsilon) || epsilon <= 0.0 then
+    invalid_arg "Mechanisms.noisy_average: epsilon must be finite and positive";
   Batch.charge ~label:"noisy_average" ~epsilon c;
   let data = Batch.unsafe_value c in
   let half = epsilon /. 2.0 in
@@ -24,7 +26,8 @@ let noisy_average ~rng ~epsilon ~clamp ~f c =
 
 let exponential ~rng ~epsilon ~candidates ~score c =
   if candidates = [] then invalid_arg "Mechanisms.exponential: no candidates";
-  if epsilon <= 0.0 then invalid_arg "Mechanisms.exponential: epsilon must be positive";
+  if not (Float.is_finite epsilon) || epsilon <= 0.0 then
+    invalid_arg "Mechanisms.exponential: epsilon must be finite and positive";
   Batch.charge ~label:"exponential" ~epsilon c;
   let data = Batch.unsafe_value c in
   let scores = List.map (fun r -> (r, score r data)) candidates in

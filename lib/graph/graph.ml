@@ -267,6 +267,24 @@ module Mutable = struct
     Array.iteri (fun i e -> Hashtbl.replace index e i) es;
     { n = g.n; edges = es; index; deg = degrees g }
 
+  let edge_array t = Array.copy t.edges
+
+  let of_edge_array ~n edges =
+    if n < 0 then invalid_arg "Mutable.of_edge_array: negative n";
+    let edges = Array.map normalize edges in
+    let index = Hashtbl.create (max 16 (Array.length edges * 2)) in
+    let deg = Array.make (max n 1) 0 in
+    Array.iteri
+      (fun i (u, v) ->
+        if u < 0 || v >= n then invalid_arg "Mutable.of_edge_array: vertex id out of range";
+        if u = v then invalid_arg "Mutable.of_edge_array: self-loop";
+        if Hashtbl.mem index (u, v) then invalid_arg "Mutable.of_edge_array: duplicate edge";
+        Hashtbl.replace index (u, v) i;
+        deg.(u) <- deg.(u) + 1;
+        deg.(v) <- deg.(v) + 1)
+      edges;
+    { n; edges; index; deg }
+
   let to_graph t = of_edges ~n:t.n (Array.to_list t.edges)
 
   let copy t =

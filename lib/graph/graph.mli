@@ -97,6 +97,19 @@ module Mutable : sig
   val of_graph : graph -> t
   val to_graph : t -> graph
   val copy : t -> t
+
+  val edge_array : t -> (int * int) array
+  (** A copy of the internal edge array {e in its current positional
+      order}.  The random walk indexes edges by position, so the order is
+      part of the walk's state: checkpoints must persist it exactly for a
+      resumed chain to retrace the original one. *)
+
+  val of_edge_array : n:int -> (int * int) array -> t
+  (** Rebuilds a mutable graph from {!edge_array} output, preserving the
+      positional order.  Raises [Invalid_argument] on out-of-range ids,
+      self-loops, or duplicate edges — a checkpoint that decodes into an
+      invalid graph is rejected rather than repaired. *)
+
   val n : t -> int
   val m : t -> int
   val has_edge : t -> int -> int -> bool

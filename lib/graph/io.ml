@@ -1,8 +1,15 @@
+module Persist = Wpinq_persist.Persist
+
+exception Parse_error of { path : string; line : int; text : string; reason : string }
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error { path; line; text; reason } ->
+        Some (Printf.sprintf "Graph.Io.Parse_error(%s:%d: %s; offending text %S)" path line reason text)
+    | _ -> None)
+
 let write g path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+  Persist.Atomic.write ~path (fun oc ->
       Printf.fprintf oc "# nodes %d edges %d\n" (Graph.n g) (Graph.m g);
       List.iter (fun (u, v) -> Printf.fprintf oc "%d %d\n" u v) (Graph.edges g))
 
@@ -13,15 +20,24 @@ let read path =
     (fun () ->
       let edges = ref [] in
       let n = ref 0 in
+      let header_n = ref None in
+      let lineno = ref 0 in
+      let fail text reason = raise (Parse_error { path; line = !lineno; text; reason }) in
       (try
          while true do
            let line = String.trim (input_line ic) in
+           incr lineno;
            if line = "" then ()
-           else if String.length line > 0 && line.[0] = '#' then begin
+           else if line.[0] = '#' then begin
              (* Honor a "# nodes N ..." header if present. *)
              match String.split_on_char ' ' line with
              | "#" :: "nodes" :: count :: _ -> (
-                 match int_of_string_opt count with Some c -> n := c | None -> ())
+                 match int_of_string_opt count with
+                 | Some c when c >= 0 ->
+                     header_n := Some c;
+                     n := c
+                 | Some _ -> fail line "negative node count in header"
+                 | None -> ())
              | _ -> ()
            end
            else
@@ -30,8 +46,14 @@ let read path =
                |> List.filter (fun s -> s <> "")
                |> List.map int_of_string_opt
              with
-             | [ Some u; Some v ] -> edges := (u, v) :: !edges
-             | _ -> failwith (Printf.sprintf "Io.read: malformed line %S" line)
+             | [ Some u; Some v ] -> (
+                 if u < 0 || v < 0 then fail line "negative vertex id";
+                 match !header_n with
+                 | Some hn when u >= hn || v >= hn ->
+                     fail line
+                       (Printf.sprintf "vertex id exceeds declared node count %d" hn)
+                 | _ -> edges := (u, v) :: !edges)
+             | _ -> fail line "expected two integer vertex ids"
          done
        with End_of_file -> ());
       Graph.of_edges ~n:!n !edges)

@@ -2,10 +2,17 @@
     comments ignored) — the format SNAP datasets ship in, so real data can
     be dropped in for the synthetic stand-ins when available. *)
 
+exception Parse_error of { path : string; line : int; text : string; reason : string }
+(** A malformed input file: where ([path], 1-based [line]), what was there
+    ([text], trimmed), and why it was rejected ([reason]). *)
+
 val write : Graph.t -> string -> unit
 (** [write g path] saves the edge list (with a header comment recording
-    [n]). *)
+    [n]).  The write is atomic — temp file then rename — so a crash mid-write
+    never truncates an existing file at [path]. *)
 
 val read : string -> Graph.t
-(** [read path] parses an edge list.  Raises [Failure] on malformed
-    lines. *)
+(** [read path] parses an edge list.  Blank lines are skipped; a ["# nodes
+    N"] header, when present, fixes the vertex count and makes ids [>= N]
+    errors.  Raises {!Parse_error} (with line number and offending text) on
+    non-edge lines, negative ids, or ids out of the declared range. *)

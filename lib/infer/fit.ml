@@ -3,12 +3,15 @@ module Graph = Wpinq_graph.Graph
 module Flow = Wpinq_core.Flow
 module Dataflow = Wpinq_dataflow.Dataflow
 
+(* The engine-side fields are mutable so a checkpoint rebase can swap in a
+   state rebuilt from the serialized snapshot while the MCMC driver's
+   closures (which capture [t]) keep working. *)
 type t = {
   rng : Prng.t;
-  engine : Dataflow.Engine.t;
-  handle : (int * int) Flow.handle;
-  graph : Graph.Mutable.t;
-  targets : Flow.Target.t list;
+  mutable engine : Dataflow.Engine.t;
+  mutable handle : (int * int) Flow.handle;
+  mutable graph : Graph.Mutable.t;
+  mutable targets : Flow.Target.t list;
   mutable energy : float;
 }
 
@@ -32,7 +35,41 @@ let create ~rng ~seed_graph ~targets () =
   t.energy <- Flow.Target.energy targets;
   t
 
+(* Engine state rebuilt from an explicit, order-significant edge array: the
+   shared deterministic path under [restore] (resume from a checkpoint
+   file) and [rebuild] (in-place rebase at a checkpoint boundary).  Both
+   feed the symmetric records in edge-array order, so a resumed chain and a
+   live rebased chain compute bit-identical energies. *)
+let attach ~targets mg =
+  let engine = Dataflow.Engine.create () in
+  let handle, sym = Flow.input engine in
+  let built = List.map (fun build -> build sym) targets in
+  let records =
+    List.concat_map
+      (fun (u, v) -> [ ((u, v), 1.0); ((v, u), 1.0) ])
+      (Array.to_list (Graph.Mutable.edge_array mg))
+  in
+  Flow.feed handle records;
+  (engine, handle, built)
+
+let restore ~rng ~n ~edges ~targets () =
+  let mg = Graph.Mutable.of_edge_array ~n edges in
+  let engine, handle, built = attach ~targets mg in
+  { rng; engine; handle; graph = mg; targets = built; energy = Flow.Target.energy built }
+
+let rebuild t ~n ~edges ~targets =
+  let mg = Graph.Mutable.of_edge_array ~n edges in
+  let engine, handle, built = attach ~targets mg in
+  t.engine <- engine;
+  t.handle <- handle;
+  t.graph <- mg;
+  t.targets <- built;
+  t.energy <- Flow.Target.energy built
+
 let graph t = Graph.Mutable.to_graph t.graph
+let edge_array t = Graph.Mutable.edge_array t.graph
+let nodes t = Graph.Mutable.n t.graph
+let rng t = t.rng
 let energy t = t.energy
 let engine t = t.engine
 let targets t = t.targets
@@ -61,10 +98,10 @@ let refresh t =
   List.iter Flow.Target.recompute t.targets;
   t.energy <- Flow.Target.energy t.targets
 
-let run t ~steps ?(pow = 1.0) ?on_step () =
+let run t ~steps ?start ?(pow = 1.0) ?checkpoint_every ?on_checkpoint ?on_step () =
   let stats =
-    Mcmc.run ~rng:t.rng ~steps ~pow ~refresh:(fun () -> refresh t) ~refresh_every:100_000
-      ?on_step
+    Mcmc.run ~rng:t.rng ~steps ?start ~pow ~refresh:(fun () -> refresh t)
+      ~refresh_every:100_000 ?checkpoint_every ?on_checkpoint ?on_step
       ~energy:(fun () -> Flow.Target.energy t.targets)
       ~propose:(fun () -> Graph.Mutable.propose_swap t.graph t.rng)
       ~apply:(fun swap -> apply_swap t swap)

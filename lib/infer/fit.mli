@@ -6,7 +6,13 @@
     swap (degree-preserving), feeds the swap's 8-record delta through the
     engine, and reads the updated posterior energy off the measurement
     targets — so a step costs the delta's propagation, not a query
-    re-execution. *)
+    re-execution.
+
+    For crash recovery, the engine side of a fit can be {!rebuild}t in
+    place from an explicit edge array (the checkpoint rebase), or a whole
+    fit can be {!restore}d from checkpointed state; both paths share one
+    deterministic construction, which is what makes a resumed chain retrace
+    an uninterrupted one exactly. *)
 
 type t
 
@@ -22,8 +28,37 @@ val create :
     {!Wpinq_queries} pipeline with a {!Wpinq_core.Measurement}, e.g.
     [fun sym -> Flow.Target.create (Q.tbi sym) m]. *)
 
+val restore :
+  rng:Wpinq_prng.Prng.t ->
+  n:int ->
+  edges:(int * int) array ->
+  targets:((int * int) Wpinq_core.Flow.t -> Wpinq_core.Flow.Target.t) list ->
+  unit ->
+  t
+(** [restore ~rng ~n ~edges ~targets ()] rebuilds a fit from checkpointed
+    state: the edge array (positional order significant — it is walk
+    state), a restored PRNG, and targets built over {e restored}
+    measurements.  Deterministic given those inputs. *)
+
+val rebuild :
+  t ->
+  n:int ->
+  edges:(int * int) array ->
+  targets:((int * int) Wpinq_core.Flow.t -> Wpinq_core.Flow.Target.t) list ->
+  unit
+(** In-place {!restore}: swaps a freshly-built engine, graph, and target
+    set into [t] (the PRNG is kept — its state is already exact).  Closures
+    capturing [t] — the MCMC driver's — see the new state immediately. *)
+
 val graph : t -> Wpinq_graph.Graph.t
 (** A snapshot of the current synthetic graph (public; inspect freely). *)
+
+val edge_array : t -> (int * int) array
+(** The current edge array in walk order — what a checkpoint must persist
+    (see {!Wpinq_graph.Graph.Mutable.edge_array}). *)
+
+val nodes : t -> int
+val rng : t -> Wpinq_prng.Prng.t
 
 val energy : t -> float
 (** Current posterior energy [Σ_i ε_i ‖Q_i(A) − m_i‖₁]. *)
@@ -40,10 +75,15 @@ val step : ?pow:float -> t -> bool
 val run :
   t ->
   steps:int ->
+  ?start:int ->
   ?pow:float ->
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(step:int -> stats:Mcmc.stats -> unit) ->
   ?on_step:(step:int -> energy:float -> unit) ->
   unit ->
   Mcmc.stats
-(** Runs the walk for [steps] proposals (default [pow] 1.0; the paper's
-    experiments use 10⁴).  Incremental target distances are refreshed every
-    10⁵ steps. *)
+(** Runs the walk for iterations [start + 1 .. steps] (default [start] 0,
+    [pow] 1.0; the paper's experiments use 10⁴).  Incremental target
+    distances are refreshed every 10⁵ steps.  [checkpoint_every] /
+    [on_checkpoint] pass through to {!Mcmc.run}: the hook may call
+    {!rebuild} on this fit. *)

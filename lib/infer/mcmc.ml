@@ -1,36 +1,68 @@
 module Prng = Wpinq_prng.Prng
+module Fault = Wpinq_persist.Persist.Fault
 
 type stats = {
   steps : int;
   accepted : int;
   invalid : int;
+  refreshed_on_nonfinite : int;
   initial_energy : float;
   final_energy : float;
 }
 
-let run ~rng ~steps ?(pow = 1.0) ?refresh ?(refresh_every = 100_000) ?on_step ~energy
-    ~propose ~apply ~revert () =
-  let accepted = ref 0 and invalid = ref 0 in
+let run ~rng ~steps ?(start = 0) ?(pow = 1.0) ?refresh ?(refresh_every = 100_000)
+    ?checkpoint_every ?on_checkpoint ?on_step ~energy ~propose ~apply ~revert () =
+  if start < 0 || start > steps then invalid_arg "Mcmc.run: start must be within [0, steps]";
+  let accepted = ref 0 and invalid = ref 0 and nonfinite = ref 0 in
   let initial_energy = energy () in
   let current = ref initial_energy in
-  for step = 1 to steps do
+  let interim step =
+    {
+      steps = step - start;
+      accepted = !accepted;
+      invalid = !invalid;
+      refreshed_on_nonfinite = !nonfinite;
+      initial_energy;
+      final_energy = !current;
+    }
+  in
+  for step = start + 1 to steps do
+    Fault.point "mcmc.step";
     (match propose () with
     | None -> incr invalid
     | Some move ->
         apply move;
         let proposed = energy () in
-        let delta = proposed -. !current in
-        let accept = delta <= 0.0 || Prng.uniform rng < exp (-.pow *. delta) in
-        if accept then begin
-          current := proposed;
-          incr accepted
+        if Float.is_finite proposed then begin
+          let delta = proposed -. !current in
+          let accept = delta <= 0.0 || Prng.uniform rng < exp (-.pow *. delta) in
+          if accept then begin
+            current := proposed;
+            incr accepted
+          end
+          else revert move
         end
-        else revert move);
+        else begin
+          (* Incremental drift or overflow produced a non-finite energy.
+             Discard the move, rebuild the incremental state, and re-read
+             rather than letting NaN corrupt the accept/reject decision. *)
+          incr nonfinite;
+          revert move;
+          (match refresh with Some f -> f () | None -> ());
+          current := energy ()
+        end);
     (match refresh with
     | Some f when step mod refresh_every = 0 ->
         f ();
         current := energy ()
     | _ -> ());
-    match on_step with Some f -> f ~step ~energy:!current | None -> ()
+    (match on_step with Some f -> f ~step ~energy:!current | None -> ());
+    match (on_checkpoint, checkpoint_every) with
+    | Some f, Some every when step mod every = 0 && step < steps ->
+        f ~step ~stats:(interim step);
+        (* The hook may rebuild the incremental state wholesale (the
+           checkpoint rebase); re-read the energy from the new state. *)
+        current := energy ()
+    | _ -> ()
   done;
-  { steps; accepted = !accepted; invalid = !invalid; initial_energy; final_energy = !current }
+  interim steps

@@ -9,9 +9,11 @@
     best-fitting dataset. *)
 
 type stats = {
-  steps : int;  (** proposal attempts made *)
+  steps : int;  (** proposal attempts made by this call ([steps − start]) *)
   accepted : int;  (** proposals accepted (state changed) *)
   invalid : int;  (** proposals the walk itself rejected (returned [None]) *)
+  refreshed_on_nonfinite : int;
+      (** defensive refreshes forced by a non-finite energy reading *)
   initial_energy : float;
   final_energy : float;
 }
@@ -19,9 +21,12 @@ type stats = {
 val run :
   rng:Wpinq_prng.Prng.t ->
   steps:int ->
+  ?start:int ->
   ?pow:float ->
   ?refresh:(unit -> unit) ->
   ?refresh_every:int ->
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(step:int -> stats:stats -> unit) ->
   ?on_step:(step:int -> energy:float -> unit) ->
   energy:(unit -> float) ->
   propose:(unit -> 'move option) ->
@@ -29,13 +34,27 @@ val run :
   revert:('move -> unit) ->
   unit ->
   stats
-(** [run ~rng ~steps ... ()] performs [steps] iterations.  Each iteration
-    draws a proposal; [None] counts as invalid and leaves the state
-    untouched.  Otherwise the move is applied, the new energy read, and the
-    move kept with probability [min 1 (exp (-pow *. (e_new -. e_old)))]
-    (default [pow = 1.0]); rejected moves are reverted.
+(** [run ~rng ~steps ... ()] performs iterations [start + 1 .. steps]
+    ([start] defaults to 0, so normally [steps] iterations; a resumed chain
+    passes the already-completed count as [start] and the same total as
+    [steps]).  Each iteration draws a proposal; [None] counts as invalid
+    and leaves the state untouched.  Otherwise the move is applied, the new
+    energy read, and the move kept with probability
+    [min 1 (exp (-pow *. (e_new -. e_old)))] (default [pow = 1.0]);
+    rejected moves are reverted.
+
+    If the freshly-read energy is {e non-finite} (incremental drift or
+    overflow), the move is discarded, [refresh] is invoked immediately, the
+    energy re-read, and [refreshed_on_nonfinite] incremented — NaN never
+    reaches the accept/reject comparison.
 
     [refresh] (with [refresh_every], default [100_000]) is called
     periodically to let incrementally-maintained energies discard
     floating-point drift; the energy is re-read afterwards.  [on_step] is
-    invoked after every iteration with the current energy. *)
+    invoked after every iteration with the current energy.
+
+    [on_checkpoint] (with [checkpoint_every]) fires after every
+    [checkpoint_every]-th iteration (skipping the final one), {e after}
+    [on_step], receiving the interim [stats].  The hook may rebuild the
+    incremental state entirely — the checkpoint/resume rebase — so the
+    energy is re-read once it returns. *)

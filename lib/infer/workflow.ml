@@ -7,6 +7,8 @@ module Flow = Wpinq_core.Flow
 module Measurement = Wpinq_core.Measurement
 module Gridpath = Wpinq_postprocess.Gridpath
 module Isotonic = Wpinq_postprocess.Isotonic
+module Persist = Wpinq_persist.Persist
+module Codec = Persist.Codec
 module Qb = Wpinq_queries.Queries.Make (Batch)
 module Qf = Wpinq_queries.Queries.Make (Flow)
 
@@ -94,8 +96,243 @@ type result = {
 let trace_of ~step ~energy g =
   { step; triangles = Graph.triangle_count g; assortativity = Graph.assortativity g; energy }
 
-let synthesize ?(pow = 10_000.0) ?(steps = 100_000) ?trace_every ~rng ~epsilon ~query
-    ~secret () =
+(* ---- Checkpoint format ----------------------------------------------- *)
+
+type checkpoint_spec = { every : int; path : string }
+
+exception Corrupt_checkpoint of string
+
+let ckpt_magic = "wpinq-checkpoint\n"
+let ckpt_version = 1
+
+(* Everything a resumed chain needs, and nothing protected: the released
+   query measurement (noisy counts + noise-stream cursor), the public seed
+   and current synthetic graphs, the walk PRNG cursor, the budget audit
+   log, and the run bookkeeping.  The secret graph and the seed-phase
+   measurements were consumed before the walk began and are never
+   written. *)
+type ck = {
+  ck_epsilon : float;
+  ck_pow : float;
+  ck_steps : int; (* total steps requested for the whole run *)
+  ck_trace_every : int;
+  ck_every : int; (* checkpoint cadence *)
+  ck_step : int; (* completed steps at snapshot time *)
+  ck_budget : Budget.t;
+  ck_seed : Graph.t;
+  ck_n : int;
+  ck_edges : (int * int) array; (* synthetic graph, walk order *)
+  ck_rng : string;
+  ck_accepted : int;
+  ck_invalid : int;
+  ck_nonfinite : int;
+  ck_initial_energy : float;
+  ck_trace : trace_point list; (* newest first, as accumulated *)
+  ck_qm : query_measurement;
+}
+
+let write_edge buf (u, v) =
+  Codec.write_int buf u;
+  Codec.write_int buf v
+
+let read_edge r =
+  let u = Codec.read_int r in
+  let v = Codec.read_int r in
+  (u, v)
+
+let write_graph buf g =
+  Codec.write_int buf (Graph.n g);
+  Codec.write_list write_edge buf (Graph.edges g)
+
+let read_graph r =
+  let n = Codec.read_int r in
+  let edges = Codec.read_list read_edge r in
+  Graph.of_edges ~n edges
+
+let write_trace_point buf p =
+  Codec.write_int buf p.step;
+  Codec.write_int buf p.triangles;
+  Codec.write_float buf p.assortativity;
+  Codec.write_float buf p.energy
+
+let read_trace_point r =
+  let step = Codec.read_int r in
+  let triangles = Codec.read_int r in
+  let assortativity = Codec.read_float r in
+  let energy = Codec.read_float r in
+  { step; triangles; assortativity; energy }
+
+let write_qm buf = function
+  | Mtbd (bucket, m) ->
+      Codec.write_int buf 0;
+      Codec.write_int buf bucket;
+      Measurement.save
+        (fun buf (a, b, c) ->
+          Codec.write_int buf a;
+          Codec.write_int buf b;
+          Codec.write_int buf c)
+        m buf
+  | Mtbi m ->
+      Codec.write_int buf 1;
+      Measurement.save (fun _ () -> ()) m buf
+  | Msbi m ->
+      Codec.write_int buf 2;
+      Measurement.save (fun _ () -> ()) m buf
+  | Mjdd m ->
+      Codec.write_int buf 3;
+      Measurement.save write_edge m buf
+
+let read_qm r =
+  match Codec.read_int r with
+  | 0 ->
+      let bucket = Codec.read_int r in
+      let m =
+        Measurement.load
+          (fun r ->
+            let a = Codec.read_int r in
+            let b = Codec.read_int r in
+            let c = Codec.read_int r in
+            (a, b, c))
+          r
+      in
+      Mtbd (bucket, m)
+  | 1 -> Mtbi (Measurement.load (fun _ -> ()) r)
+  | 2 -> Msbi (Measurement.load (fun _ -> ()) r)
+  | 3 -> Mjdd (Measurement.load read_edge r)
+  | tag -> raise (Codec.Decode_error (Printf.sprintf "unknown query measurement tag %d" tag))
+
+let encode_ck ck =
+  let buf = Buffer.create 4096 in
+  Codec.write_float buf ck.ck_epsilon;
+  Codec.write_float buf ck.ck_pow;
+  Codec.write_int buf ck.ck_steps;
+  Codec.write_int buf ck.ck_trace_every;
+  Codec.write_int buf ck.ck_every;
+  Codec.write_int buf ck.ck_step;
+  Budget.save ck.ck_budget buf;
+  write_graph buf ck.ck_seed;
+  Codec.write_int buf ck.ck_n;
+  Codec.write_array write_edge buf ck.ck_edges;
+  Codec.write_string buf ck.ck_rng;
+  Codec.write_int buf ck.ck_accepted;
+  Codec.write_int buf ck.ck_invalid;
+  Codec.write_int buf ck.ck_nonfinite;
+  Codec.write_float buf ck.ck_initial_energy;
+  Codec.write_list write_trace_point buf ck.ck_trace;
+  write_qm buf ck.ck_qm;
+  Buffer.contents buf
+
+let decode_ck payload =
+  let r = Codec.reader payload in
+  let ck_epsilon = Codec.read_float r in
+  let ck_pow = Codec.read_float r in
+  let ck_steps = Codec.read_int r in
+  let ck_trace_every = Codec.read_int r in
+  let ck_every = Codec.read_int r in
+  let ck_step = Codec.read_int r in
+  let ck_budget = Budget.load r in
+  let ck_seed = read_graph r in
+  let ck_n = Codec.read_int r in
+  let ck_edges = Codec.read_array read_edge r in
+  let ck_rng = Codec.read_string r in
+  let ck_accepted = Codec.read_int r in
+  let ck_invalid = Codec.read_int r in
+  let ck_nonfinite = Codec.read_int r in
+  let ck_initial_energy = Codec.read_float r in
+  let ck_trace = Codec.read_list read_trace_point r in
+  let ck_qm = read_qm r in
+  {
+    ck_epsilon;
+    ck_pow;
+    ck_steps;
+    ck_trace_every;
+    ck_every;
+    ck_step;
+    ck_budget;
+    ck_seed;
+    ck_n;
+    ck_edges;
+    ck_rng;
+    ck_accepted;
+    ck_invalid;
+    ck_nonfinite;
+    ck_initial_energy;
+    ck_trace;
+    ck_qm;
+  }
+
+(* ---- The fitting driver ---------------------------------------------- *)
+
+(* Continue the walk described by [ck] on [fit] (whose state corresponds to
+   [ck.ck_step] completed steps).  When [write_path] is set, a snapshot is
+   written every [ck.ck_every] steps — and, crucially, the live state is
+   then thrown away and rebuilt from the snapshot's own bytes.  This
+   "rebase" makes the post-checkpoint state a pure function of the
+   checkpoint file, so a run killed and resumed from that file retraces the
+   uninterrupted run bit for bit. *)
+let continue_fit ~fit ~rng ~ck ~write_path =
+  let trace = ref ck.ck_trace in
+  let on_step ~step ~energy =
+    if step mod ck.ck_trace_every = 0 then
+      trace := trace_of ~step ~energy (Fit.graph fit) :: !trace
+  in
+  let checkpoint_every, on_checkpoint =
+    match write_path with
+    | None -> (None, None)
+    | Some path ->
+        ( Some ck.ck_every,
+          Some
+            (fun ~step ~stats:(interim : Mcmc.stats) ->
+              let ck' =
+                {
+                  ck with
+                  ck_step = step;
+                  ck_edges = Fit.edge_array fit;
+                  ck_rng = Prng.save rng;
+                  ck_accepted = ck.ck_accepted + interim.Mcmc.accepted;
+                  ck_invalid = ck.ck_invalid + interim.Mcmc.invalid;
+                  ck_nonfinite = ck.ck_nonfinite + interim.Mcmc.refreshed_on_nonfinite;
+                  ck_initial_energy =
+                    (if ck.ck_step = 0 then interim.Mcmc.initial_energy
+                     else ck.ck_initial_energy);
+                  ck_trace = !trace;
+                }
+              in
+              let payload = encode_ck ck' in
+              Persist.File.save ~path ~magic:ckpt_magic ~version:ckpt_version payload;
+              (* Rebase: re-derive the continuation state from the snapshot
+                 bytes so this run and any future resume from the file
+                 continue from literally the same state. *)
+              let ck2 = decode_ck payload in
+              Fit.rebuild fit ~n:ck2.ck_n ~edges:ck2.ck_edges
+                ~targets:[ target_of_query ck2.ck_qm ];
+              trace := ck2.ck_trace) )
+  in
+  let seg =
+    Fit.run fit ~steps:ck.ck_steps ~start:ck.ck_step ~pow:ck.ck_pow ?checkpoint_every
+      ?on_checkpoint ~on_step ()
+  in
+  let stats =
+    {
+      Mcmc.steps = ck.ck_step + seg.Mcmc.steps;
+      accepted = ck.ck_accepted + seg.Mcmc.accepted;
+      invalid = ck.ck_invalid + seg.Mcmc.invalid;
+      refreshed_on_nonfinite = ck.ck_nonfinite + seg.Mcmc.refreshed_on_nonfinite;
+      initial_energy =
+        (if ck.ck_step = 0 then seg.Mcmc.initial_energy else ck.ck_initial_energy);
+      final_energy = seg.Mcmc.final_energy;
+    }
+  in
+  {
+    synthetic = Fit.graph fit;
+    seed = ck.ck_seed;
+    stats;
+    trace = List.rev !trace;
+    total_epsilon = Budget.spent ck.ck_budget;
+  }
+
+let synthesize ?(pow = 10_000.0) ?(steps = 100_000) ?trace_every ?checkpoint ~rng ~epsilon
+    ~query ~secret () =
   let trace_every =
     match trace_every with Some t -> max 1 t | None -> max 1 (steps / 20)
   in
@@ -115,24 +352,58 @@ let synthesize ?(pow = 10_000.0) ?(steps = 100_000) ?trace_every ~rng ~epsilon ~
         synthetic = seed;
         seed;
         stats =
-          { Mcmc.steps = 0; accepted = 0; invalid = 0; initial_energy = 0.0; final_energy = 0.0 };
+          {
+            Mcmc.steps = 0;
+            accepted = 0;
+            invalid = 0;
+            refreshed_on_nonfinite = 0;
+            initial_energy = 0.0;
+            final_energy = 0.0;
+          };
         trace = [ trace_of ~step:0 ~energy:0.0 seed ];
         total_epsilon = Budget.spent budget;
       }
   | Some q ->
       let qm = measure_query ~rng ~epsilon ~sym q in
-      (* Phase 2: fit the seed to the triangle measurement. *)
+      (* Phase 2: fit the seed to the query measurement. *)
       let fit = Fit.create ~rng ~seed_graph:seed ~targets:[ target_of_query qm ] () in
-      let trace = ref [ trace_of ~step:0 ~energy:(Fit.energy fit) seed ] in
-      let on_step ~step ~energy =
-        if step mod trace_every = 0 then
-          trace := trace_of ~step ~energy (Fit.graph fit) :: !trace
+      let ck0 =
+        {
+          ck_epsilon = epsilon;
+          ck_pow = pow;
+          ck_steps = steps;
+          ck_trace_every = trace_every;
+          ck_every = (match checkpoint with Some c -> max 1 c.every | None -> 0);
+          ck_step = 0;
+          ck_budget = budget;
+          ck_seed = seed;
+          ck_n = Graph.n seed;
+          ck_edges = [||] (* written fresh at each checkpoint *);
+          ck_rng = "";
+          ck_accepted = 0;
+          ck_invalid = 0;
+          ck_nonfinite = 0;
+          ck_initial_energy = 0.0;
+          ck_trace = [ trace_of ~step:0 ~energy:(Fit.energy fit) seed ];
+          ck_qm = qm;
+        }
       in
-      let stats = Fit.run fit ~steps ~pow ~on_step () in
-      {
-        synthetic = Fit.graph fit;
-        seed;
-        stats;
-        trace = List.rev !trace;
-        total_epsilon = Budget.spent budget;
-      }
+      let write_path = match checkpoint with Some c -> Some c.path | None -> None in
+      continue_fit ~fit ~rng ~ck:ck0 ~write_path
+
+let load_ck path =
+  match Persist.File.load ~path ~magic:ckpt_magic ~version:ckpt_version with
+  | Error e -> raise (Corrupt_checkpoint (Persist.File.error_to_string e))
+  | Ok payload -> (
+      try decode_ck payload
+      with Codec.Decode_error msg -> raise (Corrupt_checkpoint msg))
+
+let resume ~path () =
+  let ck = load_ck path in
+  let rng = Prng.restore ck.ck_rng in
+  let fit =
+    Fit.restore ~rng ~n:ck.ck_n ~edges:ck.ck_edges ~targets:[ target_of_query ck.ck_qm ] ()
+  in
+  continue_fit ~fit ~rng ~ck ~write_path:(Some path)
+
+let checkpoint_step path = (load_ck path).ck_step

@@ -82,10 +82,19 @@ type result = {
   total_epsilon : float;  (** budget actually spent *)
 }
 
+type checkpoint_spec = { every : int; path : string }
+(** Write a crash-recovery snapshot to [path] every [every] MCMC steps
+    (atomically: the previous snapshot survives an interrupted write). *)
+
+exception Corrupt_checkpoint of string
+(** Raised by {!resume} when the checkpoint file is unreadable, has the
+    wrong magic/version, fails its checksum, or does not decode. *)
+
 val synthesize :
   ?pow:float ->
   ?steps:int ->
   ?trace_every:int ->
+  ?checkpoint:checkpoint_spec ->
   rng:Wpinq_prng.Prng.t ->
   epsilon:float ->
   query:query option ->
@@ -98,4 +107,25 @@ val synthesize :
     paper's setting), tracing triangle count and assortativity of the
     public synthetic graph every [trace_every] steps (default
     [steps / 20]).  [query = None] stops after Phase 1 (the seed graph is
-    returned as [synthetic], with an empty walk). *)
+    returned as [synthetic], with an empty walk).
+
+    With [checkpoint], Phase 2 snapshots its complete walk state every
+    [every] steps — and then {e rebases} onto the snapshot's own bytes, so
+    the continuation is a pure function of the file: a run killed at any
+    point and {!resume}d from the latest snapshot produces a bit-identical
+    final result.  Snapshots contain only released values (noisy
+    measurements, budget audit log, public graphs, PRNG cursor) — never the
+    protected graph.  [checkpoint] is ignored when [query = None] (no walk
+    runs). *)
+
+val resume : path:string -> unit -> result
+(** [resume ~path ()] loads the snapshot at [path] and continues the
+    interrupted walk to completion, checkpointing onward with the original
+    cadence to the same [path].  The returned {!result} — graph, stats,
+    trace, energies — is bit-identical to what the uninterrupted run would
+    have returned.  Raises {!Corrupt_checkpoint} on any invalid file. *)
+
+val checkpoint_step : string -> int
+(** [checkpoint_step path] is the number of completed MCMC steps recorded
+    in the snapshot at [path] (diagnostic; raises {!Corrupt_checkpoint} on
+    an invalid file). *)

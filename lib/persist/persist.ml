@@ -1,0 +1,164 @@
+module Codec = struct
+  exception Decode_error of string
+
+  type reader = { buf : string; mutable pos : int }
+
+  let reader s = { buf = s; pos = 0 }
+  let remaining r = String.length r.buf - r.pos
+
+  let need r n what =
+    if remaining r < n then
+      raise
+        (Decode_error
+           (Printf.sprintf "truncated input: need %d bytes for %s at offset %d (have %d)" n
+              what r.pos (remaining r)))
+
+  let write_int64 buf v = Buffer.add_int64_le buf v
+
+  let read_int64 r =
+    need r 8 "int64";
+    let v = String.get_int64_le r.buf r.pos in
+    r.pos <- r.pos + 8;
+    v
+
+  let write_int buf v = write_int64 buf (Int64.of_int v)
+
+  let read_int r = Int64.to_int (read_int64 r)
+
+  let write_float buf v = write_int64 buf (Int64.bits_of_float v)
+  let read_float r = Int64.float_of_bits (read_int64 r)
+  let write_bool buf v = Buffer.add_char buf (if v then '\001' else '\000')
+
+  let read_bool r =
+    need r 1 "bool";
+    let c = r.buf.[r.pos] in
+    r.pos <- r.pos + 1;
+    match c with
+    | '\000' -> false
+    | '\001' -> true
+    | c -> raise (Decode_error (Printf.sprintf "invalid bool byte %C" c))
+
+  let write_string buf s =
+    write_int buf (String.length s);
+    Buffer.add_string buf s
+
+  let read_string r =
+    let n = read_int r in
+    if n < 0 then raise (Decode_error (Printf.sprintf "negative string length %d" n));
+    need r n "string";
+    let s = String.sub r.buf r.pos n in
+    r.pos <- r.pos + n;
+    s
+
+  let write_list write_item buf xs =
+    write_int buf (List.length xs);
+    List.iter (fun x -> write_item buf x) xs
+
+  let read_list read_item r =
+    let n = read_int r in
+    if n < 0 then raise (Decode_error (Printf.sprintf "negative list length %d" n));
+    List.init n (fun _ -> read_item r)
+
+  let write_array write_item buf xs =
+    write_int buf (Array.length xs);
+    Array.iter (fun x -> write_item buf x) xs
+
+  let read_array read_item r =
+    let n = read_int r in
+    if n < 0 then raise (Decode_error (Printf.sprintf "negative array length %d" n));
+    Array.init n (fun _ -> read_item r)
+end
+
+module Fault = struct
+  exception Injected of string
+
+  let armed : (string * int ref) option ref = ref None
+
+  let arm ~site ~after =
+    if after < 1 then invalid_arg "Fault.arm: after must be >= 1";
+    armed := Some (site, ref after)
+
+  let disarm () = armed := None
+
+  let point site =
+    match !armed with
+    | None -> ()
+    | Some (s, count) ->
+        if String.equal s site then begin
+          decr count;
+          if !count <= 0 then begin
+            disarm ();
+            raise (Injected site)
+          end
+        end
+end
+
+module Atomic = struct
+  let write ~path f =
+    let tmp = path ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        Fault.point "atomic.write";
+        f oc;
+        flush oc);
+    Fault.point "atomic.rename";
+    Sys.rename tmp path
+end
+
+module File = struct
+  type error =
+    | Io_error of string
+    | Bad_magic
+    | Unsupported_version of { found : int; expected : int }
+    | Truncated
+    | Checksum_mismatch
+
+  let error_to_string = function
+    | Io_error msg -> "io error: " ^ msg
+    | Bad_magic -> "bad magic (not a checkpoint file, or a corrupted header)"
+    | Unsupported_version { found; expected } ->
+        Printf.sprintf "unsupported format version %d (expected %d)" found expected
+    | Truncated -> "file shorter than its header claims"
+    | Checksum_mismatch -> "payload checksum mismatch (corrupted file)"
+
+  let save ~path ~magic ~version payload =
+    Atomic.write ~path (fun oc ->
+        output_string oc magic;
+        let header = Buffer.create 32 in
+        Codec.write_int64 header (Int64.of_int version);
+        Codec.write_int64 header (Int64.of_int (String.length payload));
+        Buffer.output_buffer oc header;
+        output_string oc (Digest.string payload);
+        output_string oc payload)
+
+  let load ~path ~magic ~version =
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception Sys_error msg -> Error (Io_error msg)
+    | contents -> (
+        let mlen = String.length magic in
+        let header_len = mlen + 8 + 8 + 16 in
+        if String.length contents < header_len then
+          if String.length contents >= mlen && String.sub contents 0 mlen = magic then
+            Error Truncated
+          else Error Bad_magic
+        else if String.sub contents 0 mlen <> magic then Error Bad_magic
+        else
+          let r = Codec.reader (String.sub contents mlen 16) in
+          let found = Int64.to_int (Codec.read_int64 r) in
+          let payload_len = Int64.to_int (Codec.read_int64 r) in
+          if found <> version then Error (Unsupported_version { found; expected = version })
+          else if payload_len < 0 || String.length contents < header_len + payload_len then
+            Error Truncated
+          else
+            let digest = String.sub contents (mlen + 16) 16 in
+            let payload = String.sub contents header_len payload_len in
+            if not (String.equal (Digest.string payload) digest) then Error Checksum_mismatch
+            else Ok payload)
+end

@@ -1,0 +1,107 @@
+(** Crash-safe persistence: a binary codec, atomic file replacement, a
+    versioned checksummed container format, and a fault-injection hook for
+    testing recovery paths.
+
+    This is the storage layer under the synthesis runtime's checkpoints and
+    the graph IO: long Metropolis–Hastings fits snapshot their state through
+    {!File} so a killed run can resume, and every write goes through
+    {!Atomic} so a crash mid-write never corrupts the previous good file.
+
+    Nothing in this library knows about privacy: callers are responsible
+    for serializing only {e released} values (noisy measurements, public
+    synthetic graphs, budget audit logs) — never protected data. *)
+
+module Codec : sig
+  (** A minimal self-describing-free binary codec.  All integers are
+      little-endian fixed-width 64-bit; floats are serialized by bit
+      pattern, so round-trips are exact (NaN payloads included).  Decoders
+      raise {!Decode_error} instead of returning garbage on malformed or
+      truncated input. *)
+
+  exception Decode_error of string
+
+  type reader
+  (** A cursor over an immutable byte string. *)
+
+  val reader : string -> reader
+  val remaining : reader -> int
+
+  val write_int64 : Buffer.t -> int64 -> unit
+  val read_int64 : reader -> int64
+  val write_int : Buffer.t -> int -> unit
+  val read_int : reader -> int
+  val write_float : Buffer.t -> float -> unit
+
+  val read_float : reader -> float
+  (** Exact bit-pattern round-trip of {!write_float}. *)
+
+  val write_bool : Buffer.t -> bool -> unit
+  val read_bool : reader -> bool
+  val write_string : Buffer.t -> string -> unit
+  val read_string : reader -> string
+  val write_list : (Buffer.t -> 'a -> unit) -> Buffer.t -> 'a list -> unit
+
+  val read_list : (reader -> 'a) -> reader -> 'a list
+  (** Preserves order. *)
+
+  val write_array : (Buffer.t -> 'a -> unit) -> Buffer.t -> 'a array -> unit
+  val read_array : (reader -> 'a) -> reader -> 'a array
+end
+
+module Fault : sig
+  (** Injectable failures for crash-recovery tests.
+
+      A test arms one {e site} with a countdown; the [n]-th time execution
+      passes that site's {!point}, {!Injected} is raised (and the fault
+      disarms itself, so cleanup and subsequent recovery code run
+      normally).  Production code paths call {!point} at the moments a real
+      crash would be most damaging — mid-write, pre-rename, per MCMC step —
+      at the cost of one reference read when no fault is armed. *)
+
+  exception Injected of string
+
+  val arm : site:string -> after:int -> unit
+  (** [arm ~site ~after:n] makes the [n]-th call to [point site] raise
+      ([n >= 1]).  Only one site is armed at a time; re-arming replaces the
+      previous fault. *)
+
+  val disarm : unit -> unit
+  (** Remove any armed fault. *)
+
+  val point : string -> unit
+  (** [point site] raises {!Injected} if an armed countdown on [site]
+      reaches zero; otherwise a no-op. *)
+end
+
+module Atomic : sig
+  val write : path:string -> (out_channel -> unit) -> unit
+  (** [write ~path f] runs [f] on a channel for [path ^ ".tmp"], then
+      atomically renames the temp file over [path].  A crash at any point
+      leaves the previous contents of [path] intact; at worst a stale
+      [.tmp] file remains (and is overwritten by the next write).  The
+      channel is binary; [f] must not close it. *)
+end
+
+module File : sig
+  (** A checksummed, versioned container: [magic | version | length |
+      MD5(payload) | payload].  Any single corrupted byte — header or
+      payload — turns {!load} into a typed [Error], never into garbage
+      handed to a decoder. *)
+
+  type error =
+    | Io_error of string  (** open/read failure (missing file, permissions) *)
+    | Bad_magic  (** the file is not this container (or the magic is damaged) *)
+    | Unsupported_version of { found : int; expected : int }
+    | Truncated  (** shorter than its header claims *)
+    | Checksum_mismatch  (** payload bytes do not hash to the stored digest *)
+
+  val error_to_string : error -> string
+
+  val save : path:string -> magic:string -> version:int -> string -> unit
+  (** [save ~path ~magic ~version payload] writes the framed payload through
+      {!Atomic.write}. *)
+
+  val load : path:string -> magic:string -> version:int -> (string, error) result
+  (** [load ~path ~magic ~version] verifies the frame and returns the
+      payload. *)
+end

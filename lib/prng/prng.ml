@@ -9,6 +9,14 @@ let mix64 z =
 
 let create seed = { state = mix64 (Int64.of_int seed) }
 let copy t = { state = t.state }
+let save t = Printf.sprintf "%016Lx" t.state
+
+let restore s =
+  if String.length s <> 16 then
+    invalid_arg "Prng.restore: state must be exactly 16 hex characters";
+  match Int64.of_string_opt ("0x" ^ s) with
+  | Some state -> { state }
+  | None -> invalid_arg "Prng.restore: malformed hex state"
 
 let bits64 t =
   t.state <- Int64.add t.state golden_gamma;

@@ -20,6 +20,16 @@ val copy : t -> t
 (** [copy t] duplicates the stream state; the copy and the original then
     evolve independently but identically if fed the same draw sequence. *)
 
+val save : t -> string
+(** [save t] serializes the full generator state exactly (16 hex
+    characters).  [restore (save t)] continues the stream bit-for-bit where
+    [t] stands — the contract checkpoint/resume depends on. *)
+
+val restore : string -> t
+(** [restore s] rebuilds a stream from {!save} output.  Raises
+    [Invalid_argument] on anything that is not exactly the serialized
+    form. *)
+
 val split : t -> t
 (** [split t] advances [t] and returns a child stream that is statistically
     independent of the parent's subsequent output. *)

@@ -3,6 +3,7 @@
     documentation; README.md maps them to the paper's sections. *)
 
 module Prng = Wpinq_prng.Prng
+module Persist = Wpinq_persist.Persist
 module Wdata = Wpinq_weighted.Wdata
 module Ops = Wpinq_weighted.Ops
 module Dataflow = Wpinq_dataflow.Dataflow

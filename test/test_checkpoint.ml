@@ -1,0 +1,144 @@
+(* Fault-injection harness for the checkpoint/resume runtime: kill the fit
+   at arbitrary steps, resume from the latest snapshot, and demand the final
+   result be bit-identical to the uninterrupted run. *)
+
+module Prng = Wpinq_prng.Prng
+module Graph = Wpinq_graph.Graph
+module Gen = Wpinq_graph.Gen
+module Persist = Wpinq_persist.Persist
+module Fault = Persist.Fault
+module W = Wpinq_infer.Workflow
+module Mcmc = Wpinq_infer.Mcmc
+
+let steps = 2000
+let every = 400
+let trace_every = 500
+let secret () = Gen.clustered ~n:40 ~community:8 ~p_in:0.7 ~extra:20 (Prng.create 5)
+
+let with_ckpt f =
+  let path = Filename.temp_file "wpinq_ckpt" ".wpinq" in
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.disarm ();
+      if Sys.file_exists path then Sys.remove path;
+      let tmp = path ^ ".tmp" in
+      if Sys.file_exists tmp then Sys.remove tmp)
+    (fun () -> f path)
+
+let run_checkpointed path =
+  W.synthesize ~steps ~trace_every ~pow:100.0
+    ~checkpoint:{ W.every; path }
+    ~rng:(Prng.create 123) ~epsilon:0.5 ~query:(Some W.Tbi) ~secret:(secret ()) ()
+
+let check_bits name a b =
+  Alcotest.(check int64) name (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+(* Bit-exact equality of everything a run returns: graphs, counters,
+   energies, trace, spent budget. *)
+let check_result name (expect : W.result) (got : W.result) =
+  Alcotest.(check (list (pair int int)))
+    (name ^ ": synthetic edges")
+    (Graph.edges expect.W.synthetic)
+    (Graph.edges got.W.synthetic);
+  Alcotest.(check (list (pair int int)))
+    (name ^ ": seed edges")
+    (Graph.edges expect.W.seed) (Graph.edges got.W.seed);
+  let es = expect.W.stats and gs = got.W.stats in
+  Alcotest.(check int) (name ^ ": steps") es.Mcmc.steps gs.Mcmc.steps;
+  Alcotest.(check int) (name ^ ": accepted") es.Mcmc.accepted gs.Mcmc.accepted;
+  Alcotest.(check int) (name ^ ": invalid") es.Mcmc.invalid gs.Mcmc.invalid;
+  Alcotest.(check int)
+    (name ^ ": refreshed_on_nonfinite")
+    es.Mcmc.refreshed_on_nonfinite gs.Mcmc.refreshed_on_nonfinite;
+  check_bits (name ^ ": initial energy") es.Mcmc.initial_energy gs.Mcmc.initial_energy;
+  check_bits (name ^ ": final energy") es.Mcmc.final_energy gs.Mcmc.final_energy;
+  Alcotest.(check int) (name ^ ": trace length") (List.length expect.W.trace)
+    (List.length got.W.trace);
+  List.iter2
+    (fun (e : W.trace_point) (g : W.trace_point) ->
+      Alcotest.(check int) (name ^ ": trace step") e.W.step g.W.step;
+      Alcotest.(check int) (name ^ ": trace triangles") e.W.triangles g.W.triangles;
+      check_bits (name ^ ": trace assortativity") e.W.assortativity g.W.assortativity;
+      check_bits (name ^ ": trace energy") e.W.energy g.W.energy)
+    expect.W.trace got.W.trace;
+  check_bits (name ^ ": total epsilon") expect.W.total_epsilon got.W.total_epsilon
+
+let reference = lazy (with_ckpt (fun path -> run_checkpointed path))
+
+let test_kill_and_resume kill () =
+  let expect = Lazy.force reference in
+  with_ckpt (fun path ->
+      Fault.arm ~site:"mcmc.step" ~after:kill;
+      (match run_checkpointed path with
+      | exception Fault.Injected "mcmc.step" -> ()
+      | _ -> Alcotest.failf "kill at %d did not fire" kill);
+      (* The run died at step [kill]; its latest snapshot holds the largest
+         multiple of [every] below that. *)
+      Alcotest.(check int)
+        "snapshot step"
+        ((kill - 1) / every * every)
+        (W.checkpoint_step path);
+      let got = W.resume ~path () in
+      check_result (Printf.sprintf "kill@%d" kill) expect got)
+
+let test_double_kill () =
+  (* Crash, resume, crash again mid-resume, resume again. *)
+  let expect = Lazy.force reference in
+  with_ckpt (fun path ->
+      Fault.arm ~site:"mcmc.step" ~after:900;
+      (match run_checkpointed path with
+      | exception Fault.Injected _ -> ()
+      | _ -> Alcotest.fail "first kill did not fire");
+      (* The resumed chain re-runs steps 801..: kill it 300 steps in. *)
+      Fault.arm ~site:"mcmc.step" ~after:300;
+      (match W.resume ~path () with
+      | exception Fault.Injected _ -> ()
+      | _ -> Alcotest.fail "second kill did not fire");
+      let got = W.resume ~path () in
+      check_result "double kill" expect got)
+
+let test_corrupt_checkpoint_detected () =
+  with_ckpt (fun path ->
+      Fault.arm ~site:"mcmc.step" ~after:600;
+      (match run_checkpointed path with
+      | exception Fault.Injected _ -> ()
+      | _ -> Alcotest.fail "kill did not fire");
+      let ic = open_in_bin path in
+      let raw =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      (* Flip one payload byte; resume must refuse with a typed error. *)
+      let corrupt = Bytes.of_string raw in
+      let i = Bytes.length corrupt - 7 in
+      Bytes.set corrupt i (Char.chr (Char.code (Bytes.get corrupt i) lxor 0x10));
+      let oc = open_out_bin path in
+      output_bytes oc corrupt;
+      close_out oc;
+      match W.resume ~path () with
+      | exception W.Corrupt_checkpoint _ -> ()
+      | _ -> Alcotest.fail "corrupt checkpoint accepted")
+
+let test_interrupted_checkpoint_write () =
+  (* A crash during the *second* snapshot write must leave the first one
+     valid, and resuming from it must still reproduce the reference. *)
+  let expect = Lazy.force reference in
+  with_ckpt (fun path ->
+      Fault.arm ~site:"atomic.rename" ~after:2;
+      (match run_checkpointed path with
+      | exception Fault.Injected "atomic.rename" -> ()
+      | _ -> Alcotest.fail "rename fault did not fire");
+      Alcotest.(check int) "previous snapshot intact" every (W.checkpoint_step path);
+      let got = W.resume ~path () in
+      check_result "interrupted snapshot write" expect got)
+
+let suite =
+  [
+    Alcotest.test_case "kill just after first snapshot" `Slow (test_kill_and_resume 401);
+    Alcotest.test_case "kill at snapshot boundary" `Slow (test_kill_and_resume 800);
+    Alcotest.test_case "kill near the end" `Slow (test_kill_and_resume 1999);
+    Alcotest.test_case "kill twice, resume twice" `Slow test_double_kill;
+    Alcotest.test_case "corrupt checkpoint detected" `Slow test_corrupt_checkpoint_detected;
+    Alcotest.test_case "interrupted snapshot write" `Slow test_interrupted_checkpoint_write;
+  ]

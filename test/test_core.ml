@@ -318,9 +318,88 @@ let test_target_energy () =
   let t1 = Flow.Target.create c1 m1 and t2 = Flow.Target.create c2 m2 in
   check_close ~tol:1.0 "energy sums" (1e9 *. 3.0) (Flow.Target.energy [ t1; t2 ])
 
+let test_budget_rejects_nonfinite () =
+  let b = Budget.create ~name:"d" 1.0 in
+  List.iter
+    (fun eps ->
+      (match Budget.charge b eps with
+      | exception Invalid_argument _ -> ()
+      | () -> Alcotest.failf "charge accepted %h" eps);
+      match Budget.try_charge b eps with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "try_charge accepted %h" eps)
+    [ Float.nan; Float.infinity; Float.neg_infinity; -0.1 ];
+  check_close "nothing spent" 0.0 (Budget.spent b);
+  (match Budget.create ~name:"d" Float.nan with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "create accepted NaN total");
+  (* The same guard protects the mechanisms. *)
+  let c = Batch.source ~budget:b [ (1, 1.0) ] in
+  match Batch.noisy_count ~rng:(Prng.create 8) ~epsilon:Float.nan c with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "noisy_count accepted NaN epsilon"
+
+let test_budget_try_charge () =
+  let b = Budget.create ~name:"d" 0.5 in
+  (match Budget.try_charge ~label:"ok" b 0.3 with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "in-budget charge denied");
+  (match Budget.try_charge ~label:"too-much" b 0.3 with
+  | Error { Budget.name; requested; remaining } ->
+      Alcotest.(check string) "denier" "d" name;
+      check_close "requested" 0.3 requested;
+      check_close "remaining" 0.2 remaining
+  | Ok () -> Alcotest.fail "overdraw allowed");
+  (* The denial spent nothing and logged nothing. *)
+  check_close "spent" 0.3 (Budget.spent b);
+  Alcotest.(check (list (pair string (float 1e-9)))) "log" [ ("ok", 0.3) ] (Budget.log b)
+
+let test_budget_save_load () =
+  let module Codec = Wpinq_persist.Persist.Codec in
+  let b = Budget.create ~name:"secret" 2.5 in
+  Budget.charge ~label:"first" b 0.5;
+  Budget.charge ~label:"second" b 0.25;
+  let buf = Buffer.create 64 in
+  Budget.save b buf;
+  let b' = Budget.load (Codec.reader (Buffer.contents buf)) in
+  Alcotest.(check string) "name" (Budget.name b) (Budget.name b');
+  check_close "total" (Budget.total b) (Budget.total b');
+  check_close "spent" (Budget.spent b) (Budget.spent b');
+  Alcotest.(check (list (pair string (float 1e-12)))) "log" (Budget.log b) (Budget.log b');
+  (* A child budget is a transient view and must refuse to serialize. *)
+  let child = Budget.parallel_child (Budget.parallel_group b) ~name:"part" in
+  match Budget.save child (Buffer.create 16) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "child budget serialized"
+
+let test_measurement_save_load () =
+  let module Codec = Wpinq_persist.Persist.Codec in
+  let b = Budget.create ~name:"d" 1e9 in
+  let c = Batch.source ~budget:b [ (1, 0.75); (2, 2.0) ] in
+  let m = Batch.noisy_count ~rng:(Prng.create 11) ~epsilon:0.5 c in
+  (* Materialize one observed and one fresh-noise value before saving. *)
+  let v1 = Measurement.value m 1 in
+  let v99 = Measurement.value m 99 in
+  let buf = Buffer.create 256 in
+  Measurement.save Codec.write_int m buf;
+  let m' = Measurement.load Codec.read_int (Codec.reader (Buffer.contents buf)) in
+  (* Already-released values round-trip bit-exactly. *)
+  Alcotest.(check int64) "value 1" (Int64.bits_of_float v1)
+    (Int64.bits_of_float (Measurement.value m' 1));
+  Alcotest.(check int64) "value 99" (Int64.bits_of_float v99)
+    (Int64.bits_of_float (Measurement.value m' 99));
+  (* And the noise stream continues identically: a key neither has seen yet
+     draws the same value from both. *)
+  Alcotest.(check int64) "fresh draw" (Int64.bits_of_float (Measurement.value m 7))
+    (Int64.bits_of_float (Measurement.value m' 7))
+
 let suite =
   [
     Alcotest.test_case "budget basics" `Quick test_budget_basics;
+    Alcotest.test_case "budget rejects non-finite" `Quick test_budget_rejects_nonfinite;
+    Alcotest.test_case "budget try_charge" `Quick test_budget_try_charge;
+    Alcotest.test_case "budget save/load" `Quick test_budget_save_load;
+    Alcotest.test_case "measurement save/load" `Quick test_measurement_save_load;
     Alcotest.test_case "budget exhausted" `Quick test_budget_exhausted;
     Alcotest.test_case "budget rounding" `Quick test_budget_rounding_tolerance;
     Alcotest.test_case "use counting" `Quick test_use_counting;

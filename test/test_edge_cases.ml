@@ -124,8 +124,35 @@ let test_io_malformed () =
       output_string oc "0 1\nnot an edge\n";
       close_out oc;
       match Io.read path with
-      | exception Failure _ -> ()
-      | _ -> Alcotest.fail "expected Failure on malformed line")
+      | exception Io.Parse_error { line = 2; text = "not an edge"; _ } -> ()
+      | exception Io.Parse_error { line; text; _ } ->
+          Alcotest.failf "wrong location: line %d, text %S" line text
+      | _ -> Alcotest.fail "expected Parse_error on malformed line")
+
+let test_io_rejects_bad_ids () =
+  let with_content content f =
+    let path = Filename.temp_file "wpinq_bad" ".txt" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        let oc = open_out path in
+        output_string oc content;
+        close_out oc;
+        f path)
+  in
+  with_content "0 1\n2 -3\n" (fun path ->
+      match Io.read path with
+      | exception Io.Parse_error { line = 2; _ } -> ()
+      | _ -> Alcotest.fail "expected Parse_error on negative id");
+  with_content "# nodes 3\n0 1\n1 5\n" (fun path ->
+      match Io.read path with
+      | exception Io.Parse_error { line = 3; _ } -> ()
+      | _ -> Alcotest.fail "expected Parse_error on out-of-range id");
+  (* Blank lines and comments are fine; the declared node count sticks. *)
+  with_content "# nodes 5\n\n0 1\n\n# comment\n2 3\n" (fun path ->
+      let g = Io.read path in
+      Alcotest.(check int) "declared n" 5 (Graph.n g);
+      Alcotest.(check int) "edges" 2 (Graph.m g))
 
 let test_generator_argument_validation () =
   let rng = Prng.create 1 in
@@ -213,6 +240,7 @@ let suite =
     Alcotest.test_case "mutable apply invalid" `Quick test_mutable_apply_invalid;
     Alcotest.test_case "propose swap too small" `Quick test_propose_swap_too_small;
     Alcotest.test_case "io malformed" `Quick test_io_malformed;
+    Alcotest.test_case "io rejects bad ids" `Quick test_io_rejects_bad_ids;
     Alcotest.test_case "generator validation" `Quick test_generator_argument_validation;
     Alcotest.test_case "queries on tiny graphs" `Quick test_queries_on_tiny_graphs;
     Alcotest.test_case "gridpath degenerate" `Quick test_gridpath_degenerate;

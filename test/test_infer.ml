@@ -84,6 +84,76 @@ let test_mcmc_on_step_called () =
   in
   Alcotest.(check int) "on_step every iteration" 25 !calls
 
+let test_mcmc_nonfinite_energy_refreshes () =
+  (* An incremental energy that goes NaN after a move must trigger an
+     immediate refresh and revert — never reach accept/reject. *)
+  let state = ref 0 in
+  let poisoned = ref false in
+  let armed = ref true in
+  let refreshes = ref 0 in
+  (* Walking toward 10, so proposals are normally accepted. *)
+  let energy () = if !poisoned then Float.nan else Float.abs (float_of_int (!state - 10)) in
+  let stats =
+    Mcmc.run ~rng:(Prng.create 5) ~steps:10 ~pow:1e9
+      ~refresh:(fun () ->
+        incr refreshes;
+        poisoned := false)
+      ~energy
+      ~propose:(fun () -> Some ())
+      ~apply:(fun () ->
+        incr state;
+        (* Poison the third proposal's energy reading only. *)
+        if !state = 3 && !armed then begin
+          poisoned := true;
+          armed := false
+        end)
+      ~revert:(fun () -> decr state)
+      ()
+  in
+  Alcotest.(check int) "one non-finite refresh" 1 stats.Mcmc.refreshed_on_nonfinite;
+  Alcotest.(check int) "refresh callback ran" 1 !refreshes;
+  Alcotest.(check bool) "final energy finite" true (Float.is_finite stats.Mcmc.final_energy)
+
+let test_mcmc_start_offset () =
+  (* A resumed chain passes ?start: only steps start+1..steps run, and the
+     per-segment counters reflect just that segment. *)
+  let calls = ref [] in
+  let _, _, energy = toy_problem () in
+  let stats =
+    Mcmc.run ~rng:(Prng.create 6) ~steps:10 ~start:7 ~energy
+      ~on_step:(fun ~step ~energy:_ -> calls := step :: !calls)
+      ~propose:(fun () -> None)
+      ~apply:(fun () -> ())
+      ~revert:(fun () -> ())
+      ()
+  in
+  Alcotest.(check (list int)) "steps run" [ 10; 9; 8 ] !calls;
+  Alcotest.(check int) "segment length" 3 stats.Mcmc.steps;
+  Alcotest.check_raises "start out of range"
+    (Invalid_argument "Mcmc.run: start must be within [0, steps]") (fun () ->
+      ignore
+        (Mcmc.run ~rng:(Prng.create 6) ~steps:5 ~start:6 ~energy
+           ~propose:(fun () -> None)
+           ~apply:(fun () -> ())
+           ~revert:(fun () -> ())
+           ()))
+
+let test_mcmc_checkpoint_hook () =
+  let _, _, energy = toy_problem () in
+  let fired = ref [] in
+  let _ =
+    Mcmc.run ~rng:(Prng.create 7) ~steps:10 ~energy ~checkpoint_every:3
+      ~on_checkpoint:(fun ~step ~stats -> fired := (step, stats.Mcmc.steps) :: !fired)
+      ~propose:(fun () -> None)
+      ~apply:(fun () -> ())
+      ~revert:(fun () -> ())
+      ()
+  in
+  (* Fires at multiples of 3 but never at the final step (here step 9 <
+     steps, so all three fire; a cadence hitting 10 exactly would skip). *)
+  Alcotest.(check (list (pair int int)))
+    "fired at cadence" [ (9, 9); (6, 6); (3, 3) ] !fired
+
 (* ---- Fit ---- *)
 
 let tbi_target secret epsilon rng =
@@ -229,6 +299,10 @@ let suite =
     Alcotest.test_case "mcmc rejects worse at high pow" `Quick test_mcmc_always_accepts_improvement;
     Alcotest.test_case "mcmc invalid proposals" `Quick test_mcmc_invalid_proposals;
     Alcotest.test_case "mcmc on_step" `Quick test_mcmc_on_step_called;
+    Alcotest.test_case "mcmc non-finite energy refresh" `Quick
+      test_mcmc_nonfinite_energy_refreshes;
+    Alcotest.test_case "mcmc start offset" `Quick test_mcmc_start_offset;
+    Alcotest.test_case "mcmc checkpoint hook" `Quick test_mcmc_checkpoint_hook;
     Alcotest.test_case "fit: zero energy on perfect seed" `Quick test_fit_energy_matches_distance;
     Alcotest.test_case "fit: no incremental drift" `Quick test_fit_step_revert_consistency;
     Alcotest.test_case "fit: triangles rise" `Slow test_fit_improves_triangles;

@@ -1,0 +1,212 @@
+module Persist = Wpinq_persist.Persist
+module Codec = Persist.Codec
+module Fault = Persist.Fault
+
+let with_temp f =
+  let path = Filename.temp_file "wpinq_persist" ".bin" in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists path then Sys.remove path;
+      let tmp = path ^ ".tmp" in
+      if Sys.file_exists tmp then Sys.remove tmp)
+    (fun () -> f path)
+
+(* ---- codec ---- *)
+
+let test_codec_roundtrip () =
+  let buf = Buffer.create 64 in
+  Codec.write_int64 buf Int64.min_int;
+  Codec.write_int64 buf Int64.max_int;
+  Codec.write_int buf (-42);
+  Codec.write_bool buf true;
+  Codec.write_bool buf false;
+  Codec.write_string buf "";
+  Codec.write_string buf "with \x00 nul and \xff bytes";
+  Codec.write_list Codec.write_int buf [ 3; 1; 2 ];
+  Codec.write_array Codec.write_float buf [| 1.5; -0.0 |];
+  let r = Codec.reader (Buffer.contents buf) in
+  Alcotest.(check int64) "min_int64" Int64.min_int (Codec.read_int64 r);
+  Alcotest.(check int64) "max_int64" Int64.max_int (Codec.read_int64 r);
+  Alcotest.(check int) "negative int" (-42) (Codec.read_int r);
+  Alcotest.(check bool) "true" true (Codec.read_bool r);
+  Alcotest.(check bool) "false" false (Codec.read_bool r);
+  Alcotest.(check string) "empty string" "" (Codec.read_string r);
+  Alcotest.(check string) "binary string" "with \x00 nul and \xff bytes"
+    (Codec.read_string r);
+  Alcotest.(check (list int)) "list order" [ 3; 1; 2 ] (Codec.read_list Codec.read_int r);
+  let a = Codec.read_array Codec.read_float r in
+  Alcotest.(check int) "array length" 2 (Array.length a);
+  Alcotest.(check int) "nothing left" 0 (Codec.remaining r)
+
+let test_codec_float_bits () =
+  (* Floats must survive by bit pattern, not by printing: NaN, -0.0, and
+     subnormals are all checkpoint-relevant energies. *)
+  let specials = [ Float.nan; -0.0; 0.0; Float.infinity; Float.neg_infinity; 4.9e-324 ] in
+  let buf = Buffer.create 64 in
+  List.iter (Codec.write_float buf) specials;
+  let r = Codec.reader (Buffer.contents buf) in
+  List.iter
+    (fun expect ->
+      let got = Codec.read_float r in
+      Alcotest.(check int64)
+        (Printf.sprintf "bits of %h" expect)
+        (Int64.bits_of_float expect) (Int64.bits_of_float got))
+    specials
+
+let test_codec_truncation () =
+  let buf = Buffer.create 16 in
+  Codec.write_string buf "hello";
+  let encoded = Buffer.contents buf in
+  (* Every strict prefix must fail with a typed error, never read garbage. *)
+  for len = 0 to String.length encoded - 1 do
+    let r = Codec.reader (String.sub encoded 0 len) in
+    match Codec.read_string r with
+    | exception Codec.Decode_error _ -> ()
+    | s -> Alcotest.failf "prefix %d decoded to %S" len s
+  done
+
+let test_codec_negative_length () =
+  let buf = Buffer.create 16 in
+  Codec.write_int64 buf (-5L);
+  match Codec.read_string (Codec.reader (Buffer.contents buf)) with
+  | exception Codec.Decode_error _ -> ()
+  | s -> Alcotest.failf "negative length decoded to %S" s
+
+(* ---- fault injection ---- *)
+
+let test_fault_countdown () =
+  Fault.disarm ();
+  Fault.arm ~site:"x" ~after:2;
+  Fault.point "other-site";
+  (* wrong site: no effect *)
+  Fault.point "x";
+  (* 1st pass *)
+  (match Fault.point "x" with
+  | exception Fault.Injected "x" -> ()
+  | () -> Alcotest.fail "expected injection on 2nd pass");
+  (* One-shot: disarmed before raising, so recovery code runs clean. *)
+  Fault.point "x"
+
+(* ---- container format ---- *)
+
+let magic = "test-magic\n"
+let version = 3
+
+let test_file_roundtrip () =
+  with_temp (fun path ->
+      let payload = "some payload \x00 bytes" in
+      Persist.File.save ~path ~magic ~version payload;
+      match Persist.File.load ~path ~magic ~version with
+      | Ok p -> Alcotest.(check string) "payload" payload p
+      | Error e -> Alcotest.fail (Persist.File.error_to_string e))
+
+let test_file_missing () =
+  match Persist.File.load ~path:"/nonexistent/nowhere.bin" ~magic ~version with
+  | Error (Persist.File.Io_error _) -> ()
+  | Ok _ -> Alcotest.fail "loaded a missing file"
+  | Error e -> Alcotest.failf "wrong error: %s" (Persist.File.error_to_string e)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let test_file_flipped_byte () =
+  with_temp (fun path ->
+      let payload = "all these bytes are load-bearing" in
+      Persist.File.save ~path ~magic ~version payload;
+      let raw = read_file path in
+      (* Flip every byte in turn: each corruption must surface as a typed
+         error — magic damage as Bad_magic, version damage as
+         Unsupported_version, anything else as Truncated or
+         Checksum_mismatch — never as Ok or an exception. *)
+      for i = 0 to String.length raw - 1 do
+        let corrupt = Bytes.of_string raw in
+        Bytes.set corrupt i (Char.chr (Char.code (Bytes.get corrupt i) lxor 0x01));
+        write_file path (Bytes.to_string corrupt);
+        match Persist.File.load ~path ~magic ~version with
+        | Ok p when p = payload -> Alcotest.failf "byte %d flip went unnoticed" i
+        | Ok _ -> Alcotest.failf "byte %d flip produced a wrong payload" i
+        | Error _ -> ()
+      done)
+
+let test_file_checksum_mismatch_specifically () =
+  with_temp (fun path ->
+      Persist.File.save ~path ~magic ~version "payload under test";
+      let raw = read_file path in
+      (* Flip the last byte — squarely inside the payload. *)
+      let corrupt = Bytes.of_string raw in
+      let i = Bytes.length corrupt - 1 in
+      Bytes.set corrupt i (Char.chr (Char.code (Bytes.get corrupt i) lxor 0xff));
+      write_file path (Bytes.to_string corrupt);
+      match Persist.File.load ~path ~magic ~version with
+      | Error Persist.File.Checksum_mismatch -> ()
+      | Ok _ -> Alcotest.fail "corrupt payload loaded"
+      | Error e -> Alcotest.failf "wrong error: %s" (Persist.File.error_to_string e))
+
+let test_file_truncated () =
+  with_temp (fun path ->
+      Persist.File.save ~path ~magic ~version "a payload long enough to truncate";
+      let raw = read_file path in
+      write_file path (String.sub raw 0 (String.length raw - 5));
+      match Persist.File.load ~path ~magic ~version with
+      | Error Persist.File.Truncated -> ()
+      | Ok _ -> Alcotest.fail "truncated file loaded"
+      | Error e -> Alcotest.failf "wrong error: %s" (Persist.File.error_to_string e))
+
+let test_file_bad_magic_and_version () =
+  with_temp (fun path ->
+      Persist.File.save ~path ~magic ~version "p";
+      (match Persist.File.load ~path ~magic:"other-magic\n" ~version with
+      | Error Persist.File.Bad_magic -> ()
+      | _ -> Alcotest.fail "expected Bad_magic");
+      match Persist.File.load ~path ~magic ~version:(version + 1) with
+      | Error (Persist.File.Unsupported_version { found; expected }) ->
+          Alcotest.(check int) "found" version found;
+          Alcotest.(check int) "expected" (version + 1) expected
+      | _ -> Alcotest.fail "expected Unsupported_version")
+
+let test_interrupted_write_preserves_previous () =
+  (* The acceptance criterion: a crash mid-write (during the temp-file body
+     or just before the rename) leaves the previous valid file intact. *)
+  with_temp (fun path ->
+      Persist.File.save ~path ~magic ~version "generation one";
+      List.iter
+        (fun site ->
+          Fault.arm ~site ~after:1;
+          (match Persist.File.save ~path ~magic ~version "generation two" with
+          | exception Fault.Injected _ -> ()
+          | () -> Alcotest.failf "fault at %s did not fire" site);
+          match Persist.File.load ~path ~magic ~version with
+          | Ok p -> Alcotest.(check string) (site ^ " preserved") "generation one" p
+          | Error e -> Alcotest.fail (Persist.File.error_to_string e))
+        [ "atomic.write"; "atomic.rename" ];
+      (* And with no fault armed the next write goes through. *)
+      Persist.File.save ~path ~magic ~version "generation two";
+      match Persist.File.load ~path ~magic ~version with
+      | Ok p -> Alcotest.(check string) "clean retry" "generation two" p
+      | Error e -> Alcotest.fail (Persist.File.error_to_string e))
+
+let suite =
+  [
+    Alcotest.test_case "codec round-trip" `Quick test_codec_roundtrip;
+    Alcotest.test_case "codec float bit patterns" `Quick test_codec_float_bits;
+    Alcotest.test_case "codec truncation" `Quick test_codec_truncation;
+    Alcotest.test_case "codec negative length" `Quick test_codec_negative_length;
+    Alcotest.test_case "fault countdown" `Quick test_fault_countdown;
+    Alcotest.test_case "file round-trip" `Quick test_file_roundtrip;
+    Alcotest.test_case "file missing" `Quick test_file_missing;
+    Alcotest.test_case "every flipped byte detected" `Quick test_file_flipped_byte;
+    Alcotest.test_case "payload flip is checksum mismatch" `Quick
+      test_file_checksum_mismatch_specifically;
+    Alcotest.test_case "truncated file detected" `Quick test_file_truncated;
+    Alcotest.test_case "bad magic and version" `Quick test_file_bad_magic_and_version;
+    Alcotest.test_case "interrupted write preserves previous" `Quick
+      test_interrupted_write_preserves_previous;
+  ]

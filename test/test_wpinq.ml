@@ -2,6 +2,7 @@ let () =
   Alcotest.run "wpinq"
     [
       ("prng", Test_prng.suite);
+      ("persist", Test_persist.suite);
       ("weighted", Test_weighted.suite);
       ("dataflow", Test_dataflow.suite);
       ("core", Test_core.suite);
@@ -9,6 +10,7 @@ let () =
       ("queries", Test_queries.suite);
       ("postprocess", Test_postprocess.suite);
       ("infer", Test_infer.suite);
+      ("checkpoint", Test_checkpoint.suite);
       ("data", Test_data.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("baselines", Test_baselines.suite);
