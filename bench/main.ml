@@ -6,7 +6,13 @@
    exposes the same code with free knobs for longer, closer-to-paper runs.
 
    Part 2 runs Bechamel micro-benchmarks of the kernels those experiments
-   stress: one per table/figure kernel plus the core engine primitives. *)
+   stress: one per table/figure kernel plus the core engine primitives.
+
+   Part 3 is the machine-readable walk benchmark: a Metropolis–Hastings
+   walk on scaled-down ca-GrQc with per-step wall time bucketed by
+   accept/reject, written to BENCH_wpinq.json next to the recorded
+   pre-speculation baseline.  `--smoke` runs only this part, reduced, for
+   CI; `--json PATH` overrides the output path. *)
 
 module E = Wpinq_experiments.Experiments
 module Prng = Wpinq_prng.Prng
@@ -160,8 +166,130 @@ let run_benchmarks () =
         results)
     (bench_tests ())
 
+(* ---------------- Part 3: the machine-readable walk benchmark ------------
+
+   One TbI-driven walk on scaled-down ca-GrQc, per-step wall time bucketed
+   by accept/reject.  The [baseline] block records the same run measured on
+   the pre-speculation engine (rejection = full inverse re-propagation,
+   per-batch list/hashtable churn); [current] is measured live.  The
+   headline number is rejected_over_accepted: a rejected move used to cost
+   ~2x an accepted one, the undo log brings it within 1.25x. *)
+
+module Dataflow = Wpinq_dataflow.Dataflow
+
+(* Recorded on this repository's engine before the speculative
+   propose/commit/abort rewrite (same config as the full run below:
+   ca-GrQc at scale 0.4, seed 7, epsilon 0.1, pow 10^4, 2k warmup steps,
+   20k measured). *)
+let baseline_json =
+  {|  "baseline": {
+    "engine": "pre-speculation (inverse re-propagation on reject)",
+    "accepted_us_per_step": 232.249,
+    "rejected_us_per_step": 445.853,
+    "rejected_over_accepted": 1.920,
+    "minor_words_per_step": 25274.2,
+    "join_fast_updates": 340936,
+    "join_full_rescales": 1040
+  }|}
+
+let walk_bench ~smoke ~json_path () =
+  banner "Part 3: speculative-walk benchmark (machine-readable)";
+  let scale, warmup, steps = if smoke then (0.15, 500, 3_000) else (0.4, 2_000, 20_000) in
+  Printf.printf "(ca-GrQc at scale %.2f, %d warmup + %d measured steps)\n%!" scale warmup
+    steps;
+  let fit = make_fit ~tbd:false scale in
+  for _ = 1 to warmup do
+    ignore (Fit.step ~pow:10_000.0 fit)
+  done;
+  let engine = Fit.engine fit in
+  (* Engine counters over the measured window only. *)
+  let fast0 = Dataflow.Engine.join_fast_updates engine in
+  let full0 = Dataflow.Engine.join_full_rescales engine in
+  let work0 = Dataflow.Engine.work engine in
+  let commits0 = Dataflow.Engine.commits engine in
+  let aborts0 = Dataflow.Engine.aborts engine in
+  let undo0 = Dataflow.Engine.undo_cells engine in
+  let grows0 = Dataflow.Engine.arena_grows engine in
+  let reuses0 = Dataflow.Engine.arena_reuses engine in
+  let acc_t = ref 0.0 and acc_n = ref 0 in
+  let rej_t = ref 0.0 and rej_n = ref 0 in
+  let minor0 = Gc.minor_words () in
+  let wall0 = Unix.gettimeofday () in
+  for _ = 1 to steps do
+    let t0 = Unix.gettimeofday () in
+    let accepted = Fit.step ~pow:10_000.0 fit in
+    let dt = Unix.gettimeofday () -. t0 in
+    if accepted then begin
+      acc_t := !acc_t +. dt;
+      incr acc_n
+    end
+    else begin
+      rej_t := !rej_t +. dt;
+      incr rej_n
+    end
+  done;
+  let wall = Unix.gettimeofday () -. wall0 in
+  let minor = Gc.minor_words () -. minor0 in
+  let acc_us = 1e6 *. !acc_t /. float (max 1 !acc_n) in
+  let rej_us = 1e6 *. !rej_t /. float (max 1 !rej_n) in
+  let ratio = rej_us /. acc_us in
+  let oc = open_out json_path in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"benchmark\": \"wpinq-speculative-walk\",\n";
+  Printf.fprintf oc "  \"dataset\": \"ca-GrQc\",\n";
+  Printf.fprintf oc "  \"scale\": %.2f,\n" scale;
+  Printf.fprintf oc "  \"query\": \"tbi\",\n";
+  Printf.fprintf oc "  \"pow\": 10000,\n";
+  Printf.fprintf oc "  \"warmup_steps\": %d,\n" warmup;
+  Printf.fprintf oc "  \"measured_steps\": %d,\n" steps;
+  Printf.fprintf oc "  \"smoke\": %b,\n" smoke;
+  (* The baseline was recorded at the full configuration; in smoke mode it
+     is context, not a like-for-like comparison. *)
+  Printf.fprintf oc "%s,\n" baseline_json;
+  Printf.fprintf oc "  \"current\": {\n";
+  Printf.fprintf oc "    \"engine\": \"speculative (undo-log rollback on reject)\",\n";
+  Printf.fprintf oc "    \"accepted_steps\": %d,\n" !acc_n;
+  Printf.fprintf oc "    \"rejected_steps\": %d,\n" !rej_n;
+  Printf.fprintf oc "    \"accepted_us_per_step\": %.3f,\n" acc_us;
+  Printf.fprintf oc "    \"rejected_us_per_step\": %.3f,\n" rej_us;
+  Printf.fprintf oc "    \"rejected_over_accepted\": %.3f,\n" ratio;
+  Printf.fprintf oc "    \"steps_per_sec\": %.1f,\n" (float steps /. wall);
+  Printf.fprintf oc "    \"minor_words_per_step\": %.1f,\n" (minor /. float steps);
+  Printf.fprintf oc "    \"join_fast_updates\": %d,\n"
+    (Dataflow.Engine.join_fast_updates engine - fast0);
+  Printf.fprintf oc "    \"join_full_rescales\": %d,\n"
+    (Dataflow.Engine.join_full_rescales engine - full0);
+  Printf.fprintf oc "    \"work\": %d,\n" (Dataflow.Engine.work engine - work0);
+  Printf.fprintf oc "    \"commits\": %d,\n" (Dataflow.Engine.commits engine - commits0);
+  Printf.fprintf oc "    \"aborts\": %d,\n" (Dataflow.Engine.aborts engine - aborts0);
+  Printf.fprintf oc "    \"undo_cells\": %d,\n" (Dataflow.Engine.undo_cells engine - undo0);
+  Printf.fprintf oc "    \"arena_grows\": %d,\n" (Dataflow.Engine.arena_grows engine - grows0);
+  Printf.fprintf oc "    \"arena_reuses\": %d\n" (Dataflow.Engine.arena_reuses engine - reuses0);
+  Printf.fprintf oc "  }\n";
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  Printf.printf "accepted: %.3f us/step (%d)\n" acc_us !acc_n;
+  Printf.printf "rejected: %.3f us/step (%d)\n" rej_us !rej_n;
+  Printf.printf "rejected/accepted = %.3f (baseline 1.920)\n" ratio;
+  Printf.printf "minor words/step = %.1f (baseline 25274.2)\n" (minor /. float steps);
+  Printf.printf "wrote %s\n%!" json_path
+
 let () =
+  let smoke = ref false in
+  let walk_only = ref false in
+  let json_path = ref "BENCH_wpinq.json" in
+  Arg.parse
+    [
+      ("--smoke", Arg.Set smoke, " Run only the walk benchmark, reduced (CI-sized).");
+      ("--walk", Arg.Set walk_only, " Run only the walk benchmark, at full size.");
+      ("--json", Arg.Set_string json_path, "PATH Where to write the walk benchmark JSON.");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "bench [--smoke | --walk] [--json PATH]";
   let t0 = Unix.gettimeofday () in
-  experiments ();
-  run_benchmarks ();
+  if not (!smoke || !walk_only) then begin
+    experiments ();
+    run_benchmarks ()
+  end;
+  walk_bench ~smoke:!smoke ~json_path:!json_path ();
   Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

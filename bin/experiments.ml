@@ -74,13 +74,20 @@ let synthesize_cmd =
     Arg.(value & opt int 10_000
          & info [ "checkpoint-every" ] ~docv:"N" ~doc:"Steps between checkpoints.")
   in
+  let refresh_every =
+    Arg.(value & opt int 100_000
+         & info [ "refresh-every" ] ~docv:"N"
+             ~doc:"Steps between full recomputations of the incrementally maintained \
+                   target distances (drift control; persisted in checkpoints).")
+  in
   let resume =
     Arg.(value & opt (some file) None
          & info [ "resume" ] ~docv:"FILE"
              ~doc:"Resume an interrupted fit from this checkpoint file (the secret \
                    graph is not re-read; $(b,--input)/$(b,--query) are ignored).")
   in
-  let run cfg input dataset query bucket output checkpoint_dir checkpoint_every resume =
+  let run cfg input dataset query bucket output checkpoint_dir checkpoint_every
+      refresh_every resume =
     let module Graph = Wpinq_graph.Graph in
     let module Io = Wpinq_graph.Io in
     let module W = Wpinq_infer.Workflow in
@@ -129,7 +136,7 @@ let synthesize_cmd =
                     path = Filename.concat dir "checkpoint.wpinq";
                   }
           in
-          W.synthesize ~pow:cfg.E.pow ~steps:cfg.E.steps ?checkpoint
+          W.synthesize ~pow:cfg.E.pow ~steps:cfg.E.steps ~refresh_every ?checkpoint
             ~rng:(Wpinq_prng.Prng.create cfg.E.seed) ~epsilon:cfg.E.epsilon ~query
             ~secret ()
     in
@@ -155,7 +162,7 @@ let synthesize_cmd =
        ~doc:"Run the full measure-and-synthesize workflow on an edge-list file.")
     Term.(
       const run $ config_term $ input $ dataset $ query $ bucket $ output $ checkpoint_dir
-      $ checkpoint_every $ resume)
+      $ checkpoint_every $ refresh_every $ resume)
 
 let cmds =
   [

@@ -42,6 +42,7 @@ module Target = struct
 
   let create (type a) (q : a collection) (m : a Measurement.t) =
     let sink = Dataflow.Sink.attach q in
+    let engine = Dataflow.Sink.engine sink in
     (* tracked: record -> (observation, counts_baseline).  [counts_baseline]
        is true for records observed at measurement time, whose |0 - m x| is
        part of the initial distance. *)
@@ -57,10 +58,21 @@ module Target = struct
           match Hashtbl.find_opt tracked x with
           | Some (v, _) -> v
           | None ->
+              (* A record first seen during a speculative propagation stays
+                 tracked after an abort: drawing its observation is part of
+                 proposing (exactly as with revert-by-refeed), and a
+                 tracked record absent from the sink contributes 0 to the
+                 distance, so keeping it does not shift the convention. *)
               let v = Measurement.value m x in
               Hashtbl.replace tracked x (v, false);
               v
         in
+        (* Enroll the maintained distance in the speculative rollback: the
+           undo log restores the pre-speculation value directly instead of
+           reversing the arithmetic, so an abort is bit-exact. *)
+        (if Dataflow.Engine.speculating engine then
+           let d0 = !distance in
+           Dataflow.Engine.log_undo engine (fun () -> distance := d0));
         distance := !distance +. Float.abs (new_weight -. obs) -. Float.abs (old_weight -. obs));
     let recompute () =
       let d = ref 0.0 in

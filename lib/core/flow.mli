@@ -45,7 +45,14 @@ module Target : sig
   (** [create q m] attaches a scoring sink under [q].  Records [m] observed
       at measurement time contribute immediately; records that first appear
       in the synthetic output draw (and memoize) their noisy observation
-      lazily, exactly as {!Measurement.value} specifies. *)
+      lazily, exactly as {!Measurement.value} specifies.
+
+      The maintained distance participates in speculative evaluation: when
+      the engine is speculating (see
+      {!Wpinq_dataflow.Dataflow.Engine.begin_speculation}), every distance
+      update is enrolled in the undo log, so
+      {!Wpinq_dataflow.Dataflow.Engine.abort} restores the distance to its
+      exact pre-speculation bit pattern. *)
 
   val distance : t -> float
   (** Current [‖Q(A) − m‖₁] over all tracked records, up to a constant

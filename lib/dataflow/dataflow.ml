@@ -4,32 +4,220 @@ module Ops = Wpinq_weighted.Ops
 let near_zero w = Float.abs w < Wdata.epsilon_weight
 
 module Engine = struct
+  (* The undo log is a stack of restoration closures recorded by every
+     stateful cell mutation made while [speculating].  Closures (rather
+     than typed cell records) keep the log polymorphic over the
+     heterogeneous cell types of the DAG's operators; each closure
+     reinstates one cell's exact previous contents, so replaying the log
+     in reverse is a bit-identical rollback with no float arithmetic. *)
+  let nop () = ()
+
   type t = {
     mutable state_records : int;
     mutable work : int;
     mutable join_fast : int;
     mutable join_full : int;
+    (* scratch-arena allocation counters *)
+    mutable arena_grows : int;
+    mutable arena_reuses : int;
+    (* speculation protocol *)
+    mutable speculating : bool;
+    mutable in_feed : bool;
+    mutable undo : (unit -> unit) array;
+    mutable undo_len : int;
+    mutable commits : int;
+    mutable aborts : int;
+    mutable undo_cells : int;
+    (* statistics snapshot taken at [begin_speculation], restored by
+       [abort] so an aborted propagation leaves no statistical trace *)
+    mutable s_state_records : int;
+    mutable s_work : int;
+    mutable s_join_fast : int;
+    mutable s_join_full : int;
+    mutable s_arena_grows : int;
+    mutable s_arena_reuses : int;
   }
 
-  let create () = { state_records = 0; work = 0; join_fast = 0; join_full = 0 }
+  let create () =
+    {
+      state_records = 0;
+      work = 0;
+      join_fast = 0;
+      join_full = 0;
+      arena_grows = 0;
+      arena_reuses = 0;
+      speculating = false;
+      in_feed = false;
+      undo = Array.make 64 nop;
+      undo_len = 0;
+      commits = 0;
+      aborts = 0;
+      undo_cells = 0;
+      s_state_records = 0;
+      s_work = 0;
+      s_join_fast = 0;
+      s_join_full = 0;
+      s_arena_grows = 0;
+      s_arena_reuses = 0;
+    }
+
   let state_records t = t.state_records
   let work t = t.work
   let join_fast_updates t = t.join_fast
   let join_full_rescales t = t.join_full
+  let arena_grows t = t.arena_grows
+  let arena_reuses t = t.arena_reuses
+  let commits t = t.commits
+  let aborts t = t.aborts
+  let undo_cells t = t.undo_cells
+  let speculating t = t.speculating
+
+  let log_undo t f =
+    if t.speculating then begin
+      if t.undo_len = Array.length t.undo then begin
+        let bigger = Array.make (2 * Array.length t.undo) nop in
+        Array.blit t.undo 0 bigger 0 t.undo_len;
+        t.undo <- bigger
+      end;
+      t.undo.(t.undo_len) <- f;
+      t.undo_len <- t.undo_len + 1;
+      t.undo_cells <- t.undo_cells + 1
+    end
+
+  let begin_speculation t =
+    if t.speculating then
+      invalid_arg "Dataflow.Engine.begin_speculation: speculation already in progress";
+    if t.in_feed then
+      invalid_arg "Dataflow.Engine.begin_speculation: cannot speculate during propagation";
+    t.s_state_records <- t.state_records;
+    t.s_work <- t.work;
+    t.s_join_fast <- t.join_fast;
+    t.s_join_full <- t.join_full;
+    t.s_arena_grows <- t.arena_grows;
+    t.s_arena_reuses <- t.arena_reuses;
+    t.speculating <- true
+
+  let commit t =
+    if not t.speculating then invalid_arg "Dataflow.Engine.commit: no speculation in progress";
+    if t.in_feed then invalid_arg "Dataflow.Engine.commit: cannot commit during propagation";
+    t.speculating <- false;
+    Array.fill t.undo 0 t.undo_len nop;
+    t.undo_len <- 0;
+    t.commits <- t.commits + 1
+
+  let abort t =
+    if not t.speculating then invalid_arg "Dataflow.Engine.abort: no speculation in progress";
+    if t.in_feed then invalid_arg "Dataflow.Engine.abort: cannot abort during propagation";
+    t.speculating <- false;
+    for i = t.undo_len - 1 downto 0 do
+      t.undo.(i) ();
+      t.undo.(i) <- nop
+    done;
+    t.undo_len <- 0;
+    t.state_records <- t.s_state_records;
+    t.work <- t.s_work;
+    t.join_fast <- t.s_join_fast;
+    t.join_full <- t.s_join_full;
+    t.arena_grows <- t.s_arena_grows;
+    t.arena_reuses <- t.s_arena_reuses;
+    t.aborts <- t.aborts + 1
+end
+
+(* Reusable per-operator output buffers — the scratch arena.  Operators
+   accumulate their output changes in parallel record/weight arrays
+   (weights unboxed) instead of consing fresh lists, and coalesce through
+   a persistent hashtable whose bucket array survives across batches.
+   Safe to reuse across a DAG propagation because every handler fully
+   drains its scratch before emitting downstream, and the DAG is acyclic,
+   so a handler can never be re-entered while its scratch is live. *)
+module Scratch = struct
+  type 'a t = {
+    engine : Engine.t;
+    mutable xs : 'a array;
+    mutable ws : float array;
+    mutable len : int;
+    acc : ('a, float) Hashtbl.t;
+  }
+
+  let create engine = { engine; xs = [||]; ws = [||]; len = 0; acc = Hashtbl.create 32 }
+
+  let push t x w =
+    let cap = Array.length t.xs in
+    if t.len = cap then begin
+      t.engine.Engine.arena_grows <- t.engine.Engine.arena_grows + 1;
+      let cap' = if cap = 0 then 64 else 2 * cap in
+      let xs = Array.make cap' x in
+      let ws = Array.make cap' 0.0 in
+      Array.blit t.xs 0 xs 0 t.len;
+      Array.blit t.ws 0 ws 0 t.len;
+      t.xs <- xs;
+      t.ws <- ws
+    end;
+    t.xs.(t.len) <- x;
+    t.ws.(t.len) <- w;
+    t.len <- t.len + 1
+
+  (* Coalesces the buffered changes into a delta list and resets the
+     buffer for the next batch. *)
+  let drain t =
+    match t.len with
+    | 0 -> []
+    | 1 ->
+        t.len <- 0;
+        let w = t.ws.(0) in
+        if near_zero w then [] else [ (t.xs.(0), w) ]
+    | n ->
+        t.engine.Engine.arena_reuses <- t.engine.Engine.arena_reuses + 1;
+        for i = 0 to n - 1 do
+          let x = t.xs.(i) in
+          match Hashtbl.find_opt t.acc x with
+          | None -> Hashtbl.replace t.acc x t.ws.(i)
+          | Some w0 -> Hashtbl.replace t.acc x (w0 +. t.ws.(i))
+        done;
+        (* Build the output and empty [acc] in one O(batch) pass over the
+           pushed keys (removal marks a key as drained, so duplicates emit
+           once).  Folding or clearing [acc] instead would be
+           O(bucket-array capacity) and make every small batch pay for the
+           largest batch ever drained — e.g. the initial dataset load. *)
+        let out = ref [] in
+        for i = 0 to n - 1 do
+          let x = t.xs.(i) in
+          match Hashtbl.find_opt t.acc x with
+          | None -> () (* duplicate of an already-drained key *)
+          | Some w ->
+              Hashtbl.remove t.acc x;
+              if not (near_zero w) then out := (x, w) :: !out
+        done;
+        t.len <- 0;
+        !out
 end
 
 type 'a delta = ('a * float) list
-type 'a node = { engine : Engine.t; mutable subs : ('a delta -> unit) list }
+
+type 'a node = {
+  engine : Engine.t;
+  mutable subs_rev : ('a delta -> unit) list;
+  mutable subs : ('a delta -> unit) array;
+}
 
 let engine_of n = n.engine
-let make engine = { engine; subs = [] }
+let make engine = { engine; subs_rev = []; subs = [||] }
 
 (* Subscribers fire in subscription order; propagation is a synchronous
    depth-first walk of the DAG.  Correctness does not depend on the order
    because every stateful operator retires each delta batch against its
-   current state. *)
-let subscribe n f = n.subs <- n.subs @ [ f ]
-let emit n d = if d <> [] then List.iter (fun f -> f d) n.subs
+   current state.  Subscription happens only at DAG-build time, so the
+   subscriber array is rebuilt eagerly and emission iterates a flat
+   array. *)
+let subscribe n f =
+  n.subs_rev <- f :: n.subs_rev;
+  n.subs <- Array.of_list (List.rev n.subs_rev)
+
+let emit n d =
+  if d <> [] then
+    for i = 0 to Array.length n.subs - 1 do
+      n.subs.(i) d
+    done
 
 let coalesce d =
   match d with
@@ -48,7 +236,8 @@ let coalesce d =
 let count_work (engine : Engine.t) d = engine.work <- engine.work + List.length d
 
 (* A mutable weight table whose entry count is reported to the engine's
-   state-size statistic. *)
+   state-size statistic.  Under speculation, every mutation records the
+   cell's previous binding in the engine's undo log. *)
 module Wtbl = struct
   type 'a t = { tbl : ('a, float) Hashtbl.t; engine : Engine.t }
 
@@ -56,15 +245,21 @@ module Wtbl = struct
   let get t x = Option.value ~default:0.0 (Hashtbl.find_opt t.tbl x)
 
   let set t x w =
-    let had = Hashtbl.mem t.tbl x in
+    let prev = Hashtbl.find_opt t.tbl x in
+    if t.engine.Engine.speculating then begin
+      let tbl = t.tbl in
+      Engine.log_undo t.engine (fun () ->
+          match prev with None -> Hashtbl.remove tbl x | Some w0 -> Hashtbl.replace tbl x w0)
+    end;
+    let had = prev <> None in
     if near_zero w then begin
       if had then begin
         Hashtbl.remove t.tbl x;
-        t.engine.state_records <- t.engine.state_records - 1
+        t.engine.Engine.state_records <- t.engine.Engine.state_records - 1
       end
     end
     else begin
-      if not had then t.engine.state_records <- t.engine.state_records + 1;
+      if not had then t.engine.Engine.state_records <- t.engine.Engine.state_records + 1;
       Hashtbl.replace t.tbl x w
     end
 
@@ -85,18 +280,27 @@ module Input = struct
   let node t = t.node
 
   let feed t delta =
-    let delta = coalesce delta in
-    List.iter (fun (x, w) -> ignore (Wtbl.bump t.state x w)) delta;
-    emit t.node delta
+    let engine = t.node.engine in
+    if engine.Engine.in_feed then
+      invalid_arg "Dataflow.Input.feed: re-entrant feed during propagation";
+    engine.Engine.in_feed <- true;
+    Fun.protect
+      ~finally:(fun () -> engine.Engine.in_feed <- false)
+      (fun () ->
+        let delta = coalesce delta in
+        List.iter (fun (x, w) -> ignore (Wtbl.bump t.state x w)) delta;
+        emit t.node delta)
 
   let current t = Wdata.of_list (Wtbl.to_list t.state)
 end
 
 let select f up =
   let out = make up.engine in
+  let scratch = Scratch.create up.engine in
   subscribe up (fun d ->
       count_work up.engine d;
-      emit out (List.rev_map (fun (x, w) -> (f x, w)) d));
+      List.iter (fun (x, w) -> Scratch.push scratch (f x) w) d;
+      emit out (Scratch.drain scratch));
   out
 
 let where p up =
@@ -108,17 +312,17 @@ let where p up =
 
 let select_many f up =
   let out = make up.engine in
+  let scratch = Scratch.create up.engine in
   subscribe up (fun d ->
       count_work up.engine d;
-      let produced = ref [] in
       List.iter
         (fun (x, w) ->
           let ys = f x in
           let n = List.fold_left (fun acc (_, wy) -> acc +. Float.abs wy) 0.0 ys in
           let scale = w /. Float.max 1.0 n in
-          List.iter (fun (y, wy) -> produced := (y, wy *. scale) :: !produced) ys)
+          List.iter (fun (y, wy) -> Scratch.push scratch y (wy *. scale)) ys)
         d;
-      emit out !produced);
+      emit out (Scratch.drain scratch));
   out
 
 let select_many_list f up = select_many (fun x -> List.map (fun y -> (y, 1.0)) (f x)) up
@@ -155,9 +359,9 @@ let merge_node fop a b =
   let engine = same_engine a b in
   let out = make engine in
   let wa = Wtbl.create engine and wb = Wtbl.create engine in
+  let scratch = Scratch.create engine in
   let handle mine other flip d =
     count_work engine d;
-    let changes = ref [] in
     List.iter
       (fun (x, dw) ->
         let old_mine = Wtbl.bump mine x dw in
@@ -166,9 +370,9 @@ let merge_node fop a b =
         let new_mine = old_mine +. dw in
         let new_out = if flip then fop v_other new_mine else fop new_mine v_other in
         let diff = new_out -. old_out in
-        if not (near_zero diff) then changes := (x, diff) :: !changes)
+        if not (near_zero diff) then Scratch.push scratch x diff)
       d;
-    emit out (coalesce !changes)
+    emit out (Scratch.drain scratch)
   in
   subscribe a (handle wa wb false);
   subscribe b (handle wb wa true);
@@ -183,7 +387,13 @@ type 'r part = { recs : ('r, float) Hashtbl.t; mutable norm : float }
 let part_get p x = Option.value ~default:0.0 (Hashtbl.find_opt p.recs x)
 
 let part_set (engine : Engine.t) p x w =
-  let had = Hashtbl.mem p.recs x in
+  let prev = Hashtbl.find_opt p.recs x in
+  if engine.Engine.speculating then begin
+    let recs = p.recs in
+    Engine.log_undo engine (fun () ->
+        match prev with None -> Hashtbl.remove recs x | Some w0 -> Hashtbl.replace recs x w0)
+  end;
+  let had = prev <> None in
   if near_zero w then begin
     if had then begin
       Hashtbl.remove p.recs x;
@@ -195,38 +405,55 @@ let part_set (engine : Engine.t) p x w =
     Hashtbl.replace p.recs x w
   end
 
-let find_part index k =
+let part_add_norm (engine : Engine.t) p dn =
+  if engine.Engine.speculating then begin
+    let n0 = p.norm in
+    Engine.log_undo engine (fun () -> p.norm <- n0)
+  end;
+  p.norm <- p.norm +. dn
+
+let find_part (engine : Engine.t) index k =
   match Hashtbl.find_opt index k with
   | Some p -> p
   | None ->
       let p = { recs = Hashtbl.create 4; norm = 0.0 } in
       Hashtbl.replace index k p;
+      if engine.Engine.speculating then
+        Engine.log_undo engine (fun () -> Hashtbl.remove index k);
       p
 
-let group_delta_by_key key d =
-  let by_key = Hashtbl.create 16 in
+let drop_part (engine : Engine.t) index k p =
+  Hashtbl.remove index k;
+  if engine.Engine.speculating then
+    Engine.log_undo engine (fun () -> Hashtbl.replace index k p)
+
+(* Groups a delta batch into a caller-owned reusable table; the caller
+   iterates and must [Hashtbl.clear] it afterwards. *)
+let group_into by_key key d =
   List.iter
     (fun (x, w) ->
       let k = key x in
-      let cur = Option.value ~default:[] (Hashtbl.find_opt by_key k) in
-      Hashtbl.replace by_key k ((x, w) :: cur))
-    d;
-  by_key
+      match Hashtbl.find_opt by_key k with
+      | None -> Hashtbl.replace by_key k [ (x, w) ]
+      | Some cur -> Hashtbl.replace by_key k ((x, w) :: cur))
+    d
 
 let join ~kl ~kr ~reduce a b =
   let engine = same_engine a b in
   let out = make engine in
   let ia : ('k, 'ra part) Hashtbl.t = Hashtbl.create 64 in
   let ib : ('k, 'rb part) Hashtbl.t = Hashtbl.create 64 in
+  let scratch = Scratch.create engine in
   (* Retire a batch arriving on one side.  [cross changed_rec other_rec]
-     orients the output pair correctly for whichever side changed. *)
-  let handle mine_index other_index key_of cross d =
+     orients the output pair correctly for whichever side changed.  Each
+     side owns its reusable grouping table ([by_key]); the output scratch
+     is shared because the two handlers never overlap. *)
+  let handle mine_index other_index by_key key_of cross d =
     count_work engine d;
-    let by_key = group_delta_by_key key_of d in
-    let changes = ref [] in
+    group_into by_key key_of d;
     Hashtbl.iter
       (fun k entries ->
-        let mine = find_part mine_index k in
+        let mine = find_part engine mine_index k in
         let other =
           match Hashtbl.find_opt other_index k with
           | Some p -> p
@@ -242,6 +469,11 @@ let join ~kl ~kr ~reduce a b =
         in
         let denom_old = mine.norm +. other.norm in
         let denom_new = denom_old +. norm_change in
+        (* [norm] is updated exactly once on every path: the fast path
+           folds the sub-threshold dust in directly, the full path applies
+           the real change — so a sub-threshold change on an
+           empty-normalizer key (which takes the full path) is not
+           accumulated twice. *)
         if Float.abs norm_change < Wdata.epsilon_weight && denom_old > Wdata.epsilon_weight
         then begin
           (* Appendix B optimization: the normalizer is unchanged, so only
@@ -252,9 +484,10 @@ let join ~kl ~kr ~reduce a b =
               let old = part_get mine x in
               part_set engine mine x (old +. dw);
               Hashtbl.iter
-                (fun y wy -> changes := (cross x y, dw *. wy /. denom_old) :: !changes)
+                (fun y wy -> Scratch.push scratch (cross x y) (dw *. wy /. denom_old))
                 other.recs)
-            net
+            net;
+          part_add_norm engine mine norm_change
         end
         else begin
           (* The normalizer moved: every pair under this key is rescaled. *)
@@ -263,7 +496,7 @@ let join ~kl ~kr ~reduce a b =
             Hashtbl.iter
               (fun x wx ->
                 Hashtbl.iter
-                  (fun y wy -> changes := (cross x y, -.(wx *. wy) /. denom_old) :: !changes)
+                  (fun y wy -> Scratch.push scratch (cross x y) (-.(wx *. wy) /. denom_old))
                   other.recs)
               mine.recs;
           List.iter
@@ -271,72 +504,68 @@ let join ~kl ~kr ~reduce a b =
               let old = part_get mine x in
               part_set engine mine x (old +. dw))
             net;
-          mine.norm <- mine.norm +. norm_change;
+          part_add_norm engine mine norm_change;
           if denom_new > Wdata.epsilon_weight then
             Hashtbl.iter
               (fun x wx ->
                 Hashtbl.iter
-                  (fun y wy -> changes := (cross x y, wx *. wy /. denom_new) :: !changes)
+                  (fun y wy -> Scratch.push scratch (cross x y) (wx *. wy /. denom_new))
                   other.recs)
               mine.recs
         end;
-        if Float.abs norm_change < Wdata.epsilon_weight then
-          (* Fold the (sub-threshold) norm dust in so norms stay exact. *)
-          mine.norm <- mine.norm +. norm_change;
         if Hashtbl.length mine.recs = 0 && Float.abs mine.norm < Wdata.epsilon_weight then
-          Hashtbl.remove mine_index k)
+          drop_part engine mine_index k mine)
       by_key;
-    emit out (coalesce !changes)
+    (* [reset], not [clear]: shrink the bucket array back so a one-off huge
+       batch (the initial load) doesn't tax every later small batch. *)
+    Hashtbl.reset by_key;
+    emit out (Scratch.drain scratch)
   in
-  subscribe a (handle ia ib kl (fun x y -> reduce x y));
-  subscribe b (handle ib ia kr (fun y x -> reduce x y));
+  let by_key_a = Hashtbl.create 16 and by_key_b = Hashtbl.create 16 in
+  subscribe a (handle ia ib by_key_a kl (fun x y -> reduce x y));
+  subscribe b (handle ib ia by_key_b kr (fun y x -> reduce x y));
   out
 
 let group_by ~key ~reduce up =
   let engine = up.engine in
   let out = make engine in
-  let index : ('k, ('a, float) Hashtbl.t) Hashtbl.t = Hashtbl.create 64 in
-  let positive_part tbl = Hashtbl.fold (fun x w acc -> if w > 0.0 then (x, w) :: acc else acc) tbl [] in
-  let emissions k tbl =
-    List.map
-      (fun (members, w) -> ((k, reduce members), w))
+  let index : ('k, 'a Wtbl.t) Hashtbl.t = Hashtbl.create 64 in
+  let scratch = Scratch.create engine in
+  let by_key = Hashtbl.create 16 in
+  let positive_part tbl =
+    Hashtbl.fold (fun x w acc -> if w > 0.0 then (x, w) :: acc else acc) tbl.Wtbl.tbl []
+  in
+  let emit_part sign k tbl =
+    List.iter
+      (fun (members, w) -> Scratch.push scratch (k, reduce members) (sign *. w))
       (Ops.group_emissions (positive_part tbl))
   in
   subscribe up (fun d ->
       count_work engine d;
-      let by_key = group_delta_by_key key d in
-      let changes = ref [] in
+      group_into by_key key d;
       Hashtbl.iter
         (fun k entries ->
           let tbl =
             match Hashtbl.find_opt index k with
             | Some t -> t
             | None ->
-                let t = Hashtbl.create 4 in
+                let t = Wtbl.create engine in
                 Hashtbl.replace index k t;
+                if engine.Engine.speculating then
+                  Engine.log_undo engine (fun () -> Hashtbl.remove index k);
                 t
           in
-          List.iter (fun (r, w) -> changes := (r, -.w) :: !changes) (emissions k tbl);
-          List.iter
-            (fun (x, dw) ->
-              let old = Option.value ~default:0.0 (Hashtbl.find_opt tbl x) in
-              let w = old +. dw in
-              let had = Hashtbl.mem tbl x in
-              if near_zero w then begin
-                if had then begin
-                  Hashtbl.remove tbl x;
-                  engine.state_records <- engine.state_records - 1
-                end
-              end
-              else begin
-                if not had then engine.state_records <- engine.state_records + 1;
-                Hashtbl.replace tbl x w
-              end)
-            (coalesce entries);
-          List.iter (fun (r, w) -> changes := (r, w) :: !changes) (emissions k tbl);
-          if Hashtbl.length tbl = 0 then Hashtbl.remove index k)
+          emit_part (-1.0) k tbl;
+          List.iter (fun (x, dw) -> ignore (Wtbl.bump tbl x dw)) (coalesce entries);
+          emit_part 1.0 k tbl;
+          if Wtbl.size tbl = 0 then begin
+            Hashtbl.remove index k;
+            if engine.Engine.speculating then
+              Engine.log_undo engine (fun () -> Hashtbl.replace index k tbl)
+          end)
         by_key;
-      emit out (coalesce !changes));
+      Hashtbl.reset by_key;
+      emit out (Scratch.drain scratch));
   out
 
 let distinct ?(bound = 1.0) up =
@@ -344,40 +573,40 @@ let distinct ?(bound = 1.0) up =
   let engine = up.engine in
   let out = make engine in
   let state = Wtbl.create engine in
+  let scratch = Scratch.create engine in
   let cap w = Float.max 0.0 (Float.min bound w) in
   subscribe up (fun d ->
       count_work engine d;
-      let changes = ref [] in
       List.iter
         (fun (x, dw) ->
           let old = Wtbl.bump state x dw in
           let diff = cap (old +. dw) -. cap old in
-          if not (near_zero diff) then changes := (x, diff) :: !changes)
+          if not (near_zero diff) then Scratch.push scratch x diff)
         (coalesce d);
-      emit out (coalesce !changes));
+      emit out (Scratch.drain scratch));
   out
 
 let shave f up =
   let engine = up.engine in
   let out = make engine in
   let state = Wtbl.create engine in
+  let scratch = Scratch.create engine in
   subscribe up (fun d ->
       count_work engine d;
-      let changes = ref [] in
       List.iter
         (fun (x, dw) ->
           let old = Wtbl.bump state x dw in
           let w = old +. dw in
           if old > 0.0 then
             List.iter
-              (fun (i, wi) -> changes := ((x, i), -.wi) :: !changes)
+              (fun (i, wi) -> Scratch.push scratch (x, i) (-.wi))
               (Ops.shave_emissions (f x) old);
           if w > 0.0 then
             List.iter
-              (fun (i, wi) -> changes := ((x, i), wi) :: !changes)
+              (fun (i, wi) -> Scratch.push scratch (x, i) wi)
               (Ops.shave_emissions (f x) w))
         (coalesce d);
-      emit out (coalesce !changes));
+      emit out (Scratch.drain scratch));
   out
 
 let shave_const w up =
@@ -387,24 +616,31 @@ let shave_const w up =
 module Sink = struct
   type 'a t = {
     state : 'a Wtbl.t;
-    mutable callbacks : ('a -> old_weight:float -> new_weight:float -> unit) list;
+    mutable callbacks_rev : ('a -> old_weight:float -> new_weight:float -> unit) list;
+    mutable callbacks : ('a -> old_weight:float -> new_weight:float -> unit) array;
   }
 
   let attach node =
-    let t = { state = Wtbl.create node.engine; callbacks = [] } in
+    let t = { state = Wtbl.create node.engine; callbacks_rev = []; callbacks = [||] } in
     subscribe node (fun d ->
         List.iter
           (fun (x, dw) ->
             let old = Wtbl.bump t.state x dw in
             let nw = old +. dw in
             let nw = if near_zero nw then 0.0 else nw in
-            List.iter (fun f -> f x ~old_weight:old ~new_weight:nw) t.callbacks)
+            for i = 0 to Array.length t.callbacks - 1 do
+              t.callbacks.(i) x ~old_weight:old ~new_weight:nw
+            done)
           d);
     t
 
+  let engine t = t.state.Wtbl.engine
   let weight t x = Wtbl.get t.state x
   let support_size t = Wtbl.size t.state
   let current t = Wdata.of_list (Wtbl.to_list t.state)
   let to_list t = Wtbl.to_list t.state
-  let on_change t f = t.callbacks <- t.callbacks @ [ f ]
+
+  let on_change t f =
+    t.callbacks_rev <- f :: t.callbacks_rev;
+    t.callbacks <- Array.of_list (List.rev t.callbacks_rev)
 end

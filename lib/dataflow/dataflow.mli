@@ -21,7 +21,20 @@
     together, so a weight-preserving change (e.g. an edge swap, which
     removes one edge of a vertex and adds another) keeps Join's key norms
     unchanged and triggers the cheap linear update of Appendix B rather than
-    a full per-key recomputation. *)
+    a full per-key recomputation.
+
+    {2 Speculative evaluation}
+
+    A propagation can be made {e speculative}: between
+    {!Engine.begin_speculation} and {!Engine.commit}/{!Engine.abort}, every
+    stateful cell mutation is recorded in an engine-wide undo log.
+    [commit] discards the log; [abort] replays it in reverse, restoring
+    every operator's state, every sink, and the engine statistics to their
+    exact pre-speculation bit patterns — in time proportional to the cells
+    the propagation touched, with no second DAG propagation and no float
+    round-trip drift.  This is how a rejected Metropolis–Hastings move is
+    rolled back (propose → speculate → commit/abort); see DESIGN.md,
+    "Speculative evaluation & the undo log". *)
 
 module Engine : sig
   type t
@@ -37,7 +50,9 @@ module Engine : sig
 
   val work : t -> int
   (** Total delta entries processed by operators since creation; a
-      machine-independent measure of propagation cost. *)
+      machine-independent measure of propagation cost.  Aborted
+      speculative propagations are excluded (their work is restored by
+      {!abort}); their cost is visible through {!undo_cells}. *)
 
   val join_fast_updates : t -> int
   (** Number of per-key Join updates retired via the Appendix B
@@ -46,6 +61,60 @@ module Engine : sig
   val join_full_rescales : t -> int
   (** Number of per-key Join updates that changed the normalizer and forced
       a full per-key rescale. *)
+
+  (** {2 Allocation statistics}
+
+      Operators accumulate output changes in reusable scratch buffers
+      (record/weight arrays plus a persistent coalescing table) instead of
+      consing fresh lists and hashtables per batch. *)
+
+  val arena_grows : t -> int
+  (** Times any operator's scratch buffer had to grow its backing arrays —
+      settles to 0 per batch once buffers reach steady-state size. *)
+
+  val arena_reuses : t -> int
+  (** Output batches retired entirely through an already-allocated scratch
+      buffer (the steady-state, allocation-light path). *)
+
+  (** {2 Speculation}
+
+      At most one speculation can be in progress per engine.  All three
+      calls raise [Invalid_argument] when used out of protocol (nested
+      [begin_speculation], [commit]/[abort] without a speculation in
+      progress, or any of them from inside a propagation). *)
+
+  val begin_speculation : t -> unit
+  (** Starts recording an undo log.  Costs nothing up front: no snapshot
+      is taken; each subsequent cell mutation logs its previous value. *)
+
+  val commit : t -> unit
+  (** Accepts everything fed since {!begin_speculation}: discards the undo
+      log in O(log length). *)
+
+  val abort : t -> unit
+  (** Rejects everything fed since {!begin_speculation}: replays the undo
+      log in reverse, restoring operator state, sink contents, and the
+      statistics above bit-identically ({!commits}, {!aborts} and
+      {!undo_cells} themselves keep counting).  O(cells touched). *)
+
+  val speculating : t -> bool
+
+  val log_undo : t -> (unit -> unit) -> unit
+  (** [log_undo t f] appends [f] to the current undo log ([f] must restore
+      one external cell to its pre-mutation value); no-op when no
+      speculation is in progress.  This is the hook by which state
+      {e derived} from the DAG — e.g. the scoring layer's incrementally
+      maintained distances — joins the rollback. *)
+
+  val commits : t -> int
+  (** Speculations committed since creation. *)
+
+  val aborts : t -> int
+  (** Speculations aborted since creation. *)
+
+  val undo_cells : t -> int
+  (** Total undo-log entries ever recorded (committed and aborted): the
+      cumulative number of speculative cell mutations. *)
 end
 
 type 'a node
@@ -69,7 +138,8 @@ module Input : sig
   val feed : 'a t -> 'a delta -> unit
   (** [feed input delta] applies the batch and synchronously propagates all
       consequences through the DAG.  Must not be called re-entrantly from a
-      sink callback. *)
+      sink callback: a re-entrant call raises [Invalid_argument] (enforced,
+      not just documented). *)
 
   val current : 'a t -> 'a Wpinq_weighted.Wdata.t
   (** The accumulated input collection (for checkpointing and testing). *)
@@ -102,7 +172,9 @@ val join :
     weight unchanged is retired with the bilinear update
     [δa × B / (‖A_k‖+‖B_k‖)] touching only matched records; a delta that
     changes the norm rescales the key's whole output (old cross product
-    out, new cross product in), as wPINQ's normalization requires. *)
+    out, new cross product in), as wPINQ's normalization requires.
+    Sub-threshold norm residue is folded into the key's stored norm exactly
+    once per batch, so norms stay exact without double-counting dust. *)
 
 val group_by : key:('a -> 'k) -> reduce:('a list -> 'r) -> 'a node -> ('k * 'r) node
 (** Maintains each part's records; on change, re-derives the part's prefix
@@ -123,6 +195,10 @@ module Sink : sig
 
   val attach : 'a node -> 'a t
 
+  val engine : 'a t -> Engine.t
+  (** The engine this sink's pipeline belongs to (the scoring layer uses it
+      to join speculative rollbacks via {!Engine.log_undo}). *)
+
   val weight : 'a t -> 'a -> float
   val support_size : 'a t -> int
   val current : 'a t -> 'a Wpinq_weighted.Wdata.t
@@ -131,7 +207,10 @@ module Sink : sig
   val on_change : 'a t -> ('a -> old_weight:float -> new_weight:float -> unit) -> unit
   (** Registers a callback fired on every record weight change reaching the
       sink (after the sink's own state is updated).  This is the hook the
-      scoring layer uses to maintain [‖Q(A) − m‖₁] incrementally. *)
+      scoring layer uses to maintain [‖Q(A) − m‖₁] incrementally.
+      Callbacks fire during speculative propagation too (and are {e not}
+      re-fired on abort — state a callback derives must be enrolled in the
+      undo log via {!Engine.log_undo} to survive rollback). *)
 end
 
 val coalesce : 'a delta -> 'a delta

@@ -74,23 +74,36 @@ let energy t = t.energy
 let engine t = t.engine
 let targets t = t.targets
 
-let apply_swap t swap =
+(* A proposal is installed speculatively: the graph edit is applied and the
+   swap's 8-record delta propagates through the engine under an undo log.
+   Acceptance commits (discards the log); rejection reverts the O(1) graph
+   edit and replays the log — O(cells touched), with no second DAG
+   propagation and no float round-trip drift. *)
+let speculate_swap t swap =
+  Dataflow.Engine.begin_speculation t.engine;
   Graph.Mutable.apply t.graph swap;
   Flow.feed t.handle (Graph.Mutable.delta swap)
+
+let commit_swap t = Dataflow.Engine.commit t.engine
+
+let abort_swap t swap =
+  Graph.Mutable.apply t.graph (Graph.Mutable.invert swap);
+  Dataflow.Engine.abort t.engine
 
 let step ?(pow = 1.0) t =
   match Graph.Mutable.propose_swap t.graph t.rng with
   | None -> false
   | Some swap ->
-      apply_swap t swap;
+      speculate_swap t swap;
       let proposed = Flow.Target.energy t.targets in
       let delta = proposed -. t.energy in
       if delta <= 0.0 || Prng.uniform t.rng < exp (-.pow *. delta) then begin
+        commit_swap t;
         t.energy <- proposed;
         true
       end
       else begin
-        apply_swap t (Graph.Mutable.invert swap);
+        abort_swap t swap;
         false
       end
 
@@ -98,14 +111,16 @@ let refresh t =
   List.iter Flow.Target.recompute t.targets;
   t.energy <- Flow.Target.energy t.targets
 
-let run t ~steps ?start ?(pow = 1.0) ?checkpoint_every ?on_checkpoint ?on_step () =
+let run t ~steps ?start ?(pow = 1.0) ?(refresh_every = 100_000) ?checkpoint_every
+    ?on_checkpoint ?on_step () =
   let stats =
-    Mcmc.run ~rng:t.rng ~steps ?start ~pow ~refresh:(fun () -> refresh t)
-      ~refresh_every:100_000 ?checkpoint_every ?on_checkpoint ?on_step
+    Mcmc.run ~rng:t.rng ~steps ?start ~pow ~refresh:(fun () -> refresh t) ~refresh_every
+      ?checkpoint_every ?on_checkpoint ?on_step
       ~energy:(fun () -> Flow.Target.energy t.targets)
       ~propose:(fun () -> Graph.Mutable.propose_swap t.graph t.rng)
-      ~apply:(fun swap -> apply_swap t swap)
-      ~revert:(fun swap -> apply_swap t (Graph.Mutable.invert swap))
+      ~apply:(fun swap -> speculate_swap t swap)
+      ~commit:(fun _ -> commit_swap t)
+      ~revert:(fun swap -> abort_swap t swap)
       ()
   in
   t.energy <- stats.Mcmc.final_energy;

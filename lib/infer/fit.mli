@@ -4,9 +4,12 @@
     A fit owns a mutable synthetic graph mirrored into an incremental
     dataflow engine.  Every Metropolis–Hastings step proposes a double-edge
     swap (degree-preserving), feeds the swap's 8-record delta through the
-    engine, and reads the updated posterior energy off the measurement
-    targets — so a step costs the delta's propagation, not a query
-    re-execution.
+    engine {e speculatively} (under the engine's undo log), and reads the
+    updated posterior energy off the measurement targets — so a step costs
+    the delta's propagation, not a query re-execution.  An accepted move
+    commits the speculation; a rejected one reverts the O(1) graph edit and
+    aborts, rolling the engine back in O(cells touched) instead of paying a
+    second DAG propagation for the inverted swap.
 
     For crash recovery, the engine side of a fit can be {!rebuild}t in
     place from an explicit edge array (the checkpoint rebase), or a whole
@@ -77,6 +80,7 @@ val run :
   steps:int ->
   ?start:int ->
   ?pow:float ->
+  ?refresh_every:int ->
   ?checkpoint_every:int ->
   ?on_checkpoint:(step:int -> stats:Mcmc.stats -> unit) ->
   ?on_step:(step:int -> energy:float -> unit) ->
@@ -84,6 +88,7 @@ val run :
   Mcmc.stats
 (** Runs the walk for iterations [start + 1 .. steps] (default [start] 0,
     [pow] 1.0; the paper's experiments use 10⁴).  Incremental target
-    distances are refreshed every 10⁵ steps.  [checkpoint_every] /
-    [on_checkpoint] pass through to {!Mcmc.run}: the hook may call
-    {!rebuild} on this fit. *)
+    distances are refreshed every [refresh_every] steps (default 10⁵) to
+    discard floating-point drift.  [checkpoint_every] / [on_checkpoint]
+    pass through to {!Mcmc.run}: the hook may call {!rebuild} on this
+    fit. *)

@@ -11,7 +11,7 @@ type stats = {
 }
 
 let run ~rng ~steps ?(start = 0) ?(pow = 1.0) ?refresh ?(refresh_every = 100_000)
-    ?checkpoint_every ?on_checkpoint ?on_step ~energy ~propose ~apply ~revert () =
+    ?checkpoint_every ?on_checkpoint ?on_step ~energy ~propose ~apply ?commit ~revert () =
   if start < 0 || start > steps then invalid_arg "Mcmc.run: start must be within [0, steps]";
   let accepted = ref 0 and invalid = ref 0 and nonfinite = ref 0 in
   let initial_energy = energy () in
@@ -37,6 +37,7 @@ let run ~rng ~steps ?(start = 0) ?(pow = 1.0) ?refresh ?(refresh_every = 100_000
           let delta = proposed -. !current in
           let accept = delta <= 0.0 || Prng.uniform rng < exp (-.pow *. delta) in
           if accept then begin
+            (match commit with Some f -> f move | None -> ());
             current := proposed;
             incr accepted
           end

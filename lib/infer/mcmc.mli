@@ -31,6 +31,7 @@ val run :
   energy:(unit -> float) ->
   propose:(unit -> 'move option) ->
   apply:('move -> unit) ->
+  ?commit:('move -> unit) ->
   revert:('move -> unit) ->
   unit ->
   stats
@@ -43,8 +44,15 @@ val run :
     [min 1 (exp (-pow *. (e_new -. e_old)))] (default [pow = 1.0]);
     rejected moves are reverted.
 
+    [apply]/[commit]/[revert] form a transaction: [apply] may install the
+    move {e speculatively} (e.g. {!Wpinq_dataflow.Dataflow.Engine}'s
+    undo-logged propagation); [commit] — invoked exactly once per accepted
+    move, before any [on_step]/[on_checkpoint]/refresh activity — finalizes
+    it, and [revert] rolls it back.  When [commit] is omitted, acceptance
+    simply keeps the applied state (the pre-speculation contract).
+
     If the freshly-read energy is {e non-finite} (incremental drift or
-    overflow), the move is discarded, [refresh] is invoked immediately, the
+    overflow), the move is discarded ([revert]), [refresh] is invoked, the
     energy re-read, and [refreshed_on_nonfinite] incremented — NaN never
     reaches the accept/reject comparison.
 

@@ -103,7 +103,7 @@ type checkpoint_spec = { every : int; path : string }
 exception Corrupt_checkpoint of string
 
 let ckpt_magic = "wpinq-checkpoint\n"
-let ckpt_version = 1
+let ckpt_version = 2
 
 (* Everything a resumed chain needs, and nothing protected: the released
    query measurement (noisy counts + noise-stream cursor), the public seed
@@ -116,6 +116,7 @@ type ck = {
   ck_pow : float;
   ck_steps : int; (* total steps requested for the whole run *)
   ck_trace_every : int;
+  ck_refresh_every : int; (* incremental-drift refresh cadence *)
   ck_every : int; (* checkpoint cadence *)
   ck_step : int; (* completed steps at snapshot time *)
   ck_budget : Budget.t;
@@ -207,6 +208,7 @@ let encode_ck ck =
   Codec.write_float buf ck.ck_pow;
   Codec.write_int buf ck.ck_steps;
   Codec.write_int buf ck.ck_trace_every;
+  Codec.write_int buf ck.ck_refresh_every;
   Codec.write_int buf ck.ck_every;
   Codec.write_int buf ck.ck_step;
   Budget.save ck.ck_budget buf;
@@ -228,6 +230,7 @@ let decode_ck payload =
   let ck_pow = Codec.read_float r in
   let ck_steps = Codec.read_int r in
   let ck_trace_every = Codec.read_int r in
+  let ck_refresh_every = Codec.read_int r in
   let ck_every = Codec.read_int r in
   let ck_step = Codec.read_int r in
   let ck_budget = Budget.load r in
@@ -246,6 +249,7 @@ let decode_ck payload =
     ck_pow;
     ck_steps;
     ck_trace_every;
+    ck_refresh_every;
     ck_every;
     ck_step;
     ck_budget;
@@ -309,8 +313,8 @@ let continue_fit ~fit ~rng ~ck ~write_path =
               trace := ck2.ck_trace) )
   in
   let seg =
-    Fit.run fit ~steps:ck.ck_steps ~start:ck.ck_step ~pow:ck.ck_pow ?checkpoint_every
-      ?on_checkpoint ~on_step ()
+    Fit.run fit ~steps:ck.ck_steps ~start:ck.ck_step ~pow:ck.ck_pow
+      ~refresh_every:ck.ck_refresh_every ?checkpoint_every ?on_checkpoint ~on_step ()
   in
   let stats =
     {
@@ -331,8 +335,8 @@ let continue_fit ~fit ~rng ~ck ~write_path =
     total_epsilon = Budget.spent ck.ck_budget;
   }
 
-let synthesize ?(pow = 10_000.0) ?(steps = 100_000) ?trace_every ?checkpoint ~rng ~epsilon
-    ~query ~secret () =
+let synthesize ?(pow = 10_000.0) ?(steps = 100_000) ?trace_every
+    ?(refresh_every = 100_000) ?checkpoint ~rng ~epsilon ~query ~secret () =
   let trace_every =
     match trace_every with Some t -> max 1 t | None -> max 1 (steps / 20)
   in
@@ -373,6 +377,7 @@ let synthesize ?(pow = 10_000.0) ?(steps = 100_000) ?trace_every ?checkpoint ~rn
           ck_pow = pow;
           ck_steps = steps;
           ck_trace_every = trace_every;
+          ck_refresh_every = max 1 refresh_every;
           ck_every = (match checkpoint with Some c -> max 1 c.every | None -> 0);
           ck_step = 0;
           ck_budget = budget;

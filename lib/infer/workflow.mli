@@ -94,6 +94,7 @@ val synthesize :
   ?pow:float ->
   ?steps:int ->
   ?trace_every:int ->
+  ?refresh_every:int ->
   ?checkpoint:checkpoint_spec ->
   rng:Wpinq_prng.Prng.t ->
   epsilon:float ->
@@ -106,8 +107,12 @@ val synthesize :
     (default 100_000) MCMC iterations at [pow] (default 10_000, the
     paper's setting), tracing triangle count and assortativity of the
     public synthetic graph every [trace_every] steps (default
-    [steps / 20]).  [query = None] stops after Phase 1 (the seed graph is
-    returned as [synthetic], with an empty walk).
+    [steps / 20]).  [refresh_every] (default 100_000) is the cadence at
+    which incrementally-maintained target distances are recomputed to
+    discard floating-point drift; it is part of the walk's definition, so
+    it is persisted in checkpoints and honoured by {!resume}.
+    [query = None] stops after Phase 1 (the seed graph is returned as
+    [synthetic], with an empty walk).
 
     With [checkpoint], Phase 2 snapshots its complete walk state every
     [every] steps — and then {e rebases} onto the snapshot's own bytes, so

@@ -169,6 +169,80 @@ let test_join_fast_path_used () =
   in
   check_wdata pp_pair "join contents after swap" expected (Dataflow.Sink.current sink)
 
+let test_join_empty_key_delta () =
+  (* Regression guard for the norm accounting rewrite: a delta that drains
+     a join key must retire the key's part completely — stored norm
+     included.  The old code folded sub-threshold norm residue into
+     [mine.norm] both inside the full-rescale branch and again in a
+     trailing dust guard, so a drained key could be left with phantom norm
+     above [epsilon_weight], surviving the drop check and mis-steering the
+     key's next delta onto the fast path against an empty normalizer.
+     Norm is now folded exactly once per branch (see dataflow.mli). *)
+  let engine = Dataflow.Engine.create () in
+  let ia = Dataflow.Input.create engine in
+  let ib = Dataflow.Input.create engine in
+  let sink =
+    Dataflow.Sink.attach
+      (Dataflow.join
+         ~kl:(fun x -> x mod 2)
+         ~kr:(fun y -> y mod 2)
+         ~reduce:(fun x y -> (x, y))
+         (Dataflow.Input.node ia) (Dataflow.Input.node ib))
+  in
+  let empty_state = Dataflow.Engine.state_records engine in
+  (* Fill key 0 on both sides, then drain side A of it again — twice, so a
+     leaked part from round one would poison round two. *)
+  for _ = 1 to 2 do
+    Dataflow.Input.feed ia [ (2, 1.0); (4, 0.5) ];
+    Dataflow.Input.feed ib [ (6, 2.0) ];
+    Dataflow.Input.feed ia [ (2, -1.0); (4, -0.5) ];
+    Dataflow.Input.feed ib [ (6, -2.0) ]
+  done;
+  Alcotest.(check int) "no state leaked by drained keys" empty_state
+    (Dataflow.Engine.state_records engine);
+  (* Every batch above changed its key's normalizer, so none may have been
+     retired through the norm-preserving fast path. *)
+  Alcotest.(check int) "no fast path against an empty normalizer" 0
+    (Dataflow.Engine.join_fast_updates engine);
+  Alcotest.(check int) "sink drained" 0 (Dataflow.Sink.support_size sink);
+  (* And the key still behaves exactly per batch semantics afterwards. *)
+  Dataflow.Input.feed ia [ (2, 1.5) ];
+  Dataflow.Input.feed ib [ (4, 1.0); (6, 0.5) ];
+  let expected =
+    Ops.join
+      ~kl:(fun x -> x mod 2)
+      ~kr:(fun y -> y mod 2)
+      ~reduce:(fun x y -> (x, y))
+      (Dataflow.Input.current ia) (Dataflow.Input.current ib)
+  in
+  check_wdata pp_pair "join contents after drain/refill" expected (Dataflow.Sink.current sink)
+
+let test_feed_reentrancy_rejected () =
+  (* A sink callback runs mid-propagation; feeding from it would interleave
+     two propagations over shared operator state.  The guard is engine-wide
+     (feeding a *different* input of the same engine is just as unsafe). *)
+  let engine = Dataflow.Engine.create () in
+  let ia = Dataflow.Input.create engine in
+  let ib = Dataflow.Input.create engine in
+  let sink = Dataflow.Sink.attach (Dataflow.Input.node ia) in
+  let feed_target = ref ia in
+  let armed = ref false in
+  Dataflow.Sink.on_change sink (fun _ ~old_weight:_ ~new_weight:_ ->
+      if !armed then Dataflow.Input.feed !feed_target [ (99, 1.0) ]);
+  armed := true;
+  Alcotest.check_raises "re-entrant feed (same input)"
+    (Invalid_argument "Dataflow.Input.feed: re-entrant feed during propagation") (fun () ->
+      Dataflow.Input.feed ia [ (1, 1.0) ]);
+  feed_target := ib;
+  Alcotest.check_raises "re-entrant feed (sibling input)"
+    (Invalid_argument "Dataflow.Input.feed: re-entrant feed during propagation") (fun () ->
+      Dataflow.Input.feed ia [ (2, 1.0) ]);
+  (* The guard resets even on the exceptional path: normal feeding works. *)
+  armed := false;
+  Dataflow.Input.feed ia [ (3, 1.0) ];
+  Alcotest.(check bool) "engine usable after rejection" true
+    (Dataflow.Sink.weight sink 3 = 1.0)
+
 let test_state_size_accounting () =
   let engine = Dataflow.Engine.create () in
   let input = Dataflow.Input.create engine in
@@ -242,6 +316,8 @@ let suite =
   [
     Alcotest.test_case "coalesce" `Quick test_coalesce;
     Alcotest.test_case "join fast path on swap" `Quick test_join_fast_path_used;
+    Alcotest.test_case "join empty-key delta retires part" `Quick test_join_empty_key_delta;
+    Alcotest.test_case "re-entrant feed rejected" `Quick test_feed_reentrancy_rejected;
     Alcotest.test_case "state size accounting" `Quick test_state_size_accounting;
     Alcotest.test_case "work counter" `Quick test_work_counter;
     Alcotest.test_case "sink on_change" `Quick test_sink_on_change_sequence;

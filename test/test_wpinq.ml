@@ -5,6 +5,7 @@ let () =
       ("persist", Test_persist.suite);
       ("weighted", Test_weighted.suite);
       ("dataflow", Test_dataflow.suite);
+      ("speculation", Test_speculation.suite);
       ("core", Test_core.suite);
       ("graph", Test_graph.suite);
       ("queries", Test_queries.suite);
