@@ -233,6 +233,12 @@ let walk_bench ~smoke ~json_path () =
   let acc_us = 1e6 *. !acc_t /. float (max 1 !acc_n) in
   let rej_us = 1e6 *. !rej_t /. float (max 1 !rej_n) in
   let ratio = rej_us /. acc_us in
+  (* Cost of one defense-in-depth self-audit on the fitted state (a full
+     cross-validation against a from-scratch batch replica), and whether the
+     measured walk left any divergence behind. *)
+  let audit_t0 = Unix.gettimeofday () in
+  let audit_report = Fit.audit fit in
+  let audit_ms = 1e3 *. (Unix.gettimeofday () -. audit_t0) in
   let oc = open_out json_path in
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  \"benchmark\": \"wpinq-speculative-walk\",\n";
@@ -264,7 +270,12 @@ let walk_bench ~smoke ~json_path () =
   Printf.fprintf oc "    \"aborts\": %d,\n" (Dataflow.Engine.aborts engine - aborts0);
   Printf.fprintf oc "    \"undo_cells\": %d,\n" (Dataflow.Engine.undo_cells engine - undo0);
   Printf.fprintf oc "    \"arena_grows\": %d,\n" (Dataflow.Engine.arena_grows engine - grows0);
-  Printf.fprintf oc "    \"arena_reuses\": %d\n" (Dataflow.Engine.arena_reuses engine - reuses0);
+  Printf.fprintf oc "    \"arena_reuses\": %d,\n" (Dataflow.Engine.arena_reuses engine - reuses0);
+  Printf.fprintf oc "    \"audit_cells_checked\": %d,\n"
+    audit_report.Dataflow.Audit.cells_checked;
+  Printf.fprintf oc "    \"audit_divergences\": %d,\n"
+    (List.length audit_report.Dataflow.Audit.divergences);
+  Printf.fprintf oc "    \"audit_ms\": %.3f\n" audit_ms;
   Printf.fprintf oc "  }\n";
   Printf.fprintf oc "}\n";
   close_out oc;
@@ -272,6 +283,9 @@ let walk_bench ~smoke ~json_path () =
   Printf.printf "rejected: %.3f us/step (%d)\n" rej_us !rej_n;
   Printf.printf "rejected/accepted = %.3f (baseline 1.920)\n" ratio;
   Printf.printf "minor words/step = %.1f (baseline 25274.2)\n" (minor /. float steps);
+  Printf.printf "self-audit: %d cells in %.3f ms, %d divergence(s)\n"
+    audit_report.Dataflow.Audit.cells_checked audit_ms
+    (List.length audit_report.Dataflow.Audit.divergences);
   Printf.printf "wrote %s\n%!" json_path
 
 let () =

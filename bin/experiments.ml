@@ -68,11 +68,18 @@ let synthesize_cmd =
   let checkpoint_dir =
     Arg.(value & opt (some string) None
          & info [ "checkpoint-dir" ] ~docv:"DIR"
-             ~doc:"Write crash-recovery checkpoints to $(docv)/checkpoint.wpinq.")
+             ~doc:"Write crash-recovery checkpoint generations ($(docv)/ckpt-<step>.wpq) \
+                   with retention and corruption fallback.")
   in
   let checkpoint_every =
     Arg.(value & opt int 10_000
          & info [ "checkpoint-every" ] ~docv:"N" ~doc:"Steps between checkpoints.")
+  in
+  let keep_checkpoints =
+    Arg.(value & opt int 3
+         & info [ "keep-checkpoints" ] ~docv:"K"
+             ~doc:"Checkpoint generations to retain in $(b,--checkpoint-dir) (fallback \
+                   depth when the newest is corrupted).")
   in
   let refresh_every =
     Arg.(value & opt int 100_000
@@ -80,25 +87,56 @@ let synthesize_cmd =
              ~doc:"Steps between full recomputations of the incrementally maintained \
                    target distances (drift control; persisted in checkpoints).")
   in
+  let audit_every =
+    Arg.(value & opt int 0
+         & info [ "audit-every" ] ~docv:"N"
+             ~doc:"Steps between engine self-audits: incremental state is cross-validated \
+                   against a from-scratch batch recomputation, and divergent state is \
+                   rebuilt from batch (0 disables; persisted in checkpoints).")
+  in
+  let deadline =
+    Arg.(value & opt (some float) None
+         & info [ "deadline" ] ~docv:"SECONDS"
+             ~doc:"Wall-clock budget for phase 2: when it expires the walk stops \
+                   gracefully, writes a final checkpoint, and returns the partial \
+                   result.")
+  in
   let resume =
     Arg.(value & opt (some file) None
          & info [ "resume" ] ~docv:"FILE"
-             ~doc:"Resume an interrupted fit from this checkpoint file (the secret \
-                   graph is not re-read; $(b,--input)/$(b,--query) are ignored).")
+             ~doc:"Resume an interrupted fit from this single checkpoint file (the \
+                   secret graph is not re-read; $(b,--input)/$(b,--query) are ignored).")
+  in
+  let resume_latest =
+    Arg.(value & flag
+         & info [ "resume-latest" ]
+             ~doc:"Resume from the newest valid checkpoint generation in \
+                   $(b,--checkpoint-dir), quarantining corrupted generations and \
+                   falling back past them.")
   in
   let run cfg input dataset query bucket output checkpoint_dir checkpoint_every
-      refresh_every resume =
+      keep_checkpoints refresh_every audit_every deadline resume resume_latest =
     let module Graph = Wpinq_graph.Graph in
     let module Io = Wpinq_graph.Io in
     let module W = Wpinq_infer.Workflow in
+    let module Shutdown = Wpinq_infer.Shutdown in
     let module D = Wpinq_data.Datasets in
+    Shutdown.install ();
+    let stop = Shutdown.requested in
+    let store () =
+      match checkpoint_dir with
+      | Some dir -> Wpinq_persist.Persist.Store.open_dir ~keep:keep_checkpoints dir
+      | None -> failwith "--resume-latest requires --checkpoint-dir"
+    in
     let r =
-      match resume with
-      | Some path ->
+      match (resume, resume_latest) with
+      | Some path, _ ->
           Printf.printf "resuming from %s (%d steps completed)\n" path
             (W.checkpoint_step path);
-          W.resume ~path ()
-      | None ->
+          W.resume ~stop ?deadline ~path ()
+      | None, true ->
+          W.resume_latest ~log:print_endline ~stop ?deadline ~store:(store ()) ()
+      | None, false ->
           let secret =
             match input with
             | Some path -> Io.read path
@@ -128,18 +166,20 @@ let synthesize_cmd =
           let checkpoint =
             match checkpoint_dir with
             | None -> None
-            | Some dir ->
-                if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-                Some
-                  {
-                    W.every = checkpoint_every;
-                    path = Filename.concat dir "checkpoint.wpinq";
-                  }
+            | Some _ -> Some { W.every = checkpoint_every; sink = W.Store (store ()) }
           in
-          W.synthesize ~pow:cfg.E.pow ~steps:cfg.E.steps ~refresh_every ?checkpoint
-            ~rng:(Wpinq_prng.Prng.create cfg.E.seed) ~epsilon:cfg.E.epsilon ~query
-            ~secret ()
+          W.synthesize ~pow:cfg.E.pow ~steps:cfg.E.steps ~refresh_every ~audit_every
+            ?checkpoint ~stop ?deadline ~rng:(Wpinq_prng.Prng.create cfg.E.seed)
+            ~epsilon:cfg.E.epsilon ~query ~secret ()
     in
+    if r.W.stats.Wpinq_infer.Mcmc.interrupted then
+      Printf.printf
+        "interrupted after %d steps (graceful stop); final checkpoint written — resume \
+         with --resume-latest\n"
+        r.W.stats.Wpinq_infer.Mcmc.steps;
+    if r.W.stats.Wpinq_infer.Mcmc.audits > 0 then
+      Printf.printf "self-audits: %d run, %d divergence(s) detected and repaired\n"
+        r.W.stats.Wpinq_infer.Mcmc.audits r.W.stats.Wpinq_infer.Mcmc.audit_divergences;
     Printf.printf "privacy spent: %.3f epsilon total\n" r.W.total_epsilon;
     Printf.printf "%10s %10s %14s %10s\n" "step" "triangles" "assortativity" "energy";
     List.iter
@@ -162,7 +202,8 @@ let synthesize_cmd =
        ~doc:"Run the full measure-and-synthesize workflow on an edge-list file.")
     Term.(
       const run $ config_term $ input $ dataset $ query $ bucket $ output $ checkpoint_dir
-      $ checkpoint_every $ refresh_every $ resume)
+      $ checkpoint_every $ keep_checkpoints $ refresh_every $ audit_every $ deadline
+      $ resume $ resume_latest)
 
 let cmds =
   [

@@ -38,6 +38,7 @@ module Target = struct
     epsilon : float;
     distance : unit -> float;
     recompute : unit -> unit;
+    inject : float -> unit;
   }
 
   let create (type a) (q : a collection) (m : a Measurement.t) =
@@ -74,7 +75,7 @@ module Target = struct
            let d0 = !distance in
            Dataflow.Engine.log_undo engine (fun () -> distance := d0));
         distance := !distance +. Float.abs (new_weight -. obs) -. Float.abs (old_weight -. obs));
-    let recompute () =
+    let from_scratch () =
       let d = ref 0.0 in
       Hashtbl.iter
         (fun x (v, baseline) ->
@@ -82,13 +83,31 @@ module Target = struct
           d := !d +. Float.abs (q -. v);
           if not baseline then d := !d -. Float.abs v)
         tracked;
-      distance := !d
+      !d
     in
-    { epsilon = Measurement.epsilon m; distance = (fun () -> !distance); recompute }
+    let recompute () = distance := from_scratch () in
+    (* Enroll the maintained distance in the engine's self-audit: the hook
+       re-derives it from the sink without mutating anything, so a clean
+       audit leaves the walk bit-identical. *)
+    let op = Dataflow.Engine.fresh_op_id engine in
+    Dataflow.Engine.register_audit engine (fun ~tolerance ->
+        let cell = Printf.sprintf "target#%d.distance" op in
+        match
+          Dataflow.Audit.check ~tolerance ~cell ~maintained:!distance ~recomputed:(from_scratch ())
+        with
+        | None -> (1, [])
+        | Some d -> (1, [ d ]));
+    {
+      epsilon = Measurement.epsilon m;
+      distance = (fun () -> !distance);
+      recompute;
+      inject = (fun dw -> distance := !distance +. dw);
+    }
 
   let distance t = t.distance ()
   let weighted_distance t = t.epsilon *. t.distance ()
   let epsilon t = t.epsilon
   let recompute t = t.recompute ()
+  let inject_drift t dw = t.inject dw
   let energy targets = List.fold_left (fun acc t -> acc +. weighted_distance t) 0.0 targets
 end

@@ -68,7 +68,19 @@ module Target : sig
   val recompute : t -> unit
   (** Recomputes the distance from the sink's current state, discarding any
       floating-point drift accumulated by incremental updates.  Cheap; call
-      it every ~10⁵ steps on long MCMC runs. *)
+      it every ~10⁵ steps on long MCMC runs.
+
+      {!create} also enrolls the maintained distance in the engine's
+      self-audit ({!Wpinq_dataflow.Dataflow.Engine.audit}): the audit
+      compares it against the same from-scratch derivation without mutating
+      anything, so a clean audit leaves the walk bit-identical. *)
+
+  val inject_drift : t -> float -> unit
+  (** [inject_drift t dw] corrupts the maintained distance by [dw] {e
+      without} touching the underlying sink — a fault-injection hook for
+      testing that {!Wpinq_dataflow.Dataflow.Engine.audit} detects the
+      divergence and that recovery repairs it.  Never call it outside
+      tests. *)
 
   val energy : t list -> float
   (** [energy targets] is [Σ weighted_distance] — the quantity

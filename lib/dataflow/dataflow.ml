@@ -3,6 +3,49 @@ module Ops = Wpinq_weighted.Ops
 
 let near_zero w = Float.abs w < Wdata.epsilon_weight
 
+module Audit = struct
+  type divergence = {
+    cell : string;
+    maintained : float;
+    recomputed : float;
+    abs_drift : float;
+    ulp_drift : int64;
+  }
+
+  type report = { cells_checked : int; divergences : divergence list }
+
+  (* Map a float's IEEE-754 bits to a lexicographically ordered int64, so
+     that the distance between two ordered values counts the representable
+     floats between them. *)
+  let ordered_bits f =
+    let bits = Int64.bits_of_float f in
+    if Int64.compare bits 0L < 0 then Int64.sub Int64.min_int bits else bits
+
+  let ulp_distance a b =
+    let oa = ordered_bits a and ob = ordered_bits b in
+    let hi, lo = if Int64.compare oa ob >= 0 then (oa, ob) else (ob, oa) in
+    let d = Int64.sub hi lo in
+    if Int64.compare d 0L < 0 then Int64.max_int else d
+
+  (* Incremental maintenance is allowed to differ from a batch
+     recomputation only by float summation-order noise: bit-equal is
+     always clean, finite values compare by absolute drift against the
+     tolerance, and any non-finite disagreement is a divergence. *)
+  let check ~tolerance ~cell ~maintained ~recomputed =
+    if Int64.equal (Int64.bits_of_float maintained) (Int64.bits_of_float recomputed) then None
+    else
+      let both_finite = Float.is_finite maintained && Float.is_finite recomputed in
+      let abs_drift = Float.abs (maintained -. recomputed) in
+      if both_finite && abs_drift <= tolerance then None
+      else
+        Some
+          { cell; maintained; recomputed; abs_drift; ulp_drift = ulp_distance maintained recomputed }
+
+  let divergence_to_string d =
+    Printf.sprintf "%s: maintained %h vs recomputed %h (abs drift %g, ulp drift %Ld)" d.cell
+      d.maintained d.recomputed d.abs_drift d.ulp_drift
+end
+
 module Engine = struct
   (* The undo log is a stack of restoration closures recorded by every
      stateful cell mutation made while [speculating].  Closures (rather
@@ -36,6 +79,10 @@ module Engine = struct
     mutable s_join_full : int;
     mutable s_arena_grows : int;
     mutable s_arena_reuses : int;
+    (* self-audit: operators with redundantly-maintained state register a
+       hook that recomputes it from scratch and reports divergences *)
+    mutable audit_hooks_rev : (tolerance:float -> int * Audit.divergence list) list;
+    mutable next_op_id : int;
   }
 
   let create () =
@@ -59,6 +106,8 @@ module Engine = struct
       s_join_full = 0;
       s_arena_grows = 0;
       s_arena_reuses = 0;
+      audit_hooks_rev = [];
+      next_op_id = 0;
     }
 
   let state_records t = t.state_records
@@ -71,6 +120,24 @@ module Engine = struct
   let aborts t = t.aborts
   let undo_cells t = t.undo_cells
   let speculating t = t.speculating
+
+  let fresh_op_id t =
+    let id = t.next_op_id in
+    t.next_op_id <- id + 1;
+    id
+
+  let register_audit t hook = t.audit_hooks_rev <- hook :: t.audit_hooks_rev
+
+  let audit ?(tolerance = 1e-6) t =
+    if t.speculating then invalid_arg "Dataflow.Engine.audit: cannot audit mid-speculation";
+    let cells = ref 0 and divs = ref [] in
+    List.iter
+      (fun hook ->
+        let n, ds = hook ~tolerance in
+        cells := !cells + n;
+        divs := List.rev_append ds !divs)
+      (List.rev t.audit_hooks_rev);
+    { Audit.cells_checked = !cells; divergences = List.rev !divs }
 
   let log_undo t f =
     if t.speculating then begin
@@ -443,6 +510,24 @@ let join ~kl ~kr ~reduce a b =
   let out = make engine in
   let ia : ('k, 'ra part) Hashtbl.t = Hashtbl.create 64 in
   let ib : ('k, 'rb part) Hashtbl.t = Hashtbl.create 64 in
+  (* Each key's [norm] is maintained incrementally alongside [recs]; the
+     audit recomputes it as Σ|w| over the part's records and flags drift. *)
+  let op = Engine.fresh_op_id engine in
+  let audit_side side index ~tolerance =
+    Hashtbl.fold
+      (fun k p (n, ds) ->
+        let recomputed = Hashtbl.fold (fun _ w acc -> acc +. Float.abs w) p.recs 0.0 in
+        let cell = Printf.sprintf "join#%d.%s.norm[key#%d]" op side (Hashtbl.hash k) in
+        let n = n + 1 in
+        match Audit.check ~tolerance ~cell ~maintained:p.norm ~recomputed with
+        | None -> (n, ds)
+        | Some d -> (n, d :: ds))
+      index (0, [])
+  in
+  Engine.register_audit engine (fun ~tolerance ->
+      let nl, dl = audit_side "left" ia ~tolerance in
+      let nr, dr = audit_side "right" ib ~tolerance in
+      (nl + nr, dl @ dr));
   let scratch = Scratch.create engine in
   (* Retire a batch arriving on one side.  [cross changed_rec other_rec]
      orients the output pair correctly for whichever side changed.  Each

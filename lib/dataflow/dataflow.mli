@@ -34,7 +34,41 @@
     the propagation touched, with no second DAG propagation and no float
     round-trip drift.  This is how a rejected Metropolis–Hastings move is
     rolled back (propose → speculate → commit/abort); see DESIGN.md,
-    "Speculative evaluation & the undo log". *)
+    "Speculative evaluation & the undo log".
+
+    {2 Self-audit}
+
+    Operators that maintain state {e redundantly} (Join's per-key norms;
+    the scoring layer's incremental distances, enrolled via
+    {!Engine.register_audit}) can be cross-validated at any quiescent
+    point: {!Engine.audit} recomputes each such cell from scratch and
+    returns a typed divergence report.  A clean audit costs one pass over
+    the audited state and mutates nothing; see DESIGN.md, "Defense in
+    depth". *)
+
+module Audit : sig
+  type divergence = {
+    cell : string;  (** which maintained cell diverged, e.g. ["join#0.left.norm[key#…]"] *)
+    maintained : float;  (** the incrementally-maintained value *)
+    recomputed : float;  (** the from-scratch batch recomputation *)
+    abs_drift : float;
+    ulp_drift : int64;
+        (** representable floats between the two values (saturating);
+            0 would mean bit-equal, which is never reported *)
+  }
+
+  type report = { cells_checked : int; divergences : divergence list }
+
+  val ulp_distance : float -> float -> int64
+
+  val check :
+    tolerance:float -> cell:string -> maintained:float -> recomputed:float -> divergence option
+  (** The shared divergence rule: bit-equal is clean; finite values within
+      [tolerance] absolute drift are clean (float summation-order noise);
+      everything else — including any non-finite disagreement — diverges. *)
+
+  val divergence_to_string : divergence -> string
+end
 
 module Engine : sig
   type t
@@ -115,6 +149,23 @@ module Engine : sig
   val undo_cells : t -> int
   (** Total undo-log entries ever recorded (committed and aborted): the
       cumulative number of speculative cell mutations. *)
+
+  (** {2 Self-audit} *)
+
+  val register_audit : t -> (tolerance:float -> int * Audit.divergence list) -> unit
+  (** [register_audit t hook] enrolls a read-only validator: [hook
+      ~tolerance] recomputes some redundantly-maintained state from scratch
+      and returns [(cells checked, divergences found)].  Operators with
+      such state (Join) register themselves at build time; derived layers
+      (scoring) use this to join the audit. *)
+
+  val audit : ?tolerance:float -> t -> Audit.report
+  (** [audit t] runs every registered hook and merges their reports.
+      Read-only; raises [Invalid_argument] mid-speculation (audit only at
+      quiescent points).  Default [tolerance] is [1e-6] absolute. *)
+
+  val fresh_op_id : t -> int
+  (** A unique id for naming an operator's audit cells. *)
 end
 
 type 'a node

@@ -12,6 +12,10 @@ type t = {
   mutable handle : (int * int) Flow.handle;
   mutable graph : Graph.Mutable.t;
   mutable targets : Flow.Target.t list;
+  (* The target-builder closures are kept so the fit can rebuild itself
+     (audit recovery) or stand up a throwaway batch replica (audit
+     cross-validation) without the caller re-supplying them. *)
+  mutable builders : ((int * int) Flow.t -> Flow.Target.t) list;
   mutable energy : float;
 }
 
@@ -20,7 +24,7 @@ let create ~rng ~seed_graph ~targets () =
   let handle, sym = Flow.input engine in
   (* Targets attach before any data flows, so their initial distances
      account for every observed record. *)
-  let targets = List.map (fun build -> build sym) targets in
+  let built = List.map (fun build -> build sym) targets in
   Flow.feed handle (List.map (fun e -> (e, 1.0)) (Graph.directed_edges seed_graph));
   let t =
     {
@@ -28,11 +32,12 @@ let create ~rng ~seed_graph ~targets () =
       engine;
       handle;
       graph = Graph.Mutable.of_graph seed_graph;
-      targets;
+      targets = built;
+      builders = targets;
       energy = 0.0;
     }
   in
-  t.energy <- Flow.Target.energy targets;
+  t.energy <- Flow.Target.energy built;
   t
 
 (* Engine state rebuilt from an explicit, order-significant edge array: the
@@ -55,7 +60,15 @@ let attach ~targets mg =
 let restore ~rng ~n ~edges ~targets () =
   let mg = Graph.Mutable.of_edge_array ~n edges in
   let engine, handle, built = attach ~targets mg in
-  { rng; engine; handle; graph = mg; targets = built; energy = Flow.Target.energy built }
+  {
+    rng;
+    engine;
+    handle;
+    graph = mg;
+    targets = built;
+    builders = targets;
+    energy = Flow.Target.energy built;
+  }
 
 let rebuild t ~n ~edges ~targets =
   let mg = Graph.Mutable.of_edge_array ~n edges in
@@ -64,6 +77,7 @@ let rebuild t ~n ~edges ~targets =
   t.handle <- handle;
   t.graph <- mg;
   t.targets <- built;
+  t.builders <- targets;
   t.energy <- Flow.Target.energy built
 
 let graph t = Graph.Mutable.to_graph t.graph
@@ -111,11 +125,51 @@ let refresh t =
   List.iter Flow.Target.recompute t.targets;
   t.energy <- Flow.Target.energy t.targets
 
-let run t ~steps ?start ?(pow = 1.0) ?(refresh_every = 100_000) ?checkpoint_every
-    ?on_checkpoint ?on_step () =
+(* Cross-validate the live incremental state two ways: the engine's own
+   registered hooks (join norms, each target's maintained distance vs. its
+   live sink), and a from-scratch batch replica of the whole fit — a
+   throwaway engine fed the same edge array, whose target distances the
+   live ones must match.  The replica draws no new noise: every record it
+   can see, the live engine has already seen, so every observation is
+   already memoized in the shared measurements.  Read-only; a clean audit
+   leaves the walk bit-identical. *)
+let audit ?(tolerance = 1e-6) t =
+  let live = Dataflow.Engine.audit ~tolerance t.engine in
+  let _, _, batch_targets = attach ~targets:t.builders t.graph in
+  let cells = ref live.Dataflow.Audit.cells_checked in
+  let divs = ref (List.rev live.Dataflow.Audit.divergences) in
+  List.iteri
+    (fun i batch ->
+      let maintained = Flow.Target.distance (List.nth t.targets i) in
+      let recomputed = Flow.Target.distance batch in
+      incr cells;
+      let cell = Printf.sprintf "target#%d.batch-distance" i in
+      match Dataflow.Audit.check ~tolerance ~cell ~maintained ~recomputed with
+      | None -> ()
+      | Some d -> divs := d :: !divs)
+    batch_targets;
+  { Dataflow.Audit.cells_checked = !cells; divergences = List.rev !divs }
+
+let audit_and_recover ?tolerance t =
+  let report = audit ?tolerance t in
+  if report.Dataflow.Audit.divergences <> [] then
+    (* Out-of-tolerance drift: quarantine is the caller's report; recovery
+       is a full rebuild from the edge array — the same deterministic path
+       a checkpoint resume takes — so the walk continues from batch
+       truth. *)
+    rebuild t ~n:(Graph.Mutable.n t.graph) ~edges:(Graph.Mutable.edge_array t.graph)
+      ~targets:t.builders;
+  report
+
+let run t ~steps ?start ?(pow = 1.0) ?(refresh_every = 100_000) ?audit_every ?audit_tolerance
+    ?should_stop ?checkpoint_every ?on_checkpoint ?on_step () =
+  let audit () =
+    let report = audit_and_recover ?tolerance:audit_tolerance t in
+    List.length report.Dataflow.Audit.divergences
+  in
   let stats =
-    Mcmc.run ~rng:t.rng ~steps ?start ~pow ~refresh:(fun () -> refresh t) ~refresh_every
-      ?checkpoint_every ?on_checkpoint ?on_step
+    Mcmc.run ~rng:t.rng ~steps ?start ~pow ~refresh:(fun () -> refresh t) ~refresh_every ~audit
+      ?audit_every ?should_stop ?checkpoint_every ?on_checkpoint ?on_step
       ~energy:(fun () -> Flow.Target.energy t.targets)
       ~propose:(fun () -> Graph.Mutable.propose_swap t.graph t.rng)
       ~apply:(fun swap -> speculate_swap t swap)

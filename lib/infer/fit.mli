@@ -75,12 +75,31 @@ val step : ?pow:float -> t -> bool
 (** A single Metropolis–Hastings step (default [pow] 1.0); returns whether
     the proposal was accepted.  Exposed for fine-grained benchmarking. *)
 
+val audit : ?tolerance:float -> t -> Wpinq_dataflow.Dataflow.Audit.report
+(** [audit t] cross-validates the live incremental state two ways: the
+    engine's registered self-audit hooks (Join norms, each target's
+    maintained distance against its live sink), and a throwaway {e batch
+    replica} — a fresh engine fed the current edge array from scratch,
+    whose target distances the live ones must match within [tolerance]
+    (default [1e-6]).  Read-only, and draws no new noise (every record the
+    replica sees is already memoized in the shared measurements), so a
+    clean audit leaves the walk bit-identical. *)
+
+val audit_and_recover : ?tolerance:float -> t -> Wpinq_dataflow.Dataflow.Audit.report
+(** {!audit}, then — if any cell diverged — {!rebuild}s the fit in place
+    from its own edge array (the same deterministic path a checkpoint
+    resume takes), so the walk continues from batch truth rather than
+    silently corrupted state.  Returns the (pre-recovery) report. *)
+
 val run :
   t ->
   steps:int ->
   ?start:int ->
   ?pow:float ->
   ?refresh_every:int ->
+  ?audit_every:int ->
+  ?audit_tolerance:float ->
+  ?should_stop:(unit -> bool) ->
   ?checkpoint_every:int ->
   ?on_checkpoint:(step:int -> stats:Mcmc.stats -> unit) ->
   ?on_step:(step:int -> energy:float -> unit) ->
@@ -89,6 +108,8 @@ val run :
 (** Runs the walk for iterations [start + 1 .. steps] (default [start] 0,
     [pow] 1.0; the paper's experiments use 10⁴).  Incremental target
     distances are refreshed every [refresh_every] steps (default 10⁵) to
-    discard floating-point drift.  [checkpoint_every] / [on_checkpoint]
-    pass through to {!Mcmc.run}: the hook may call {!rebuild} on this
-    fit. *)
+    discard floating-point drift.  [audit_every] (default off) runs
+    {!audit_and_recover} at that cadence, feeding divergence counts into
+    {!Mcmc.stats}.  [should_stop] is the graceful-shutdown poll (see
+    {!Mcmc.run}).  [checkpoint_every] / [on_checkpoint] pass through to
+    {!Mcmc.run}: the hook may call {!rebuild} on this fit. *)

@@ -9,11 +9,19 @@
     best-fitting dataset. *)
 
 type stats = {
-  steps : int;  (** proposal attempts made by this call ([steps − start]) *)
+  steps : int;  (** proposal attempts made by this call ([step − start]) *)
   accepted : int;  (** proposals accepted (state changed) *)
   invalid : int;  (** proposals the walk itself rejected (returned [None]) *)
   refreshed_on_nonfinite : int;
       (** defensive refreshes forced by a non-finite energy reading *)
+  audits : int;  (** self-audit passes run ([audit_every] cadence) *)
+  audit_divergences : int;
+      (** total divergent cells the audits detected (each triggered the
+          recovery path before the walk continued) *)
+  interrupted : bool;
+      (** the walk stopped early ([should_stop]) rather than reaching
+          [steps]; the state reflects exactly [start + steps] completed
+          iterations *)
   initial_energy : float;
   final_energy : float;
 }
@@ -25,6 +33,9 @@ val run :
   ?pow:float ->
   ?refresh:(unit -> unit) ->
   ?refresh_every:int ->
+  ?audit:(unit -> int) ->
+  ?audit_every:int ->
+  ?should_stop:(unit -> bool) ->
   ?checkpoint_every:int ->
   ?on_checkpoint:(step:int -> stats:stats -> unit) ->
   ?on_step:(step:int -> energy:float -> unit) ->
@@ -58,8 +69,22 @@ val run :
 
     [refresh] (with [refresh_every], default [100_000]) is called
     periodically to let incrementally-maintained energies discard
-    floating-point drift; the energy is re-read afterwards.  [on_step] is
-    invoked after every iteration with the current energy.
+    floating-point drift; the energy is re-read afterwards.
+
+    [audit] (with [audit_every]; [0], the default, disables) is the
+    self-audit hook: every [audit_every]-th iteration it cross-validates the
+    incrementally-maintained state and returns the number of divergences
+    found, {e recovering} (rebuilding from batch) before returning when that
+    number is nonzero.  A nonzero return makes the walk re-read its energy
+    from the recovered state; stats record both cadence and divergences.
+
+    [should_stop] is polled {e between} iterations; returning [true]
+    finishes the in-flight iteration first and then exits with
+    [interrupted = true] — the graceful-shutdown primitive (signal flag,
+    wall-clock deadline).  The state left behind reflects a whole number of
+    completed iterations and is safe to checkpoint.
+
+    [on_step] is invoked after every iteration with the current energy.
 
     [on_checkpoint] (with [checkpoint_every]) fires after every
     [checkpoint_every]-th iteration (skipping the final one), {e after}

@@ -1,0 +1,26 @@
+module Fault = Wpinq_persist.Persist.Fault
+
+let flag = ref false
+let installed = ref false
+
+let request () =
+  Fault.point "shutdown.request";
+  flag := true
+
+let requested () = !flag
+let reset () = flag := false
+
+(* A handler must only set a flag: the walk polls it between steps, so the
+   in-flight step finishes and a final checkpoint is written from a
+   complete post-step state.  Installation is idempotent and tolerates
+   environments where a signal cannot be caught (e.g. sigterm under some
+   test runners). *)
+let install () =
+  if not !installed then begin
+    installed := true;
+    List.iter
+      (fun signal ->
+        try Sys.set_signal signal (Sys.Signal_handle (fun _ -> request ()))
+        with Invalid_argument _ | Sys_error _ -> ())
+      [ Sys.sigint; Sys.sigterm ]
+  end

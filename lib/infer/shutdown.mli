@@ -1,0 +1,23 @@
+(** Graceful signal-driven shutdown for long fits.
+
+    {!install} registers SIGINT/SIGTERM handlers that do nothing but raise
+    a flag; the MCMC walk polls {!requested} between steps (via
+    [should_stop]), finishes the in-flight step, writes a final checkpoint,
+    and returns an [interrupted] result — so an operator's Ctrl-C or a
+    scheduler's SIGTERM costs at most one step of work, never a corrupted
+    or missing checkpoint. *)
+
+val install : unit -> unit
+(** Register the SIGINT/SIGTERM handlers.  Idempotent; signals that cannot
+    be caught in the current environment are skipped silently. *)
+
+val request : unit -> unit
+(** Raise the shutdown flag programmatically (what the handlers call; also
+    the deterministic-test entry point).  Passes the ["shutdown.request"]
+    fault-injection site. *)
+
+val requested : unit -> bool
+(** Whether shutdown has been requested. *)
+
+val reset : unit -> unit
+(** Lower the flag (between runs, or in tests). *)

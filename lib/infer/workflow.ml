@@ -98,12 +98,14 @@ let trace_of ~step ~energy g =
 
 (* ---- Checkpoint format ----------------------------------------------- *)
 
-type checkpoint_spec = { every : int; path : string }
+type checkpoint_sink = Single of string | Store of Persist.Store.t
+
+type checkpoint_spec = { every : int; sink : checkpoint_sink }
 
 exception Corrupt_checkpoint of string
 
 let ckpt_magic = "wpinq-checkpoint\n"
-let ckpt_version = 2
+let ckpt_version = 3
 
 (* Everything a resumed chain needs, and nothing protected: the released
    query measurement (noisy counts + noise-stream cursor), the public seed
@@ -118,6 +120,8 @@ type ck = {
   ck_trace_every : int;
   ck_refresh_every : int; (* incremental-drift refresh cadence *)
   ck_every : int; (* checkpoint cadence *)
+  ck_audit_every : int; (* self-audit cadence; 0 = off *)
+  ck_audit_tolerance : float;
   ck_step : int; (* completed steps at snapshot time *)
   ck_budget : Budget.t;
   ck_seed : Graph.t;
@@ -127,6 +131,8 @@ type ck = {
   ck_accepted : int;
   ck_invalid : int;
   ck_nonfinite : int;
+  ck_audits : int;
+  ck_divergences : int;
   ck_initial_energy : float;
   ck_trace : trace_point list; (* newest first, as accumulated *)
   ck_qm : query_measurement;
@@ -210,6 +216,8 @@ let encode_ck ck =
   Codec.write_int buf ck.ck_trace_every;
   Codec.write_int buf ck.ck_refresh_every;
   Codec.write_int buf ck.ck_every;
+  Codec.write_int buf ck.ck_audit_every;
+  Codec.write_float buf ck.ck_audit_tolerance;
   Codec.write_int buf ck.ck_step;
   Budget.save ck.ck_budget buf;
   write_graph buf ck.ck_seed;
@@ -219,6 +227,8 @@ let encode_ck ck =
   Codec.write_int buf ck.ck_accepted;
   Codec.write_int buf ck.ck_invalid;
   Codec.write_int buf ck.ck_nonfinite;
+  Codec.write_int buf ck.ck_audits;
+  Codec.write_int buf ck.ck_divergences;
   Codec.write_float buf ck.ck_initial_energy;
   Codec.write_list write_trace_point buf ck.ck_trace;
   write_qm buf ck.ck_qm;
@@ -232,6 +242,8 @@ let decode_ck payload =
   let ck_trace_every = Codec.read_int r in
   let ck_refresh_every = Codec.read_int r in
   let ck_every = Codec.read_int r in
+  let ck_audit_every = Codec.read_int r in
+  let ck_audit_tolerance = Codec.read_float r in
   let ck_step = Codec.read_int r in
   let ck_budget = Budget.load r in
   let ck_seed = read_graph r in
@@ -241,6 +253,8 @@ let decode_ck payload =
   let ck_accepted = Codec.read_int r in
   let ck_invalid = Codec.read_int r in
   let ck_nonfinite = Codec.read_int r in
+  let ck_audits = Codec.read_int r in
+  let ck_divergences = Codec.read_int r in
   let ck_initial_energy = Codec.read_float r in
   let ck_trace = Codec.read_list read_trace_point r in
   let ck_qm = read_qm r in
@@ -251,6 +265,8 @@ let decode_ck payload =
     ck_trace_every;
     ck_refresh_every;
     ck_every;
+    ck_audit_every;
+    ck_audit_tolerance;
     ck_step;
     ck_budget;
     ck_seed;
@@ -260,6 +276,8 @@ let decode_ck payload =
     ck_accepted;
     ck_invalid;
     ck_nonfinite;
+    ck_audits;
+    ck_divergences;
     ck_initial_energy;
     ck_trace;
     ck_qm;
@@ -267,43 +285,75 @@ let decode_ck payload =
 
 (* ---- The fitting driver ---------------------------------------------- *)
 
+(* Combine the caller's stop predicate and an optional wall-clock deadline
+   into one [should_stop] poll.  The deadline is made absolute here, at run
+   (not construction) start; the clock syscall is only paid every 64th
+   poll, which bounds the overrun to 64 steps past the deadline. *)
+let combined_stop ?stop ?deadline () =
+  match (stop, deadline) with
+  | None, None -> None
+  | _ ->
+      let absolute = Option.map (fun d -> Unix.gettimeofday () +. d) deadline in
+      let polls = ref 0 in
+      Some
+        (fun () ->
+          (match stop with Some f -> f () | None -> false)
+          ||
+          match absolute with
+          | None -> false
+          | Some t ->
+              incr polls;
+              !polls land 63 = 0 && Unix.gettimeofday () >= t)
+
 (* Continue the walk described by [ck] on [fit] (whose state corresponds to
-   [ck.ck_step] completed steps).  When [write_path] is set, a snapshot is
+   [ck.ck_step] completed steps).  When [sink] is set, a snapshot is
    written every [ck.ck_every] steps — and, crucially, the live state is
    then thrown away and rebuilt from the snapshot's own bytes.  This
    "rebase" makes the post-checkpoint state a pure function of the
    checkpoint file, so a run killed and resumed from that file retraces the
-   uninterrupted run bit for bit. *)
-let continue_fit ~fit ~rng ~ck ~write_path =
+   uninterrupted run bit for bit.  A stop request ([should_stop], from a
+   signal or a deadline) additionally writes one final snapshot of the
+   stopped state, so the partial run is immediately resumable. *)
+let continue_fit ~fit ~rng ~ck ~sink ?should_stop () =
   let trace = ref ck.ck_trace in
   let on_step ~step ~energy =
     if step mod ck.ck_trace_every = 0 then
       trace := trace_of ~step ~energy (Fit.graph fit) :: !trace
   in
+  let snapshot ~step ~(interim : Mcmc.stats) =
+    {
+      ck with
+      ck_step = step;
+      ck_edges = Fit.edge_array fit;
+      ck_rng = Prng.save rng;
+      ck_accepted = ck.ck_accepted + interim.Mcmc.accepted;
+      ck_invalid = ck.ck_invalid + interim.Mcmc.invalid;
+      ck_nonfinite = ck.ck_nonfinite + interim.Mcmc.refreshed_on_nonfinite;
+      ck_audits = ck.ck_audits + interim.Mcmc.audits;
+      ck_divergences = ck.ck_divergences + interim.Mcmc.audit_divergences;
+      ck_initial_energy =
+        (if ck.ck_step = 0 then interim.Mcmc.initial_energy else ck.ck_initial_energy);
+      ck_trace = !trace;
+    }
+  in
+  let write_snapshot sink ck' =
+    let payload = encode_ck ck' in
+    (match sink with
+    | Single path -> Persist.File.save ~path ~magic:ckpt_magic ~version:ckpt_version payload
+    | Store store ->
+        ignore
+          (Persist.Store.save store ~step:ck'.ck_step ~magic:ckpt_magic ~version:ckpt_version
+             payload));
+    payload
+  in
   let checkpoint_every, on_checkpoint =
-    match write_path with
+    match sink with
     | None -> (None, None)
-    | Some path ->
+    | Some sink ->
         ( Some ck.ck_every,
           Some
             (fun ~step ~stats:(interim : Mcmc.stats) ->
-              let ck' =
-                {
-                  ck with
-                  ck_step = step;
-                  ck_edges = Fit.edge_array fit;
-                  ck_rng = Prng.save rng;
-                  ck_accepted = ck.ck_accepted + interim.Mcmc.accepted;
-                  ck_invalid = ck.ck_invalid + interim.Mcmc.invalid;
-                  ck_nonfinite = ck.ck_nonfinite + interim.Mcmc.refreshed_on_nonfinite;
-                  ck_initial_energy =
-                    (if ck.ck_step = 0 then interim.Mcmc.initial_energy
-                     else ck.ck_initial_energy);
-                  ck_trace = !trace;
-                }
-              in
-              let payload = encode_ck ck' in
-              Persist.File.save ~path ~magic:ckpt_magic ~version:ckpt_version payload;
+              let payload = write_snapshot sink (snapshot ~step ~interim) in
               (* Rebase: re-derive the continuation state from the snapshot
                  bytes so this run and any future resume from the file
                  continue from literally the same state. *)
@@ -314,14 +364,28 @@ let continue_fit ~fit ~rng ~ck ~write_path =
   in
   let seg =
     Fit.run fit ~steps:ck.ck_steps ~start:ck.ck_step ~pow:ck.ck_pow
-      ~refresh_every:ck.ck_refresh_every ?checkpoint_every ?on_checkpoint ~on_step ()
+      ~refresh_every:ck.ck_refresh_every ~audit_every:ck.ck_audit_every
+      ~audit_tolerance:ck.ck_audit_tolerance ?should_stop ?checkpoint_every ?on_checkpoint
+      ~on_step ()
   in
+  let completed = ck.ck_step + seg.Mcmc.steps in
+  (match (seg.Mcmc.interrupted, sink) with
+  | true, Some sink ->
+      (* Graceful shutdown: persist the stopped state so resuming loses
+         nothing.  At a cadence-aligned stop this re-encodes the state the
+         last rebase produced, so the file is byte-identical to the one
+         already on disk. *)
+      ignore (write_snapshot sink (snapshot ~step:completed ~interim:seg))
+  | _ -> ());
   let stats =
     {
-      Mcmc.steps = ck.ck_step + seg.Mcmc.steps;
+      Mcmc.steps = completed;
       accepted = ck.ck_accepted + seg.Mcmc.accepted;
       invalid = ck.ck_invalid + seg.Mcmc.invalid;
       refreshed_on_nonfinite = ck.ck_nonfinite + seg.Mcmc.refreshed_on_nonfinite;
+      audits = ck.ck_audits + seg.Mcmc.audits;
+      audit_divergences = ck.ck_divergences + seg.Mcmc.audit_divergences;
+      interrupted = seg.Mcmc.interrupted;
       initial_energy =
         (if ck.ck_step = 0 then seg.Mcmc.initial_energy else ck.ck_initial_energy);
       final_energy = seg.Mcmc.final_energy;
@@ -336,7 +400,8 @@ let continue_fit ~fit ~rng ~ck ~write_path =
   }
 
 let synthesize ?(pow = 10_000.0) ?(steps = 100_000) ?trace_every
-    ?(refresh_every = 100_000) ?checkpoint ~rng ~epsilon ~query ~secret () =
+    ?(refresh_every = 100_000) ?(audit_every = 0) ?(audit_tolerance = 1e-6) ?checkpoint ?stop
+    ?deadline ~rng ~epsilon ~query ~secret () =
   let trace_every =
     match trace_every with Some t -> max 1 t | None -> max 1 (steps / 20)
   in
@@ -361,6 +426,9 @@ let synthesize ?(pow = 10_000.0) ?(steps = 100_000) ?trace_every
             accepted = 0;
             invalid = 0;
             refreshed_on_nonfinite = 0;
+            audits = 0;
+            audit_divergences = 0;
+            interrupted = false;
             initial_energy = 0.0;
             final_energy = 0.0;
           };
@@ -379,6 +447,8 @@ let synthesize ?(pow = 10_000.0) ?(steps = 100_000) ?trace_every
           ck_trace_every = trace_every;
           ck_refresh_every = max 1 refresh_every;
           ck_every = (match checkpoint with Some c -> max 1 c.every | None -> 0);
+          ck_audit_every = max 0 audit_every;
+          ck_audit_tolerance = audit_tolerance;
           ck_step = 0;
           ck_budget = budget;
           ck_seed = seed;
@@ -388,27 +458,69 @@ let synthesize ?(pow = 10_000.0) ?(steps = 100_000) ?trace_every
           ck_accepted = 0;
           ck_invalid = 0;
           ck_nonfinite = 0;
+          ck_audits = 0;
+          ck_divergences = 0;
           ck_initial_energy = 0.0;
           ck_trace = [ trace_of ~step:0 ~energy:(Fit.energy fit) seed ];
           ck_qm = qm;
         }
       in
-      let write_path = match checkpoint with Some c -> Some c.path | None -> None in
-      continue_fit ~fit ~rng ~ck:ck0 ~write_path
+      let sink = match checkpoint with Some c -> Some c.sink | None -> None in
+      continue_fit ~fit ~rng ~ck:ck0 ~sink ?should_stop:(combined_stop ?stop ?deadline ()) ()
 
 let load_ck path =
   match Persist.File.load ~path ~magic:ckpt_magic ~version:ckpt_version with
-  | Error e -> raise (Corrupt_checkpoint (Persist.File.error_to_string e))
+  | Error e ->
+      raise
+        (Corrupt_checkpoint
+           (Printf.sprintf "%s: container layer: %s" path (Persist.File.error_to_string e)))
   | Ok payload -> (
       try decode_ck payload
-      with Codec.Decode_error msg -> raise (Corrupt_checkpoint msg))
+      with Codec.Decode_error msg ->
+        raise (Corrupt_checkpoint (Printf.sprintf "%s: decode layer: %s" path msg)))
 
-let resume ~path () =
-  let ck = load_ck path in
+let resume_fit ~ck ~sink ?should_stop () =
   let rng = Prng.restore ck.ck_rng in
   let fit =
     Fit.restore ~rng ~n:ck.ck_n ~edges:ck.ck_edges ~targets:[ target_of_query ck.ck_qm ] ()
   in
-  continue_fit ~fit ~rng ~ck ~write_path:(Some path)
+  continue_fit ~fit ~rng ~ck ~sink ?should_stop ()
+
+let resume ?stop ?deadline ~path () =
+  let ck = load_ck path in
+  resume_fit ~ck ~sink:(Some (Single path))
+    ?should_stop:(combined_stop ?stop ?deadline ())
+    ()
+
+let resume_latest ?(log = fun _ -> ()) ?stop ?deadline ~store () =
+  let decode payload =
+    match decode_ck payload with
+    | ck -> Ok ck
+    | exception Codec.Decode_error msg -> Error msg
+  in
+  let found, rejected =
+    Persist.Store.load_latest store ~magic:ckpt_magic ~version:ckpt_version ~decode
+  in
+  List.iter
+    (fun { Persist.Store.path; reason } ->
+      log (Printf.sprintf "rejected checkpoint generation %s: %s" path reason))
+    rejected;
+  match found with
+  | Some (ck, step, path) ->
+      log (Printf.sprintf "resuming from generation %s (step %d)" path step);
+      resume_fit ~ck ~sink:(Some (Store store)) ?should_stop:(combined_stop ?stop ?deadline ()) ()
+  | None ->
+      let detail =
+        match rejected with
+        | [] -> "no checkpoint generations present"
+        | rs ->
+            Printf.sprintf "tried %d generation(s), all rejected: %s" (List.length rs)
+              (String.concat "; "
+                 (List.map (fun { Persist.Store.path; reason } -> path ^ " (" ^ reason ^ ")") rs))
+      in
+      raise
+        (Corrupt_checkpoint
+           (Printf.sprintf "no valid checkpoint generation in %s: %s" (Persist.Store.dir store)
+              detail))
 
 let checkpoint_step path = (load_ck path).ck_step

@@ -82,20 +82,34 @@ type result = {
   total_epsilon : float;  (** budget actually spent *)
 }
 
-type checkpoint_spec = { every : int; path : string }
-(** Write a crash-recovery snapshot to [path] every [every] MCMC steps
-    (atomically: the previous snapshot survives an interrupted write). *)
+type checkpoint_sink =
+  | Single of string
+      (** one file, overwritten in place (atomically: the previous snapshot
+          survives an interrupted write) *)
+  | Store of Wpinq_persist.Persist.Store.t
+      (** a generational store: each snapshot becomes a new
+          [ckpt-<step>.wpq] generation with retention/rotation, and
+          {!resume_latest} can fall back past corrupted generations *)
+
+type checkpoint_spec = { every : int; sink : checkpoint_sink }
+(** Write a crash-recovery snapshot every [every] MCMC steps. *)
 
 exception Corrupt_checkpoint of string
-(** Raised by {!resume} when the checkpoint file is unreadable, has the
-    wrong magic/version, fails its checksum, or does not decode. *)
+(** Raised by {!resume}/{!resume_latest} when no usable checkpoint exists.
+    The message names the file, the failing layer (container verification
+    vs. payload decode), and — for a generational store — every generation
+    tried and why each was rejected. *)
 
 val synthesize :
   ?pow:float ->
   ?steps:int ->
   ?trace_every:int ->
   ?refresh_every:int ->
+  ?audit_every:int ->
+  ?audit_tolerance:float ->
   ?checkpoint:checkpoint_spec ->
+  ?stop:(unit -> bool) ->
+  ?deadline:float ->
   rng:Wpinq_prng.Prng.t ->
   epsilon:float ->
   query:query option ->
@@ -121,14 +135,44 @@ val synthesize :
     final result.  Snapshots contain only released values (noisy
     measurements, budget audit log, public graphs, PRNG cursor) — never the
     protected graph.  [checkpoint] is ignored when [query = None] (no walk
-    runs). *)
+    runs).
 
-val resume : path:string -> unit -> result
+    [audit_every] (with [audit_tolerance], default [1e-6]; [0], the
+    default, disables) runs the engine self-audit at that cadence during
+    Phase 2: incremental state is cross-validated against a from-scratch
+    batch recomputation, divergences are counted into {!Mcmc.stats} (and
+    persisted in checkpoints), and divergent state is rebuilt from batch
+    before the walk continues.  A clean audit is bit-neutral.
+
+    [stop] (polled between steps) and [deadline] (wall-clock seconds from
+    run start) request a graceful stop: the in-flight step finishes, one
+    final snapshot of the stopped state is written to the checkpoint sink
+    (if any), and the partial result is returned with
+    [stats.interrupted = true].  Wire [stop] to
+    {!Shutdown.requested} for SIGINT/SIGTERM handling. *)
+
+val resume : ?stop:(unit -> bool) -> ?deadline:float -> path:string -> unit -> result
 (** [resume ~path ()] loads the snapshot at [path] and continues the
     interrupted walk to completion, checkpointing onward with the original
     cadence to the same [path].  The returned {!result} — graph, stats,
     trace, energies — is bit-identical to what the uninterrupted run would
-    have returned.  Raises {!Corrupt_checkpoint} on any invalid file. *)
+    have returned.  Raises {!Corrupt_checkpoint} on any invalid file.
+    [stop]/[deadline] as in {!synthesize}. *)
+
+val resume_latest :
+  ?log:(string -> unit) ->
+  ?stop:(unit -> bool) ->
+  ?deadline:float ->
+  store:Wpinq_persist.Persist.Store.t ->
+  unit ->
+  result
+(** [resume_latest ~store ()] walks the store's checkpoint generations
+    newest-first: each invalid generation (corrupted container, failing
+    decode) is quarantined to a [.corrupt] file with its reason recorded
+    and reported through [log], and the walk resumes from the newest valid
+    one — checkpointing onward into the same store.  Raises
+    {!Corrupt_checkpoint} naming every rejected generation when none is
+    valid.  [stop]/[deadline] as in {!synthesize}. *)
 
 val checkpoint_step : string -> int
 (** [checkpoint_step path] is the number of completed MCMC steps recorded

@@ -13,6 +13,18 @@ module Codec = struct
            (Printf.sprintf "truncated input: need %d bytes for %s at offset %d (have %d)" n
               what r.pos (remaining r)))
 
+  (* An adversarial (or corrupted) length prefix must be rejected *before*
+     any allocation is sized from it: a claimed element count can never
+     exceed the bytes left in the buffer, because every element occupies at
+     least one encoded byte in the formats this codec frames. *)
+  let check_length r n what =
+    if n < 0 then raise (Decode_error (Printf.sprintf "negative %s length %d" what n));
+    if n > remaining r then
+      raise
+        (Decode_error
+           (Printf.sprintf "%s length %d exceeds the %d bytes remaining at offset %d" what n
+              (remaining r) r.pos))
+
   let write_int64 buf v = Buffer.add_int64_le buf v
 
   let read_int64 r =
@@ -44,8 +56,7 @@ module Codec = struct
 
   let read_string r =
     let n = read_int r in
-    if n < 0 then raise (Decode_error (Printf.sprintf "negative string length %d" n));
-    need r n "string";
+    check_length r n "string";
     let s = String.sub r.buf r.pos n in
     r.pos <- r.pos + n;
     s
@@ -56,7 +67,7 @@ module Codec = struct
 
   let read_list read_item r =
     let n = read_int r in
-    if n < 0 then raise (Decode_error (Printf.sprintf "negative list length %d" n));
+    check_length r n "list";
     List.init n (fun _ -> read_item r)
 
   let write_array write_item buf xs =
@@ -65,46 +76,134 @@ module Codec = struct
 
   let read_array read_item r =
     let n = read_int r in
-    if n < 0 then raise (Decode_error (Printf.sprintf "negative array length %d" n));
+    check_length r n "array";
     Array.init n (fun _ -> read_item r)
 end
 
 module Fault = struct
   exception Injected of string
 
-  let armed : (string * int ref) option ref = ref None
+  (* [None] action means "simulate a crash": raise [Injected].  [Some f]
+     runs [f] instead — the hook tests use to deliver a signal or corrupt a
+     cell at an exact execution point without killing the run. *)
+  type armed = { site : string; count : int ref; action : (unit -> unit) option }
 
-  let arm ~site ~after =
+  let armed : armed option ref = ref None
+
+  let arm_with ~site ~after action =
     if after < 1 then invalid_arg "Fault.arm: after must be >= 1";
-    armed := Some (site, ref after)
+    armed := Some { site; count = ref after; action }
 
+  let arm ~site ~after = arm_with ~site ~after None
+  let arm_action ~site ~after f = arm_with ~site ~after (Some f)
   let disarm () = armed := None
 
   let point site =
     match !armed with
     | None -> ()
-    | Some (s, count) ->
+    | Some { site = s; count; action } ->
         if String.equal s site then begin
           decr count;
           if !count <= 0 then begin
             disarm ();
-            raise (Injected site)
+            match action with None -> raise (Injected site) | Some f -> f ()
           end
         end
+
+  type corruption = Bit_flip of int | Truncate_at of int
+
+  (* Deterministic file damage for recovery tests: a real bit rot or torn
+     write, applied in place.  [Bit_flip off] flips bit [off mod 8] of byte
+     [off / 8]; [Truncate_at n] cuts the file to its first [n] bytes. *)
+  let corrupt ~path = function
+    | Bit_flip off ->
+        if off < 0 then invalid_arg "Fault.corrupt: bit offset must be non-negative";
+        let ic = open_in_bin path in
+        let raw =
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        if raw = "" then invalid_arg "Fault.corrupt: cannot bit-flip an empty file";
+        let byte = off / 8 mod String.length raw in
+        let mask = 1 lsl (off mod 8) in
+        let b = Bytes.of_string raw in
+        Bytes.set b byte (Char.chr (Char.code (Bytes.get b byte) lxor mask));
+        let oc = open_out_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_bytes oc b)
+    | Truncate_at n ->
+        if n < 0 then invalid_arg "Fault.corrupt: truncation offset must be non-negative";
+        let ic = open_in_bin path in
+        let raw =
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        let keep = min n (String.length raw) in
+        let oc = open_out_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc (String.sub raw 0 keep))
 end
 
 module Atomic = struct
+  (* Temp names are unique per (process, write): two concurrent writers
+     aiming at the same destination can no longer clobber each other's
+     half-written temp, and a temp left behind by a crashed run is
+     recognizably stale. *)
+  let seq = ref 0
+
+  let temp_prefix path = path ^ ".tmp."
+
+  let is_temp_of ~base name = String.length base > 0 && String.starts_with ~prefix:base name
+
+  (* Unlink temps a crashed run left next to [path].  Best-effort: a file
+     disappearing underneath us (another sweeper) is not an error. *)
+  let sweep_stale ?except ~path () =
+    let dir = Filename.dirname path in
+    let base = Filename.basename (temp_prefix path) in
+    match Sys.readdir dir with
+    | exception Sys_error _ -> 0
+    | entries ->
+        Array.fold_left
+          (fun removed name ->
+            if is_temp_of ~base name && Some name <> Option.map Filename.basename except then (
+              match Sys.remove (Filename.concat dir name) with
+              | () -> removed + 1
+              | exception Sys_error _ -> removed)
+            else removed)
+          0 entries
+
+  let fsync_dir dir =
+    (* Persist the rename itself.  Directory fsync is not supported by
+       every filesystem; where it fails the rename is still atomic, just
+       not yet durable, so degrade silently rather than fail the write. *)
+    match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+    | exception Unix.Unix_error _ -> ()
+    | fd ->
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+
   let write ~path f =
-    let tmp = path ^ ".tmp" in
+    incr seq;
+    let tmp = Printf.sprintf "%s%d.%d" (temp_prefix path) (Unix.getpid ()) !seq in
+    ignore (sweep_stale ~except:tmp ~path ());
     let oc = open_out_bin tmp in
     Fun.protect
       ~finally:(fun () -> close_out_noerr oc)
       (fun () ->
         Fault.point "atomic.write";
         f oc;
-        flush oc);
+        flush oc;
+        Fault.point "atomic.fsync";
+        Unix.fsync (Unix.descr_of_out_channel oc));
     Fault.point "atomic.rename";
-    Sys.rename tmp path
+    Sys.rename tmp path;
+    Fault.point "atomic.dirsync";
+    fsync_dir (Filename.dirname path)
 end
 
 module File = struct
@@ -161,4 +260,122 @@ module File = struct
             let payload = String.sub contents header_len payload_len in
             if not (String.equal (Digest.string payload) digest) then Error Checksum_mismatch
             else Ok payload)
+end
+
+module Store = struct
+  type t = { dir : string; keep : int }
+  type rejected = { path : string; reason : string }
+
+  let filename_of_step step = Printf.sprintf "ckpt-%d.wpq" step
+
+  let step_of_filename name =
+    match Scanf.sscanf_opt name "ckpt-%d.wpq%!" (fun s -> s) with
+    | Some s when s >= 0 && String.equal name (filename_of_step s) -> Some s
+    | _ -> None
+
+  let rec mkdir_p dir =
+    if not (Sys.file_exists dir) then begin
+      let parent = Filename.dirname dir in
+      if parent <> dir then mkdir_p parent;
+      match Sys.mkdir dir 0o755 with
+      | () -> ()
+      | exception Sys_error _ when Sys.file_exists dir -> ()
+    end
+
+  let sweep_temps t =
+    match Sys.readdir t.dir with
+    | exception Sys_error _ -> 0
+    | entries ->
+        Array.fold_left
+          (fun removed name ->
+            (* Any generation's stale temp: "<gen>.tmp.<pid>.<n>" (or the
+               bare legacy "<gen>.tmp"). *)
+            let is_stale =
+              match String.index_opt name '.' with
+              | None -> false
+              | Some _ ->
+                  Filename.check_suffix name ".tmp"
+                  ||
+                  (match String.split_on_char '.' name with
+                  | _ :: rest -> List.mem "tmp" rest && not (Filename.check_suffix name ".wpq")
+                  | [] -> false)
+            in
+            if is_stale then (
+              match Sys.remove (Filename.concat t.dir name) with
+              | () -> removed + 1
+              | exception Sys_error _ -> removed)
+            else removed)
+          0 entries
+
+  let open_dir ?(keep = 3) dir =
+    if keep < 1 then invalid_arg "Store.open_dir: keep must be >= 1";
+    mkdir_p dir;
+    let t = { dir; keep } in
+    ignore (sweep_temps t);
+    t
+
+  let dir t = t.dir
+  let keep t = t.keep
+  let path_for t ~step = Filename.concat t.dir (filename_of_step step)
+
+  let generations t =
+    match Sys.readdir t.dir with
+    | exception Sys_error _ -> []
+    | entries ->
+        Array.to_list entries
+        |> List.filter_map (fun name ->
+               match step_of_filename name with
+               | Some step -> Some (step, Filename.concat t.dir name)
+               | None -> None)
+        |> List.sort (fun (a, _) (b, _) -> compare b a)
+
+  let save t ~step ~magic ~version payload =
+    let path = path_for t ~step in
+    File.save ~path ~magic ~version payload;
+    (* Rotation: keep the newest [keep] generations.  Quarantined
+       [.corrupt] files are evidence, not generations — never touched. *)
+    List.iteri
+      (fun i (_, p) ->
+        if i >= t.keep then try Sys.remove p with Sys_error _ -> ())
+      (generations t);
+    path
+
+  let quarantine ~path ~reason =
+    let rec fresh i =
+      let candidate =
+        if i = 0 then path ^ ".corrupt" else Printf.sprintf "%s.corrupt.%d" path i
+      in
+      if Sys.file_exists candidate then fresh (i + 1) else candidate
+    in
+    let dst = fresh 0 in
+    Sys.rename path dst;
+    (try
+       let oc = open_out (dst ^ ".reason") in
+       Fun.protect
+         ~finally:(fun () -> close_out_noerr oc)
+         (fun () -> output_string oc (reason ^ "\n"))
+     with Sys_error _ -> ());
+    dst
+
+  let load_latest t ~magic ~version ~decode =
+    let rec walk rejected = function
+      | [] -> (None, List.rev rejected)
+      | (step, path) :: older -> (
+          let reject reason =
+            let reason =
+              match quarantine ~path ~reason with
+              | quarantined -> Printf.sprintf "%s (quarantined to %s)" reason quarantined
+              | exception Sys_error msg ->
+                  Printf.sprintf "%s (quarantine failed: %s)" reason msg
+            in
+            walk ({ path; reason } :: rejected) older
+          in
+          match File.load ~path ~magic ~version with
+          | Error e -> reject ("container layer: " ^ File.error_to_string e)
+          | Ok payload -> (
+              match decode payload with
+              | Ok v -> (Some (v, step, path), List.rev rejected)
+              | Error msg -> reject ("decode layer: " ^ msg)))
+    in
+    walk [] (generations t)
 end

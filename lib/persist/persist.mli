@@ -1,11 +1,13 @@
 (** Crash-safe persistence: a binary codec, atomic file replacement, a
-    versioned checksummed container format, and a fault-injection hook for
-    testing recovery paths.
+    versioned checksummed container format, a generational checkpoint store,
+    and a fault-injection hook for testing recovery paths.
 
     This is the storage layer under the synthesis runtime's checkpoints and
     the graph IO: long Metropolis–Hastings fits snapshot their state through
-    {!File} so a killed run can resume, and every write goes through
-    {!Atomic} so a crash mid-write never corrupts the previous good file.
+    {!File} so a killed run can resume, every write goes through {!Atomic}
+    so a crash mid-write never corrupts the previous good file, and {!Store}
+    keeps several checkpoint generations so a {e corrupted} newest snapshot
+    still leaves an older one to fall back to.
 
     Nothing in this library knows about privacy: callers are responsible
     for serializing only {e released} values (noisy measurements, public
@@ -16,7 +18,9 @@ module Codec : sig
       little-endian fixed-width 64-bit; floats are serialized by bit
       pattern, so round-trips are exact (NaN payloads included).  Decoders
       raise {!Decode_error} instead of returning garbage on malformed or
-      truncated input. *)
+      truncated input, and validate every claimed length against the bytes
+      actually remaining {e before} allocating — an adversarial or corrupted
+      length prefix can never trigger a multi-gigabyte allocation. *)
 
   exception Decode_error of string
 
@@ -52,11 +56,14 @@ module Fault : sig
   (** Injectable failures for crash-recovery tests.
 
       A test arms one {e site} with a countdown; the [n]-th time execution
-      passes that site's {!point}, {!Injected} is raised (and the fault
-      disarms itself, so cleanup and subsequent recovery code run
-      normally).  Production code paths call {!point} at the moments a real
-      crash would be most damaging — mid-write, pre-rename, per MCMC step —
-      at the cost of one reference read when no fault is armed. *)
+      passes that site's {!point}, the fault fires — raising {!Injected}
+      (simulating a crash at that instant) or, with {!arm_action}, running
+      an arbitrary hook (delivering a signal, corrupting a file) — and the
+      fault disarms itself, so cleanup and subsequent recovery code run
+      normally.  Production code paths call {!point} at the moments a real
+      crash would be most damaging — mid-write, pre-fsync, pre-rename, per
+      MCMC step, per audit — at the cost of one reference read when no
+      fault is armed. *)
 
   exception Injected of string
 
@@ -65,21 +72,42 @@ module Fault : sig
       ([n >= 1]).  Only one site is armed at a time; re-arming replaces the
       previous fault. *)
 
+  val arm_action : site:string -> after:int -> (unit -> unit) -> unit
+  (** Like {!arm}, but the [n]-th call runs the given hook instead of
+      raising — the mechanism tests use to act (send a signal, flip a bit
+      on disk) at an exact execution point without killing the run.
+      Shares the single armed slot with {!arm}. *)
+
   val disarm : unit -> unit
   (** Remove any armed fault. *)
 
   val point : string -> unit
-  (** [point site] raises {!Injected} if an armed countdown on [site]
-      reaches zero; otherwise a no-op. *)
+  (** [point site] fires an armed countdown on [site] when it reaches
+      zero; otherwise a no-op. *)
+
+  type corruption =
+    | Bit_flip of int  (** flip bit [off mod 8] of byte [(off / 8) mod size] *)
+    | Truncate_at of int  (** keep only the first [n] bytes *)
+
+  val corrupt : path:string -> corruption -> unit
+  (** [corrupt ~path c] damages the file in place — deterministic bit rot
+      or a torn write, for recovery tests. *)
 end
 
 module Atomic : sig
   val write : path:string -> (out_channel -> unit) -> unit
-  (** [write ~path f] runs [f] on a channel for [path ^ ".tmp"], then
-      atomically renames the temp file over [path].  A crash at any point
-      leaves the previous contents of [path] intact; at worst a stale
-      [.tmp] file remains (and is overwritten by the next write).  The
-      channel is binary; [f] must not close it. *)
+  (** [write ~path f] runs [f] on a channel for a uniquely-named temp file
+      ([path ^ ".tmp.<pid>.<n>"]), fsyncs it, atomically renames it over
+      [path], then best-effort fsyncs the containing directory.  A crash at
+      any point leaves the previous contents of [path] intact; at worst a
+      stale temp file remains, and any such stale temps from crashed runs
+      are unlinked by the next write to the same path.  The channel is
+      binary; [f] must not close it. *)
+
+  val sweep_stale : ?except:string -> path:string -> unit -> int
+  (** [sweep_stale ~path ()] unlinks stale temp files left next to [path]
+      by crashed runs (skipping [except], if given) and returns how many
+      were removed.  Called automatically by {!write}. *)
 end
 
 module File : sig
@@ -104,4 +132,57 @@ module File : sig
   val load : path:string -> magic:string -> version:int -> (string, error) result
   (** [load ~path ~magic ~version] verifies the frame and returns the
       payload. *)
+end
+
+module Store : sig
+  (** A generational checkpoint store: a directory of [ckpt-<step>.wpq]
+      files, newest-first retention, and corruption fallback.
+
+      Each {!save} adds a generation and prunes the oldest beyond the
+      retention count.  {!load_latest} walks generations newest-first,
+      quarantining each invalid one (renamed to [.corrupt], with the reason
+      logged next to it in a [.corrupt.reason] file) until a valid
+      generation is found — so one corrupted snapshot costs only the steps
+      since the previous one, not the whole run. *)
+
+  type t
+
+  type rejected = { path : string; reason : string }
+  (** A generation that failed validation during {!load_latest}, and why. *)
+
+  val open_dir : ?keep:int -> string -> t
+  (** [open_dir ?keep dir] creates [dir] if needed, sweeps stale temp files
+      left by crashed runs, and returns a store retaining the newest [keep]
+      generations (default 3, must be [>= 1]). *)
+
+  val dir : t -> string
+  val keep : t -> int
+
+  val path_for : t -> step:int -> string
+  (** The path the generation for [step] is (or would be) stored at. *)
+
+  val generations : t -> (int * string) list
+  (** Present generations as [(step, path)], newest first.  Quarantined
+      [.corrupt] files are not generations and are never listed. *)
+
+  val save : t -> step:int -> magic:string -> version:int -> string -> string
+  (** [save t ~step ~magic ~version payload] writes the generation through
+      {!File.save}, prunes generations beyond the retention count (never
+      touching quarantined files), and returns the written path. *)
+
+  val quarantine : path:string -> reason:string -> string
+  (** [quarantine ~path ~reason] renames [path] to a fresh [.corrupt] name,
+      records [reason] in a sibling [.reason] file, and returns the new
+      path.  The evidence is preserved, never deleted. *)
+
+  val load_latest :
+    t ->
+    magic:string ->
+    version:int ->
+    decode:(string -> ('a, string) result) ->
+    ('a * int * string) option * rejected list
+  (** [load_latest t ~magic ~version ~decode] walks generations newest
+      first.  Each generation failing the container check or [decode] is
+      quarantined and recorded; the first valid one is returned as
+      [(value, step, path)].  [None] means no valid generation remains. *)
 end

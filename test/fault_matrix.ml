@@ -1,0 +1,142 @@
+(* Randomized kill/corrupt recovery matrix (CI's long-haul harness, also
+   runnable by hand: `fault_matrix --seed 7 --rounds 10`).
+
+   Each round kills a checkpointed synthesis run at a random step, corrupts
+   a random subset of the surviving checkpoint generations (random bit
+   flips or truncations — always leaving at least one generation intact),
+   optionally kills the resumed run too, and then demands that the final
+   recovered result be bit-identical to the uninterrupted reference run:
+   same edges, same counters, same energy bit patterns, same trace, same
+   spent budget.  Exits 1 on the first mismatch. *)
+
+module Prng = Wpinq_prng.Prng
+module Graph = Wpinq_graph.Graph
+module Gen = Wpinq_graph.Gen
+module Persist = Wpinq_persist.Persist
+module Fault = Persist.Fault
+module W = Wpinq_infer.Workflow
+module Mcmc = Wpinq_infer.Mcmc
+
+let steps = 1500
+let every = 300
+let trace_every = 500
+let keep = 3
+let failures = ref 0
+
+let check name cond =
+  if not cond then begin
+    Printf.eprintf "FAIL: %s\n%!" name;
+    incr failures
+  end
+
+let check_bits name a b = check name (Int64.bits_of_float a = Int64.bits_of_float b)
+
+let check_result round (expect : W.result) (got : W.result) =
+  let name what = Printf.sprintf "round %d: %s" round what in
+  check (name "synthetic edges")
+    (Graph.edges expect.W.synthetic = Graph.edges got.W.synthetic);
+  check (name "seed edges") (Graph.edges expect.W.seed = Graph.edges got.W.seed);
+  let es = expect.W.stats and gs = got.W.stats in
+  check (name "steps") (es.Mcmc.steps = gs.Mcmc.steps);
+  check (name "accepted") (es.Mcmc.accepted = gs.Mcmc.accepted);
+  check (name "invalid") (es.Mcmc.invalid = gs.Mcmc.invalid);
+  check (name "not interrupted") (not gs.Mcmc.interrupted);
+  check_bits (name "final energy") es.Mcmc.final_energy gs.Mcmc.final_energy;
+  check (name "trace length") (List.length expect.W.trace = List.length got.W.trace);
+  List.iter2
+    (fun (e : W.trace_point) (g : W.trace_point) ->
+      check (name "trace step") (e.W.step = g.W.step);
+      check (name "trace triangles") (e.W.triangles = g.W.triangles);
+      check_bits (name "trace energy") e.W.energy g.W.energy)
+    expect.W.trace got.W.trace;
+  check_bits (name "total epsilon") expect.W.total_epsilon got.W.total_epsilon
+
+let with_store_dir f =
+  let dir = Filename.temp_file "wpinq_matrix" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.disarm ();
+      Array.iter
+        (fun name -> try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let synthesize store =
+  W.synthesize ~steps ~trace_every ~pow:100.0
+    ~checkpoint:{ W.every; sink = W.Store store }
+    ~rng:(Prng.create 123) ~epsilon:0.5 ~query:(Some W.Tbi)
+    ~secret:(Gen.clustered ~n:40 ~community:8 ~p_in:0.7 ~extra:20 (Prng.create 5))
+    ()
+
+let random_corruption st size =
+  if Random.State.bool st then Fault.Bit_flip (Random.State.int st (8 * size))
+  else Fault.Truncate_at (Random.State.int st size)
+
+let round st round =
+  with_store_dir (fun dir ->
+      let store = Persist.Store.open_dir ~keep dir in
+      (* Kill after at least one generation exists (first snapshot lands at
+         step [every]). *)
+      let kill_at = every + 1 + Random.State.int st (steps - every - 1) in
+      Fault.arm ~site:"mcmc.step" ~after:kill_at;
+      (match synthesize store with
+      | exception Fault.Injected _ -> ()
+      | _ ->
+          Printf.eprintf "round %d: kill at %d never fired\n%!" round kill_at;
+          incr failures);
+      (* Corrupt a random strict subset of the surviving generations,
+         newest-first — the resume must fall back past every one of them. *)
+      let gens = Persist.Store.generations store in
+      let n_gens = List.length gens in
+      check (Printf.sprintf "round %d: generations on disk" round) (n_gens >= 1);
+      let n_corrupt = if n_gens <= 1 then 0 else Random.State.int st n_gens in
+      List.iteri
+        (fun i (_, path) ->
+          if i < n_corrupt then
+            let size = (Unix.stat path).Unix.st_size in
+            Fault.corrupt ~path (random_corruption st size))
+        gens;
+      (* Sometimes kill the resumed run as well before the final recovery. *)
+      let second_kill = ref false in
+      let resumed =
+        if Random.State.bool st then begin
+          Fault.arm ~site:"mcmc.step" ~after:(1 + Random.State.int st 400);
+          match W.resume_latest ~store () with
+          | exception Fault.Injected _ ->
+              second_kill := true;
+              None
+          | r ->
+              Fault.disarm ();
+              Some r
+        end
+        else None
+      in
+      let got = match resumed with Some r -> r | None -> W.resume_latest ~store () in
+      Printf.printf
+        "round %d: killed at %d, corrupted %d/%d generation(s)%s — recovered\n%!" round
+        kill_at n_corrupt n_gens
+        (if !second_kill then ", killed resume too" else "");
+      got)
+
+let () =
+  let seed = ref 1 and rounds = ref 5 in
+  Arg.parse
+    [
+      ("--seed", Arg.Set_int seed, "N  master seed for the randomized matrix (default 1)");
+      ("--rounds", Arg.Set_int rounds, "N  kill/corrupt rounds to run (default 5)");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "fault_matrix [--seed N] [--rounds N]";
+  let st = Random.State.make [| !seed |] in
+  let reference = with_store_dir (fun dir -> synthesize (Persist.Store.open_dir ~keep dir)) in
+  for r = 1 to !rounds do
+    check_result r reference (round st r)
+  done;
+  if !failures > 0 then begin
+    Printf.eprintf "%d mismatch(es) against the uninterrupted reference\n%!" !failures;
+    exit 1
+  end;
+  Printf.printf "all %d rounds recovered bit-identically (seed %d)\n%!" !rounds !seed

@@ -9,6 +9,7 @@ module Persist = Wpinq_persist.Persist
 module Fault = Persist.Fault
 module W = Wpinq_infer.Workflow
 module Mcmc = Wpinq_infer.Mcmc
+module Shutdown = Wpinq_infer.Shutdown
 
 let steps = 2000
 let every = 400
@@ -20,15 +21,36 @@ let with_ckpt f =
   Fun.protect
     ~finally:(fun () ->
       Fault.disarm ();
+      Shutdown.reset ();
       if Sys.file_exists path then Sys.remove path;
-      let tmp = path ^ ".tmp" in
-      if Sys.file_exists tmp then Sys.remove tmp)
+      ignore (Persist.Atomic.sweep_stale ~path ()))
     (fun () -> f path)
 
-let run_checkpointed path =
+let with_store_dir f =
+  let dir = Filename.temp_file "wpinq_store" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.disarm ();
+      Shutdown.reset ();
+      Array.iter
+        (fun name -> try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let run_checkpointed ?stop ?deadline path =
   W.synthesize ~steps ~trace_every ~pow:100.0
-    ~checkpoint:{ W.every; path }
-    ~rng:(Prng.create 123) ~epsilon:0.5 ~query:(Some W.Tbi) ~secret:(secret ()) ()
+    ~checkpoint:{ W.every; sink = W.Single path }
+    ?stop ?deadline ~rng:(Prng.create 123) ~epsilon:0.5 ~query:(Some W.Tbi)
+    ~secret:(secret ()) ()
+
+let run_checkpointed_store ?stop ?deadline store =
+  W.synthesize ~steps ~trace_every ~pow:100.0
+    ~checkpoint:{ W.every; sink = W.Store store }
+    ?stop ?deadline ~rng:(Prng.create 123) ~epsilon:0.5 ~query:(Some W.Tbi)
+    ~secret:(secret ()) ()
 
 let check_bits name a b =
   Alcotest.(check int64) name (Int64.bits_of_float a) (Int64.bits_of_float b)
@@ -133,6 +155,136 @@ let test_interrupted_checkpoint_write () =
       let got = W.resume ~path () in
       check_result "interrupted snapshot write" expect got)
 
+(* ---- generational store sink ---- *)
+
+let test_store_sink_matches_single () =
+  (* Checkpointing into a generational store instead of a single file must
+     not perturb the walk: the snapshot bytes (and the rebase they drive)
+     are identical. *)
+  let expect = Lazy.force reference in
+  with_store_dir (fun dir ->
+      let store = Persist.Store.open_dir ~keep:3 dir in
+      let got = run_checkpointed_store store in
+      check_result "store sink" expect got;
+      (* Snapshots at 400/800/1200/1600, retention 3 → newest three remain. *)
+      Alcotest.(check (list int))
+        "generations retained" [ 1600; 1200; 800 ]
+        (List.map fst (Persist.Store.generations store)))
+
+let test_store_fallback_resumes_previous_generation () =
+  (* Bit-flip the newest generation: resume_latest must quarantine it (to a
+     preserved .corrupt file, not delete it), fall back to the previous
+     generation, and still reproduce the reference bit-for-bit. *)
+  let expect = Lazy.force reference in
+  with_store_dir (fun dir ->
+      let store = Persist.Store.open_dir ~keep:3 dir in
+      let killed =
+        Fault.arm ~site:"mcmc.step" ~after:1999;
+        match run_checkpointed_store store with
+        | exception Fault.Injected _ -> true
+        | _ -> false
+      in
+      Alcotest.(check bool) "kill fired" true killed;
+      let newest =
+        match Persist.Store.generations store with
+        | (step, path) :: _ ->
+            Alcotest.(check int) "newest generation" 1600 step;
+            path
+        | [] -> Alcotest.fail "no generations written"
+      in
+      let size = (Unix.stat newest).Unix.st_size in
+      Fault.corrupt ~path:newest (Fault.Bit_flip (8 * (size - 1)));
+      let logs = ref [] in
+      let got = W.resume_latest ~log:(fun m -> logs := m :: !logs) ~store () in
+      check_result "fallback resume" expect got;
+      Alcotest.(check bool) "corrupt generation quarantined, not deleted" true
+        (Sys.file_exists (newest ^ ".corrupt"));
+      Alcotest.(check bool) "rejection was logged" true
+        (List.exists
+           (fun m ->
+             String.length m > 0
+             && String.starts_with ~prefix:"rejected checkpoint generation" m)
+           !logs))
+
+let test_store_all_corrupt_raises () =
+  with_store_dir (fun dir ->
+      let store = Persist.Store.open_dir ~keep:3 dir in
+      Fault.arm ~site:"mcmc.step" ~after:900;
+      (match run_checkpointed_store store with
+      | exception Fault.Injected _ -> ()
+      | _ -> Alcotest.fail "kill did not fire");
+      List.iter
+        (fun (_, path) -> Fault.corrupt ~path (Fault.Truncate_at 5))
+        (Persist.Store.generations store);
+      match W.resume_latest ~store () with
+      | exception W.Corrupt_checkpoint msg ->
+          Alcotest.(check bool) "message names the store" true
+            (String.length msg > 0);
+          Alcotest.(check bool) "message lists the rejected generations" true
+            (let contains hay needle =
+               let nh = String.length hay and nn = String.length needle in
+               let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+               go 0
+             in
+             contains msg "ckpt-400.wpq")
+      | _ -> Alcotest.fail "all-corrupt store resumed")
+
+(* ---- graceful shutdown ---- *)
+
+let test_graceful_stop_cadence_aligned () =
+  (* A stop observed exactly at a checkpoint boundary: the final snapshot
+     re-encodes the already-rebased state, so resuming reproduces the
+     uninterrupted reference bit-for-bit. *)
+  let expect = Lazy.force reference in
+  with_ckpt (fun path ->
+      let flag = ref false in
+      (* Iterations 1..1200 complete steps 1..1200; the 1201st pass over the
+         signal point sets the flag, which the same iteration's stop check
+         observes before starting step 1201. *)
+      Fault.arm_action ~site:"mcmc.signal" ~after:1201 (fun () -> flag := true);
+      let r = run_checkpointed ~stop:(fun () -> !flag) path in
+      Alcotest.(check bool) "interrupted" true r.W.stats.Mcmc.interrupted;
+      Alcotest.(check int) "stopped at the boundary" 1200 r.W.stats.Mcmc.steps;
+      Alcotest.(check int) "final snapshot step" 1200 (W.checkpoint_step path);
+      let got = W.resume ~path () in
+      Alcotest.(check bool) "resumed run not interrupted" false
+        got.W.stats.Mcmc.interrupted;
+      check_result "graceful stop" expect got)
+
+let test_sigterm_finishes_step_and_checkpoints () =
+  (* A real SIGTERM, delivered mid-walk through the installed handler: the
+     in-flight step finishes, a valid final snapshot is written, and resume
+     completes the walk. *)
+  with_ckpt (fun path ->
+      Shutdown.reset ();
+      Shutdown.install ();
+      Fault.arm_action ~site:"mcmc.signal" ~after:900 (fun () ->
+          Unix.kill (Unix.getpid ()) Sys.sigterm);
+      let r = run_checkpointed ~stop:Shutdown.requested path in
+      Alcotest.(check bool) "interrupted" true r.W.stats.Mcmc.interrupted;
+      Alcotest.(check bool) "stopped promptly after delivery" true
+        (r.W.stats.Mcmc.steps >= 899 && r.W.stats.Mcmc.steps < steps);
+      (* The final snapshot records exactly the stopped state. *)
+      Alcotest.(check int) "final snapshot step" r.W.stats.Mcmc.steps
+        (W.checkpoint_step path);
+      Shutdown.reset ();
+      let got = W.resume ~path () in
+      Alcotest.(check bool) "resumed run not interrupted" false
+        got.W.stats.Mcmc.interrupted;
+      Alcotest.(check int) "resume completed the walk" steps got.W.stats.Mcmc.steps)
+
+let test_deadline_stops_gracefully () =
+  with_ckpt (fun path ->
+      let r = run_checkpointed ~deadline:0.0 path in
+      Alcotest.(check bool) "interrupted" true r.W.stats.Mcmc.interrupted;
+      Alcotest.(check bool) "stopped early" true (r.W.stats.Mcmc.steps < steps);
+      Alcotest.(check int) "final snapshot step" r.W.stats.Mcmc.steps
+        (W.checkpoint_step path);
+      let got = W.resume ~path () in
+      Alcotest.(check bool) "resumed run not interrupted" false
+        got.W.stats.Mcmc.interrupted;
+      Alcotest.(check int) "resume completed the walk" steps got.W.stats.Mcmc.steps)
+
 let suite =
   [
     Alcotest.test_case "kill just after first snapshot" `Slow (test_kill_and_resume 401);
@@ -141,4 +293,15 @@ let suite =
     Alcotest.test_case "kill twice, resume twice" `Slow test_double_kill;
     Alcotest.test_case "corrupt checkpoint detected" `Slow test_corrupt_checkpoint_detected;
     Alcotest.test_case "interrupted snapshot write" `Slow test_interrupted_checkpoint_write;
+    Alcotest.test_case "store sink matches single-file run" `Slow
+      test_store_sink_matches_single;
+    Alcotest.test_case "store falls back past corrupt newest" `Slow
+      test_store_fallback_resumes_previous_generation;
+    Alcotest.test_case "store with all generations corrupt" `Slow
+      test_store_all_corrupt_raises;
+    Alcotest.test_case "graceful stop at cadence boundary" `Slow
+      test_graceful_stop_cadence_aligned;
+    Alcotest.test_case "SIGTERM finishes step and checkpoints" `Slow
+      test_sigterm_finishes_step_and_checkpoints;
+    Alcotest.test_case "deadline stops gracefully" `Slow test_deadline_stops_gracefully;
   ]

@@ -6,10 +6,22 @@ let with_temp f =
   let path = Filename.temp_file "wpinq_persist" ".bin" in
   Fun.protect
     ~finally:(fun () ->
+      Fault.disarm ();
       if Sys.file_exists path then Sys.remove path;
-      let tmp = path ^ ".tmp" in
-      if Sys.file_exists tmp then Sys.remove tmp)
+      ignore (Persist.Atomic.sweep_stale ~path ()))
     (fun () -> f path)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "wpinq_store" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.disarm ();
+      if Sys.file_exists dir then begin
+        Array.iter (fun name -> Sys.remove (Filename.concat dir name)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
 
 (* ---- codec ---- *)
 
@@ -72,6 +84,30 @@ let test_codec_negative_length () =
   | exception Codec.Decode_error _ -> ()
   | s -> Alcotest.failf "negative length decoded to %S" s
 
+let test_codec_adversarial_lengths () =
+  (* A corrupted or hostile length prefix claiming more elements than there
+     are bytes left must be rejected *before* any allocation is sized from
+     it — a multi-GB [List.init]/[Array.init] would be a DoS even behind
+     the checksum. *)
+  let claim n =
+    let buf = Buffer.create 16 in
+    Codec.write_int buf n;
+    Codec.write_float buf 1.0;
+    Buffer.contents buf
+  in
+  List.iter
+    (fun n ->
+      (match Codec.read_list Codec.read_float (Codec.reader (claim n)) with
+      | exception Codec.Decode_error _ -> ()
+      | l -> Alcotest.failf "list of claimed length %d decoded (%d items)" n (List.length l));
+      (match Codec.read_array Codec.read_float (Codec.reader (claim n)) with
+      | exception Codec.Decode_error _ -> ()
+      | a -> Alcotest.failf "array of claimed length %d decoded (%d items)" n (Array.length a));
+      match Codec.read_string (Codec.reader (claim n)) with
+      | exception Codec.Decode_error _ -> ()
+      | s -> Alcotest.failf "string of claimed length %d decoded (%d bytes)" n (String.length s))
+    [ 9 (* just past the remaining bytes *); 1_000_000_000; max_int ]
+
 (* ---- fault injection ---- *)
 
 let test_fault_countdown () =
@@ -86,6 +122,41 @@ let test_fault_countdown () =
   | () -> Alcotest.fail "expected injection on 2nd pass");
   (* One-shot: disarmed before raising, so recovery code runs clean. *)
   Fault.point "x"
+
+let test_fault_action () =
+  Fault.disarm ();
+  let fired = ref 0 in
+  Fault.arm_action ~site:"hook" ~after:2 (fun () -> incr fired);
+  Fault.point "hook";
+  Alcotest.(check int) "not yet" 0 !fired;
+  Fault.point "hook";
+  Alcotest.(check int) "fired once" 1 !fired;
+  (* One-shot, like [arm]. *)
+  Fault.point "hook";
+  Alcotest.(check int) "disarmed after firing" 1 !fired
+
+let test_fault_corrupt_bit_flip () =
+  with_temp (fun path ->
+      let oc = open_out_bin path in
+      output_string oc "\x00\x00\x00";
+      close_out oc;
+      (* Bit 1 of byte 1. *)
+      Fault.corrupt ~path (Fault.Bit_flip 9);
+      let ic = open_in_bin path in
+      let raw = really_input_string ic 3 in
+      close_in ic;
+      Alcotest.(check string) "one bit flipped" "\x00\x02\x00" raw)
+
+let test_fault_corrupt_truncate () =
+  with_temp (fun path ->
+      let oc = open_out_bin path in
+      output_string oc "0123456789";
+      close_out oc;
+      Fault.corrupt ~path (Fault.Truncate_at 4);
+      let ic = open_in_bin path in
+      let raw = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Alcotest.(check string) "truncated" "0123" raw)
 
 (* ---- container format ---- *)
 
@@ -173,8 +244,9 @@ let test_file_bad_magic_and_version () =
       | _ -> Alcotest.fail "expected Unsupported_version")
 
 let test_interrupted_write_preserves_previous () =
-  (* The acceptance criterion: a crash mid-write (during the temp-file body
-     or just before the rename) leaves the previous valid file intact. *)
+  (* The acceptance criterion: a crash mid-write (during the temp-file
+     body, before the data fsync, or just before the rename) leaves the
+     previous valid file intact. *)
   with_temp (fun path ->
       Persist.File.save ~path ~magic ~version "generation one";
       List.iter
@@ -186,12 +258,155 @@ let test_interrupted_write_preserves_previous () =
           match Persist.File.load ~path ~magic ~version with
           | Ok p -> Alcotest.(check string) (site ^ " preserved") "generation one" p
           | Error e -> Alcotest.fail (Persist.File.error_to_string e))
-        [ "atomic.write"; "atomic.rename" ];
+        [ "atomic.write"; "atomic.fsync"; "atomic.rename" ];
       (* And with no fault armed the next write goes through. *)
       Persist.File.save ~path ~magic ~version "generation two";
       match Persist.File.load ~path ~magic ~version with
       | Ok p -> Alcotest.(check string) "clean retry" "generation two" p
       | Error e -> Alcotest.fail (Persist.File.error_to_string e))
+
+let test_crash_between_rename_and_dirsync () =
+  (* The dirsync site fires *after* the rename: a crash in that window may
+     surface either generation after a reboot, but on a live filesystem the
+     new content is already in place — it must be valid. *)
+  with_temp (fun path ->
+      Persist.File.save ~path ~magic ~version "generation one";
+      Fault.arm ~site:"atomic.dirsync" ~after:1;
+      (match Persist.File.save ~path ~magic ~version "generation two" with
+      | exception Fault.Injected _ -> ()
+      | () -> Alcotest.fail "dirsync fault did not fire");
+      match Persist.File.load ~path ~magic ~version with
+      | Ok p -> Alcotest.(check string) "renamed content valid" "generation two" p
+      | Error e -> Alcotest.fail (Persist.File.error_to_string e))
+
+let test_stale_temps_swept () =
+  (* A crashed run leaves its uniquely-named temp file behind; the next
+     write to the same path must sweep it. *)
+  with_temp (fun path ->
+      Fault.arm ~site:"atomic.rename" ~after:1;
+      (match Persist.File.save ~path ~magic ~version "doomed" with
+      | exception Fault.Injected _ -> ()
+      | () -> Alcotest.fail "rename fault did not fire");
+      let temps dir base =
+        Array.to_list (Sys.readdir dir)
+        |> List.filter (fun n -> String.starts_with ~prefix:(base ^ ".tmp") n)
+      in
+      let dir = Filename.dirname path and base = Filename.basename path in
+      Alcotest.(check int) "crash left a stale temp" 1 (List.length (temps dir base));
+      Persist.File.save ~path ~magic ~version "survivor";
+      Alcotest.(check int) "next write swept it" 0 (List.length (temps dir base));
+      match Persist.File.load ~path ~magic ~version with
+      | Ok p -> Alcotest.(check string) "content" "survivor" p
+      | Error e -> Alcotest.fail (Persist.File.error_to_string e))
+
+let test_corrupt_helper_detected_by_container () =
+  with_temp (fun path ->
+      Persist.File.save ~path ~magic ~version "a payload of reasonable length";
+      let size = (Unix.stat path).Unix.st_size in
+      (* Flip a bit in the last byte — squarely inside the payload. *)
+      Fault.corrupt ~path (Fault.Bit_flip (8 * (size - 1)));
+      (match Persist.File.load ~path ~magic ~version with
+      | Error Persist.File.Checksum_mismatch -> ()
+      | Ok _ -> Alcotest.fail "bit-flipped file loaded"
+      | Error e -> Alcotest.failf "wrong error: %s" (Persist.File.error_to_string e));
+      Persist.File.save ~path ~magic ~version "a payload of reasonable length";
+      Fault.corrupt ~path (Fault.Truncate_at (size - 3));
+      match Persist.File.load ~path ~magic ~version with
+      | Error Persist.File.Truncated -> ()
+      | Ok _ -> Alcotest.fail "truncated file loaded"
+      | Error e -> Alcotest.failf "wrong error: %s" (Persist.File.error_to_string e))
+
+(* ---- generational store ---- *)
+
+let decode_ok payload = Ok payload
+
+let test_store_rotation_and_generations () =
+  with_temp_dir (fun dir ->
+      let store = Persist.Store.open_dir ~keep:3 dir in
+      List.iter
+        (fun step ->
+          ignore
+            (Persist.Store.save store ~step ~magic ~version (Printf.sprintf "gen %d" step)))
+        [ 100; 200; 300; 400; 500 ];
+      (* Retention: only the newest 3 remain, newest first. *)
+      Alcotest.(check (list int))
+        "generations" [ 500; 400; 300 ]
+        (List.map fst (Persist.Store.generations store));
+      match Persist.Store.load_latest store ~magic ~version ~decode:decode_ok with
+      | Some (payload, step, _), [] ->
+          Alcotest.(check string) "newest payload" "gen 500" payload;
+          Alcotest.(check int) "newest step" 500 step
+      | Some _, rejected ->
+          Alcotest.failf "unexpected rejections: %d" (List.length rejected)
+      | None, _ -> Alcotest.fail "no generation loaded")
+
+let test_store_fallback_quarantines () =
+  with_temp_dir (fun dir ->
+      let store = Persist.Store.open_dir ~keep:3 dir in
+      List.iter
+        (fun step ->
+          ignore
+            (Persist.Store.save store ~step ~magic ~version (Printf.sprintf "gen %d" step)))
+        [ 100; 200; 300 ];
+      (* Corrupt the newest generation; the store must fall back to 200,
+         quarantining 300 as evidence (renamed, reason recorded — never
+         deleted). *)
+      let newest = Persist.Store.path_for store ~step:300 in
+      let size = (Unix.stat newest).Unix.st_size in
+      Fault.corrupt ~path:newest (Fault.Bit_flip (8 * (size - 1)));
+      (match Persist.Store.load_latest store ~magic ~version ~decode:decode_ok with
+      | Some (payload, step, _), [ { Persist.Store.path; reason } ] ->
+          Alcotest.(check string) "fell back" "gen 200" payload;
+          Alcotest.(check int) "fallback step" 200 step;
+          Alcotest.(check string) "rejected path" newest path;
+          Alcotest.(check bool)
+            "reason names the container layer" true
+            (String.length reason > 0
+            && String.starts_with ~prefix:"container layer:" reason)
+      | Some _, rejected ->
+          Alcotest.failf "expected exactly one rejection, got %d" (List.length rejected)
+      | None, _ -> Alcotest.fail "no generation survived");
+      Alcotest.(check bool) "corrupt file quarantined, not deleted" true
+        (Sys.file_exists (newest ^ ".corrupt"));
+      Alcotest.(check bool) "quarantine reason recorded" true
+        (Sys.file_exists (newest ^ ".corrupt.reason"));
+      (* The quarantined generation no longer counts as a generation. *)
+      Alcotest.(check (list int))
+        "generations after quarantine" [ 200; 100 ]
+        (List.map fst (Persist.Store.generations store)))
+
+let test_store_all_corrupt () =
+  with_temp_dir (fun dir ->
+      let store = Persist.Store.open_dir ~keep:2 dir in
+      ignore (Persist.Store.save store ~step:100 ~magic ~version "gen 100");
+      ignore (Persist.Store.save store ~step:200 ~magic ~version "gen 200");
+      List.iter
+        (fun step ->
+          Fault.corrupt ~path:(Persist.Store.path_for store ~step) (Fault.Truncate_at 5))
+        [ 100; 200 ];
+      match Persist.Store.load_latest store ~magic ~version ~decode:decode_ok with
+      | None, rejected -> Alcotest.(check int) "both tried and rejected" 2 (List.length rejected)
+      | Some (p, _, _), _ -> Alcotest.failf "corrupt generation loaded: %S" p)
+
+let test_store_sweeps_stale_temps_on_open () =
+  with_temp_dir (fun dir ->
+      let store = Persist.Store.open_dir ~keep:2 dir in
+      ignore (Persist.Store.save store ~step:100 ~magic ~version "gen 100");
+      (* Crash a generation write, leaving its temp behind. *)
+      Fault.arm ~site:"atomic.rename" ~after:1;
+      (match Persist.Store.save store ~step:200 ~magic ~version "doomed" with
+      | exception Fault.Injected _ -> ()
+      | _ -> Alcotest.fail "rename fault did not fire");
+      let stale () =
+        Array.to_list (Sys.readdir dir)
+        |> List.filter (fun n -> not (Filename.check_suffix n ".wpq"))
+      in
+      Alcotest.(check int) "stale temp present" 1 (List.length (stale ()));
+      let store2 = Persist.Store.open_dir ~keep:2 dir in
+      Alcotest.(check int) "swept on open" 0 (List.length (stale ()));
+      Alcotest.(check (list int))
+        "good generation untouched" [ 100 ]
+        (List.map fst (Persist.Store.generations store2)))
 
 let suite =
   [
@@ -209,4 +424,21 @@ let suite =
     Alcotest.test_case "bad magic and version" `Quick test_file_bad_magic_and_version;
     Alcotest.test_case "interrupted write preserves previous" `Quick
       test_interrupted_write_preserves_previous;
+    Alcotest.test_case "codec adversarial length prefixes" `Quick
+      test_codec_adversarial_lengths;
+    Alcotest.test_case "fault action hook" `Quick test_fault_action;
+    Alcotest.test_case "fault corrupt bit flip" `Quick test_fault_corrupt_bit_flip;
+    Alcotest.test_case "fault corrupt truncate" `Quick test_fault_corrupt_truncate;
+    Alcotest.test_case "crash between rename and dirsync" `Quick
+      test_crash_between_rename_and_dirsync;
+    Alcotest.test_case "stale temps swept by next write" `Quick test_stale_temps_swept;
+    Alcotest.test_case "corrupt helper detected by container" `Quick
+      test_corrupt_helper_detected_by_container;
+    Alcotest.test_case "store rotation and generations" `Quick
+      test_store_rotation_and_generations;
+    Alcotest.test_case "store fallback quarantines corrupt newest" `Quick
+      test_store_fallback_quarantines;
+    Alcotest.test_case "store all generations corrupt" `Quick test_store_all_corrupt;
+    Alcotest.test_case "store sweeps stale temps on open" `Quick
+      test_store_sweeps_stale_temps_on_open;
   ]

@@ -6,6 +6,7 @@ let () =
       ("weighted", Test_weighted.suite);
       ("dataflow", Test_dataflow.suite);
       ("speculation", Test_speculation.suite);
+      ("audit", Test_audit.suite);
       ("core", Test_core.suite);
       ("graph", Test_graph.suite);
       ("queries", Test_queries.suite);
