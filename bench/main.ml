@@ -24,10 +24,12 @@ module Budget = Wpinq_core.Budget
 module Batch = Wpinq_core.Batch
 module Flow = Wpinq_core.Flow
 module Fit = Wpinq_infer.Fit
+module Plan = Wpinq_core.Plan
 module Datasets = Wpinq_data.Datasets
 module Gridpath = Wpinq_postprocess.Gridpath
 module Qb = Wpinq_queries.Queries.Make (Batch)
 module Qf = Wpinq_queries.Queries.Make (Flow)
+module Qp = Wpinq_queries.Queries.Make (Plan)
 
 let banner title =
   Printf.printf "\n############################################################\n";
@@ -192,7 +194,127 @@ let baseline_json =
     "join_full_rescales": 1040
   }|}
 
-let walk_bench ~smoke ~json_path () =
+(* ---------------- Part 4: shared-plan multi-query benchmark -------------
+
+   Three measurements fitted together — degree CCDF + JDD + TbD — once over
+   plans lowered through one shared context (common prefixes are one
+   physical sub-DAG) and once over per-target pipelines.  The two walks
+   take bit-identical steps (property-tested), so the per-step propagation
+   counters and wall times are a like-for-like cost comparison of the
+   sharing alone. *)
+
+let multi_bench ~smoke () =
+  banner "Part 4: shared-plan multi-query benchmark";
+  let scale, warmup, steps = if smoke then (0.12, 200, 1_500) else (0.25, 500, 5_000) in
+  Printf.printf
+    "(ca-GrQc at scale %.2f: degree CCDF + JDD + TbD, %d warmup + %d measured steps)\n%!"
+    scale warmup steps;
+  let secret = Datasets.load ~scale Datasets.grqc in
+  (* Fresh-but-identical measurements per fit: same secret, same PRNG seed,
+     so both fits score against the same noisy observations. *)
+  let measure () =
+    let rng = Prng.create 7 in
+    let budget = Budget.create ~name:"bench" 1e9 in
+    let sym = Batch.source_records ~budget (Graph.directed_edges secret) in
+    ( Batch.noisy_count ~rng ~epsilon:0.1 (Qb.degree_ccdf sym),
+      Batch.noisy_count ~rng ~epsilon:0.1 (Qb.jdd sym),
+      Batch.noisy_count ~rng ~epsilon:0.1 (Qb.tbd sym) )
+  in
+  let shared_fit () =
+    let mc, mj, mt = measure () in
+    let source = Plan.source ~name:"sym" () in
+    let measured =
+      [
+        Fit.Measured (Qp.degree_ccdf source, mc);
+        Fit.Measured (Qp.jdd source, mj);
+        Fit.Measured (Qp.tbd source, mt);
+      ]
+    in
+    Fit.create_shared ~rng:(Prng.create 11) ~seed_graph:secret ~source ~measured ()
+  in
+  let unshared_fit () =
+    let mc, mj, mt = measure () in
+    (* A fresh plan source and lowering context per target: nothing crosses
+       target boundaries. *)
+    let target src p m flow =
+      let ctx = Flow.Plans.create (Dataflow.engine_of (Flow.node flow)) in
+      Flow.Plans.bind ctx src flow;
+      Flow.Target.of_plan ctx p m
+    in
+    let s1 = Plan.source ~name:"sym" () in
+    let s2 = Plan.source ~name:"sym" () in
+    let s3 = Plan.source ~name:"sym" () in
+    Fit.create ~rng:(Prng.create 11) ~seed_graph:secret
+      ~targets:
+        [
+          target s1 (Qp.degree_ccdf s1) mc;
+          target s2 (Qp.jdd s2) mj;
+          target s3 (Qp.tbd s3) mt;
+        ]
+      ()
+  in
+  let run fit =
+    for _ = 1 to warmup do
+      ignore (Fit.step ~pow:10_000.0 fit)
+    done;
+    let engine = Fit.engine fit in
+    let prop0 = Dataflow.Engine.records_propagated engine in
+    let work0 = Dataflow.Engine.work engine in
+    let accepted = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to steps do
+      if Fit.step ~pow:10_000.0 fit then incr accepted
+    done;
+    let wall = Unix.gettimeofday () -. t0 in
+    ( !accepted,
+      1e6 *. wall /. float steps,
+      float (Dataflow.Engine.records_propagated engine - prop0) /. float steps,
+      float (Dataflow.Engine.work engine - work0) /. float steps,
+      Dataflow.Engine.nodes_built engine,
+      Dataflow.Engine.nodes_shared engine )
+  in
+  let s_acc, s_us, s_prop, s_work, s_built, s_shared = run (shared_fit ()) in
+  let u_acc, u_us, u_prop, u_work, u_built, u_shared = run (unshared_fit ()) in
+  if s_acc <> u_acc then
+    Printf.printf "WARNING: walks diverged (%d vs %d accepted) — counters not comparable\n"
+      s_acc u_acc;
+  Printf.printf "shared:   %d nodes (%d shared), %.1f records/step, %.3f us/step\n" s_built
+    s_shared s_prop s_us;
+  Printf.printf "unshared: %d nodes (%d shared), %.1f records/step, %.3f us/step\n" u_built
+    u_shared u_prop u_us;
+  Printf.printf "records propagated per step: %.3fx, wall: %.3fx\n%!" (s_prop /. u_prop)
+    (s_us /. u_us);
+  String.concat "\n"
+    [
+      "  \"multi\": {";
+      Printf.sprintf "    \"dataset\": \"ca-GrQc\",";
+      Printf.sprintf "    \"scale\": %.2f," scale;
+      "    \"queries\": [\"degree_ccdf\", \"jdd\", \"tbd\"],";
+      Printf.sprintf "    \"warmup_steps\": %d," warmup;
+      Printf.sprintf "    \"measured_steps\": %d," steps;
+      Printf.sprintf "    \"identical_walks\": %b," (s_acc = u_acc);
+      "    \"shared\": {";
+      Printf.sprintf "      \"nodes_built\": %d," s_built;
+      Printf.sprintf "      \"nodes_shared\": %d," s_shared;
+      Printf.sprintf "      \"accepted_steps\": %d," s_acc;
+      Printf.sprintf "      \"records_propagated_per_step\": %.1f," s_prop;
+      Printf.sprintf "      \"work_per_step\": %.1f," s_work;
+      Printf.sprintf "      \"us_per_step\": %.3f" s_us;
+      "    },";
+      "    \"unshared\": {";
+      Printf.sprintf "      \"nodes_built\": %d," u_built;
+      Printf.sprintf "      \"nodes_shared\": %d," u_shared;
+      Printf.sprintf "      \"accepted_steps\": %d," u_acc;
+      Printf.sprintf "      \"records_propagated_per_step\": %.1f," u_prop;
+      Printf.sprintf "      \"work_per_step\": %.1f," u_work;
+      Printf.sprintf "      \"us_per_step\": %.3f" u_us;
+      "    },";
+      Printf.sprintf "    \"records_propagated_ratio\": %.3f," (s_prop /. u_prop);
+      Printf.sprintf "    \"wall_ratio\": %.3f" (s_us /. u_us);
+      "  }";
+    ]
+
+let walk_bench ~smoke ~json_path ?multi_fragment () =
   banner "Part 3: speculative-walk benchmark (machine-readable)";
   let scale, warmup, steps = if smoke then (0.15, 500, 3_000) else (0.4, 2_000, 20_000) in
   Printf.printf "(ca-GrQc at scale %.2f, %d warmup + %d measured steps)\n%!" scale warmup
@@ -276,7 +398,9 @@ let walk_bench ~smoke ~json_path () =
   Printf.fprintf oc "    \"audit_divergences\": %d,\n"
     (List.length audit_report.Dataflow.Audit.divergences);
   Printf.fprintf oc "    \"audit_ms\": %.3f\n" audit_ms;
-  Printf.fprintf oc "  }\n";
+  (match multi_fragment with
+  | None -> Printf.fprintf oc "  }\n"
+  | Some frag -> Printf.fprintf oc "  },\n%s\n" frag);
   Printf.fprintf oc "}\n";
   close_out oc;
   Printf.printf "accepted: %.3f us/step (%d)\n" acc_us !acc_n;
@@ -291,19 +415,26 @@ let walk_bench ~smoke ~json_path () =
 let () =
   let smoke = ref false in
   let walk_only = ref false in
+  let multi = ref false in
   let json_path = ref "BENCH_wpinq.json" in
   Arg.parse
     [
-      ("--smoke", Arg.Set smoke, " Run only the walk benchmark, reduced (CI-sized).");
+      ("--smoke", Arg.Set smoke, " Run only the walk + multi benchmarks, reduced (CI-sized).");
       ("--walk", Arg.Set walk_only, " Run only the walk benchmark, at full size.");
-      ("--json", Arg.Set_string json_path, "PATH Where to write the walk benchmark JSON.");
+      ( "--multi",
+        Arg.Set multi,
+        " Run only the walk + shared-plan multi-query benchmarks, at full size." );
+      ("--json", Arg.Set_string json_path, "PATH Where to write the benchmark JSON.");
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "bench [--smoke | --walk] [--json PATH]";
+    "bench [--smoke | --walk | --multi] [--json PATH]";
   let t0 = Unix.gettimeofday () in
-  if not (!smoke || !walk_only) then begin
+  if not (!smoke || !walk_only || !multi) then begin
     experiments ();
     run_benchmarks ()
   end;
-  walk_bench ~smoke:!smoke ~json_path:!json_path ();
+  (* The walk benchmark always runs; the shared-plan comparison rides along
+     in every mode except the walk-only one. *)
+  let multi_fragment = if !walk_only then None else Some (multi_bench ~smoke:!smoke ()) in
+  walk_bench ~smoke:!smoke ~json_path:!json_path ?multi_fragment ();
   Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

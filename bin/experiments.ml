@@ -58,6 +58,14 @@ let synthesize_cmd =
          & info [ "query" ] ~docv:"QUERY"
              ~doc:"Query for phase 2: tbi (4eps), tbd (9eps), sbi (6eps), jdd (4eps), or none (seed only).")
   in
+  let also_query =
+    Arg.(value
+         & opt_all (enum [ ("tbi", `Tbi); ("tbd", `Tbd); ("sbi", `Sbi); ("jdd", `Jdd) ]) []
+         & info [ "also-query" ] ~docv:"QUERY"
+             ~doc:"Additional queries fitted together with $(b,--query) as one \
+                   multi-target walk over a shared plan DAG (repeatable; each adds its \
+                   derived cost to the privacy bill).")
+  in
   let bucket =
     Arg.(value & opt int 5 & info [ "bucket" ] ~docv:"K" ~doc:"Degree bucket size for tbd.")
   in
@@ -114,7 +122,7 @@ let synthesize_cmd =
                    $(b,--checkpoint-dir), quarantining corrupted generations and \
                    falling back past them.")
   in
-  let run cfg input dataset query bucket output checkpoint_dir checkpoint_every
+  let run cfg input dataset query also_query bucket output checkpoint_dir checkpoint_every
       keep_checkpoints refresh_every audit_every deadline resume resume_latest =
     let module Graph = Wpinq_graph.Graph in
     let module Io = Wpinq_graph.Io in
@@ -155,14 +163,18 @@ let synthesize_cmd =
           Printf.printf "secret graph: %d nodes, %d edges, %d triangles, r=%+.3f\n"
             (Graph.n secret) (Graph.m secret) (Graph.triangle_count secret)
             (Graph.assortativity secret);
+          let of_enum = function
+            | `Tbi -> W.Tbi
+            | `Tbd -> W.Tbd bucket
+            | `Sbi -> W.Sbi
+            | `Jdd -> W.Jdd
+          in
           let query =
             match query with
-            | `Tbi -> Some W.Tbi
-            | `Tbd -> Some (W.Tbd bucket)
-            | `Sbi -> Some W.Sbi
-            | `Jdd -> Some W.Jdd
             | `None -> None
+            | (`Tbi | `Tbd | `Sbi | `Jdd) as q -> Some (of_enum q)
           in
+          let queries = List.map of_enum also_query in
           let checkpoint =
             match checkpoint_dir with
             | None -> None
@@ -170,7 +182,7 @@ let synthesize_cmd =
           in
           W.synthesize ~pow:cfg.E.pow ~steps:cfg.E.steps ~refresh_every ~audit_every
             ?checkpoint ~stop ?deadline ~rng:(Wpinq_prng.Prng.create cfg.E.seed)
-            ~epsilon:cfg.E.epsilon ~query ~secret ()
+            ~epsilon:cfg.E.epsilon ~query ~queries ~secret ()
     in
     if r.W.stats.Wpinq_infer.Mcmc.interrupted then
       Printf.printf
@@ -201,7 +213,7 @@ let synthesize_cmd =
     (Cmd.info "synthesize"
        ~doc:"Run the full measure-and-synthesize workflow on an edge-list file.")
     Term.(
-      const run $ config_term $ input $ dataset $ query $ bucket $ output $ checkpoint_dir
+      const run $ config_term $ input $ dataset $ query $ also_query $ bucket $ output $ checkpoint_dir
       $ checkpoint_every $ keep_checkpoints $ refresh_every $ audit_every $ deadline
       $ resume $ resume_latest)
 

@@ -1,8 +1,11 @@
 (* Joint degree distribution under differential privacy (paper, Section 3.2).
 
-   Measures the JDD with the double-Join wPINQ query (cost 4 eps), inverts
-   the Eq. (3) record weights back into edge counts, and estimates the
-   graph's assortativity from the noisy JDD alone.
+   Reifies the double-Join wPINQ JDD query as a {!Plan} over a shared
+   symmetrized source — the privacy cost (4 eps) is derived by counting
+   root-to-source paths with [Plan.uses], then confirmed by the budget the
+   lowered batch query actually debits — inverts the Eq. (3) record weights
+   back into edge counts, and estimates the graph's assortativity from the
+   noisy JDD alone.
 
    Run with:  dune exec examples/jdd_assortativity.exe *)
 
@@ -10,9 +13,10 @@ module Graph = Wpinq_graph.Graph
 module Prng = Wpinq_prng.Prng
 module Budget = Wpinq_core.Budget
 module Batch = Wpinq_core.Batch
+module Plan = Wpinq_core.Plan
 module Measurement = Wpinq_core.Measurement
 module Queries = Wpinq_queries.Queries
-module Q = Queries.Make (Batch)
+module Qp = Queries.Make (Plan)
 module Datasets = Wpinq_data.Datasets
 
 let () =
@@ -20,10 +24,24 @@ let () =
   Printf.printf "graph: %d nodes, %d edges, true assortativity %+.3f\n\n" (Graph.n g)
     (Graph.m g) (Graph.assortativity g);
 
+  (* Reify the query first: the plan is data, so its cost is a fold over
+     the DAG — no budget, no graph, no noise involved yet. *)
+  let src = Plan.source ~name:"sym" () in
+  let jdd_plan = Qp.jdd src in
+  let uses = Plan.uses jdd_plan in
   let epsilon = 1.0 in
-  let budget = Budget.create ~name:"edges" (4.0 *. epsilon) in
+  Printf.printf "derived cost: JDD uses the source %dx -> budget %.1f eps at eps=%.1f\n"
+    uses
+    (float_of_int uses *. epsilon)
+    epsilon;
+
+  (* Size the budget from the derived cost, then lower the plan onto the
+     protected records and let the batch interpreter confirm it. *)
+  let budget = Budget.create ~name:"edges" (float_of_int uses *. epsilon) in
   let sym = Batch.source_records ~budget (Graph.directed_edges g) in
-  let jdd = Q.jdd sym in
+  let ctx = Batch.Plans.create () in
+  Batch.Plans.bind ctx src sym;
+  let jdd = Batch.Plans.lower ctx jdd_plan in
   Printf.printf "JDD query privacy cost: %s\n"
     (String.concat ", "
        (List.map

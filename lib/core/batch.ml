@@ -77,3 +77,21 @@ let noisy_count ~rng ~epsilon c =
   Measurement.create ~rng ~epsilon ~true_data:(Lazy.force c.data)
 
 let unsafe_value c = Lazy.force c.data
+
+module Plans = Plan.Lower (struct
+  type nonrec 'a t = 'a t
+
+  let select = select
+  let where = where
+  let select_many = select_many
+  let select_many_list = select_many_list
+  let concat = concat
+  let except = except
+  let union = union
+  let intersect = intersect
+  let join = join
+  let group_by = group_by
+  let distinct = distinct
+  let shave = shave
+  let shave_const = shave_const
+end)

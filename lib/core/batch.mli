@@ -62,3 +62,11 @@ val unsafe_value : 'a t -> 'a Wpinq_weighted.Wdata.t
 (** The exact, unnoised contents.  {b Not differentially private} — bypasses
     the budget entirely.  Exists for tests, ground-truth columns in the
     experiment harness, and debugging; never call it on real secrets. *)
+
+module Plans : Plan.LOWERING with type 'a target = 'a t
+(** Lowering of reified {!Plan}s into batch collections.  Bind each plan
+    source to a {!source} (or {!public}) collection, then [lower] the
+    measured plans through one shared context: plan nodes reached by several
+    measurements lower to {e one} lazy dataset, evaluated once, and the
+    resulting collection's {!uses} equals {!Plan.uses} of the plan
+    (property-tested) — so the budget debit is derived from the plan DAG. *)

@@ -26,6 +26,44 @@ let feed = Dataflow.Input.feed
 let current = Dataflow.Input.current
 let node n = n
 
+module Plans = struct
+  module L = Plan.Lower (struct
+    type nonrec 'a t = 'a t
+
+    let select = select
+    let where = where
+    let select_many = select_many
+    let select_many_list = select_many_list
+    let concat = concat
+    let except = except
+    let union = union
+    let intersect = intersect
+    let join = join
+    let group_by = group_by
+    let distinct = distinct
+    let shave = shave
+    let shave_const = shave_const
+  end)
+
+  type ctx = { lctx : L.ctx; engine : Dataflow.Engine.t; mutable reported : int }
+
+  let create engine = { lctx = L.create (); engine; reported = 0 }
+  let bind ctx p v = L.bind ctx.lctx p v
+
+  (* Memo hits inside the shared lowering context are physical dataflow
+     nodes *not* rebuilt; credit them to the engine's [nodes_shared]
+     counter incrementally so interleaved lowerings stay accurate. *)
+  let lower ctx p =
+    let v = L.lower ctx.lctx p in
+    let shared = L.nodes_shared ctx.lctx in
+    Dataflow.Engine.add_shared_nodes ctx.engine (shared - ctx.reported);
+    ctx.reported <- shared;
+    v
+
+  let nodes_built ctx = L.nodes_built ctx.lctx
+  let nodes_shared ctx = L.nodes_shared ctx.lctx
+end
+
 module Target = struct
   (* The distance is maintained over a growing "tracked" set: the records
      the measurement materialized, plus any record that has ever appeared in
@@ -37,6 +75,7 @@ module Target = struct
   type t = {
     epsilon : float;
     distance : unit -> float;
+    audit_distance : unit -> float;
     recompute : unit -> unit;
     inject : float -> unit;
   }
@@ -86,6 +125,20 @@ module Target = struct
       !d
     in
     let recompute () = distance := from_scratch () in
+    (* The convention-free ‖Q(A) − m‖₁ over the tracked set, for comparing
+       two *different* target instances over the same measurement: the
+       lazy-record [-|m x|] shift depends on which records were observed at
+       construction, so maintained distances of a live target and a freshly
+       attached replica differ by a constant even when their sinks agree.
+       Every tracked record is memoized in [m], so both instances track the
+       same set and this sum is directly comparable. *)
+    let audit_distance () =
+      let d = ref 0.0 in
+      Hashtbl.iter
+        (fun x (v, _) -> d := !d +. Float.abs (Dataflow.Sink.weight sink x -. v))
+        tracked;
+      !d
+    in
     (* Enroll the maintained distance in the engine's self-audit: the hook
        re-derives it from the sink without mutating anything, so a clean
        audit leaves the walk bit-identical. *)
@@ -100,11 +153,14 @@ module Target = struct
     {
       epsilon = Measurement.epsilon m;
       distance = (fun () -> !distance);
+      audit_distance;
       recompute;
       inject = (fun dw -> distance := !distance +. dw);
     }
 
+  let of_plan ctx p m = create (Plans.lower ctx p) m
   let distance t = t.distance ()
+  let audit_distance t = t.audit_distance ()
   let weighted_distance t = t.epsilon *. t.distance ()
   let epsilon t = t.epsilon
   let recompute t = t.recompute ()

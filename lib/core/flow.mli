@@ -35,6 +35,37 @@ val node : 'a t -> 'a Wpinq_dataflow.Dataflow.node
 (** Escape hatch to the underlying dataflow node (used by tests and custom
     sinks). *)
 
+(** Lowering of reified {!Plan}s into the incremental engine.
+
+    The payoff of reification on the fitting side: lower several targets'
+    plans through {e one} context and every shared plan prefix becomes one
+    physical dataflow sub-DAG — each MCMC delta propagates through the
+    common prefix once per step, feeding all the distance sinks below it.
+    Speculation/undo, audit enrollment, and checkpointing are unaffected:
+    sharing only changes {e which} nodes exist, and every stateful cell
+    still logs its own undo closures and audit hooks exactly once.
+
+    Unlike the interpreter-agnostic {!Plan.Lower}, a context here is tied to
+    an engine: memo hits are credited to the engine-wide
+    {!Wpinq_dataflow.Dataflow.Engine.nodes_shared} counter as lowering
+    proceeds. *)
+module Plans : sig
+  type ctx
+
+  val create : Wpinq_dataflow.Dataflow.Engine.t -> ctx
+
+  val bind : ctx -> 'a Plan.t -> 'a t -> unit
+  (** Route a plan source leaf to a synthetic input (the collection half of
+      {!input}).  Raises [Invalid_argument] on a non-source node. *)
+
+  val lower : ctx -> 'a Plan.t -> 'a t
+  (** Lower a plan, reusing every node already lowered in this context.
+      Raises [Invalid_argument] on an unbound source. *)
+
+  val nodes_built : ctx -> int
+  val nodes_shared : ctx -> int
+end
+
 module Target : sig
   type t
   (** A fitted measurement: one wPINQ pipeline over the synthetic input,
@@ -54,6 +85,12 @@ module Target : sig
       {!Wpinq_dataflow.Dataflow.Engine.abort} restores the distance to its
       exact pre-speculation bit pattern. *)
 
+  val of_plan : Plans.ctx -> 'a Plan.t -> 'a Measurement.t -> t
+  (** [of_plan ctx p m] lowers [p] through [ctx] and attaches a scoring sink
+      under the result — {!create} over {!Plans.lower}.  Build all of a
+      fit's targets through one [ctx] and their shared plan prefixes share
+      physical nodes. *)
+
   val distance : t -> float
   (** Current [‖Q(A) − m‖₁] over all tracked records, up to a constant
       offset per lazily-observed record (constant offsets cancel in the
@@ -62,6 +99,16 @@ module Target : sig
   val weighted_distance : t -> float
   (** [epsilon m × distance t] — this target's term in the posterior energy
       [Σ_i ε_i ‖Q_i(A) − m_i‖₁]. *)
+
+  val audit_distance : t -> float
+  (** The convention-free [‖Q(A) − m‖₁] over every tracked record,
+      re-derived from the sink on each call.  Unlike {!distance}, this sum
+      carries no per-lazy-record offset, so it is directly comparable
+      between two target instances attached to the {e same} measurement —
+      a live incrementally-maintained target and a from-scratch batch
+      replica — which is exactly what the fit-level audit cross-validates.
+      Read-only and draws no noise (every tracked record is already
+      memoized in the measurement). *)
 
   val epsilon : t -> float
 

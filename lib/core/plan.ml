@@ -1,0 +1,233 @@
+(* Reified query plans: a typed operator DAG with per-node unique ids.
+   Reusing a plan value is structural sharing — the memoizing lowering
+   below rebuilds diamonds instead of duplicating subtrees — and the
+   source-use count that Budget debits is derived by walking the DAG
+   instead of asserted in documentation. *)
+
+type 'a t = { id : int; tid : 'a Type.Id.t; shape : 'a shape }
+
+and _ shape =
+  | Source : string -> 'a shape
+  | Select : ('b -> 'a) * 'b t -> 'a shape
+  | Where : ('a -> bool) * 'a t -> 'a shape
+  | Select_many : ('b -> ('a * float) list) * 'b t -> 'a shape
+  | Select_many_list : ('b -> 'a list) * 'b t -> 'a shape
+  | Concat : 'a t * 'a t -> 'a shape
+  | Except : 'a t * 'a t -> 'a shape
+  | Union : 'a t * 'a t -> 'a shape
+  | Intersect : 'a t * 'a t -> 'a shape
+  | Join : ('b -> 'k) * ('c -> 'k) * ('b -> 'c -> 'a) * 'b t * 'c t -> 'a shape
+  | Group_by : ('b -> 'k) * ('b list -> 'r) * 'b t -> ('k * 'r) shape
+  | Distinct : float option * 'a t -> 'a shape
+  | Shave : ('b -> float Seq.t) * 'b t -> ('b * int) shape
+  | Shave_const : float * 'b t -> ('b * int) shape
+
+let counter = ref 0
+
+let node shape =
+  incr counter;
+  { id = !counter; tid = Type.Id.make (); shape }
+
+let source ?(name = "source") () = node (Source name)
+let select f c = node (Select (f, c))
+let where p c = node (Where (p, c))
+let select_many f c = node (Select_many (f, c))
+let select_many_list f c = node (Select_many_list (f, c))
+let concat a b = node (Concat (a, b))
+let except a b = node (Except (a, b))
+let union a b = node (Union (a, b))
+let intersect a b = node (Intersect (a, b))
+let join ~kl ~kr ~reduce a b = node (Join (kl, kr, reduce, a, b))
+let group_by ~key ~reduce c = node (Group_by (key, reduce, c))
+let distinct ?bound c = node (Distinct (bound, c))
+let shave f c = node (Shave (f, c))
+let shave_const w c = node (Shave_const (w, c))
+let id c = c.id
+
+let is_source (type a) (c : a t) =
+  match c.shape with Source _ -> true | _ -> false
+
+let operator (type a) (c : a t) =
+  match c.shape with
+  | Source _ -> "source"
+  | Select _ -> "select"
+  | Where _ -> "where"
+  | Select_many _ -> "select_many"
+  | Select_many_list _ -> "select_many_list"
+  | Concat _ -> "concat"
+  | Except _ -> "except"
+  | Union _ -> "union"
+  | Intersect _ -> "intersect"
+  | Join _ -> "join"
+  | Group_by _ -> "group_by"
+  | Distinct _ -> "distinct"
+  | Shave _ -> "shave"
+  | Shave_const _ -> "shave_const"
+
+(* Source uses with path multiplicity: the count of root-to-leaf paths,
+   which is exactly the multiplier sequential composition applies to
+   epsilon (and what Batch.merge_uses computes operationally).  Memoized
+   per node id so diamonds cost O(nodes), not O(paths). *)
+
+type src_counts = (int * string * int) list (* source id, name, count *)
+
+let merge_counts (a : src_counts) (b : src_counts) : src_counts =
+  List.fold_left
+    (fun acc (sid, name, n) ->
+      let rec bump = function
+        | [] -> [ (sid, name, n) ]
+        | (sid', name', n') :: rest when sid' = sid -> (sid', name', n' + n) :: rest
+        | entry :: rest -> entry :: bump rest
+      in
+      bump acc)
+    a b
+
+let counts_of (root : 'a t) : src_counts =
+  let memo : (int, src_counts) Hashtbl.t = Hashtbl.create 16 in
+  let rec go : type x. x t -> src_counts =
+   fun c ->
+    match Hashtbl.find_opt memo c.id with
+    | Some counts -> counts
+    | None ->
+        let counts : src_counts =
+          match c.shape with
+          | Source name -> [ (c.id, name, 1) ]
+          | Select (_, u) -> go u
+          | Where (_, u) -> go u
+          | Select_many (_, u) -> go u
+          | Select_many_list (_, u) -> go u
+          | Concat (a, b) -> merge_counts (go a) (go b)
+          | Except (a, b) -> merge_counts (go a) (go b)
+          | Union (a, b) -> merge_counts (go a) (go b)
+          | Intersect (a, b) -> merge_counts (go a) (go b)
+          | Join (_, _, _, a, b) -> merge_counts (go a) (go b)
+          | Group_by (_, _, u) -> go u
+          | Distinct (_, u) -> go u
+          | Shave (_, u) -> go u
+          | Shave_const (_, u) -> go u
+        in
+        Hashtbl.replace memo c.id counts;
+        counts
+  in
+  go root
+
+let uses c = List.fold_left (fun acc (_, _, n) -> acc + n) 0 (counts_of c)
+let source_uses c = List.map (fun (_, name, n) -> (name, n)) (counts_of c)
+
+let size (root : 'a t) =
+  let seen = Hashtbl.create 16 in
+  let rec go : type x. x t -> unit =
+   fun c ->
+    if not (Hashtbl.mem seen c.id) then begin
+      Hashtbl.add seen c.id ();
+      match c.shape with
+      | Source _ -> ()
+      | Select (_, u) -> go u
+      | Where (_, u) -> go u
+      | Select_many (_, u) -> go u
+      | Select_many_list (_, u) -> go u
+      | Group_by (_, _, u) -> go u
+      | Distinct (_, u) -> go u
+      | Shave (_, u) -> go u
+      | Shave_const (_, u) -> go u
+      | Concat (a, b) ->
+          go a;
+          go b
+      | Except (a, b) ->
+          go a;
+          go b
+      | Union (a, b) ->
+          go a;
+          go b
+      | Intersect (a, b) ->
+          go a;
+          go b
+      | Join (_, _, _, a, b) ->
+          go a;
+          go b
+    end
+  in
+  go root;
+  Hashtbl.length seen
+
+module type LOWERING = sig
+  type 'a target
+  type ctx
+
+  val create : unit -> ctx
+  val bind : ctx -> 'a t -> 'a target -> unit
+  val lower : ctx -> 'a t -> 'a target
+  val nodes_built : ctx -> int
+  val nodes_shared : ctx -> int
+end
+
+module Lower (L : Lang.S) = struct
+  type 'a target = 'a L.t
+
+  (* Heterogeneous entries: the node's runtime type witness lets us
+     recover the lowered value at its original type on memo hits, without
+     any unsafe casts. *)
+  type entry = E : 'x Type.Id.t * 'x L.t -> entry
+
+  type ctx = {
+    bindings : (int, entry) Hashtbl.t; (* source node id -> bound input *)
+    memo : (int, entry) Hashtbl.t; (* node id -> lowered value *)
+    mutable built : int;
+    mutable shared : int;
+  }
+
+  let create () =
+    { bindings = Hashtbl.create 16; memo = Hashtbl.create 64; built = 0; shared = 0 }
+
+  let recover : type a. a Type.Id.t -> entry -> a L.t =
+   fun tid (E (tid', v)) ->
+    match Type.Id.provably_equal tid' tid with
+    | Some Type.Equal -> v
+    | None -> assert false (* ids are unique, so witnesses always match *)
+
+  let bind ctx (c : 'a t) (v : 'a L.t) =
+    match c.shape with
+    | Source _ -> Hashtbl.replace ctx.bindings c.id (E (c.tid, v))
+    | _ ->
+        invalid_arg
+          (Printf.sprintf "Plan.bind: node #%d (%s) is not a source" c.id (operator c))
+
+  let lower ctx root =
+    let rec go : type x. x t -> x L.t =
+     fun c ->
+      match Hashtbl.find_opt ctx.memo c.id with
+      | Some entry ->
+          ctx.shared <- ctx.shared + 1;
+          recover c.tid entry
+      | None ->
+          let v : x L.t =
+            match c.shape with
+            | Source name -> (
+                match Hashtbl.find_opt ctx.bindings c.id with
+                | Some entry -> recover c.tid entry
+                | None ->
+                    invalid_arg
+                      (Printf.sprintf "Plan.lower: unbound source #%d (%s)" c.id name))
+            | Select (f, u) -> L.select f (go u)
+            | Where (p, u) -> L.where p (go u)
+            | Select_many (f, u) -> L.select_many f (go u)
+            | Select_many_list (f, u) -> L.select_many_list f (go u)
+            | Concat (a, b) -> L.concat (go a) (go b)
+            | Except (a, b) -> L.except (go a) (go b)
+            | Union (a, b) -> L.union (go a) (go b)
+            | Intersect (a, b) -> L.intersect (go a) (go b)
+            | Join (kl, kr, reduce, a, b) -> L.join ~kl ~kr ~reduce (go a) (go b)
+            | Group_by (key, reduce, u) -> L.group_by ~key ~reduce (go u)
+            | Distinct (bound, u) -> L.distinct ?bound (go u)
+            | Shave (f, u) -> L.shave f (go u)
+            | Shave_const (w, u) -> L.shave_const w (go u)
+          in
+          ctx.built <- ctx.built + 1;
+          Hashtbl.replace ctx.memo c.id (E (c.tid, v));
+          v
+    in
+    go root
+
+  let nodes_built ctx = ctx.built
+  let nodes_shared ctx = ctx.shared
+end

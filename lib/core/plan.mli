@@ -1,0 +1,104 @@
+(** Reified wPINQ query plans: one DAG, many execution targets.
+
+    {!Batch} and {!Flow} both implement {!Lang.S} directly, so a query
+    functor can run against either — but each instantiation {e is} its
+    execution: building [Queries.Make (Flow)] twice builds two physical
+    dataflow pipelines even when the query texts coincide.  A {!t} instead
+    {e reifies} the query as a first-class value: a typed operator DAG with
+    a unique id per node, built once and lowered as many times — and into as
+    many interpreters — as needed.
+
+    Because [Plan] itself implements {!Lang.S}, the paper's queries run over
+    plans with no textual change ([Queries.Make (Plan)]); what changes is
+    what a query {e value} means.  Reusing a plan value twice is structural
+    sharing: the node keeps its id, so a memoizing lowering ({!Lower})
+    reconstructs the diamond instead of duplicating the subtree.  Two
+    measurement targets whose plans share a prefix therefore share one
+    physical sub-DAG in the incremental engine — deltas propagate through
+    the common prefix once per MCMC step, feeding both distance sinks.
+
+    Reification also makes the privacy bookkeeping a checkable artifact
+    rather than a documentation claim: {!uses} derives the number of times a
+    plan touches each protected source — the multiplier sequential
+    composition applies to ε (paper, Section 2.3) and the exact quantity
+    {!Batch.charge} debits.  The per-query costs documented in
+    {!Wpinq_queries.Queries} are property-tested against this function. *)
+
+type 'a t
+(** A reified query over records of type ['a]: one node of a typed operator
+    DAG.  Immutable; cheap to build; interpreter-independent. *)
+
+include Lang.S with type 'a t := 'a t
+
+val source : ?name:string -> unit -> 'a t
+(** A fresh source leaf — the placeholder a lowering later binds to a
+    concrete collection ({!Batch.Plans.bind} to a protected batch
+    collection, {!Flow.Plans.bind} to a synthetic dataflow input).  [name]
+    (default ["source"]) appears in diagnostics and {!source_uses}. *)
+
+val id : 'a t -> int
+(** The node's unique id.  Ids are allocated from one global counter, so
+    equal ids imply physical equality; lowerings key their memo tables on
+    this. *)
+
+val is_source : 'a t -> bool
+
+val operator : 'a t -> string
+(** The root operator's name ("source", "select", "join", …), for
+    diagnostics. *)
+
+val uses : 'a t -> int
+(** How many times evaluating this plan touches source leaves, counted with
+    path multiplicity: a shared subplan reached through [k] paths
+    contributes [k] times its own count, exactly as wPINQ's sequential
+    composition charges it.  This is the multiplier {!Batch.charge} applies
+    to ε when the plan is lowered and aggregated (property-tested to
+    agree). *)
+
+val source_uses : 'a t -> (string * int) list
+(** Per-source breakdown of {!uses}, one entry per distinct source leaf in
+    first-reached order, labelled with the leaf's name. *)
+
+val size : 'a t -> int
+(** Number of {e distinct} nodes in the DAG ([size] counts a diamond once;
+    {!uses} counts its paths). *)
+
+(** Memoized lowering of plans into any {!Lang.S} interpreter.
+
+    A [ctx] carries the source bindings and the node-id-keyed memo table:
+    within one context, every distinct plan node is lowered exactly once,
+    and every further reference — inside one plan or across several —
+    reuses the first lowering.  Lower several targets' plans through one
+    context and their shared prefixes become shared interpreter values:
+    shared lazy datasets under {!Batch}, shared physical operator nodes
+    under {!Flow}. *)
+module type LOWERING = sig
+  type 'a target
+  (** The interpreter's collection type. *)
+
+  type ctx
+
+  val create : unit -> ctx
+
+  val bind : ctx -> 'a t -> 'a target -> unit
+  (** [bind ctx src v] routes the source leaf [src] to the concrete
+      collection [v].  Raises [Invalid_argument] if [src] is not a source
+      leaf.  Binding the same leaf again replaces the binding (the memo
+      table of already-lowered nodes is {e not} invalidated; bind before
+      lowering). *)
+
+  val lower : ctx -> 'a t -> 'a target
+  (** Lowers a plan, reusing every node already lowered in this context.
+      Raises [Invalid_argument] on a source leaf with no binding, naming
+      the leaf. *)
+
+  val nodes_built : ctx -> int
+  (** Distinct plan nodes lowered through this context so far. *)
+
+  val nodes_shared : ctx -> int
+  (** Memo hits: plan-node references that reused an earlier lowering
+      instead of rebuilding it.  [nodes_built + nodes_shared] is the total
+      number of node references lowered. *)
+end
+
+module Lower (L : Lang.S) : LOWERING with type 'a target = 'a L.t

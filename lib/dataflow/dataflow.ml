@@ -60,6 +60,12 @@ module Engine = struct
     mutable work : int;
     mutable join_fast : int;
     mutable join_full : int;
+    (* DAG shape and traffic: physical operator nodes built, plan-lowering
+       memo hits reported by [add_shared_nodes], and record deliveries
+       (delta length x subscriber count) counted at every [emit] *)
+    mutable nodes_built : int;
+    mutable nodes_shared : int;
+    mutable records_propagated : int;
     (* scratch-arena allocation counters *)
     mutable arena_grows : int;
     mutable arena_reuses : int;
@@ -79,6 +85,7 @@ module Engine = struct
     mutable s_join_full : int;
     mutable s_arena_grows : int;
     mutable s_arena_reuses : int;
+    mutable s_records_propagated : int;
     (* self-audit: operators with redundantly-maintained state register a
        hook that recomputes it from scratch and reports divergences *)
     mutable audit_hooks_rev : (tolerance:float -> int * Audit.divergence list) list;
@@ -91,6 +98,9 @@ module Engine = struct
       work = 0;
       join_fast = 0;
       join_full = 0;
+      nodes_built = 0;
+      nodes_shared = 0;
+      records_propagated = 0;
       arena_grows = 0;
       arena_reuses = 0;
       speculating = false;
@@ -106,6 +116,7 @@ module Engine = struct
       s_join_full = 0;
       s_arena_grows = 0;
       s_arena_reuses = 0;
+      s_records_propagated = 0;
       audit_hooks_rev = [];
       next_op_id = 0;
     }
@@ -116,6 +127,13 @@ module Engine = struct
   let join_full_rescales t = t.join_full
   let arena_grows t = t.arena_grows
   let arena_reuses t = t.arena_reuses
+  let nodes_built t = t.nodes_built
+  let nodes_shared t = t.nodes_shared
+  let records_propagated t = t.records_propagated
+
+  let add_shared_nodes t n =
+    if n < 0 then invalid_arg "Dataflow.Engine.add_shared_nodes: negative count";
+    t.nodes_shared <- t.nodes_shared + n
   let commits t = t.commits
   let aborts t = t.aborts
   let undo_cells t = t.undo_cells
@@ -162,6 +180,7 @@ module Engine = struct
     t.s_join_full <- t.join_full;
     t.s_arena_grows <- t.arena_grows;
     t.s_arena_reuses <- t.arena_reuses;
+    t.s_records_propagated <- t.records_propagated;
     t.speculating <- true
 
   let commit t =
@@ -187,6 +206,7 @@ module Engine = struct
     t.join_full <- t.s_join_full;
     t.arena_grows <- t.s_arena_grows;
     t.arena_reuses <- t.s_arena_reuses;
+    t.records_propagated <- t.s_records_propagated;
     t.aborts <- t.aborts + 1
 end
 
@@ -268,7 +288,10 @@ type 'a node = {
 }
 
 let engine_of n = n.engine
-let make engine = { engine; subs_rev = []; subs = [||] }
+
+let make engine =
+  engine.Engine.nodes_built <- engine.Engine.nodes_built + 1;
+  { engine; subs_rev = []; subs = [||] }
 
 (* Subscribers fire in subscription order; propagation is a synchronous
    depth-first walk of the DAG.  Correctness does not depend on the order
@@ -281,10 +304,14 @@ let subscribe n f =
   n.subs <- Array.of_list (List.rev n.subs_rev)
 
 let emit n d =
-  if d <> [] then
-    for i = 0 to Array.length n.subs - 1 do
+  if d <> [] then begin
+    let nsubs = Array.length n.subs in
+    n.engine.Engine.records_propagated <-
+      n.engine.Engine.records_propagated + (List.length d * nsubs);
+    for i = 0 to nsubs - 1 do
       n.subs.(i) d
     done
+  end
 
 let coalesce d =
   match d with

@@ -96,6 +96,35 @@ module Engine : sig
   (** Number of per-key Join updates that changed the normalizer and forced
       a full per-key rescale. *)
 
+  (** {2 DAG shape and traffic}
+
+      These three counters quantify structural sharing when targets are
+      built from reified plans ({!Wpinq_core.Plan}): fewer physical nodes
+      built, memo hits recorded as shared, and fewer record deliveries per
+      step through the shared prefixes. *)
+
+  val nodes_built : t -> int
+  (** Physical operator nodes constructed in this engine since creation
+      (every operator, input, and sink allocates at least one). *)
+
+  val nodes_shared : t -> int
+  (** Plan-lowering memo hits reported via {!add_shared_nodes}: node
+      references that reused an already-built physical node instead of
+      constructing a duplicate.  Zero unless targets were built through a
+      shared plan-lowering context. *)
+
+  val add_shared_nodes : t -> int -> unit
+  (** Credits [n] memo hits to {!nodes_shared}.  Called by plan-lowering
+      layers (e.g. {!Wpinq_core.Flow.Plans}); raises [Invalid_argument] on a
+      negative count. *)
+
+  val records_propagated : t -> int
+  (** Total record deliveries: at every internal emission, the delta's
+      length times the number of subscribers it is delivered to.  Unlike
+      {!work} (delta entries {e processed} by operators), this counts the
+      fan-out edge traffic that sharing a plan prefix eliminates.  Aborted
+      speculative propagations are excluded, as with {!work}. *)
+
   (** {2 Allocation statistics}
 
       Operators accumulate output changes in reusable scratch buffers

@@ -1,7 +1,11 @@
 module Prng = Wpinq_prng.Prng
 module Graph = Wpinq_graph.Graph
+module Plan = Wpinq_core.Plan
 module Flow = Wpinq_core.Flow
+module Measurement = Wpinq_core.Measurement
 module Dataflow = Wpinq_dataflow.Dataflow
+
+type measured = Measured : 'a Plan.t * 'a Measurement.t -> measured
 
 (* The engine-side fields are mutable so a checkpoint rebase can swap in a
    state rebuilt from the serialized snapshot while the MCMC driver's
@@ -12,19 +16,29 @@ type t = {
   mutable handle : (int * int) Flow.handle;
   mutable graph : Graph.Mutable.t;
   mutable targets : Flow.Target.t list;
-  (* The target-builder closures are kept so the fit can rebuild itself
-     (audit recovery) or stand up a throwaway batch replica (audit
-     cross-validation) without the caller re-supplying them. *)
-  mutable builders : ((int * int) Flow.t -> Flow.Target.t) list;
+  (* The combined target-builder closure is kept so the fit can rebuild
+     itself (audit recovery) or stand up a throwaway batch replica (audit
+     cross-validation) without the caller re-supplying it.  It builds the
+     whole target list from one synthetic input, so a plan-shared fit
+     rebuilds with the same sharing every time. *)
+  mutable builder : (int * int) Flow.t -> Flow.Target.t list;
   mutable energy : float;
 }
 
-let create ~rng ~seed_graph ~targets () =
+(* Every invocation creates a fresh lowering context over the input's
+   engine, so create / restore / rebuild all reconstruct the same shared
+   DAG — the determinism checkpoint resume depends on. *)
+let plan_builder ~source ~measured sym =
+  let ctx = Flow.Plans.create (Dataflow.engine_of (Flow.node sym)) in
+  Flow.Plans.bind ctx source sym;
+  List.map (fun (Measured (p, m)) -> Flow.Target.of_plan ctx p m) measured
+
+let create_multi ~rng ~seed_graph ~builder () =
   let engine = Dataflow.Engine.create () in
   let handle, sym = Flow.input engine in
   (* Targets attach before any data flows, so their initial distances
      account for every observed record. *)
-  let built = List.map (fun build -> build sym) targets in
+  let built = builder sym in
   Flow.feed handle (List.map (fun e -> (e, 1.0)) (Graph.directed_edges seed_graph));
   let t =
     {
@@ -33,22 +47,28 @@ let create ~rng ~seed_graph ~targets () =
       handle;
       graph = Graph.Mutable.of_graph seed_graph;
       targets = built;
-      builders = targets;
+      builder;
       energy = 0.0;
     }
   in
   t.energy <- Flow.Target.energy built;
   t
 
+let create ~rng ~seed_graph ~targets () =
+  create_multi ~rng ~seed_graph ~builder:(fun sym -> List.map (fun b -> b sym) targets) ()
+
+let create_shared ~rng ~seed_graph ~source ~measured () =
+  create_multi ~rng ~seed_graph ~builder:(plan_builder ~source ~measured) ()
+
 (* Engine state rebuilt from an explicit, order-significant edge array: the
    shared deterministic path under [restore] (resume from a checkpoint
    file) and [rebuild] (in-place rebase at a checkpoint boundary).  Both
    feed the symmetric records in edge-array order, so a resumed chain and a
    live rebased chain compute bit-identical energies. *)
-let attach ~targets mg =
+let attach ~builder mg =
   let engine = Dataflow.Engine.create () in
   let handle, sym = Flow.input engine in
-  let built = List.map (fun build -> build sym) targets in
+  let built = builder sym in
   let records =
     List.concat_map
       (fun (u, v) -> [ ((u, v), 1.0); ((v, u), 1.0) ])
@@ -57,28 +77,40 @@ let attach ~targets mg =
   Flow.feed handle records;
   (engine, handle, built)
 
-let restore ~rng ~n ~edges ~targets () =
+let restore_multi ~rng ~n ~edges ~builder () =
   let mg = Graph.Mutable.of_edge_array ~n edges in
-  let engine, handle, built = attach ~targets mg in
+  let engine, handle, built = attach ~builder mg in
   {
     rng;
     engine;
     handle;
     graph = mg;
     targets = built;
-    builders = targets;
+    builder;
     energy = Flow.Target.energy built;
   }
 
-let rebuild t ~n ~edges ~targets =
+let restore ~rng ~n ~edges ~targets () =
+  restore_multi ~rng ~n ~edges ~builder:(fun sym -> List.map (fun b -> b sym) targets) ()
+
+let restore_shared ~rng ~n ~edges ~source ~measured () =
+  restore_multi ~rng ~n ~edges ~builder:(plan_builder ~source ~measured) ()
+
+let rebuild_multi t ~n ~edges ~builder =
   let mg = Graph.Mutable.of_edge_array ~n edges in
-  let engine, handle, built = attach ~targets mg in
+  let engine, handle, built = attach ~builder mg in
   t.engine <- engine;
   t.handle <- handle;
   t.graph <- mg;
   t.targets <- built;
-  t.builders <- targets;
+  t.builder <- builder;
   t.energy <- Flow.Target.energy built
+
+let rebuild t ~n ~edges ~targets =
+  rebuild_multi t ~n ~edges ~builder:(fun sym -> List.map (fun b -> b sym) targets)
+
+let rebuild_shared t ~n ~edges ~source ~measured =
+  rebuild_multi t ~n ~edges ~builder:(plan_builder ~source ~measured)
 
 let graph t = Graph.Mutable.to_graph t.graph
 let edge_array t = Graph.Mutable.edge_array t.graph
@@ -135,13 +167,13 @@ let refresh t =
    leaves the walk bit-identical. *)
 let audit ?(tolerance = 1e-6) t =
   let live = Dataflow.Engine.audit ~tolerance t.engine in
-  let _, _, batch_targets = attach ~targets:t.builders t.graph in
+  let _, _, batch_targets = attach ~builder:t.builder t.graph in
   let cells = ref live.Dataflow.Audit.cells_checked in
   let divs = ref (List.rev live.Dataflow.Audit.divergences) in
   List.iteri
     (fun i batch ->
-      let maintained = Flow.Target.distance (List.nth t.targets i) in
-      let recomputed = Flow.Target.distance batch in
+      let maintained = Flow.Target.audit_distance (List.nth t.targets i) in
+      let recomputed = Flow.Target.audit_distance batch in
       incr cells;
       let cell = Printf.sprintf "target#%d.batch-distance" i in
       match Dataflow.Audit.check ~tolerance ~cell ~maintained ~recomputed with
@@ -157,8 +189,8 @@ let audit_and_recover ?tolerance t =
        is a full rebuild from the edge array — the same deterministic path
        a checkpoint resume takes — so the walk continues from batch
        truth. *)
-    rebuild t ~n:(Graph.Mutable.n t.graph) ~edges:(Graph.Mutable.edge_array t.graph)
-      ~targets:t.builders;
+    rebuild_multi t ~n:(Graph.Mutable.n t.graph) ~edges:(Graph.Mutable.edge_array t.graph)
+      ~builder:t.builder;
   report
 
 let run t ~steps ?start ?(pow = 1.0) ?(refresh_every = 100_000) ?audit_every ?audit_tolerance

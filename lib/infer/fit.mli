@@ -19,6 +19,13 @@
 
 type t
 
+type measured =
+  | Measured : 'a Wpinq_core.Plan.t * 'a Wpinq_core.Measurement.t -> measured
+      (** One measurement to fit: a reified query plan paired with the noisy
+          observations of that plan over the (discarded) protected data.
+          The existential packs plans of different record types into one
+          fit. *)
+
 val create :
   rng:Wpinq_prng.Prng.t ->
   seed_graph:Wpinq_graph.Graph.t ->
@@ -30,6 +37,23 @@ val create :
     loads [seed_graph].  Each element of [targets] typically pairs a
     {!Wpinq_queries} pipeline with a {!Wpinq_core.Measurement}, e.g.
     [fun sym -> Flow.Target.create (Q.tbi sym) m]. *)
+
+val create_shared :
+  rng:Wpinq_prng.Prng.t ->
+  seed_graph:Wpinq_graph.Graph.t ->
+  source:(int * int) Wpinq_core.Plan.t ->
+  measured:measured list ->
+  unit ->
+  t
+(** Like {!create}, but the targets are reified plans over one shared
+    [source] leaf, lowered through a single {!Wpinq_core.Flow.Plans}
+    context: plan prefixes shared between measurements become one physical
+    dataflow sub-DAG, so each MCMC delta propagates through the common
+    prefix once per step.  Rebuilds (audit recovery, checkpoint rebase,
+    {!restore_shared}) reconstruct the same sharing deterministically.
+    Observable behaviour — energies, acceptance decisions, the final
+    synthetic graph — is bit-identical to the unshared construction
+    (property-tested); only the cost changes. *)
 
 val restore :
   rng:Wpinq_prng.Prng.t ->
@@ -43,6 +67,17 @@ val restore :
     state), a restored PRNG, and targets built over {e restored}
     measurements.  Deterministic given those inputs. *)
 
+val restore_shared :
+  rng:Wpinq_prng.Prng.t ->
+  n:int ->
+  edges:(int * int) array ->
+  source:(int * int) Wpinq_core.Plan.t ->
+  measured:measured list ->
+  unit ->
+  t
+(** {!restore} for plan-shared fits: rebuilds the shared DAG from the plans
+    (same path as {!create_shared}) over the checkpointed edge array. *)
+
 val rebuild :
   t ->
   n:int ->
@@ -52,6 +87,16 @@ val rebuild :
 (** In-place {!restore}: swaps a freshly-built engine, graph, and target
     set into [t] (the PRNG is kept — its state is already exact).  Closures
     capturing [t] — the MCMC driver's — see the new state immediately. *)
+
+val rebuild_shared :
+  t ->
+  n:int ->
+  edges:(int * int) array ->
+  source:(int * int) Wpinq_core.Plan.t ->
+  measured:measured list ->
+  unit
+(** In-place {!restore_shared} — the checkpoint-rebase path for plan-shared
+    fits. *)
 
 val graph : t -> Wpinq_graph.Graph.t
 (** A snapshot of the current synthetic graph (public; inspect freely). *)

@@ -3,6 +3,7 @@ module Graph = Wpinq_graph.Graph
 module Gen = Wpinq_graph.Gen
 module Budget = Wpinq_core.Budget
 module Batch = Wpinq_core.Batch
+module Plan = Wpinq_core.Plan
 module Flow = Wpinq_core.Flow
 module Measurement = Wpinq_core.Measurement
 module Gridpath = Wpinq_postprocess.Gridpath
@@ -11,6 +12,7 @@ module Persist = Wpinq_persist.Persist
 module Codec = Persist.Codec
 module Qb = Wpinq_queries.Queries.Make (Batch)
 module Qf = Wpinq_queries.Queries.Make (Flow)
+module Qp = Wpinq_queries.Queries.Make (Plan)
 
 type seed_measurements = {
   epsilon : float;
@@ -61,8 +63,20 @@ let seed_graph ~rng ~degrees = Gen.configuration_model ~degrees rng
 
 type query = Tbd of int | Tbi | Sbi | Jdd
 
-let query_cost q eps =
-  match q with Tbd _ -> 9.0 *. eps | Tbi -> 4.0 *. eps | Sbi -> 6.0 *. eps | Jdd -> 4.0 *. eps
+(* The per-query privacy cost is *derived*: reify the query over a fresh
+   plan source and count root-to-source paths — the multiplier sequential
+   composition applies to epsilon.  (The historical hand-verified constants,
+   9/4/6/4, are what this computes; the property tests pin that.) *)
+let query_uses q =
+  let src = Plan.source ~name:"sym" () in
+  let uses (p : _ Plan.t) = Plan.uses p in
+  match q with
+  | Tbd bucket -> uses (Qp.tbd ~bucket src)
+  | Tbi -> uses (Qp.tbi src)
+  | Sbi -> uses (Qp.sbi src)
+  | Jdd -> uses (Qp.jdd src)
+
+let query_cost q eps = float_of_int (query_uses q) *. eps
 
 type query_measurement =
   | Mtbd of int * (int * int * int) Measurement.t
@@ -70,11 +84,26 @@ type query_measurement =
   | Msbi of unit Measurement.t
   | Mjdd of (int * int) Measurement.t
 
-let measure_query ~rng ~epsilon ~sym = function
-  | Tbd bucket -> Mtbd (bucket, Batch.noisy_count ~rng ~epsilon (Qb.tbd ~bucket sym))
-  | Tbi -> Mtbi (Batch.noisy_count ~rng ~epsilon (Qb.tbi sym))
-  | Sbi -> Msbi (Batch.noisy_count ~rng ~epsilon (Qb.sbi sym))
-  | Jdd -> Mjdd (Batch.noisy_count ~rng ~epsilon (Qb.jdd sym))
+(* Measures several queries through one shared plan-lowering context: the
+   pipelines are reified over one fresh source, lowered into Batch where
+   shared prefixes become shared lazy datasets (evaluated once), and each
+   root is aggregated separately — the budget debit per query still equals
+   [Plan.uses q × epsilon]. *)
+let measure_queries ~rng ~epsilon ~sym qs =
+  let src = Plan.source ~name:"sym" () in
+  let ctx = Batch.Plans.create () in
+  Batch.Plans.bind ctx src sym;
+  let count p = Batch.noisy_count ~rng ~epsilon (Batch.Plans.lower ctx p) in
+  List.map
+    (function
+      | Tbd bucket -> Mtbd (bucket, count (Qp.tbd ~bucket src))
+      | Tbi -> Mtbi (count (Qp.tbi src))
+      | Sbi -> Msbi (count (Qp.sbi src))
+      | Jdd -> Mjdd (count (Qp.jdd src)))
+    qs
+
+let measure_query ~rng ~epsilon ~sym q =
+  match measure_queries ~rng ~epsilon ~sym [ q ] with [ qm ] -> qm | _ -> assert false
 
 let target_of_query qm sym =
   match qm with
@@ -82,6 +111,24 @@ let target_of_query qm sym =
   | Mtbi m -> Flow.Target.create (Qf.tbi sym) m
   | Msbi m -> Flow.Target.create (Qf.sbi sym) m
   | Mjdd m -> Flow.Target.create (Qf.jdd sym) m
+
+(* One fresh source + the measured plans over it, ready for
+   [Fit.create_shared]/[restore_shared]/[rebuild_shared].  Queries.Make's
+   physical-identity memoization makes the per-query plans share their
+   common prefixes automatically (degrees between JDD and TbD, paths2 and
+   the path-degree join between TbD and SbD, ...). *)
+let shared_measured qms =
+  let src = Plan.source ~name:"sym" () in
+  let measured =
+    List.map
+      (function
+        | Mtbd (bucket, m) -> Fit.Measured (Qp.tbd ~bucket src, m)
+        | Mtbi m -> Fit.Measured (Qp.tbi src, m)
+        | Msbi m -> Fit.Measured (Qp.sbi src, m)
+        | Mjdd m -> Fit.Measured (Qp.jdd src, m))
+      qms
+  in
+  (src, measured)
 
 type trace_point = { step : int; triangles : int; assortativity : float; energy : float }
 
@@ -105,7 +152,7 @@ type checkpoint_spec = { every : int; sink : checkpoint_sink }
 exception Corrupt_checkpoint of string
 
 let ckpt_magic = "wpinq-checkpoint\n"
-let ckpt_version = 3
+let ckpt_version = 4
 
 (* Everything a resumed chain needs, and nothing protected: the released
    query measurement (noisy counts + noise-stream cursor), the public seed
@@ -135,7 +182,7 @@ type ck = {
   ck_divergences : int;
   ck_initial_energy : float;
   ck_trace : trace_point list; (* newest first, as accumulated *)
-  ck_qm : query_measurement;
+  ck_qms : query_measurement list; (* fit targets, in target order *)
 }
 
 let write_edge buf (u, v) =
@@ -231,7 +278,7 @@ let encode_ck ck =
   Codec.write_int buf ck.ck_divergences;
   Codec.write_float buf ck.ck_initial_energy;
   Codec.write_list write_trace_point buf ck.ck_trace;
-  write_qm buf ck.ck_qm;
+  Codec.write_list write_qm buf ck.ck_qms;
   Buffer.contents buf
 
 let decode_ck payload =
@@ -257,7 +304,7 @@ let decode_ck payload =
   let ck_divergences = Codec.read_int r in
   let ck_initial_energy = Codec.read_float r in
   let ck_trace = Codec.read_list read_trace_point r in
-  let ck_qm = read_qm r in
+  let ck_qms = Codec.read_list read_qm r in
   {
     ck_epsilon;
     ck_pow;
@@ -280,7 +327,7 @@ let decode_ck payload =
     ck_divergences;
     ck_initial_energy;
     ck_trace;
-    ck_qm;
+    ck_qms;
   }
 
 (* ---- The fitting driver ---------------------------------------------- *)
@@ -316,6 +363,13 @@ let combined_stop ?stop ?deadline () =
    stopped state, so the partial run is immediately resumable. *)
 let continue_fit ~fit ~rng ~ck ~sink ?should_stop () =
   let trace = ref ck.ck_trace in
+  (* The measurements attached to the live fit: each rebase swaps them for
+     the copies decoded from the snapshot's own bytes, and the walk keeps
+     drawing lazy noise into whichever copies are live.  Snapshots must
+     serialize {e these} — the base [ck]'s list goes stale at the first
+     rebase, and persisting it would rewind the noise streams, so a resumed
+     run and the live run would rebase onto different bytes. *)
+  let live_qms = ref ck.ck_qms in
   let on_step ~step ~energy =
     if step mod ck.ck_trace_every = 0 then
       trace := trace_of ~step ~energy (Fit.graph fit) :: !trace
@@ -334,6 +388,7 @@ let continue_fit ~fit ~rng ~ck ~sink ?should_stop () =
       ck_initial_energy =
         (if ck.ck_step = 0 then interim.Mcmc.initial_energy else ck.ck_initial_energy);
       ck_trace = !trace;
+      ck_qms = !live_qms;
     }
   in
   let write_snapshot sink ck' =
@@ -358,8 +413,9 @@ let continue_fit ~fit ~rng ~ck ~sink ?should_stop () =
                  bytes so this run and any future resume from the file
                  continue from literally the same state. *)
               let ck2 = decode_ck payload in
-              Fit.rebuild fit ~n:ck2.ck_n ~edges:ck2.ck_edges
-                ~targets:[ target_of_query ck2.ck_qm ];
+              let source, measured = shared_measured ck2.ck_qms in
+              Fit.rebuild_shared fit ~n:ck2.ck_n ~edges:ck2.ck_edges ~source ~measured;
+              live_qms := ck2.ck_qms;
               trace := ck2.ck_trace) )
   in
   let seg =
@@ -401,13 +457,15 @@ let continue_fit ~fit ~rng ~ck ~sink ?should_stop () =
 
 let synthesize ?(pow = 10_000.0) ?(steps = 100_000) ?trace_every
     ?(refresh_every = 100_000) ?(audit_every = 0) ?(audit_tolerance = 1e-6) ?checkpoint ?stop
-    ?deadline ~rng ~epsilon ~query ~secret () =
+    ?deadline ?(queries = []) ~rng ~epsilon ~query ~secret () =
   let trace_every =
     match trace_every with Some t -> max 1 t | None -> max 1 (steps / 20)
   in
+  (* The fit's target list: the legacy single [query] (if any) followed by
+     any extra [queries], measured and fitted together over shared plans. *)
+  let qs = Option.to_list query @ queries in
   let total_budget =
-    (3.0 *. epsilon)
-    +. (match query with Some q -> query_cost q epsilon | None -> 0.0)
+    (3.0 *. epsilon) +. List.fold_left (fun acc q -> acc +. query_cost q epsilon) 0.0 qs
   in
   let budget = Budget.create ~name:"secret-graph" total_budget in
   let sym = Batch.source_records ~budget (Graph.directed_edges secret) in
@@ -415,8 +473,8 @@ let synthesize ?(pow = 10_000.0) ?(steps = 100_000) ?trace_every
   let seed_ms = measure_seed ~rng ~epsilon ~sym in
   let degrees = fit_degrees seed_ms in
   let seed = seed_graph ~rng ~degrees in
-  match query with
-  | None ->
+  match qs with
+  | [] ->
       {
         synthetic = seed;
         seed;
@@ -435,10 +493,12 @@ let synthesize ?(pow = 10_000.0) ?(steps = 100_000) ?trace_every
         trace = [ trace_of ~step:0 ~energy:0.0 seed ];
         total_epsilon = Budget.spent budget;
       }
-  | Some q ->
-      let qm = measure_query ~rng ~epsilon ~sym q in
-      (* Phase 2: fit the seed to the query measurement. *)
-      let fit = Fit.create ~rng ~seed_graph:seed ~targets:[ target_of_query qm ] () in
+  | qs ->
+      let qms = measure_queries ~rng ~epsilon ~sym qs in
+      (* Phase 2: fit the seed to the query measurements, all lowered
+         through one shared plan context. *)
+      let source, measured = shared_measured qms in
+      let fit = Fit.create_shared ~rng ~seed_graph:seed ~source ~measured () in
       let ck0 =
         {
           ck_epsilon = epsilon;
@@ -462,7 +522,7 @@ let synthesize ?(pow = 10_000.0) ?(steps = 100_000) ?trace_every
           ck_divergences = 0;
           ck_initial_energy = 0.0;
           ck_trace = [ trace_of ~step:0 ~energy:(Fit.energy fit) seed ];
-          ck_qm = qm;
+          ck_qms = qms;
         }
       in
       let sink = match checkpoint with Some c -> Some c.sink | None -> None in
@@ -481,9 +541,8 @@ let load_ck path =
 
 let resume_fit ~ck ~sink ?should_stop () =
   let rng = Prng.restore ck.ck_rng in
-  let fit =
-    Fit.restore ~rng ~n:ck.ck_n ~edges:ck.ck_edges ~targets:[ target_of_query ck.ck_qm ] ()
-  in
+  let source, measured = shared_measured ck.ck_qms in
+  let fit = Fit.restore_shared ~rng ~n:ck.ck_n ~edges:ck.ck_edges ~source ~measured () in
   continue_fit ~fit ~rng ~ck ~sink ?should_stop ()
 
 let resume ?stop ?deadline ~path () =

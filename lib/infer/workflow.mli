@@ -51,7 +51,10 @@ type query =
              workflow the paper builds on; cost 4 ε *)
 
 val query_cost : query -> float -> float
-(** [query_cost q eps] is the privacy cost of measuring [q] at [eps]. *)
+(** [query_cost q eps] is the privacy cost of measuring [q] at [eps] —
+    {e derived} by reifying the query over a {!Wpinq_core.Plan} source and
+    counting source uses with {!Wpinq_core.Plan.uses}, not asserted by
+    hand. *)
 
 type query_measurement
 
@@ -62,10 +65,28 @@ val measure_query :
   query ->
   query_measurement
 
+val measure_queries :
+  rng:Wpinq_prng.Prng.t ->
+  epsilon:float ->
+  sym:(int * int) Wpinq_core.Batch.t ->
+  query list ->
+  query_measurement list
+(** Measures several queries through one shared plan-lowering context
+    ({!Wpinq_core.Batch.Plans}): shared pipeline prefixes evaluate once,
+    while each query's aggregation still debits its own
+    [{!Wpinq_core.Plan.uses} × epsilon] from the source budget. *)
+
 val target_of_query :
   query_measurement -> (int * int) Wpinq_core.Flow.t -> Wpinq_core.Flow.Target.t
 (** Rebuilds the measured query over a synthetic input and scores it
     against the recorded observations. *)
+
+val shared_measured :
+  query_measurement list -> (int * int) Wpinq_core.Plan.t * Fit.measured list
+(** [shared_measured qms] reifies the measured queries over one fresh plan
+    source, ready for {!Fit.create_shared} — common prefixes (degrees,
+    paths, the path-degree join) become shared plan nodes, so the fit
+    propagates each MCMC delta through them once per step. *)
 
 type trace_point = {
   step : int;
@@ -110,6 +131,7 @@ val synthesize :
   ?checkpoint:checkpoint_spec ->
   ?stop:(unit -> bool) ->
   ?deadline:float ->
+  ?queries:query list ->
   rng:Wpinq_prng.Prng.t ->
   epsilon:float ->
   query:query option ->
@@ -127,6 +149,17 @@ val synthesize :
     it is persisted in checkpoints and honoured by {!resume}.
     [query = None] stops after Phase 1 (the seed graph is returned as
     [synthetic], with an empty walk).
+
+    [queries] (default [[]]) adds further motif queries: all of them —
+    [query] first, then [queries] in order — are measured through one
+    shared {!Wpinq_core.Batch.Plans} context (total cost
+    [Σ query_cost q epsilon]) and fitted {e together} as one multi-target
+    walk over shared plans ({!Fit.create_shared}): the posterior energy is
+    the sum over targets, and plan prefixes shared between queries (the
+    degree pipeline of JDD and TbD, say) propagate each swap's delta once
+    per step.  [query = None] with [queries = []] is the seed-only run
+    above; [query = None] with non-empty [queries] runs Phase 2 on just
+    [queries].
 
     With [checkpoint], Phase 2 snapshots its complete walk state every
     [every] steps — and then {e rebases} onto the snapshot's own bytes, so

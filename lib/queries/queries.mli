@@ -4,13 +4,25 @@
     Every query consumes the {e symmetric directed} edge dataset: both
     orientations of each undirected edge, weight 1.0 each (the data model of
     Section 3).  Instantiate {!Make} with {!Wpinq_core.Batch} to measure a
-    protected graph, or with {!Wpinq_core.Flow} to drive the MCMC fit — the
+    protected graph, with {!Wpinq_core.Flow} to drive the MCMC fit, or with
+    {!Wpinq_core.Plan} to reify the pipeline as a first-class DAG — the
     query text, and hence the privacy accounting, is identical.
 
-    Privacy costs (uses of the symmetric edge source, verified by tests):
-    degree CCDF / degree sequence / node count 1×, JDD 4×, TbD 9×, TbI 4×,
-    SbD 12×.  Comparisons against work on undirected graphs double these
-    (Theorems 2–3), because one undirected edge is two records here. *)
+    Privacy costs are no longer asserted here by hand: they are {e derived}
+    by {!Wpinq_core.Plan.uses} from the reified pipeline (the number of
+    root-to-source paths, the multiplier sequential composition applies to
+    ε) and property-tested to match both the per-query doc-comments below
+    (degree CCDF / sequence / histogram 1×, paths3 3×, JDD 4×, TbI 4×,
+    SbI 6×, TbD 9×, SbD 12×, over the symmetric source) and what
+    {!Wpinq_core.Batch} actually debits from a {!Wpinq_core.Budget.t}.
+    Comparisons against work on undirected graphs double these
+    (Theorems 2–3), because one undirected edge is two records here.
+
+    Pipeline builders are memoized on the physical identity of their input
+    (e.g. [tbd sym == tbd sym]), so measurements built from the same
+    collection share intermediates — over {!Wpinq_core.Plan} the shared
+    values are shared DAG nodes, and a multi-target fit propagates each
+    MCMC delta through the common prefix once per step. *)
 
 module Make (L : Wpinq_core.Lang.S) : sig
   type edge = int * int

@@ -1,0 +1,210 @@
+(* The reified plan IR: derived use counts must match the documented
+   privacy costs AND what Batch actually debits from a budget; memoized
+   lowering must share nodes without changing any evaluated value. *)
+
+module Wdata = Wpinq_weighted.Wdata
+module Graph = Wpinq_graph.Graph
+module Gen = Wpinq_graph.Gen
+module Prng = Wpinq_prng.Prng
+module Budget = Wpinq_core.Budget
+module Batch = Wpinq_core.Batch
+module Plan = Wpinq_core.Plan
+module Flow = Wpinq_core.Flow
+module Queries = Wpinq_queries.Queries
+module Dataflow = Wpinq_dataflow.Dataflow
+open Helpers
+
+module Qp = Queries.Make (Plan)
+module Qb = Queries.Make (Batch)
+
+let random_graph seed = Gen.erdos_renyi ~n:20 ~m:45 (Prng.create seed)
+
+type any = Any : 'a Plan.t -> any
+
+(* Every documented pipeline cost over a given symmetric source. *)
+let costed_pipelines src =
+  [
+    ("degree ccdf", Any (Qp.degree_ccdf src), 1);
+    ("degree sequence", Any (Qp.degree_sequence src), 1);
+    ("degree histogram", Any (Qp.degree_histogram src), 1);
+    ("node count", Any (Qp.node_count src), 1);
+    ("edge count", Any (Qp.edge_count src), 1);
+    ("paths2", Any (Qp.paths2 src), 2);
+    ("paths3", Any (Qp.paths3 src), 3);
+    ("JDD", Any (Qp.jdd src), 4);
+    ("TbI", Any (Qp.tbi src), 4);
+    ("SbI", Any (Qp.sbi src), 6);
+    ("TbD", Any (Qp.tbd src), 9);
+    ("SbD", Any (Qp.sbd src), 12);
+  ]
+
+let test_uses_constants () =
+  let src = Plan.source ~name:"sym" () in
+  List.iter
+    (fun (name, Any p, expect) -> Alcotest.(check int) name expect (Plan.uses p))
+    (costed_pipelines src);
+  (* Undirected input: symmetrize doubles every cost (Theorems 2-3). *)
+  let und = Plan.source ~name:"undirected" () in
+  Alcotest.(check int) "TbD after symmetrize: 18" 18 (Plan.uses (Qp.tbd (Qp.symmetrize und)));
+  Alcotest.(check int) "TbI after symmetrize: 8" 8 (Plan.uses (Qp.tbi (Qp.symmetrize und)))
+
+(* The central property: for every pipeline, [Plan.uses] equals both the
+   use count Batch's own static accounting derives for the lowered
+   collection and the multiple of epsilon an aggregation actually debits
+   from the source budget. *)
+let test_uses_equals_batch_debit () =
+  let g = random_graph 11 in
+  let epsilon = 0.25 in
+  let src = Plan.source ~name:"sym" () in
+  List.iter
+    (fun (name, Any p, _) ->
+      let budget = Budget.create ~name:"edges" 1e9 in
+      let batch_src = Batch.source_records ~budget (Graph.directed_edges g) in
+      let ctx = Batch.Plans.create () in
+      Batch.Plans.bind ctx src batch_src;
+      let lowered = Batch.Plans.lower ctx p in
+      let static =
+        match Batch.uses lowered with [ (_, n) ] -> n | _ -> -1
+      in
+      Alcotest.(check int) (name ^ ": Batch static count") (Plan.uses p) static;
+      Batch.charge ~epsilon lowered;
+      check_close
+        (name ^ ": actual budget debit")
+        (float_of_int (Plan.uses p) *. epsilon)
+        (Budget.spent budget))
+    (costed_pipelines src)
+
+(* Lowering through plans evaluates to exactly what the direct Batch
+   instantiation computes. *)
+let test_lowered_values_match_direct () =
+  let g = random_graph 12 in
+  let budget = Budget.create ~name:"edges" 1e9 in
+  let batch_src = Batch.source_records ~budget (Graph.directed_edges g) in
+  let src = Plan.source ~name:"sym" () in
+  let ctx = Batch.Plans.create () in
+  Batch.Plans.bind ctx src batch_src;
+  let check_val name expected lowered =
+    if not (Wdata.equal ~tol:1e-9 (Batch.unsafe_value expected) (Batch.unsafe_value lowered))
+    then Alcotest.failf "%s: lowered value differs from direct instantiation" name
+  in
+  check_val "ccdf" (Qb.degree_ccdf batch_src) (Batch.Plans.lower ctx (Qp.degree_ccdf src));
+  check_val "jdd" (Qb.jdd batch_src) (Batch.Plans.lower ctx (Qp.jdd src));
+  check_val "tbd" (Qb.tbd batch_src) (Batch.Plans.lower ctx (Qp.tbd src));
+  check_val "sbi" (Qb.sbi batch_src) (Batch.Plans.lower ctx (Qp.sbi src))
+
+let test_plan_basics () =
+  let s : int Plan.t = Plan.source ~name:"xs" () in
+  Alcotest.(check bool) "source is source" true (Plan.is_source s);
+  Alcotest.(check string) "source operator" "source" (Plan.operator s);
+  let doubled = Plan.concat s s in
+  Alcotest.(check bool) "concat not source" false (Plan.is_source doubled);
+  Alcotest.(check int) "diamond uses both paths" 2 (Plan.uses doubled);
+  Alcotest.(check int) "diamond size counts nodes once" 2 (Plan.size doubled);
+  Alcotest.(check (list (pair string int))) "source_uses names the leaf" [ ("xs", 2) ]
+    (Plan.source_uses doubled);
+  let sel = Plan.select (fun x -> x + 1) s in
+  Alcotest.(check bool) "distinct ids" true (Plan.id sel <> Plan.id s);
+  (* A diamond over a deep shared prefix: uses multiplies, size adds. *)
+  let deep = Plan.where (fun x -> x > 0) (Plan.select (fun x -> x) s) in
+  let dia = Plan.union deep deep in
+  Alcotest.(check int) "deep diamond uses" 2 (Plan.uses dia);
+  Alcotest.(check int) "deep diamond size" 4 (Plan.size dia)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_lowering_errors () =
+  let s : int Plan.t = Plan.source ~name:"xs" () in
+  let ctx = Batch.Plans.create () in
+  (match Batch.Plans.lower ctx s with
+  | _ -> Alcotest.fail "lowering an unbound source should raise"
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool)
+        "unbound-source error names the leaf" true
+        (contains ~sub:"unbound source" msg && contains ~sub:"xs" msg));
+  let sel = Plan.select (fun x -> x + 1) s in
+  match Batch.Plans.bind ctx sel (Batch.public []) with
+  | () -> Alcotest.fail "binding a non-source should raise"
+  | exception Invalid_argument _ -> ()
+
+(* Memoized lowering: a node lowered twice in one context is built once
+   and counted as shared; separate contexts rebuild from scratch. *)
+let test_lowering_memoization () =
+  let src = Plan.source ~name:"sym" () in
+  let tbd = Qp.tbd src and jdd = Qp.jdd src and ccdf = Qp.degree_ccdf src in
+  let g = random_graph 13 in
+  let lower_all ctx =
+    let budget = Budget.create ~name:"edges" 1e9 in
+    Batch.Plans.bind ctx src (Batch.source_records ~budget (Graph.directed_edges g));
+    ignore (Batch.Plans.lower ctx ccdf);
+    ignore (Batch.Plans.lower ctx jdd);
+    ignore (Batch.Plans.lower ctx tbd)
+  in
+  let shared = Batch.Plans.create () in
+  lower_all shared;
+  (* JDD and TbD both consume the degree pipeline: sharing must happen. *)
+  Alcotest.(check bool) "nodes shared > 0" true (Batch.Plans.nodes_shared shared > 0);
+  let unshared_built =
+    List.fold_left
+      (fun acc p ->
+        let ctx = Batch.Plans.create () in
+        let budget = Budget.create ~name:"edges" 1e9 in
+        Batch.Plans.bind ctx src (Batch.source_records ~budget (Graph.directed_edges g));
+        (match p with Any p -> ignore (Batch.Plans.lower ctx p));
+        acc + Batch.Plans.nodes_built ctx)
+      0
+      [ Any ccdf; Any jdd; Any tbd ]
+  in
+  Alcotest.(check bool)
+    "shared context builds fewer nodes than three separate ones" true
+    (Batch.Plans.nodes_built shared < unshared_built);
+  (* Re-lowering an already-lowered plan is pure memo traffic. *)
+  let built_before = Batch.Plans.nodes_built shared in
+  ignore (Batch.Plans.lower shared tbd);
+  Alcotest.(check int) "re-lowering builds nothing" built_before
+    (Batch.Plans.nodes_built shared)
+
+(* The Flow lowering reports its sharing into the engine counters. *)
+let test_flow_lowering_counters () =
+  let src = Plan.source ~name:"sym" () in
+  let plans = [ Any (Qp.degree_ccdf src); Any (Qp.jdd src); Any (Qp.tbd src) ] in
+  let build shared =
+    let engine = Dataflow.Engine.create () in
+    let _handle, sym = Flow.input engine in
+    if shared then begin
+      let ctx = Flow.Plans.create engine in
+      Flow.Plans.bind ctx src sym;
+      List.iter (fun (Any p) -> ignore (Flow.Plans.lower ctx p)) plans
+    end
+    else
+      List.iter
+        (fun (Any p) ->
+          let ctx = Flow.Plans.create engine in
+          Flow.Plans.bind ctx src sym;
+          ignore (Flow.Plans.lower ctx p))
+        plans;
+    engine
+  in
+  let shared = build true and unshared = build false in
+  Alcotest.(check bool) "engine nodes_shared > 0" true
+    (Dataflow.Engine.nodes_shared shared > 0);
+  (* Per-target contexts still share *within* each plan (diamonds like
+     JDD's [join temp temp]), but only one context shares *across*
+     targets. *)
+  Alcotest.(check bool) "cross-target sharing exceeds intra-plan sharing" true
+    (Dataflow.Engine.nodes_shared shared > Dataflow.Engine.nodes_shared unshared);
+  Alcotest.(check bool) "shared engine builds fewer physical nodes" true
+    (Dataflow.Engine.nodes_built shared < Dataflow.Engine.nodes_built unshared)
+
+let suite =
+  [
+    Alcotest.test_case "uses: documented constants" `Quick test_uses_constants;
+    Alcotest.test_case "uses = Batch debit" `Quick test_uses_equals_batch_debit;
+    Alcotest.test_case "lowered values match direct" `Quick test_lowered_values_match_direct;
+    Alcotest.test_case "plan basics" `Quick test_plan_basics;
+    Alcotest.test_case "lowering errors" `Quick test_lowering_errors;
+    Alcotest.test_case "lowering memoization" `Quick test_lowering_memoization;
+    Alcotest.test_case "flow lowering counters" `Quick test_flow_lowering_counters;
+  ]

@@ -8,11 +8,13 @@ let () =
       ("speculation", Test_speculation.suite);
       ("audit", Test_audit.suite);
       ("core", Test_core.suite);
+      ("plan", Test_plan.suite);
       ("graph", Test_graph.suite);
       ("queries", Test_queries.suite);
       ("postprocess", Test_postprocess.suite);
       ("infer", Test_infer.suite);
       ("checkpoint", Test_checkpoint.suite);
+      ("shared-fit", Test_shared_fit.suite);
       ("data", Test_data.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("baselines", Test_baselines.suite);
