@@ -268,13 +268,14 @@ let multi_bench ~smoke () =
     let wall = Unix.gettimeofday () -. t0 in
     ( !accepted,
       1e6 *. wall /. float steps,
+      float steps /. wall,
       float (Dataflow.Engine.records_propagated engine - prop0) /. float steps,
       float (Dataflow.Engine.work engine - work0) /. float steps,
       Dataflow.Engine.nodes_built engine,
       Dataflow.Engine.nodes_shared engine )
   in
-  let s_acc, s_us, s_prop, s_work, s_built, s_shared = run (shared_fit ()) in
-  let u_acc, u_us, u_prop, u_work, u_built, u_shared = run (unshared_fit ()) in
+  let s_acc, s_us, s_sps, s_prop, s_work, s_built, s_shared = run (shared_fit ()) in
+  let u_acc, u_us, u_sps, u_prop, u_work, u_built, u_shared = run (unshared_fit ()) in
   if s_acc <> u_acc then
     Printf.printf "WARNING: walks diverged (%d vs %d accepted) — counters not comparable\n"
       s_acc u_acc;
@@ -297,24 +298,142 @@ let multi_bench ~smoke () =
       Printf.sprintf "      \"nodes_built\": %d," s_built;
       Printf.sprintf "      \"nodes_shared\": %d," s_shared;
       Printf.sprintf "      \"accepted_steps\": %d," s_acc;
+      Printf.sprintf "      \"rejected_steps\": %d," (steps - s_acc);
       Printf.sprintf "      \"records_propagated_per_step\": %.1f," s_prop;
       Printf.sprintf "      \"work_per_step\": %.1f," s_work;
-      Printf.sprintf "      \"us_per_step\": %.3f" s_us;
+      Printf.sprintf "      \"us_per_step\": %.3f," s_us;
+      Printf.sprintf "      \"steps_per_sec\": %.1f" s_sps;
       "    },";
       "    \"unshared\": {";
       Printf.sprintf "      \"nodes_built\": %d," u_built;
       Printf.sprintf "      \"nodes_shared\": %d," u_shared;
       Printf.sprintf "      \"accepted_steps\": %d," u_acc;
+      Printf.sprintf "      \"rejected_steps\": %d," (steps - u_acc);
       Printf.sprintf "      \"records_propagated_per_step\": %.1f," u_prop;
       Printf.sprintf "      \"work_per_step\": %.1f," u_work;
-      Printf.sprintf "      \"us_per_step\": %.3f" u_us;
+      Printf.sprintf "      \"us_per_step\": %.3f," u_us;
+      Printf.sprintf "      \"steps_per_sec\": %.1f" u_sps;
       "    },";
       Printf.sprintf "    \"records_propagated_ratio\": %.3f," (s_prop /. u_prop);
       Printf.sprintf "    \"wall_ratio\": %.3f" (s_us /. u_us);
       "  }";
     ]
 
-let walk_bench ~smoke ~json_path ?multi_fragment () =
+(* ---------------- Part 5: parallel speculative lookahead -----------------
+
+   The same shared-plan multi-query fit driven through [Fit.run ~jobs]: one
+   arm per lookahead width, every arm reconstructing an identical fit (same
+   secret, same measurement seed, same walk seed).  The realized chain is
+   bit-identical across widths by construction — the arms cross-check
+   accepted/invalid counts, final energies (bit patterns) and final edge
+   arrays, and [identical_walks] records the verdict (the process exits
+   nonzero if it ever goes false, which is what the CI multicore smoke job
+   asserts).  Speedups are honest wall-clock ratios on this host; the
+   [host] header block records how many domains the host recommends, so a
+   single-core container's flat curve is interpretable. *)
+
+let parallel_bench ~smoke ~arms () =
+  banner "Part 5: parallel speculative lookahead benchmark";
+  let scale, steps = if smoke then (0.12, 2_000) else (0.25, 8_000) in
+  Printf.printf
+    "(ca-GrQc at scale %.2f: degree CCDF + JDD + TbD shared fit, %d steps, jobs in {%s})\n%!"
+    scale steps
+    (String.concat ", " (List.map string_of_int arms));
+  let secret = Datasets.load ~scale Datasets.grqc in
+  let make () =
+    let rng = Prng.create 7 in
+    let budget = Budget.create ~name:"bench" 1e9 in
+    let sym = Batch.source_records ~budget (Graph.directed_edges secret) in
+    let mc = Batch.noisy_count ~rng ~epsilon:0.1 (Qb.degree_ccdf sym) in
+    let mj = Batch.noisy_count ~rng ~epsilon:0.1 (Qb.jdd sym) in
+    let mt = Batch.noisy_count ~rng ~epsilon:0.1 (Qb.tbd sym) in
+    let source = Plan.source ~name:"sym" () in
+    let measured =
+      [
+        Fit.Measured (Qp.degree_ccdf source, mc);
+        Fit.Measured (Qp.jdd source, mj);
+        Fit.Measured (Qp.tbd source, mt);
+      ]
+    in
+    Fit.create_shared ~rng:(Prng.create 11) ~seed_graph:secret ~source ~measured ()
+  in
+  let run_arm jobs =
+    let fit = make () in
+    let batches = ref 0 and dispatched = ref 0 and consumed = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    let stats =
+      Fit.run fit ~steps ~pow:10_000.0 ~jobs
+        ~on_batch:(fun ~dispatched:d ~consumed:c ->
+          incr batches;
+          dispatched := !dispatched + d;
+          consumed := !consumed + c)
+        ()
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    (jobs, stats, wall, !batches, !dispatched, !consumed, Fit.edge_array fit)
+  in
+  let results = List.map run_arm arms in
+  let _, ref_stats, ref_wall, _, _, _, ref_edges = List.hd results in
+  let same (_, (s : Wpinq_infer.Mcmc.stats), _, _, _, _, edges) =
+    s.Wpinq_infer.Mcmc.accepted = ref_stats.Wpinq_infer.Mcmc.accepted
+    && s.Wpinq_infer.Mcmc.invalid = ref_stats.Wpinq_infer.Mcmc.invalid
+    && Int64.bits_of_float s.Wpinq_infer.Mcmc.final_energy
+       = Int64.bits_of_float ref_stats.Wpinq_infer.Mcmc.final_energy
+    && edges = ref_edges
+  in
+  let identical = List.for_all same results in
+  List.iter
+    (fun (jobs, (s : Wpinq_infer.Mcmc.stats), wall, batches, dispatched, consumed, _) ->
+      Printf.printf
+        "jobs=%d: %.1f steps/s (%.3fs), %d accepted, %d invalid, %d batches, lookahead \
+         efficiency %.3f, speedup %.2fx\n%!"
+        jobs
+        (float steps /. wall)
+        wall s.Wpinq_infer.Mcmc.accepted s.Wpinq_infer.Mcmc.invalid batches
+        (float consumed /. float (max 1 dispatched))
+        (ref_wall /. wall))
+    results;
+  if identical then Printf.printf "all arms walked bit-identically\n%!"
+  else Printf.printf "ERROR: arms diverged — the lookahead walk is not width-invariant\n%!";
+  let arm_json (jobs, (s : Wpinq_infer.Mcmc.stats), wall, batches, dispatched, consumed, _) =
+    String.concat "\n"
+      [
+        "      {";
+        Printf.sprintf "        \"jobs\": %d," jobs;
+        Printf.sprintf "        \"accepted_steps\": %d," s.Wpinq_infer.Mcmc.accepted;
+        Printf.sprintf "        \"invalid_steps\": %d," s.Wpinq_infer.Mcmc.invalid;
+        Printf.sprintf "        \"rejected_steps\": %d,"
+          (steps - s.Wpinq_infer.Mcmc.accepted - s.Wpinq_infer.Mcmc.invalid);
+        Printf.sprintf "        \"batches\": %d," batches;
+        Printf.sprintf "        \"dispatched\": %d," dispatched;
+        Printf.sprintf "        \"consumed\": %d," consumed;
+        Printf.sprintf "        \"lookahead_efficiency\": %.3f,"
+          (float consumed /. float (max 1 dispatched));
+        Printf.sprintf "        \"final_energy\": %.6f," s.Wpinq_infer.Mcmc.final_energy;
+        Printf.sprintf "        \"wall_s\": %.3f," wall;
+        Printf.sprintf "        \"steps_per_sec\": %.1f," (float steps /. wall);
+        Printf.sprintf "        \"speedup_vs_jobs1\": %.3f" (ref_wall /. wall);
+        "      }";
+      ]
+  in
+  let fragment =
+    String.concat "\n"
+      [
+        "  \"parallel\": {";
+        "    \"dataset\": \"ca-GrQc\",";
+        Printf.sprintf "    \"scale\": %.2f," scale;
+        "    \"queries\": [\"degree_ccdf\", \"jdd\", \"tbd\"],";
+        Printf.sprintf "    \"steps\": %d," steps;
+        Printf.sprintf "    \"identical_walks\": %b," identical;
+        "    \"arms\": [";
+        String.concat ",\n" (List.map arm_json results);
+        "    ]";
+        "  }";
+      ]
+  in
+  (fragment, identical)
+
+let walk_bench ~smoke ~json_path ?(fragments = []) () =
   banner "Part 3: speculative-walk benchmark (machine-readable)";
   let scale, warmup, steps = if smoke then (0.15, 500, 3_000) else (0.4, 2_000, 20_000) in
   Printf.printf "(ca-GrQc at scale %.2f, %d warmup + %d measured steps)\n%!" scale warmup
@@ -371,6 +490,15 @@ let walk_bench ~smoke ~json_path ?multi_fragment () =
   Printf.fprintf oc "  \"warmup_steps\": %d,\n" warmup;
   Printf.fprintf oc "  \"measured_steps\": %d,\n" steps;
   Printf.fprintf oc "  \"smoke\": %b,\n" smoke;
+  (* Host metadata: wall-clock numbers (and especially the parallel arms'
+     speedups) are only interpretable next to the domain budget of the
+     machine that produced them. *)
+  Printf.fprintf oc "  \"host\": {\n";
+  Printf.fprintf oc "    \"recommended_domain_count\": %d,\n"
+    (Domain.recommended_domain_count ());
+  Printf.fprintf oc "    \"ocaml_version\": \"%s\",\n" Sys.ocaml_version;
+  Printf.fprintf oc "    \"word_size\": %d\n" Sys.word_size;
+  Printf.fprintf oc "  },\n";
   (* The baseline was recorded at the full configuration; in smoke mode it
      is context, not a like-for-like comparison. *)
   Printf.fprintf oc "%s,\n" baseline_json;
@@ -398,9 +526,9 @@ let walk_bench ~smoke ~json_path ?multi_fragment () =
   Printf.fprintf oc "    \"audit_divergences\": %d,\n"
     (List.length audit_report.Dataflow.Audit.divergences);
   Printf.fprintf oc "    \"audit_ms\": %.3f\n" audit_ms;
-  (match multi_fragment with
-  | None -> Printf.fprintf oc "  }\n"
-  | Some frag -> Printf.fprintf oc "  },\n%s\n" frag);
+  (match fragments with
+  | [] -> Printf.fprintf oc "  }\n"
+  | frags -> Printf.fprintf oc "  },\n%s\n" (String.concat ",\n" frags));
   Printf.fprintf oc "}\n";
   close_out oc;
   Printf.printf "accepted: %.3f us/step (%d)\n" acc_us !acc_n;
@@ -416,25 +544,46 @@ let () =
   let smoke = ref false in
   let walk_only = ref false in
   let multi = ref false in
+  let jobs = ref 0 in
   let json_path = ref "BENCH_wpinq.json" in
   Arg.parse
     [
-      ("--smoke", Arg.Set smoke, " Run only the walk + multi benchmarks, reduced (CI-sized).");
+      ("--smoke", Arg.Set smoke, " Run only the walk + multi + parallel benchmarks, reduced (CI-sized).");
       ("--walk", Arg.Set walk_only, " Run only the walk benchmark, at full size.");
       ( "--multi",
         Arg.Set multi,
         " Run only the walk + shared-plan multi-query benchmarks, at full size." );
+      ( "--jobs",
+        Arg.Set_int jobs,
+        "N Widest lookahead arm for the parallel benchmark (default: 4, or 2 in smoke \
+         mode; arms are {1, 2, 4} capped at N)." );
       ("--json", Arg.Set_string json_path, "PATH Where to write the benchmark JSON.");
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "bench [--smoke | --walk | --multi] [--json PATH]";
+    "bench [--smoke | --walk | --multi] [--jobs N] [--json PATH]";
   let t0 = Unix.gettimeofday () in
   if not (!smoke || !walk_only || !multi) then begin
     experiments ();
     run_benchmarks ()
   end;
-  (* The walk benchmark always runs; the shared-plan comparison rides along
-     in every mode except the walk-only one. *)
-  let multi_fragment = if !walk_only then None else Some (multi_bench ~smoke:!smoke ()) in
-  walk_bench ~smoke:!smoke ~json_path:!json_path ?multi_fragment ();
-  Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)
+  (* The walk benchmark always runs; the shared-plan comparison and the
+     parallel-lookahead arms ride along in every mode except walk-only. *)
+  let fragments, identical =
+    if !walk_only then ([], true)
+    else begin
+      let max_jobs =
+        if !jobs >= 1 then !jobs else if !smoke then 2 else 4
+      in
+      let arms = List.filter (fun k -> k <= max_jobs) [ 1; 2; 4 ] in
+      let arms = if List.mem max_jobs arms then arms else arms @ [ max_jobs ] in
+      let multi_fragment = multi_bench ~smoke:!smoke () in
+      let parallel_fragment, identical = parallel_bench ~smoke:!smoke ~arms () in
+      ([ multi_fragment; parallel_fragment ], identical)
+    end
+  in
+  walk_bench ~smoke:!smoke ~json_path:!json_path ~fragments ();
+  Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0);
+  if not identical then begin
+    prerr_endline "FATAL: parallel lookahead arms diverged (identical_walks = false)";
+    exit 1
+  end

@@ -102,6 +102,15 @@ let synthesize_cmd =
                    against a from-scratch batch recomputation, and divergent state is \
                    rebuilt from batch (0 disables; persisted in checkpoints).")
   in
+  let jobs =
+    Arg.(value & opt (some int) None
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Parallel speculative-lookahead width for phase 2: up to $(docv) \
+                   consecutive proposals are evaluated concurrently, one replica engine \
+                   per domain.  The realized walk (and every checkpoint byte) is \
+                   bit-identical for every width; only wall-clock time changes.  \
+                   Defaults to the machine's recommended domain count.")
+  in
   let deadline =
     Arg.(value & opt (some float) None
          & info [ "deadline" ] ~docv:"SECONDS"
@@ -123,7 +132,7 @@ let synthesize_cmd =
                    falling back past them.")
   in
   let run cfg input dataset query also_query bucket output checkpoint_dir checkpoint_every
-      keep_checkpoints refresh_every audit_every deadline resume resume_latest =
+      keep_checkpoints refresh_every audit_every jobs deadline resume resume_latest =
     let module Graph = Wpinq_graph.Graph in
     let module Io = Wpinq_graph.Io in
     let module W = Wpinq_infer.Workflow in
@@ -131,6 +140,12 @@ let synthesize_cmd =
     let module D = Wpinq_data.Datasets in
     Shutdown.install ();
     let stop = Shutdown.requested in
+    let jobs =
+      match jobs with
+      | Some j when j >= 1 -> j
+      | Some j -> failwith (Printf.sprintf "--jobs must be at least 1 (got %d)" j)
+      | None -> Domain.recommended_domain_count ()
+    in
     let store () =
       match checkpoint_dir with
       | Some dir -> Wpinq_persist.Persist.Store.open_dir ~keep:keep_checkpoints dir
@@ -141,9 +156,9 @@ let synthesize_cmd =
       | Some path, _ ->
           Printf.printf "resuming from %s (%d steps completed)\n" path
             (W.checkpoint_step path);
-          W.resume ~stop ?deadline ~path ()
+          W.resume ~stop ?deadline ~jobs ~path ()
       | None, true ->
-          W.resume_latest ~log:print_endline ~stop ?deadline ~store:(store ()) ()
+          W.resume_latest ~log:print_endline ~stop ?deadline ~jobs ~store:(store ()) ()
       | None, false ->
           let secret =
             match input with
@@ -180,7 +195,7 @@ let synthesize_cmd =
             | None -> None
             | Some _ -> Some { W.every = checkpoint_every; sink = W.Store (store ()) }
           in
-          W.synthesize ~pow:cfg.E.pow ~steps:cfg.E.steps ~refresh_every ~audit_every
+          W.synthesize ~pow:cfg.E.pow ~steps:cfg.E.steps ~refresh_every ~audit_every ~jobs
             ?checkpoint ~stop ?deadline ~rng:(Wpinq_prng.Prng.create cfg.E.seed)
             ~epsilon:cfg.E.epsilon ~query ~queries ~secret ()
     in
@@ -214,7 +229,7 @@ let synthesize_cmd =
        ~doc:"Run the full measure-and-synthesize workflow on an edge-list file.")
     Term.(
       const run $ config_term $ input $ dataset $ query $ also_query $ bucket $ output $ checkpoint_dir
-      $ checkpoint_every $ keep_checkpoints $ refresh_every $ audit_every $ deadline
+      $ checkpoint_every $ keep_checkpoints $ refresh_every $ audit_every $ jobs $ deadline
       $ resume $ resume_latest)
 
 let cmds =

@@ -87,10 +87,31 @@ module Target = struct
        is true for records observed at measurement time, whose |0 - m x| is
        part of the initial distance. *)
     let tracked : (a, float * bool) Hashtbl.t = Hashtbl.create 64 in
+    (* [from_scratch] and [audit_distance] must not iterate [tracked]
+       directly: a hashtable's iteration order keeps residue from aborted
+       speculations (a speculative insert can resize the bucket array and
+       the undoing remove does not shrink it back), which would make the
+       recomputed distance's rounding order depend on abort history.  The
+       dense [order] array records committed first-seen order instead; the
+       speculative undo pops it exactly. *)
+    let order = ref ([||] : a array) in
+    let tracked_n = ref 0 in
+    let note x =
+      let n = !tracked_n in
+      let cap = Array.length !order in
+      if n = cap then begin
+        let arr = Array.make (if cap = 0 then 64 else 2 * cap) x in
+        Array.blit !order 0 arr 0 n;
+        order := arr
+      end;
+      !order.(n) <- x;
+      tracked_n := n + 1
+    in
     let distance = ref 0.0 in
     List.iter
       (fun (x, v) ->
         Hashtbl.replace tracked x (v, true);
+        note x;
         distance := !distance +. Float.abs v)
       (Measurement.observed m);
     Dataflow.Sink.on_change sink (fun x ~old_weight ~new_weight ->
@@ -98,13 +119,23 @@ module Target = struct
           match Hashtbl.find_opt tracked x with
           | Some (v, _) -> v
           | None ->
-              (* A record first seen during a speculative propagation stays
-                 tracked after an abort: drawing its observation is part of
-                 proposing (exactly as with revert-by-refeed), and a
-                 tracked record absent from the sink contributes 0 to the
-                 distance, so keeping it does not shift the convention. *)
+              (* A record first seen during a speculative propagation draws
+                 its observation under the undo log: an abort removes it
+                 from the tracked set and rewinds the measurement's private
+                 noise cursor, so the tracked set and the noise stream are
+                 pure functions of the committed walk prefix.  (A replica
+                 engine evaluating a discarded lookahead speculation
+                 therefore leaves no trace, which is what keeps K replicas
+                 bit-identical to each other and to the serial walk.) *)
+              (if Dataflow.Engine.speculating engine then
+                 let mk = Measurement.mark m in
+                 Dataflow.Engine.log_undo engine (fun () ->
+                     Hashtbl.remove tracked x;
+                     decr tracked_n;
+                     Measurement.undo_draw m x mk));
               let v = Measurement.value m x in
               Hashtbl.replace tracked x (v, false);
+              note x;
               v
         in
         (* Enroll the maintained distance in the speculative rollback: the
@@ -116,12 +147,13 @@ module Target = struct
         distance := !distance +. Float.abs (new_weight -. obs) -. Float.abs (old_weight -. obs));
     let from_scratch () =
       let d = ref 0.0 in
-      Hashtbl.iter
-        (fun x (v, baseline) ->
-          let q = Dataflow.Sink.weight sink x in
-          d := !d +. Float.abs (q -. v);
-          if not baseline then d := !d -. Float.abs v)
-        tracked;
+      for i = 0 to !tracked_n - 1 do
+        let x = !order.(i) in
+        let v, baseline = Hashtbl.find tracked x in
+        let q = Dataflow.Sink.weight sink x in
+        d := !d +. Float.abs (q -. v);
+        if not baseline then d := !d -. Float.abs v
+      done;
       !d
     in
     let recompute () = distance := from_scratch () in
@@ -134,9 +166,11 @@ module Target = struct
        same set and this sum is directly comparable. *)
     let audit_distance () =
       let d = ref 0.0 in
-      Hashtbl.iter
-        (fun x (v, _) -> d := !d +. Float.abs (Dataflow.Sink.weight sink x -. v))
-        tracked;
+      for i = 0 to !tracked_n - 1 do
+        let x = !order.(i) in
+        let v, _ = Hashtbl.find tracked x in
+        d := !d +. Float.abs (Dataflow.Sink.weight sink x -. v)
+      done;
       !d
     in
     (* Enroll the maintained distance in the engine's self-audit: the hook

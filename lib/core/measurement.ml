@@ -19,6 +19,26 @@ let create ~rng ~epsilon ~true_data =
 
 let epsilon t = t.epsilon
 
+(* An independent deep copy: same released values, same private noise
+   cursor.  A replica fit built over copies draws bit-identical lazy
+   observations to the original as long as both replay the same record
+   sequence — the invariant the parallel lookahead pool maintains. *)
+let copy t = { epsilon = t.epsilon; rng = Prng.copy t.rng; values = Hashtbl.copy t.values }
+
+(* Speculative-draw rollback support.  [mark] snapshots the private noise
+   cursor; [undo_draw] drops one lazily-cached observation and rewinds the
+   cursor to the snapshot, so re-encountering any record after an abort
+   re-draws the identical noise.  This keeps the measurement state a pure
+   function of the *committed* walk prefix, which is what lets K replica
+   engines evaluate disjoint speculations and still agree bit-for-bit. *)
+type mark = int64
+
+let mark t = Prng.mark t.rng
+
+let undo_draw t x m =
+  Hashtbl.remove t.values x;
+  Prng.rewind t.rng m
+
 let value t x =
   match Hashtbl.find_opt t.values x with
   | Some v -> v

@@ -20,6 +20,24 @@ val epsilon : 'a t -> float
 (** The per-record noise parameter (counts carry [Laplace(1/epsilon)]
     noise).  This is the ε the posterior weighs this measurement by. *)
 
+val copy : 'a t -> 'a t
+(** An independent deep copy: same released values, same private noise
+    cursor.  A replica fit built over copies draws bit-identical lazy
+    observations to the original as long as both replay the same record
+    sequence — the invariant the parallel lookahead pool maintains. *)
+
+type mark
+(** A snapshot of the private noise stream's cursor. *)
+
+val mark : 'a t -> mark
+
+val undo_draw : 'a t -> 'a -> mark -> unit
+(** [undo_draw m x mk] rolls back a lazy draw made after [mk] was taken:
+    drops the cached observation for [x] and rewinds the noise cursor, so a
+    record re-encountered after a speculative abort re-draws identical
+    noise.  This keeps the measurement a pure function of the committed walk
+    prefix. *)
+
 val value : 'a t -> 'a -> float
 (** [value m x] is the released noisy count for [x]; memoized fresh noise if
     [x] had zero weight and has not been asked before. *)

@@ -330,32 +330,96 @@ let coalesce d =
 let count_work (engine : Engine.t) d = engine.work <- engine.work + List.length d
 
 (* A mutable weight table whose entry count is reported to the engine's
-   state-size statistic.  Under speculation, every mutation records the
-   cell's previous binding in the engine's undo log. *)
-module Wtbl = struct
-  type 'a t = { tbl : ('a, float) Hashtbl.t; engine : Engine.t }
+   state-size statistic.  Under speculation, every mutation records its
+   exact structural inverse in the engine's undo log.
 
-  let create engine = { tbl = Hashtbl.create 16; engine }
-  let get t x = Option.value ~default:0.0 (Hashtbl.find_opt t.tbl x)
+   Entries live in dense arrays in committed insertion order and the hash
+   index maps records to slots; the index is never iterated, so its
+   internal layout is irrelevant.  This makes iteration order — and with
+   it the rounding order of every float accumulation derived from a
+   table scan (join rescales, group re-emissions, refresh recomputes) —
+   a pure function of the committed operation sequence.  Iterating a
+   stdlib [Hashtbl] instead would not be abort-safe: a speculative insert
+   can resize the bucket array and [Hashtbl.remove] keeps the larger
+   array, so an aborted speculation would permanently perturb iteration
+   order and replicas with different abort histories would drift apart
+   at the ULP level. *)
+module Wtbl = struct
+  type 'a t = {
+    engine : Engine.t;
+    mutable xs : 'a array;
+    mutable ws : float array;
+    mutable len : int;
+    idx : ('a, int) Hashtbl.t;
+  }
+
+  let create engine = { engine; xs = [||]; ws = [||]; len = 0; idx = Hashtbl.create 16 }
+  let size t = t.len
+  let get t x = match Hashtbl.find_opt t.idx x with Some i -> t.ws.(i) | None -> 0.0
+
+  let ensure_capacity t seed =
+    if t.len = Array.length t.xs then begin
+      let cap = Array.length t.xs in
+      let cap' = if cap = 0 then 8 else 2 * cap in
+      let xs = Array.make cap' seed and ws = Array.make cap' 0.0 in
+      Array.blit t.xs 0 xs 0 t.len;
+      Array.blit t.ws 0 ws 0 t.len;
+      t.xs <- xs;
+      t.ws <- ws
+    end
 
   let set t x w =
-    let prev = Hashtbl.find_opt t.tbl x in
-    if t.engine.Engine.speculating then begin
-      let tbl = t.tbl in
-      Engine.log_undo t.engine (fun () ->
-          match prev with None -> Hashtbl.remove tbl x | Some w0 -> Hashtbl.replace tbl x w0)
-    end;
-    let had = prev <> None in
-    if near_zero w then begin
-      if had then begin
-        Hashtbl.remove t.tbl x;
-        t.engine.Engine.state_records <- t.engine.Engine.state_records - 1
-      end
-    end
-    else begin
-      if not had then t.engine.Engine.state_records <- t.engine.Engine.state_records + 1;
-      Hashtbl.replace t.tbl x w
-    end
+    let engine = t.engine in
+    match Hashtbl.find_opt t.idx x with
+    | None ->
+        if not (near_zero w) then begin
+          ensure_capacity t x;
+          let i = t.len in
+          t.xs.(i) <- x;
+          t.ws.(i) <- w;
+          t.len <- i + 1;
+          Hashtbl.replace t.idx x i;
+          engine.Engine.state_records <- engine.Engine.state_records + 1;
+          if engine.Engine.speculating then
+            Engine.log_undo engine (fun () ->
+                Hashtbl.remove t.idx x;
+                t.len <- i)
+        end
+    | Some i ->
+        if near_zero w then begin
+          (* Remove by swapping the last entry into the vacated slot; the
+             logged inverse puts both entries back in their exact slots.
+             Slot indices captured by other undo entries stay valid
+             because the log replays in reverse order. *)
+          let last = t.len - 1 in
+          let w0 = t.ws.(i) in
+          let xl = t.xs.(last) and wl = t.ws.(last) in
+          if i <> last then begin
+            t.xs.(i) <- xl;
+            t.ws.(i) <- wl;
+            Hashtbl.replace t.idx xl i
+          end;
+          t.len <- last;
+          Hashtbl.remove t.idx x;
+          engine.Engine.state_records <- engine.Engine.state_records - 1;
+          if engine.Engine.speculating then
+            Engine.log_undo engine (fun () ->
+                t.len <- last + 1;
+                if i <> last then begin
+                  t.xs.(last) <- xl;
+                  t.ws.(last) <- wl;
+                  Hashtbl.replace t.idx xl last
+                end;
+                t.xs.(i) <- x;
+                t.ws.(i) <- w0;
+                Hashtbl.replace t.idx x i)
+        end
+        else begin
+          let w0 = t.ws.(i) in
+          t.ws.(i) <- w;
+          if engine.Engine.speculating then
+            Engine.log_undo engine (fun () -> t.ws.(i) <- w0)
+        end
 
   (* Adds [dw] and returns the old weight. *)
   let bump t x dw =
@@ -363,8 +427,21 @@ module Wtbl = struct
     set t x (old +. dw);
     old
 
-  let size t = Hashtbl.length t.tbl
-  let to_list t = Hashtbl.fold (fun x w acc -> (x, w) :: acc) t.tbl []
+  let iter f t =
+    for i = 0 to t.len - 1 do
+      f t.xs.(i) t.ws.(i)
+    done
+
+  let fold f t acc =
+    let acc = ref acc in
+    for i = 0 to t.len - 1 do
+      acc := f t.xs.(i) t.ws.(i) !acc
+    done;
+    !acc
+
+  let to_list t =
+    let rec go i acc = if i < 0 then acc else go (i - 1) ((t.xs.(i), t.ws.(i)) :: acc) in
+    go (t.len - 1) []
 end
 
 module Input = struct
@@ -475,29 +552,13 @@ let merge_node fop a b =
 let union a b = merge_node Float.max a b
 let intersect a b = merge_node Float.min a b
 
-(* Per-key state of one Join input. *)
-type 'r part = { recs : ('r, float) Hashtbl.t; mutable norm : float }
+(* Per-key state of one Join input.  [recs] is a [Wtbl] so that the
+   rescale scans below iterate in committed insertion order — abort-exact
+   and width-independent. *)
+type 'r part = { recs : 'r Wtbl.t; mutable norm : float }
 
-let part_get p x = Option.value ~default:0.0 (Hashtbl.find_opt p.recs x)
-
-let part_set (engine : Engine.t) p x w =
-  let prev = Hashtbl.find_opt p.recs x in
-  if engine.Engine.speculating then begin
-    let recs = p.recs in
-    Engine.log_undo engine (fun () ->
-        match prev with None -> Hashtbl.remove recs x | Some w0 -> Hashtbl.replace recs x w0)
-  end;
-  let had = prev <> None in
-  if near_zero w then begin
-    if had then begin
-      Hashtbl.remove p.recs x;
-      engine.state_records <- engine.state_records - 1
-    end
-  end
-  else begin
-    if not had then engine.state_records <- engine.state_records + 1;
-    Hashtbl.replace p.recs x w
-  end
+let part_get p x = Wtbl.get p.recs x
+let part_set (_engine : Engine.t) p x w = Wtbl.set p.recs x w
 
 let part_add_norm (engine : Engine.t) p dn =
   if engine.Engine.speculating then begin
@@ -510,7 +571,7 @@ let find_part (engine : Engine.t) index k =
   match Hashtbl.find_opt index k with
   | Some p -> p
   | None ->
-      let p = { recs = Hashtbl.create 4; norm = 0.0 } in
+      let p = { recs = Wtbl.create engine; norm = 0.0 } in
       Hashtbl.replace index k p;
       if engine.Engine.speculating then
         Engine.log_undo engine (fun () -> Hashtbl.remove index k);
@@ -543,7 +604,7 @@ let join ~kl ~kr ~reduce a b =
   let audit_side side index ~tolerance =
     Hashtbl.fold
       (fun k p (n, ds) ->
-        let recomputed = Hashtbl.fold (fun _ w acc -> acc +. Float.abs w) p.recs 0.0 in
+        let recomputed = Wtbl.fold (fun _ w acc -> acc +. Float.abs w) p.recs 0.0 in
         let cell = Printf.sprintf "join#%d.%s.norm[key#%d]" op side (Hashtbl.hash k) in
         let n = n + 1 in
         match Audit.check ~tolerance ~cell ~maintained:p.norm ~recomputed with
@@ -569,7 +630,7 @@ let join ~kl ~kr ~reduce a b =
         let other =
           match Hashtbl.find_opt other_index k with
           | Some p -> p
-          | None -> { recs = Hashtbl.create 1; norm = 0.0 }
+          | None -> { recs = Wtbl.create engine; norm = 0.0 }
         in
         let net = coalesce entries in
         let norm_change =
@@ -595,7 +656,7 @@ let join ~kl ~kr ~reduce a b =
             (fun (x, dw) ->
               let old = part_get mine x in
               part_set engine mine x (old +. dw);
-              Hashtbl.iter
+              Wtbl.iter
                 (fun y wy -> Scratch.push scratch (cross x y) (dw *. wy /. denom_old))
                 other.recs)
             net;
@@ -605,9 +666,9 @@ let join ~kl ~kr ~reduce a b =
           (* The normalizer moved: every pair under this key is rescaled. *)
           engine.join_full <- engine.join_full + 1;
           if denom_old > Wdata.epsilon_weight then
-            Hashtbl.iter
+            Wtbl.iter
               (fun x wx ->
-                Hashtbl.iter
+                Wtbl.iter
                   (fun y wy -> Scratch.push scratch (cross x y) (-.(wx *. wy) /. denom_old))
                   other.recs)
               mine.recs;
@@ -618,14 +679,14 @@ let join ~kl ~kr ~reduce a b =
             net;
           part_add_norm engine mine norm_change;
           if denom_new > Wdata.epsilon_weight then
-            Hashtbl.iter
+            Wtbl.iter
               (fun x wx ->
-                Hashtbl.iter
+                Wtbl.iter
                   (fun y wy -> Scratch.push scratch (cross x y) (wx *. wy /. denom_new))
                   other.recs)
               mine.recs
         end;
-        if Hashtbl.length mine.recs = 0 && Float.abs mine.norm < Wdata.epsilon_weight then
+        if Wtbl.size mine.recs = 0 && Float.abs mine.norm < Wdata.epsilon_weight then
           drop_part engine mine_index k mine)
       by_key;
     (* [reset], not [clear]: shrink the bucket array back so a one-off huge
@@ -645,7 +706,7 @@ let group_by ~key ~reduce up =
   let scratch = Scratch.create engine in
   let by_key = Hashtbl.create 16 in
   let positive_part tbl =
-    Hashtbl.fold (fun x w acc -> if w > 0.0 then (x, w) :: acc else acc) tbl.Wtbl.tbl []
+    Wtbl.fold (fun x w acc -> if w > 0.0 then (x, w) :: acc else acc) tbl []
   in
   let emit_part sign k tbl =
     List.iter

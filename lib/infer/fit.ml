@@ -22,6 +22,12 @@ type t = {
      whole target list from one synthetic input, so a plan-shared fit
      rebuilds with the same sharing every time. *)
   mutable builder : (int * int) Flow.t -> Flow.Target.t list;
+  (* A fresh-builder factory for standing up *independent* replicas: each
+     call deep-copies the measurements, so a replica's lazily-drawn noise
+     advances its own private cursors.  [None] for fits built from opaque
+     target closures, which share measurement state and therefore cannot
+     be replicated across domains. *)
+  mutable replicate : (unit -> (int * int) Flow.t -> Flow.Target.t list) option;
   mutable energy : float;
 }
 
@@ -33,7 +39,14 @@ let plan_builder ~source ~measured sym =
   Flow.Plans.bind ctx source sym;
   List.map (fun (Measured (p, m)) -> Flow.Target.of_plan ctx p m) measured
 
-let create_multi ~rng ~seed_graph ~builder () =
+(* Shared-plan fits are replicable: the factory copies every measurement
+   (values + private noise cursor) so each replica draws its own — but
+   bit-identical — lazy observations. *)
+let plan_replicate ~source ~measured () =
+  plan_builder ~source
+    ~measured:(List.map (fun (Measured (p, m)) -> Measured (p, Measurement.copy m)) measured)
+
+let create_multi ?replicate ~rng ~seed_graph ~builder () =
   let engine = Dataflow.Engine.create () in
   let handle, sym = Flow.input engine in
   (* Targets attach before any data flows, so their initial distances
@@ -48,6 +61,7 @@ let create_multi ~rng ~seed_graph ~builder () =
       graph = Graph.Mutable.of_graph seed_graph;
       targets = built;
       builder;
+      replicate;
       energy = 0.0;
     }
   in
@@ -58,7 +72,11 @@ let create ~rng ~seed_graph ~targets () =
   create_multi ~rng ~seed_graph ~builder:(fun sym -> List.map (fun b -> b sym) targets) ()
 
 let create_shared ~rng ~seed_graph ~source ~measured () =
-  create_multi ~rng ~seed_graph ~builder:(plan_builder ~source ~measured) ()
+  create_multi
+    ~replicate:(plan_replicate ~source ~measured)
+    ~rng ~seed_graph
+    ~builder:(plan_builder ~source ~measured)
+    ()
 
 (* Engine state rebuilt from an explicit, order-significant edge array: the
    shared deterministic path under [restore] (resume from a checkpoint
@@ -77,7 +95,7 @@ let attach ~builder mg =
   Flow.feed handle records;
   (engine, handle, built)
 
-let restore_multi ~rng ~n ~edges ~builder () =
+let restore_multi ?replicate ~rng ~n ~edges ~builder () =
   let mg = Graph.Mutable.of_edge_array ~n edges in
   let engine, handle, built = attach ~builder mg in
   {
@@ -87,6 +105,7 @@ let restore_multi ~rng ~n ~edges ~builder () =
     graph = mg;
     targets = built;
     builder;
+    replicate;
     energy = Flow.Target.energy built;
   }
 
@@ -94,9 +113,13 @@ let restore ~rng ~n ~edges ~targets () =
   restore_multi ~rng ~n ~edges ~builder:(fun sym -> List.map (fun b -> b sym) targets) ()
 
 let restore_shared ~rng ~n ~edges ~source ~measured () =
-  restore_multi ~rng ~n ~edges ~builder:(plan_builder ~source ~measured) ()
+  restore_multi
+    ~replicate:(plan_replicate ~source ~measured)
+    ~rng ~n ~edges
+    ~builder:(plan_builder ~source ~measured)
+    ()
 
-let rebuild_multi t ~n ~edges ~builder =
+let rebuild_multi ?(replicate = None) t ~n ~edges ~builder =
   let mg = Graph.Mutable.of_edge_array ~n edges in
   let engine, handle, built = attach ~builder mg in
   t.engine <- engine;
@@ -104,13 +127,17 @@ let rebuild_multi t ~n ~edges ~builder =
   t.graph <- mg;
   t.targets <- built;
   t.builder <- builder;
+  t.replicate <- replicate;
   t.energy <- Flow.Target.energy built
 
 let rebuild t ~n ~edges ~targets =
   rebuild_multi t ~n ~edges ~builder:(fun sym -> List.map (fun b -> b sym) targets)
 
 let rebuild_shared t ~n ~edges ~source ~measured =
-  rebuild_multi t ~n ~edges ~builder:(plan_builder ~source ~measured)
+  rebuild_multi
+    ~replicate:(Some (plan_replicate ~source ~measured))
+    t ~n ~edges
+    ~builder:(plan_builder ~source ~measured)
 
 let graph t = Graph.Mutable.to_graph t.graph
 let edge_array t = Graph.Mutable.edge_array t.graph
@@ -119,6 +146,7 @@ let rng t = t.rng
 let energy t = t.energy
 let engine t = t.engine
 let targets t = t.targets
+let replicable t = t.replicate <> None
 
 (* A proposal is installed speculatively: the graph edit is applied and the
    swap's 8-record delta propagates through the engine under an undo log.
@@ -189,25 +217,282 @@ let audit_and_recover ?tolerance t =
        is a full rebuild from the edge array — the same deterministic path
        a checkpoint resume takes — so the walk continues from batch
        truth. *)
-    rebuild_multi t ~n:(Graph.Mutable.n t.graph) ~edges:(Graph.Mutable.edge_array t.graph)
-      ~builder:t.builder;
+    rebuild_multi ~replicate:t.replicate t ~n:(Graph.Mutable.n t.graph)
+      ~edges:(Graph.Mutable.edge_array t.graph) ~builder:t.builder;
   report
 
+(* ---- The replica pool: K engine clones for parallel lookahead --------- *)
+
+module Pool = struct
+  type fit = t
+
+  (* One worker owns one replica and is the only domain that ever touches
+     it; the scheduler (main domain) hands closures across a
+     mutex/condition mailbox, so every access is ordered by a
+     happens-before edge.  With [jobs = 1] no domain is spawned and the
+     single replica is driven inline — the serial reference walk. *)
+  type worker = {
+    mutex : Mutex.t;
+    has_job : Condition.t;
+    job_done : Condition.t;
+    mutable job : (unit -> unit) option;
+    mutable pending : bool;
+    mutable stopping : bool;
+    mutable failed : exn option;
+  }
+
+  type t = {
+    owner : fit;
+    jobs : int;
+    replicas : fit array;
+    workers : worker array; (* length [jobs] when jobs > 1, else empty *)
+    domains : unit Domain.t array;
+  }
+
+  let worker_loop w =
+    let rec loop () =
+      Mutex.lock w.mutex;
+      while w.job = None && not w.stopping do
+        Condition.wait w.has_job w.mutex
+      done;
+      let job = w.job in
+      w.job <- None;
+      Mutex.unlock w.mutex;
+      match job with
+      | None -> () (* stopping, mailbox drained *)
+      | Some f ->
+          (try f ()
+           with e ->
+             Mutex.lock w.mutex;
+             w.failed <- Some e;
+             Mutex.unlock w.mutex);
+          Mutex.lock w.mutex;
+          w.pending <- false;
+          Condition.signal w.job_done;
+          Mutex.unlock w.mutex;
+          loop ()
+    in
+    loop ()
+
+  let post w f =
+    Mutex.lock w.mutex;
+    w.job <- Some f;
+    w.pending <- true;
+    Condition.signal w.has_job;
+    Mutex.unlock w.mutex
+
+  let await w =
+    Mutex.lock w.mutex;
+    while w.pending do
+      Condition.wait w.job_done w.mutex
+    done;
+    let failed = w.failed in
+    w.failed <- None;
+    Mutex.unlock w.mutex;
+    match failed with Some e -> raise e | None -> ()
+
+  (* Run [f i] for every replica index and wait for all of them: on the
+     owning worker domain when the pool is parallel, inline otherwise. *)
+  let on_replicas pool f =
+    if Array.length pool.workers = 0 then
+      for i = 0 to pool.jobs - 1 do
+        f i
+      done
+    else begin
+      Array.iteri (fun i w -> post w (fun () -> f i)) pool.workers;
+      Array.iter await pool.workers
+    end
+
+  (* A replica is a full fit clone rebuilt from the owner's current edge
+     array through the shared deterministic [attach] path, over
+     deep-copied measurements.  Every replica is therefore bit-identical
+     to every other — for any pool width — which is what makes the
+     realized chain invariant to [jobs]. *)
+  let replica_builder owner =
+    match owner.replicate with
+    | Some factory -> factory ()
+    | None ->
+        invalid_arg
+          "Fit.Pool: fit is not replicable (build it with create_shared / restore_shared)"
+
+  let fresh_replica ~builder owner =
+    let mg =
+      Graph.Mutable.of_edge_array ~n:(Graph.Mutable.n owner.graph)
+        (Graph.Mutable.edge_array owner.graph)
+    in
+    let engine, handle, built = attach ~builder mg in
+    {
+      rng = Prng.copy owner.rng (* never drawn from: evaluation uses per-step streams *);
+      engine;
+      handle;
+      graph = mg;
+      targets = built;
+      builder;
+      replicate = None;
+      energy = Flow.Target.energy built;
+    }
+
+  let create owner ~jobs =
+    if jobs < 1 then invalid_arg "Fit.Pool.create: jobs must be at least 1";
+    (match owner.replicate with
+    | Some _ -> ()
+    | None ->
+        invalid_arg
+          "Fit.Pool.create: fit is not replicable (build it with create_shared / \
+           restore_shared)");
+    let workers =
+      if jobs = 1 then [||]
+      else
+        Array.init jobs (fun _ ->
+            {
+              mutex = Mutex.create ();
+              has_job = Condition.create ();
+              job_done = Condition.create ();
+              job = None;
+              pending = false;
+              stopping = false;
+              failed = None;
+            })
+    in
+    let domains = Array.map (fun w -> Domain.spawn (fun () -> worker_loop w)) workers in
+    let pool = { owner; jobs; replicas = Array.make jobs owner; workers; domains } in
+    (* Builders (and their measurement copies) are made in the scheduler
+       domain; each replica is then built by its owning worker so its
+       engine's memory lands in the domain that will drive it. *)
+    let builders = Array.init jobs (fun _ -> replica_builder owner) in
+    on_replicas pool (fun i -> pool.replicas.(i) <- fresh_replica ~builder:builders.(i) owner);
+    pool
+
+  let shutdown pool =
+    Array.iter
+      (fun w ->
+        Mutex.lock w.mutex;
+        w.stopping <- true;
+        Condition.broadcast w.has_job;
+        Mutex.unlock w.mutex)
+      pool.workers;
+    Array.iter Domain.join pool.domains
+
+  let energy pool = pool.replicas.(0).energy
+
+  (* Evaluate one per-step stream per replica, speculatively, against the
+     shared committed state.  Every evaluation aborts before reporting —
+     rollback includes the undo-logged lazy measurement draws — so the
+     pool is back at the base state whatever the verdicts say, and the
+     scheduler is free to commit any prefix of them. *)
+  let eval_replica r stream ~pow ~energy =
+    match Graph.Mutable.propose_swap r.graph stream with
+    | None -> Mcmc.Invalid
+    | Some swap ->
+        speculate_swap r swap;
+        let proposed = Flow.Target.energy r.targets in
+        if Float.is_finite proposed then begin
+          let delta = proposed -. energy in
+          let accept = delta <= 0.0 || Prng.uniform stream < exp (-.pow *. delta) in
+          abort_swap r swap;
+          if accept then Mcmc.Accepted { swap; proposed } else Mcmc.Rejected
+        end
+        else begin
+          abort_swap r swap;
+          Mcmc.Nonfinite
+        end
+
+  let eval pool ~pow ~energy streams =
+    let k = Array.length streams in
+    let verdicts = Array.make k Mcmc.Invalid in
+    if Array.length pool.workers = 0 then
+      for i = 0 to k - 1 do
+        verdicts.(i) <- eval_replica pool.replicas.(i) streams.(i) ~pow ~energy
+      done
+    else begin
+      for i = 0 to k - 1 do
+        post pool.workers.(i) (fun () ->
+            verdicts.(i) <- eval_replica pool.replicas.(i) streams.(i) ~pow ~energy)
+      done;
+      for i = 0 to k - 1 do
+        await pool.workers.(i)
+      done
+    end;
+    verdicts
+
+  (* Replay an accepted swap everywhere: each replica re-speculates the
+     winning move (re-drawing the identical lazy observations its abort
+     rolled back) and commits; the owner — the canonical fit checkpoints
+     and audits read — replays it in the scheduler domain. *)
+  let commit pool swap ~proposed =
+    on_replicas pool (fun i ->
+        let r = pool.replicas.(i) in
+        speculate_swap r swap;
+        commit_swap r;
+        r.energy <- proposed);
+    speculate_swap pool.owner swap;
+    commit_swap pool.owner;
+    pool.owner.energy <- proposed
+
+  let refresh_pool pool =
+    on_replicas pool (fun i -> refresh pool.replicas.(i));
+    refresh pool.owner;
+    energy pool
+
+  (* Rebuild every replica from the owner's current state — after a
+     checkpoint rebase or an audit recovery replaced the owner's engine —
+     through the same deterministic path [create] used, so a live rebased
+     walk and a future resume land on byte-identical replicas. *)
+  let resync pool =
+    let builders = Array.init pool.jobs (fun _ -> replica_builder pool.owner) in
+    on_replicas pool (fun i ->
+        pool.replicas.(i) <- fresh_replica ~builder:builders.(i) pool.owner);
+    energy pool
+
+  let lookahead pool =
+    {
+      Mcmc.la_jobs = pool.jobs;
+      la_energy = (fun () -> energy pool);
+      la_eval = (fun ~pow ~energy streams -> eval pool ~pow ~energy streams);
+      la_commit = (fun swap ~proposed -> commit pool swap ~proposed);
+      la_refresh = (fun () -> refresh_pool pool);
+      la_resync = (fun () -> resync pool);
+    }
+end
+
 let run t ~steps ?start ?(pow = 1.0) ?(refresh_every = 100_000) ?audit_every ?audit_tolerance
-    ?should_stop ?checkpoint_every ?on_checkpoint ?on_step () =
+    ?should_stop ?checkpoint_every ?on_checkpoint ?on_step ?jobs ?on_batch () =
   let audit () =
     let report = audit_and_recover ?tolerance:audit_tolerance t in
     List.length report.Dataflow.Audit.divergences
   in
-  let stats =
-    Mcmc.run ~rng:t.rng ~steps ?start ~pow ~refresh:(fun () -> refresh t) ~refresh_every ~audit
-      ?audit_every ?should_stop ?checkpoint_every ?on_checkpoint ?on_step
-      ~energy:(fun () -> Flow.Target.energy t.targets)
-      ~propose:(fun () -> Graph.Mutable.propose_swap t.graph t.rng)
-      ~apply:(fun swap -> speculate_swap t swap)
-      ~commit:(fun _ -> commit_swap t)
-      ~revert:(fun swap -> abort_swap t swap)
-      ()
-  in
-  t.energy <- stats.Mcmc.final_energy;
-  stats
+  match jobs with
+  | None ->
+      (* Legacy in-place walk: proposals drawn directly from the fit's rng,
+         evaluated on the fit itself.  Kept for non-replicable fits and as
+         the reference implementation the lookahead tests compare against
+         indirectly (through identical committed statistics). *)
+      let stats =
+        Mcmc.run ~rng:t.rng ~steps ?start ~pow ~refresh:(fun () -> refresh t) ~refresh_every
+          ~audit ?audit_every ?should_stop ?checkpoint_every ?on_checkpoint ?on_step
+          ~energy:(fun () -> Flow.Target.energy t.targets)
+          ~propose:(fun () -> Graph.Mutable.propose_swap t.graph t.rng)
+          ~apply:(fun swap -> speculate_swap t swap)
+          ~commit:(fun _ -> commit_swap t)
+          ~revert:(fun swap -> abort_swap t swap)
+          ()
+      in
+      t.energy <- stats.Mcmc.final_energy;
+      stats
+  | Some jobs ->
+      (* Parallel speculative lookahead: all evaluation happens on replica
+         engines (never on [t] itself, so jobs = 1 and jobs = K walk
+         byte-identical state), and [t] — the canonical state that
+         checkpoints, audits and callers read — only ever replays committed
+         moves. *)
+      let pool = Pool.create t ~jobs in
+      Fun.protect
+        ~finally:(fun () -> Pool.shutdown pool)
+        (fun () ->
+          let stats =
+            Mcmc.run_lookahead ~rng:t.rng ~lookahead:(Pool.lookahead pool) ~steps ?start ~pow
+              ~refresh_every ~audit ?audit_every ?should_stop ?checkpoint_every ?on_checkpoint
+              ?on_batch ?on_step ()
+          in
+          t.energy <- stats.Mcmc.final_energy;
+          stats)

@@ -116,6 +116,12 @@ val engine : t -> Wpinq_dataflow.Dataflow.Engine.t
 
 val targets : t -> Wpinq_core.Flow.Target.t list
 
+val replicable : t -> bool
+(** Whether this fit can stand up independent replicas for the parallel
+    lookahead pool: [true] for plan-reified fits ({!create_shared},
+    {!restore_shared}), [false] for fits built from opaque target closures
+    (which share measurement state across instances). *)
+
 val step : ?pow:float -> t -> bool
 (** A single Metropolis–Hastings step (default [pow] 1.0); returns whether
     the proposal was accepted.  Exposed for fine-grained benchmarking. *)
@@ -148,6 +154,8 @@ val run :
   ?checkpoint_every:int ->
   ?on_checkpoint:(step:int -> stats:Mcmc.stats -> unit) ->
   ?on_step:(step:int -> energy:float -> unit) ->
+  ?jobs:int ->
+  ?on_batch:(dispatched:int -> consumed:int -> unit) ->
   unit ->
   Mcmc.stats
 (** Runs the walk for iterations [start + 1 .. steps] (default [start] 0,
@@ -157,4 +165,16 @@ val run :
     {!audit_and_recover} at that cadence, feeding divergence counts into
     {!Mcmc.stats}.  [should_stop] is the graceful-shutdown poll (see
     {!Mcmc.run}).  [checkpoint_every] / [on_checkpoint] pass through to
-    {!Mcmc.run}: the hook may call {!rebuild} on this fit. *)
+    {!Mcmc.run}: the hook may call {!rebuild} on this fit.
+
+    [jobs] selects the walk implementation.  Omitted: the legacy in-place
+    serial walk (proposals drawn directly from the fit's rng, evaluated on
+    the fit itself).  [Some k] with [k >= 1]: the {e parallel speculative
+    lookahead} walk ({!Mcmc.run_lookahead}) over a pool of [k] replica
+    engines, one per domain when [k > 1] — requires a {!replicable} fit
+    (raises [Invalid_argument] otherwise).  The realized chain under
+    [Some k] is bit-identical for every [k] (the per-step split-stream
+    discipline), but differs from the legacy [None] walk, whose rng-draw
+    order is data-dependent; checkpoints record which discipline a chain
+    uses.  [on_batch] (lookahead only) reports each batch's dispatched
+    width and consumed prefix, for throughput/efficiency accounting. *)

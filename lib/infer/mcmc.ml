@@ -13,6 +13,153 @@ type stats = {
   final_energy : float;
 }
 
+(* ---- Parallel speculative lookahead ---------------------------------- *)
+
+(* The outcome of evaluating one lookahead position against the shared
+   base state: the proposal was structurally invalid, rejected by the
+   Metropolis test, produced a non-finite energy, or was accepted (with
+   the proposed energy read off the speculating replica before its
+   abort). *)
+type 'swap verdict =
+  | Invalid
+  | Rejected
+  | Nonfinite
+  | Accepted of { swap : 'swap; proposed : float }
+
+(* The replica-pool interface the lookahead scheduler drives.  [eval]
+   evaluates one stream per replica, speculatively and concurrently, and
+   reports per-position verdicts with every replica back at the base
+   state (evaluations always abort; commits are replayed separately).
+   [commit] replays an accepted swap on every replica (and the canonical
+   fit).  [refresh] recomputes maintained state from scratch everywhere
+   and returns the pool's energy.  [resync] rebuilds the replicas from
+   the canonical fit (after a checkpoint rebase or audit recovery) and
+   returns the pool's energy. *)
+type 'swap lookahead = {
+  la_jobs : int;
+  la_energy : unit -> float;
+  la_eval : pow:float -> energy:float -> Prng.t array -> 'swap verdict array;
+  la_commit : 'swap -> proposed:float -> unit;
+  la_refresh : unit -> float;
+  la_resync : unit -> float;
+}
+
+(* The lookahead walk: dispatch up to [la_jobs] per-step split streams at
+   once, all evaluated against the same base state, then resolve in
+   serial proposal order — the consumed prefix runs up to and including
+   the first accept (or non-finite energy), and later positions are
+   discarded and re-evaluated in a later batch against the new state.
+   Because step s's proposal stream is [split_nth rng] at offset s minus
+   steps-taken (a pure function of the step index), and the master cursor
+   advances only by consumed steps, the realized chain is bit-identical
+   for every jobs count: same proposals, same energies, same acceptance
+   decisions, same final edge arrays.
+
+   Batches are clamped to cadence boundaries (refresh / audit /
+   checkpoint), and the stop poll and fault-injection points fire once
+   per batch, so interrupts, kills and snapshots only ever observe
+   committed, batch-aligned state. *)
+let run_lookahead ~rng ~lookahead:la ~steps ?(start = 0) ?(pow = 1.0)
+    ?(refresh_every = 100_000) ?audit ?(audit_every = 0) ?should_stop ?checkpoint_every
+    ?on_checkpoint ?on_batch ?on_step () =
+  if start < 0 || start > steps then
+    invalid_arg "Mcmc.run_lookahead: start must be within [0, steps]";
+  if la.la_jobs < 1 then invalid_arg "Mcmc.run_lookahead: jobs must be at least 1";
+  if refresh_every < 1 then invalid_arg "Mcmc.run_lookahead: refresh_every must be positive";
+  if audit_every < 0 then invalid_arg "Mcmc.run_lookahead: audit_every must be non-negative";
+  let accepted = ref 0 and invalid = ref 0 and nonfinite = ref 0 in
+  let audits = ref 0 and diverged = ref 0 in
+  let initial_energy = la.la_energy () in
+  let current = ref initial_energy in
+  let stopped = ref false in
+  let step = ref start in
+  let interim step =
+    {
+      steps = step - start;
+      accepted = !accepted;
+      invalid = !invalid;
+      refreshed_on_nonfinite = !nonfinite;
+      audits = !audits;
+      audit_divergences = !diverged;
+      interrupted = !stopped;
+      initial_energy;
+      final_energy = !current;
+    }
+  in
+  (* Steps until the next multiple of cadence [c] strictly after [base]:
+     a batch may touch a boundary only with its last consumed step. *)
+  let until_boundary base c = if c <= 0 then max_int else c - (base mod c) in
+  while (not !stopped) && !step < steps do
+    Fault.point "mcmc.signal";
+    match should_stop with
+    | Some f when f () -> stopped := true
+    | _ ->
+        let base = !step in
+        let k = min la.la_jobs (steps - base) in
+        let k = min k (until_boundary base refresh_every) in
+        let k = min k (until_boundary base audit_every) in
+        let k =
+          match checkpoint_every with Some c -> min k (until_boundary base c) | None -> k
+        in
+        Fault.point "mcmc.step";
+        let streams = Array.init k (fun i -> Prng.split_nth rng i) in
+        let verdicts = la.la_eval ~pow ~energy:!current streams in
+        let consumed =
+          let rec scan i =
+            if i >= k then k
+            else
+              match verdicts.(i) with
+              | Accepted _ | Nonfinite -> i + 1
+              | Invalid | Rejected -> scan (i + 1)
+          in
+          scan 0
+        in
+        Prng.advance rng consumed;
+        (match on_batch with
+        | Some f -> f ~dispatched:k ~consumed
+        | None -> ());
+        for j = 0 to consumed - 1 do
+          incr step;
+          let step = !step in
+          (match verdicts.(j) with
+          | Invalid -> incr invalid
+          | Rejected -> ()
+          | Accepted { swap; proposed } ->
+              la.la_commit swap ~proposed;
+              current := proposed;
+              incr accepted
+          | Nonfinite ->
+              (* Same policy as the serial walk: discard the move (already
+                 aborted on the replicas), rebuild the maintained state,
+                 and re-read rather than letting NaN corrupt the walk. *)
+              incr nonfinite;
+              current := la.la_refresh ());
+          if step mod refresh_every = 0 then current := la.la_refresh ();
+          (match audit with
+          | Some f when audit_every > 0 && step mod audit_every = 0 ->
+              Fault.point "mcmc.audit";
+              incr audits;
+              let divergences = f () in
+              if divergences > 0 then begin
+                (* The audit repaired the canonical fit; rebuild the
+                   replicas from it so the walk continues from truth. *)
+                diverged := !diverged + divergences;
+                current := la.la_resync ()
+              end
+          | _ -> ());
+          (match on_step with Some f -> f ~step ~energy:!current | None -> ());
+          match (on_checkpoint, checkpoint_every) with
+          | Some f, Some every when step mod every = 0 && step < steps ->
+              f ~step ~stats:(interim step);
+              (* The hook may rebase the canonical fit onto the snapshot
+                 bytes; rebuild the replicas from it so this run and any
+                 future resume continue from literally the same state. *)
+              current := la.la_resync ()
+          | _ -> ()
+        done
+  done;
+  interim !step
+
 let run ~rng ~steps ?(start = 0) ?(pow = 1.0) ?refresh ?(refresh_every = 100_000) ?audit
     ?(audit_every = 0) ?should_stop ?checkpoint_every ?on_checkpoint ?on_step ~energy ~propose
     ~apply ?commit ~revert () =

@@ -26,6 +26,74 @@ type stats = {
   final_energy : float;
 }
 
+(** {1 Parallel speculative lookahead} *)
+
+type 'swap verdict =
+  | Invalid  (** the proposal generator returned [None] *)
+  | Rejected  (** finite energy, Metropolis test failed *)
+  | Nonfinite  (** proposed energy was not finite; triggers a refresh *)
+  | Accepted of { swap : 'swap; proposed : float }
+      (** passed the Metropolis test; [proposed] is the energy read off the
+          speculating replica before its abort *)
+(** The outcome of evaluating one lookahead position against the shared
+    base state. *)
+
+type 'swap lookahead = {
+  la_jobs : int;  (** maximum lookahead width (= replica count) *)
+  la_energy : unit -> float;  (** current committed energy *)
+  la_eval : pow:float -> energy:float -> Wpinq_prng.Prng.t array -> 'swap verdict array;
+      (** evaluate one per-step stream per replica, speculatively and
+          concurrently, leaving every replica back at the base state *)
+  la_commit : 'swap -> proposed:float -> unit;
+      (** replay an accepted swap on every replica and the canonical fit *)
+  la_refresh : unit -> float;
+      (** recompute maintained state from scratch everywhere; returns the
+          refreshed energy *)
+  la_resync : unit -> float;
+      (** rebuild the replicas from the canonical fit (after a checkpoint
+          rebase or audit recovery); returns the pool energy *)
+}
+(** The replica-pool interface {!run_lookahead} drives — implemented by
+    [Fit.Pool]. *)
+
+val run_lookahead :
+  rng:Wpinq_prng.Prng.t ->
+  lookahead:'swap lookahead ->
+  steps:int ->
+  ?start:int ->
+  ?pow:float ->
+  ?refresh_every:int ->
+  ?audit:(unit -> int) ->
+  ?audit_every:int ->
+  ?should_stop:(unit -> bool) ->
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(step:int -> stats:stats -> unit) ->
+  ?on_batch:(dispatched:int -> consumed:int -> unit) ->
+  ?on_step:(step:int -> energy:float -> unit) ->
+  unit ->
+  stats
+(** The lookahead walk: dispatch up to [la_jobs] per-step split streams at
+    once, all evaluated against the same base state, then resolve in serial
+    proposal order — the consumed prefix runs up to and including the first
+    accept (or non-finite energy); later positions are discarded and
+    re-evaluated against the new state in a later batch.
+
+    Step [s]'s proposal (and acceptance uniform) are drawn from
+    [Prng.split_nth rng (s - base)], a pure function of the step index, and
+    the master cursor advances only by consumed steps
+    ({!Wpinq_prng.Prng.advance}); the realized chain is therefore
+    bit-identical for every [la_jobs], including 1 — same proposals, same
+    energies, same acceptance decisions, same final edge arrays, same
+    checkpoint bytes.
+
+    Batches are clamped to refresh / audit / checkpoint cadence boundaries,
+    and the stop poll and fault-injection points ("mcmc.signal",
+    "mcmc.step") fire once per batch, so interrupts, kills and snapshots
+    only ever observe committed, batch-aligned state.  [on_batch] reports
+    each batch's dispatched width and consumed prefix (lookahead
+    efficiency = consumed / dispatched).  All other parameters behave as in
+    {!run}. *)
+
 val run :
   rng:Wpinq_prng.Prng.t ->
   steps:int ->

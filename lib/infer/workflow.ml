@@ -152,7 +152,13 @@ type checkpoint_spec = { every : int; sink : checkpoint_sink }
 exception Corrupt_checkpoint of string
 
 let ckpt_magic = "wpinq-checkpoint\n"
-let ckpt_version = 4
+
+(* Version 5: the walk switched to the per-step split-stream discipline of
+   the parallel speculative lookahead (and records [ck_jobs], the lookahead
+   width the run was started with).  Older snapshots advance the walk PRNG
+   with a different draw order, so resuming one under the new discipline
+   would not retrace the original chain — the version gate refuses them. *)
+let ckpt_version = 5
 
 (* Everything a resumed chain needs, and nothing protected: the released
    query measurement (noisy counts + noise-stream cursor), the public seed
@@ -169,6 +175,10 @@ type ck = {
   ck_every : int; (* checkpoint cadence *)
   ck_audit_every : int; (* self-audit cadence; 0 = off *)
   ck_audit_tolerance : float;
+  ck_jobs : int;
+      (* lookahead width the run was started with.  Informational default
+         for a resume: the realized chain is invariant to the width, so a
+         resume may override it freely without breaking bit-identity. *)
   ck_step : int; (* completed steps at snapshot time *)
   ck_budget : Budget.t;
   ck_seed : Graph.t;
@@ -265,6 +275,7 @@ let encode_ck ck =
   Codec.write_int buf ck.ck_every;
   Codec.write_int buf ck.ck_audit_every;
   Codec.write_float buf ck.ck_audit_tolerance;
+  Codec.write_int buf ck.ck_jobs;
   Codec.write_int buf ck.ck_step;
   Budget.save ck.ck_budget buf;
   write_graph buf ck.ck_seed;
@@ -291,6 +302,9 @@ let decode_ck payload =
   let ck_every = Codec.read_int r in
   let ck_audit_every = Codec.read_int r in
   let ck_audit_tolerance = Codec.read_float r in
+  let ck_jobs = Codec.read_int r in
+  if ck_jobs < 1 then
+    raise (Codec.Decode_error "checkpoint: jobs must be at least 1");
   let ck_step = Codec.read_int r in
   let ck_budget = Budget.load r in
   let ck_seed = read_graph r in
@@ -314,6 +328,7 @@ let decode_ck payload =
     ck_every;
     ck_audit_every;
     ck_audit_tolerance;
+    ck_jobs;
     ck_step;
     ck_budget;
     ck_seed;
@@ -419,10 +434,14 @@ let continue_fit ~fit ~rng ~ck ~sink ?should_stop () =
               trace := ck2.ck_trace) )
   in
   let seg =
+    (* Always the lookahead walk (jobs >= 1), so the realized chain — and
+       the checkpoint bytes — use one rng discipline regardless of width,
+       and a run checkpointed at one width resumes bit-identically at
+       another. *)
     Fit.run fit ~steps:ck.ck_steps ~start:ck.ck_step ~pow:ck.ck_pow
       ~refresh_every:ck.ck_refresh_every ~audit_every:ck.ck_audit_every
       ~audit_tolerance:ck.ck_audit_tolerance ?should_stop ?checkpoint_every ?on_checkpoint
-      ~on_step ()
+      ~on_step ~jobs:ck.ck_jobs ()
   in
   let completed = ck.ck_step + seg.Mcmc.steps in
   (match (seg.Mcmc.interrupted, sink) with
@@ -456,8 +475,8 @@ let continue_fit ~fit ~rng ~ck ~sink ?should_stop () =
   }
 
 let synthesize ?(pow = 10_000.0) ?(steps = 100_000) ?trace_every
-    ?(refresh_every = 100_000) ?(audit_every = 0) ?(audit_tolerance = 1e-6) ?checkpoint ?stop
-    ?deadline ?(queries = []) ~rng ~epsilon ~query ~secret () =
+    ?(refresh_every = 100_000) ?(audit_every = 0) ?(audit_tolerance = 1e-6) ?(jobs = 1)
+    ?checkpoint ?stop ?deadline ?(queries = []) ~rng ~epsilon ~query ~secret () =
   let trace_every =
     match trace_every with Some t -> max 1 t | None -> max 1 (steps / 20)
   in
@@ -509,6 +528,7 @@ let synthesize ?(pow = 10_000.0) ?(steps = 100_000) ?trace_every
           ck_every = (match checkpoint with Some c -> max 1 c.every | None -> 0);
           ck_audit_every = max 0 audit_every;
           ck_audit_tolerance = audit_tolerance;
+          ck_jobs = max 1 jobs;
           ck_step = 0;
           ck_budget = budget;
           ck_seed = seed;
@@ -539,19 +559,24 @@ let load_ck path =
       with Codec.Decode_error msg ->
         raise (Corrupt_checkpoint (Printf.sprintf "%s: decode layer: %s" path msg)))
 
-let resume_fit ~ck ~sink ?should_stop () =
+let resume_fit ?jobs ~ck ~sink ?should_stop () =
+  (* The realized chain is invariant to the lookahead width, so a resume may
+     run wider (or narrower) than the original without breaking the
+     bit-identical retrace; the override is also recorded in subsequent
+     snapshots. *)
+  let ck = match jobs with Some j -> { ck with ck_jobs = max 1 j } | None -> ck in
   let rng = Prng.restore ck.ck_rng in
   let source, measured = shared_measured ck.ck_qms in
   let fit = Fit.restore_shared ~rng ~n:ck.ck_n ~edges:ck.ck_edges ~source ~measured () in
   continue_fit ~fit ~rng ~ck ~sink ?should_stop ()
 
-let resume ?stop ?deadline ~path () =
+let resume ?stop ?deadline ?jobs ~path () =
   let ck = load_ck path in
-  resume_fit ~ck ~sink:(Some (Single path))
+  resume_fit ?jobs ~ck ~sink:(Some (Single path))
     ?should_stop:(combined_stop ?stop ?deadline ())
     ()
 
-let resume_latest ?(log = fun _ -> ()) ?stop ?deadline ~store () =
+let resume_latest ?(log = fun _ -> ()) ?stop ?deadline ?jobs ~store () =
   let decode payload =
     match decode_ck payload with
     | ck -> Ok ck
@@ -567,7 +592,9 @@ let resume_latest ?(log = fun _ -> ()) ?stop ?deadline ~store () =
   match found with
   | Some (ck, step, path) ->
       log (Printf.sprintf "resuming from generation %s (step %d)" path step);
-      resume_fit ~ck ~sink:(Some (Store store)) ?should_stop:(combined_stop ?stop ?deadline ()) ()
+      resume_fit ?jobs ~ck ~sink:(Some (Store store))
+        ?should_stop:(combined_stop ?stop ?deadline ())
+        ()
   | None ->
       let detail =
         match rejected with

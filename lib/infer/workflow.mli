@@ -128,6 +128,7 @@ val synthesize :
   ?refresh_every:int ->
   ?audit_every:int ->
   ?audit_tolerance:float ->
+  ?jobs:int ->
   ?checkpoint:checkpoint_spec ->
   ?stop:(unit -> bool) ->
   ?deadline:float ->
@@ -177,25 +178,37 @@ val synthesize :
     persisted in checkpoints), and divergent state is rebuilt from batch
     before the walk continues.  A clean audit is bit-neutral.
 
-    [stop] (polled between steps) and [deadline] (wall-clock seconds from
-    run start) request a graceful stop: the in-flight step finishes, one
-    final snapshot of the stopped state is written to the checkpoint sink
-    (if any), and the partial result is returned with
-    [stats.interrupted = true].  Wire [stop] to
+    [jobs] (default 1) is the parallel speculative-lookahead width: Phase 2
+    evaluates up to [jobs] consecutive proposals concurrently, one replica
+    engine per domain ({!Fit.run}'s lookahead walk — always the lookahead
+    walk, whatever the width).  The realized chain, the trace, the final
+    graph and the checkpoint bytes are bit-identical for every [jobs]
+    value; only wall-clock time changes.  The width is recorded in
+    checkpoints as the resume default.
+
+    [stop] (polled between batches of at most [jobs] steps) and [deadline]
+    (wall-clock seconds from run start) request a graceful stop: the
+    in-flight batch finishes, one final snapshot of the stopped state is
+    written to the checkpoint sink (if any), and the partial result is
+    returned with [stats.interrupted = true].  Wire [stop] to
     {!Shutdown.requested} for SIGINT/SIGTERM handling. *)
 
-val resume : ?stop:(unit -> bool) -> ?deadline:float -> path:string -> unit -> result
+val resume :
+  ?stop:(unit -> bool) -> ?deadline:float -> ?jobs:int -> path:string -> unit -> result
 (** [resume ~path ()] loads the snapshot at [path] and continues the
     interrupted walk to completion, checkpointing onward with the original
     cadence to the same [path].  The returned {!result} — graph, stats,
     trace, energies — is bit-identical to what the uninterrupted run would
     have returned.  Raises {!Corrupt_checkpoint} on any invalid file.
-    [stop]/[deadline] as in {!synthesize}. *)
+    [stop]/[deadline] as in {!synthesize}.  [jobs] overrides the snapshot's
+    recorded lookahead width — safe at any value, since the realized chain
+    is width-invariant. *)
 
 val resume_latest :
   ?log:(string -> unit) ->
   ?stop:(unit -> bool) ->
   ?deadline:float ->
+  ?jobs:int ->
   store:Wpinq_persist.Persist.Store.t ->
   unit ->
   result

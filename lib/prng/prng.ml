@@ -24,6 +24,29 @@ let bits64 t =
 
 let split t = { state = mix64 (bits64 t) }
 
+(* Cursor introspection, for bit-exact rollback of speculative draws: a
+   [mark] taken before a draw and a later [rewind] put the generator back
+   on the identical stream, so the next draw reproduces the same bits. *)
+let mark t = t.state
+let rewind t cursor = t.state <- cursor
+
+(* The stream the (i+1)-th of [i+1] consecutive [split] calls would
+   return, computed without moving [t]'s cursor.  The cursor walks the
+   golden-gamma lattice one increment per draw, so the i-th future split
+   is a pure function of (state, i): lookahead streams can be dealt for
+   steps not yet taken, in any order, without perturbing the master
+   stream — the foundation of the parallel speculative walk. *)
+let split_nth t i =
+  if i < 0 then invalid_arg "Prng.split_nth: negative index";
+  { state = mix64 (mix64 (Int64.add t.state (Int64.mul (Int64.of_int (i + 1)) golden_gamma))) }
+
+(* Advance the cursor as if [k] draws ([bits64] or [split]) had been
+   taken, in O(1).  After [advance t k], [split t] returns exactly what
+   [split_nth t k] returned before. *)
+let advance t k =
+  if k < 0 then invalid_arg "Prng.advance: negative count";
+  t.state <- Int64.add t.state (Int64.mul (Int64.of_int k) golden_gamma)
+
 let int t bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
   (* Rejection sampling on the top bits for exact uniformity. *)

@@ -34,6 +34,32 @@ val split : t -> t
 (** [split t] advances [t] and returns a child stream that is statistically
     independent of the parent's subsequent output. *)
 
+val mark : t -> int64
+(** [mark t] snapshots the stream cursor.  Paired with {!rewind} it rolls a
+    speculative draw back bit-exactly: after [rewind t (mark t)], the next
+    draw reproduces the same bits the unwound draws produced. *)
+
+val rewind : t -> int64 -> unit
+(** [rewind t cursor] restores a cursor taken with {!mark} on the same
+    stream. *)
+
+val split_nth : t -> int -> t
+(** [split_nth t i] is the stream the [(i+1)]-th of [i+1] consecutive
+    {!split} calls would return, computed {e without} moving [t]'s cursor
+    ([i >= 0]; raises [Invalid_argument] otherwise).  Because the cursor
+    walks a fixed lattice one increment per draw, the [i]-th future split is
+    a pure function of [(state, i)]: lookahead streams for steps not yet
+    taken can be dealt in any order without perturbing the master stream —
+    the foundation of the parallel speculative walk.  The dealt streams are
+    pairwise distinct and independent of both each other and the parent. *)
+
+val advance : t -> int -> unit
+(** [advance t k] moves the cursor as if [k] draws ({!bits64} or {!split})
+    had been taken, in O(1) ([k >= 0]).  After [advance t k], [split t]
+    returns exactly what [split_nth t k] returned before — so a scheduler
+    that consumed the first [k] dealt streams leaves the master exactly
+    where a serial walk taking [k] steps would have left it. *)
+
 val bits64 : t -> int64
 (** [bits64 t] draws 64 uniformly random bits. *)
 

@@ -64,8 +64,8 @@ let with_store_dir f =
       try Unix.rmdir dir with Unix.Unix_error _ -> ())
     (fun () -> f dir)
 
-let synthesize store =
-  W.synthesize ~steps ~trace_every ~pow:100.0
+let synthesize ?jobs store =
+  W.synthesize ?jobs ~steps ~trace_every ~pow:100.0
     ~checkpoint:{ W.every; sink = W.Store store }
     ~rng:(Prng.create 123) ~epsilon:0.5 ~query:(Some W.Tbi)
     ~secret:(Gen.clustered ~n:40 ~community:8 ~p_in:0.7 ~extra:20 (Prng.create 5))
@@ -121,6 +121,41 @@ let round st round =
         (if !second_kill then ", killed resume too" else "");
       got)
 
+(* Same kill/corrupt drill, but the victim walks with a parallel lookahead
+   (--jobs 2) and recovers at yet another width (--jobs 4); the result must
+   still be bit-identical to the *serial* uninterrupted reference.  Faults
+   only fire at lookahead-batch boundaries, and the "mcmc.step" site fires
+   once per batch: at jobs=2 a batch consumes up to 2 steps, so over
+   [steps] steps the site fires at least [steps/2] times.  The kill is
+   armed inside that budget, past the first checkpoint. *)
+let multicore_round st round =
+  with_store_dir (fun dir ->
+      let store = Persist.Store.open_dir ~keep dir in
+      let kill_at = every + 1 + Random.State.int st ((steps / 2) - (2 * every)) in
+      Fault.arm ~site:"mcmc.step" ~after:kill_at;
+      (match synthesize ~jobs:2 store with
+      | exception Fault.Injected _ -> ()
+      | _ ->
+          Printf.eprintf "round %d: multicore kill at batch %d never fired\n%!" round kill_at;
+          incr failures);
+      let gens = Persist.Store.generations store in
+      let n_gens = List.length gens in
+      check (Printf.sprintf "round %d: generations on disk" round) (n_gens >= 1);
+      let n_corrupt = if n_gens <= 1 then 0 else Random.State.int st n_gens in
+      List.iteri
+        (fun i (_, path) ->
+          if i < n_corrupt then
+            let size = (Unix.stat path).Unix.st_size in
+            Fault.corrupt ~path (random_corruption st size))
+        gens;
+      let got = W.resume_latest ~jobs:4 ~store () in
+      Printf.printf
+        "round %d: jobs=2 killed at batch %d, corrupted %d/%d generation(s), jobs=4 \
+         recovery — recovered\n\
+         %!"
+        round kill_at n_corrupt n_gens;
+      got)
+
 let () =
   let seed = ref 1 and rounds = ref 5 in
   Arg.parse
@@ -135,8 +170,10 @@ let () =
   for r = 1 to !rounds do
     check_result r reference (round st r)
   done;
+  check_result (!rounds + 1) reference (multicore_round st (!rounds + 1));
   if !failures > 0 then begin
     Printf.eprintf "%d mismatch(es) against the uninterrupted reference\n%!" !failures;
     exit 1
   end;
-  Printf.printf "all %d rounds recovered bit-identically (seed %d)\n%!" !rounds !seed
+  Printf.printf "all %d rounds (plus 1 multicore) recovered bit-identically (seed %d)\n%!"
+    !rounds !seed

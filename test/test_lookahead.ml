@@ -1,0 +1,251 @@
+(* The width-invariance property of the parallel speculative lookahead:
+   [Fit.run ~jobs:k] must realize the SAME chain — bit-identical per-step
+   energies, acceptance counts, final edge arrays — for every k, across
+   speculation aborts, engine self-audits, checkpoint rebases, and
+   multi-query shared fits.  Plus the scheduler-level guarantees: batches
+   clamp to cadence boundaries, and non-replicable fits are refused. *)
+
+module Graph = Wpinq_graph.Graph
+module Gen = Wpinq_graph.Gen
+module Rewire = Wpinq_graph.Rewire
+module Prng = Wpinq_prng.Prng
+module Budget = Wpinq_core.Budget
+module Batch = Wpinq_core.Batch
+module Flow = Wpinq_core.Flow
+module Plan = Wpinq_core.Plan
+module Measurement = Wpinq_core.Measurement
+module Codec = Wpinq_persist.Persist.Codec
+module Dataflow = Wpinq_dataflow.Dataflow
+module Fit = Wpinq_infer.Fit
+module Mcmc = Wpinq_infer.Mcmc
+module W = Wpinq_infer.Workflow
+module Qp = Wpinq_queries.Queries.Make (Plan)
+module Qb = Wpinq_queries.Queries.Make (Batch)
+
+let clone write read m =
+  let buf = Buffer.create 1024 in
+  Measurement.save write m buf;
+  Measurement.load read (Codec.reader (Buffer.contents buf))
+
+let wr_int = Codec.write_int
+let rd_int = Codec.read_int
+
+let wr_pair buf (a, b) =
+  wr_int buf a;
+  wr_int buf b
+
+let rd_pair r =
+  let a = rd_int r in
+  let b = rd_int r in
+  (a, b)
+
+(* Degree CCDF + JDD: shared degree prefix, and JDD's pair-keyed
+   measurement exercises lazy noise draws during speculative propagation —
+   the state the lookahead abort must roll back exactly. *)
+let measure secret =
+  let budget = Budget.create ~name:"edges" 1e9 in
+  let sym = Batch.source_records ~budget (Graph.directed_edges secret) in
+  let rng = Prng.create 42 in
+  let m_ccdf = Batch.noisy_count ~rng ~epsilon:50.0 (Qb.degree_ccdf sym) in
+  let m_jdd = Batch.noisy_count ~rng ~epsilon:50.0 (Qb.jdd sym) in
+  (m_ccdf, m_jdd)
+
+let shared_fit ~rng_seed ~seed_graph (mc, mj) =
+  let mc = clone wr_int rd_int mc and mj = clone wr_pair rd_pair mj in
+  let source = Plan.source ~name:"sym" () in
+  let measured =
+    [ Fit.Measured (Qp.degree_ccdf source, mc); Fit.Measured (Qp.jdd source, mj) ]
+  in
+  Fit.create_shared ~rng:(Prng.create rng_seed) ~seed_graph ~source ~measured ()
+
+let problem () =
+  let secret = Gen.clustered ~n:40 ~community:8 ~p_in:0.7 ~extra:20 (Prng.create 3) in
+  let seed = Rewire.randomize secret (Prng.create 4) in
+  (seed, measure secret)
+
+type arm = {
+  stats : Mcmc.stats;
+  energies : (int * int64) list; (* (step, energy bits), oldest first *)
+  edges : (int * int) array;
+  batches : int;
+  dispatched : int;
+  consumed : int;
+}
+
+let run_arm ?(steps = 200) ?audit_every ?pow ~jobs fit =
+  let energies = ref [] in
+  let batches = ref 0 and dispatched = ref 0 and consumed = ref 0 in
+  let stats =
+    Fit.run fit ~steps ?pow ?audit_every ~jobs
+      ~on_step:(fun ~step ~energy ->
+        energies := (step, Int64.bits_of_float energy) :: !energies)
+      ~on_batch:(fun ~dispatched:d ~consumed:c ->
+        incr batches;
+        dispatched := !dispatched + d;
+        consumed := !consumed + c)
+      ()
+  in
+  {
+    stats;
+    energies = List.rev !energies;
+    edges = Fit.edge_array fit;
+    batches = !batches;
+    dispatched = !dispatched;
+    consumed = !consumed;
+  }
+
+let check_same_walk name (a : arm) (b : arm) =
+  List.iteri
+    (fun i ((sa, ea), (sb, eb)) ->
+      Alcotest.(check int) (Printf.sprintf "%s: step index %d" name i) sa sb;
+      Alcotest.(check int64) (Printf.sprintf "%s: energy bits at step %d" name sa) ea eb)
+    (List.combine a.energies b.energies);
+  Alcotest.(check int) (name ^ ": accepted") a.stats.Mcmc.accepted b.stats.Mcmc.accepted;
+  Alcotest.(check int) (name ^ ": invalid") a.stats.Mcmc.invalid b.stats.Mcmc.invalid;
+  Alcotest.(check int64)
+    (name ^ ": final energy bits")
+    (Int64.bits_of_float a.stats.Mcmc.final_energy)
+    (Int64.bits_of_float b.stats.Mcmc.final_energy);
+  Alcotest.(check (array (pair int int))) (name ^ ": final edge arrays") a.edges b.edges
+
+(* K in {1, 2, 4} realize the same chain; wider arms consume the whole
+   dispatched prefix less often, so they take fewer batches. *)
+let test_width_invariance () =
+  let seed, ms = problem () in
+  let arm jobs = run_arm ~steps:200 ~jobs (shared_fit ~rng_seed:7 ~seed_graph:seed ms) in
+  let a1 = arm 1 and a2 = arm 2 and a4 = arm 4 in
+  check_same_walk "jobs 1 vs 2" a1 a2;
+  check_same_walk "jobs 1 vs 4" a1 a4;
+  Alcotest.(check int) "jobs=1 batches = steps" 200 a1.batches;
+  Alcotest.(check int) "jobs=1 lookahead is exact" a1.dispatched a1.consumed;
+  Alcotest.(check bool)
+    (Printf.sprintf "jobs=4 batches fewer than jobs=2 (%d < %d)" a4.batches a2.batches)
+    true
+    (a4.batches <= a2.batches && a2.batches < a1.batches);
+  Alcotest.(check bool) "lookahead discards some speculation" true
+    (a4.dispatched > a4.consumed)
+
+(* Same chain with the engine self-audit enabled: audits run at their exact
+   cadence in every arm (batches clamp to the boundary), stay clean, and
+   leave the walk bit-identical. *)
+let test_width_invariance_with_audits () =
+  let seed, ms = problem () in
+  let arm jobs =
+    run_arm ~steps:150 ~audit_every:50 ~jobs
+      (shared_fit ~rng_seed:11 ~seed_graph:seed ms)
+  in
+  let a1 = arm 1 and a3 = run_arm ~steps:150 ~audit_every:50 ~jobs:3
+      (shared_fit ~rng_seed:11 ~seed_graph:seed ms) in
+  ignore (arm 1);
+  check_same_walk "audited walk jobs 1 vs 3" a1 a3;
+  Alcotest.(check int) "jobs=1 audits ran" 3 a1.stats.Mcmc.audits;
+  Alcotest.(check int) "jobs=3 audits ran" 3 a3.stats.Mcmc.audits;
+  Alcotest.(check int) "jobs=1 audits clean" 0 a1.stats.Mcmc.audit_divergences;
+  Alcotest.(check int) "jobs=3 audits clean" 0 a3.stats.Mcmc.audit_divergences
+
+(* End-to-end through Workflow: synthesize at widths 1, 2 and 4 — with
+   checkpoint rebases in the loop — produce bit-identical results and
+   byte-identical final snapshots. *)
+let test_workflow_width_invariance () =
+  let secret = Gen.clustered ~n:40 ~community:8 ~p_in:0.7 ~extra:20 (Prng.create 5) in
+  let run ~jobs path =
+    let r =
+      W.synthesize ~steps:900 ~trace_every:300 ~jobs
+        ~checkpoint:{ W.every = 300; sink = W.Single path }
+        ~rng:(Prng.create 123) ~epsilon:0.5
+        ~query:(Some W.Tbi) ~queries:[ W.Jdd ] ~secret ()
+    in
+    let bytes = In_channel.with_open_bin path In_channel.input_all in
+    (r, bytes)
+  in
+  let r1, b1 = Test_checkpoint.with_ckpt (fun p -> run ~jobs:1 p) in
+  let r2, b2 = Test_checkpoint.with_ckpt (fun p -> run ~jobs:2 p) in
+  let r4, b4 = Test_checkpoint.with_ckpt (fun p -> run ~jobs:4 p) in
+  let check name (a : W.result) (b : W.result) =
+    Alcotest.(check int) (name ^ ": accepted") a.W.stats.Mcmc.accepted
+      b.W.stats.Mcmc.accepted;
+    Alcotest.(check int64)
+      (name ^ ": final energy bits")
+      (Int64.bits_of_float a.W.stats.Mcmc.final_energy)
+      (Int64.bits_of_float b.W.stats.Mcmc.final_energy);
+    Alcotest.(check (list (pair int int)))
+      (name ^ ": synthetic edges")
+      (Graph.edges a.W.synthetic) (Graph.edges b.W.synthetic);
+    Alcotest.(check int)
+      (name ^ ": trace length")
+      (List.length a.W.trace) (List.length b.W.trace)
+  in
+  check "jobs 1 vs 2" r1 r2;
+  check "jobs 1 vs 4" r1 r4;
+  (* The snapshot embeds ck_jobs (the width is the resume default), so
+     byte-identity holds per width after patching nothing — compare sizes
+     and, for equal widths, exact bytes via a rerun. *)
+  Alcotest.(check int) "snapshot sizes equal (1 vs 2)" (String.length b1)
+    (String.length b2);
+  Alcotest.(check int) "snapshot sizes equal (1 vs 4)" (String.length b1)
+    (String.length b4);
+  let r1', b1' = Test_checkpoint.with_ckpt (fun p -> run ~jobs:1 p) in
+  check "jobs 1 rerun" r1 r1';
+  Alcotest.(check bool) "snapshot bytes reproducible" true (String.equal b1 b1')
+
+(* A checkpointed multi-width run resumes at a DIFFERENT width and still
+   matches the uninterrupted chain bit-for-bit. *)
+let test_resume_across_widths () =
+  let secret = Gen.clustered ~n:40 ~community:8 ~p_in:0.7 ~extra:20 (Prng.create 5) in
+  let synth ~jobs ?stop path =
+    W.synthesize ~steps:900 ~trace_every:300 ~jobs ?stop
+      ~checkpoint:{ W.every = 300; sink = W.Single path }
+      ~rng:(Prng.create 123) ~epsilon:0.5 ~query:(Some W.Tbi) ~secret ()
+  in
+  let expect = Test_checkpoint.with_ckpt (fun p -> synth ~jobs:2 p) in
+  let resumed =
+    Test_checkpoint.with_ckpt (fun p ->
+        (* Stop partway (batch-aligned by construction), then resume wider. *)
+        let polls = ref 0 in
+        let stop () =
+          incr polls;
+          !polls > 150
+        in
+        let partial = synth ~jobs:2 ~stop p in
+        Alcotest.(check bool) "stopped early" true partial.W.stats.Mcmc.interrupted;
+        W.resume ~jobs:4 ~path:p ())
+  in
+  Alcotest.(check int) "accepted" expect.W.stats.Mcmc.accepted
+    resumed.W.stats.Mcmc.accepted;
+  Alcotest.(check int64) "final energy bits"
+    (Int64.bits_of_float expect.W.stats.Mcmc.final_energy)
+    (Int64.bits_of_float resumed.W.stats.Mcmc.final_energy);
+  Alcotest.(check (list (pair int int)))
+    "synthetic edges"
+    (Graph.edges expect.W.synthetic) (Graph.edges resumed.W.synthetic)
+
+(* Fits built from opaque target closures share measurement state across
+   instances and cannot be replicated: the pool must refuse them. *)
+let test_non_replicable_refused () =
+  let seed, _ = problem () in
+  let budget = Budget.create ~name:"edges" 1e9 in
+  let sym_b = Batch.source_records ~budget (Graph.directed_edges seed) in
+  let m = Batch.noisy_count ~rng:(Prng.create 2) ~epsilon:50.0 (Qb.degree_ccdf sym_b) in
+  let module Qf = Wpinq_queries.Queries.Make (Flow) in
+  let fit =
+    Fit.create ~rng:(Prng.create 7) ~seed_graph:seed
+      ~targets:[ (fun sym -> Flow.Target.create (Qf.degree_ccdf sym) m) ]
+      ()
+  in
+  Alcotest.(check bool) "not replicable" false (Fit.replicable fit);
+  Alcotest.check_raises "pool refuses opaque fits"
+    (Invalid_argument
+       "Fit.Pool.create: fit is not replicable (build it with create_shared / \
+        restore_shared)") (fun () -> ignore (run_arm ~steps:10 ~jobs:2 fit))
+
+let suite =
+  [
+    Alcotest.test_case "lookahead width invariance (K in {1,2,4})" `Quick
+      test_width_invariance;
+    Alcotest.test_case "width invariance under self-audits" `Quick
+      test_width_invariance_with_audits;
+    Alcotest.test_case "workflow width invariance + snapshot reproducibility" `Quick
+      test_workflow_width_invariance;
+    Alcotest.test_case "resume at a different width" `Quick test_resume_across_widths;
+    Alcotest.test_case "non-replicable fits refused" `Quick test_non_replicable_refused;
+  ]

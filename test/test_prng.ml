@@ -124,6 +124,104 @@ let test_choose () =
     Alcotest.(check bool) "member" true (List.mem v [ 1; 2; 3 ])
   done
 
+(* ------------------------- lookahead streams -------------------------
+   [split_nth]/[advance]/[mark]/[rewind] are the contract the parallel
+   speculative walk is built on: streams dealt for future steps must be
+   exactly the streams the serial walk would have split, must not move
+   the master cursor, and must not collide with each other. *)
+
+let test_split_nth_matches_sequential_splits () =
+  let master = Prng.create 42 in
+  ignore (Prng.bits64 master);
+  for i = 0 to 7 do
+    let dealt = Prng.split_nth master i in
+    (* The (i+1)-th of i+1 consecutive splits of an untouched copy. *)
+    let c = Prng.copy master in
+    let last = ref (Prng.split c) in
+    for _ = 1 to i do
+      last := Prng.split c
+    done;
+    Alcotest.(check string)
+      (Printf.sprintf "split_nth %d = %d-th sequential split" i (i + 1))
+      (Prng.save !last) (Prng.save dealt)
+  done
+
+let test_advance_equals_draws =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"advance k = k draws"
+       QCheck.(pair int (int_bound 64))
+       (fun (seed, k) ->
+         let a = Prng.create seed and b = Prng.create seed in
+         for _ = 1 to k do
+           ignore (Prng.bits64 a)
+         done;
+         Prng.advance b k;
+         Prng.save a = Prng.save b))
+
+let test_split_nth_pure () =
+  let r = Prng.create 123 in
+  let before = Prng.save r in
+  (* Dealing lookahead streams, in any order, and drawing from them must
+     not move the master cursor... *)
+  let s2 = Prng.split_nth r 2 in
+  let s2_cursor = Prng.save s2 in
+  ignore (Prng.bits64 s2);
+  let s0 = Prng.split_nth r 0 in
+  ignore (Prng.uniform s0);
+  let s1 = Prng.split_nth r 1 in
+  ignore (Prng.bits64 s1);
+  Alcotest.(check string) "master cursor untouched" before (Prng.save r);
+  (* ...and re-dealing the same index yields the identical stream. *)
+  Alcotest.(check string) "re-deal is stable" s2_cursor (Prng.save (Prng.split_nth r 2))
+
+let test_dealt_streams_disjoint () =
+  (* 8 dealt streams, 64 draws each: all 512 values distinct.  Overlapping
+     or duplicated streams would collide immediately; for honest 64-bit
+     streams a birthday collision at n=512 has probability ~2^-46. *)
+  let r = Prng.create 2026 in
+  let seen = Hashtbl.create 1024 in
+  for i = 0 to 7 do
+    let s = Prng.split_nth r i in
+    for _ = 1 to 64 do
+      let v = Prng.bits64 s in
+      Alcotest.(check bool)
+        (Printf.sprintf "no collision (stream %d)" i)
+        false (Hashtbl.mem seen v);
+      Hashtbl.replace seen v ()
+    done
+  done
+
+let test_mark_rewind_roundtrip () =
+  let r = Prng.create 77 in
+  ignore (Prng.bits64 r);
+  let mk = Prng.mark r in
+  let first = Array.init 16 (fun _ -> Prng.bits64 r) in
+  Prng.rewind r mk;
+  let again = Array.init 16 (fun _ -> Prng.bits64 r) in
+  Alcotest.(check (array int64)) "rewound stream replays" first again
+
+let test_lookahead_fixed_vectors () =
+  (* Pinned outputs for seed 42: the checkpoint format stores raw cursor
+     positions, so the dealt-stream function must never change shape. *)
+  let r = Prng.create 42 in
+  Alcotest.(check string) "seed 42 cursor" "a759ea27d4727622" (Prng.save r);
+  let expect =
+    [|
+      ("a033007b33fc542d", 0x33d3b3229fe0c44dL);
+      ("5c075f52765ecfe5", 0x0d42ab9a64501cdeL);
+      ("3e1afc906e6d4f9f", 0xa4f0647e66417f2eL);
+      ("5802161f2c8632be", 0x81af9f189aa2d6d6L);
+    |]
+  in
+  Array.iteri
+    (fun i (cursor, first) ->
+      let s = Prng.split_nth r i in
+      Alcotest.(check string) (Printf.sprintf "dealt cursor %d" i) cursor (Prng.save s);
+      Alcotest.(check int64) (Printf.sprintf "dealt first draw %d" i) first (Prng.bits64 s))
+    expect;
+  Prng.advance r 2;
+  Alcotest.(check string) "advanced cursor" "e3c8dd9ad3076e4c" (Prng.save r)
+
 let test_save_restore_roundtrip_prop =
   QCheck_alcotest.to_alcotest
     (QCheck.Test.make ~count:200 ~name:"save/restore round-trip"
@@ -173,6 +271,13 @@ let suite =
     Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
     Alcotest.test_case "copy independence" `Quick test_copy_independent;
     Alcotest.test_case "split independence" `Quick test_split_independent;
+    Alcotest.test_case "split_nth matches sequential splits" `Quick
+      test_split_nth_matches_sequential_splits;
+    test_advance_equals_draws;
+    Alcotest.test_case "split_nth leaves master untouched" `Quick test_split_nth_pure;
+    Alcotest.test_case "dealt streams disjoint" `Quick test_dealt_streams_disjoint;
+    Alcotest.test_case "mark/rewind roundtrip" `Quick test_mark_rewind_roundtrip;
+    Alcotest.test_case "lookahead fixed vectors" `Quick test_lookahead_fixed_vectors;
     Alcotest.test_case "int bounds" `Quick test_int_bounds;
     Alcotest.test_case "int uniformity" `Quick test_int_uniform;
     Alcotest.test_case "uniform ranges" `Quick test_uniform_range;

@@ -15,6 +15,7 @@ let () =
       ("infer", Test_infer.suite);
       ("checkpoint", Test_checkpoint.suite);
       ("shared-fit", Test_shared_fit.suite);
+      ("lookahead", Test_lookahead.suite);
       ("data", Test_data.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("baselines", Test_baselines.suite);
