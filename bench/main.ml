@@ -433,6 +433,70 @@ let parallel_bench ~smoke ~arms () =
   in
   (fragment, identical)
 
+(* ---------------- Part 6: budget-ledger service benchmark ---------------
+
+   The mixed-tenant load generator from Wpinq_service.Loadgen: one root
+   dataset budget, delegated per-tenant accounts, concurrent submitter
+   domains firing plan-costed queries through the admission controller
+   against a durable (fsynced WAL) ledger.  The recorded numbers are the
+   admission outcomes and throughput; the recorded *verdicts* —
+   [overspend_tenants] and [recovered_matches] — are the service's two
+   safety properties, and the process exits nonzero if either fails. *)
+
+module Loadgen = Wpinq_service.Loadgen
+module Ledger = Wpinq_service.Ledger
+
+let serve_bench () =
+  banner "Part 6: budget-ledger service benchmark";
+  let cfg = Loadgen.default in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "wpinq-serve-bench-%d" (Unix.getpid ()))
+  in
+  let o = Loadgen.run ~log:print_endline ~dir cfg in
+  (* The ledger directory was scratch state for this run only. *)
+  (try
+     Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+     Unix.rmdir dir
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  let ok = o.Loadgen.overspend = [] && o.Loadgen.recovered_matches in
+  let fragment =
+    String.concat "\n"
+      [
+        "  \"serve\": {";
+        Printf.sprintf "    \"tenants\": %d," cfg.Loadgen.tenants;
+        Printf.sprintf "    \"queries\": %d," cfg.Loadgen.queries;
+        Printf.sprintf "    \"submitters\": %d," cfg.Loadgen.submitters;
+        Printf.sprintf "    \"epsilon_per_use\": %g," cfg.Loadgen.epsilon;
+        Printf.sprintf "    \"allocation_per_tenant\": %g," cfg.Loadgen.allocation;
+        Printf.sprintf "    \"fsync\": %b," cfg.Loadgen.fsync;
+        Printf.sprintf "    \"admitted\": %d," o.Loadgen.admitted;
+        Printf.sprintf "    \"committed\": %d," o.Loadgen.committed;
+        "    \"refused\": {";
+        Printf.sprintf "      \"budget\": %d," o.Loadgen.refused_budget;
+        Printf.sprintf "      \"overload\": %d," o.Loadgen.refused_overload;
+        Printf.sprintf "      \"timeout\": %d," o.Loadgen.refused_timeout;
+        Printf.sprintf "      \"shutdown\": %d" o.Loadgen.refused_shutdown;
+        "    },";
+        Printf.sprintf "    \"errors\": %d," o.Loadgen.errors;
+        Printf.sprintf "    \"wall_s\": %.3f," o.Loadgen.wall_s;
+        Printf.sprintf "    \"throughput_qps\": %.1f," o.Loadgen.throughput_qps;
+        Printf.sprintf "    \"overspend_tenants\": %d," (List.length o.Loadgen.overspend);
+        Printf.sprintf "    \"recovered_matches\": %b," o.Loadgen.recovered_matches;
+        "    \"recovery\": {";
+        Printf.sprintf "      \"replayed\": %d," o.Loadgen.recovery.Ledger.replayed;
+        Printf.sprintf "      \"charged_on_doubt\": %d,"
+          o.Loadgen.recovery.Ledger.charged_on_doubt;
+        Printf.sprintf "      \"doubt_epsilon\": %g," o.Loadgen.recovery.Ledger.doubt_epsilon;
+        Printf.sprintf "      \"torn_bytes\": %d," o.Loadgen.recovery.Ledger.torn_bytes;
+        Printf.sprintf "      \"snapshots_rejected\": %d"
+          o.Loadgen.recovery.Ledger.snapshots_rejected;
+        "    }";
+        "  }";
+      ]
+  in
+  (fragment, ok)
+
 let walk_bench ~smoke ~json_path ?(fragments = []) () =
   banner "Part 3: speculative-walk benchmark (machine-readable)";
   let scale, warmup, steps = if smoke then (0.15, 500, 3_000) else (0.4, 2_000, 20_000) in
@@ -544,6 +608,7 @@ let () =
   let smoke = ref false in
   let walk_only = ref false in
   let multi = ref false in
+  let serve = ref false in
   let jobs = ref 0 in
   let json_path = ref "BENCH_wpinq.json" in
   Arg.parse
@@ -553,6 +618,10 @@ let () =
       ( "--multi",
         Arg.Set multi,
         " Run only the walk + shared-plan multi-query benchmarks, at full size." );
+      ( "--serve",
+        Arg.Set serve,
+        " Run only the budget-ledger service benchmark (plus a reduced walk for the \
+         JSON envelope); exits nonzero on overspend or recovery mismatch." );
       ( "--jobs",
         Arg.Set_int jobs,
         "N Widest lookahead arm for the parallel benchmark (default: 4, or 2 in smoke \
@@ -560,16 +629,22 @@ let () =
       ("--json", Arg.Set_string json_path, "PATH Where to write the benchmark JSON.");
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "bench [--smoke | --walk | --multi] [--jobs N] [--json PATH]";
+    "bench [--smoke | --walk | --multi | --serve] [--jobs N] [--json PATH]";
   let t0 = Unix.gettimeofday () in
-  if not (!smoke || !walk_only || !multi) then begin
+  if not (!smoke || !walk_only || !multi || !serve) then begin
     experiments ();
     run_benchmarks ()
   end;
   (* The walk benchmark always runs; the shared-plan comparison and the
-     parallel-lookahead arms ride along in every mode except walk-only. *)
+     parallel-lookahead arms ride along in every mode except walk-only and
+     serve-only; the service load benchmark rides along in every mode
+     except walk-only, multi-only and smoke. *)
   let fragments, identical =
     if !walk_only then ([], true)
+    else if !serve then begin
+      let serve_fragment, ok = serve_bench () in
+      ([ serve_fragment ], ok)
+    end
     else begin
       let max_jobs =
         if !jobs >= 1 then !jobs else if !smoke then 2 else 4
@@ -578,12 +653,18 @@ let () =
       let arms = if List.mem max_jobs arms then arms else arms @ [ max_jobs ] in
       let multi_fragment = multi_bench ~smoke:!smoke () in
       let parallel_fragment, identical = parallel_bench ~smoke:!smoke ~arms () in
-      ([ multi_fragment; parallel_fragment ], identical)
+      if !smoke || !multi then ([ multi_fragment; parallel_fragment ], identical)
+      else begin
+        let serve_fragment, ok = serve_bench () in
+        ([ multi_fragment; parallel_fragment; serve_fragment ], identical && ok)
+      end
     end
   in
-  walk_bench ~smoke:!smoke ~json_path:!json_path ~fragments ();
+  walk_bench ~smoke:(!smoke || !serve) ~json_path:!json_path ~fragments ();
   Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0);
   if not identical then begin
-    prerr_endline "FATAL: parallel lookahead arms diverged (identical_walks = false)";
+    prerr_endline
+      "FATAL: a benchmark safety property failed (lookahead arms diverged, ledger \
+       overspend, or recovery mismatch)";
     exit 1
   end

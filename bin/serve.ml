@@ -1,0 +1,143 @@
+(* wPINQ-as-a-service driver: a crash-safe multi-tenant budget ledger
+   under a mixed query load.  Opens (or recovers) the ledger directory,
+   delegates per-tenant ε accounts from one root dataset budget, fires
+   queries from concurrent submitter domains through the admission
+   controller, then drains, audits the books for overspend, and proves
+   the on-disk state recovers bit-identically.
+
+   Exit status: 0 clean; 1 if any tenant overspent or the recovered
+   ledger diverged from the live one — so CI can gate on the invariant. *)
+
+open Cmdliner
+module Loadgen = Wpinq_service.Loadgen
+module Ledger = Wpinq_service.Ledger
+module Shutdown = Wpinq_infer.Shutdown
+
+let config_term =
+  let d = Loadgen.default in
+  let dir =
+    Arg.(required
+         & opt (some string) None
+         & info [ "dir"; "d" ] ~docv:"DIR"
+             ~doc:"Ledger directory (journal + snapshot generations). Created if missing; \
+                   an existing one is recovered and continued.")
+  in
+  let tenants =
+    Arg.(value & opt int d.Loadgen.tenants
+         & info [ "tenants" ] ~docv:"N" ~doc:"Delegated analyst accounts.")
+  in
+  let queries =
+    Arg.(value & opt int d.Loadgen.queries
+         & info [ "queries" ] ~docv:"N" ~doc:"Total query submissions across all submitters.")
+  in
+  let submitters =
+    Arg.(value & opt int d.Loadgen.submitters
+         & info [ "submitters" ] ~docv:"N" ~doc:"Concurrent submitter domains.")
+  in
+  let epsilon =
+    Arg.(value & opt float d.Loadgen.epsilon
+         & info [ "epsilon" ] ~docv:"EPS"
+             ~doc:"Per-use ε; each query costs its plan-derived use count times this.")
+  in
+  let allocation =
+    Arg.(value & opt float d.Loadgen.allocation
+         & info [ "allocation" ] ~docv:"EPS" ~doc:"ε delegated to each tenant account.")
+  in
+  let scale =
+    Arg.(value & opt float d.Loadgen.scale
+         & info [ "scale" ] ~docv:"FACTOR" ~doc:"ca-GrQc scale factor for the protected graph.")
+  in
+  let seed =
+    Arg.(value & opt int d.Loadgen.seed & info [ "seed" ] ~docv:"SEED" ~doc:"Master PRNG seed.")
+  in
+  let max_per_tenant =
+    Arg.(value & opt int d.Loadgen.max_per_tenant
+         & info [ "max-per-tenant" ] ~docv:"N"
+             ~doc:"Per-tenant cap on concurrently-evaluating queries.")
+  in
+  let queue_limit =
+    Arg.(value & opt int d.Loadgen.queue_limit
+         & info [ "queue-limit" ] ~docv:"N"
+             ~doc:"Bound on waiting submitters before backpressure refusals.")
+  in
+  let timeout =
+    Arg.(value & opt float d.Loadgen.timeout
+         & info [ "timeout" ] ~docv:"SECONDS"
+             ~doc:"Per-query deadline; late answers are discarded and their escrow released. \
+                   0 disables.")
+  in
+  let no_fsync =
+    Arg.(value & flag
+         & info [ "no-fsync" ]
+             ~doc:"Skip the fsync on each journal append (benchmarking only: an \
+                   acknowledged charge may not survive a power loss).")
+  in
+  let keep =
+    Arg.(value & opt int d.Loadgen.keep
+         & info [ "keep" ] ~docv:"N" ~doc:"Ledger snapshot generations retained.")
+  in
+  let make tenants queries submitters epsilon allocation scale seed max_per_tenant
+      queue_limit timeout no_fsync keep =
+    {
+      Loadgen.tenants;
+      queries;
+      submitters;
+      epsilon;
+      allocation;
+      scale;
+      seed;
+      max_per_tenant;
+      queue_limit;
+      timeout;
+      fsync = not no_fsync;
+      keep;
+    }
+  in
+  ( dir,
+    Term.(const make $ tenants $ queries $ submitters $ epsilon $ allocation $ scale $ seed
+          $ max_per_tenant $ queue_limit $ timeout $ no_fsync $ keep) )
+
+let print_outcome (o : Loadgen.outcome) =
+  Printf.printf "admitted       %d\n" o.Loadgen.admitted;
+  Printf.printf "committed      %d\n" o.Loadgen.committed;
+  Printf.printf "refused        budget %d, overload %d, timeout %d, shutdown %d\n"
+    o.Loadgen.refused_budget o.Loadgen.refused_overload o.Loadgen.refused_timeout
+    o.Loadgen.refused_shutdown;
+  Printf.printf "errors         %d\n" o.Loadgen.errors;
+  Printf.printf "wall           %.2fs (%.0f q/s)\n" o.Loadgen.wall_s o.Loadgen.throughput_qps;
+  Printf.printf "recovery       replayed %d, charged-on-doubt %d (ε %.6g), torn bytes %d, \
+                 snapshots rejected %d\n"
+    o.Loadgen.recovery.Ledger.replayed o.Loadgen.recovery.Ledger.charged_on_doubt
+    o.Loadgen.recovery.Ledger.doubt_epsilon o.Loadgen.recovery.Ledger.torn_bytes
+    o.Loadgen.recovery.Ledger.snapshots_rejected;
+  Printf.printf "recovered      %s\n"
+    (if o.Loadgen.recovered_matches then "bit-identical to live state" else "MISMATCH");
+  print_endline "tenant          allocated     spent  committed  available";
+  List.iter
+    (fun (name, v) ->
+      Printf.printf "%-14s %10.4f %9.4f %10.4f %10.4f%s\n" name v.Ledger.v_allocated
+        v.Ledger.v_spent v.Ledger.v_committed
+        (v.Ledger.v_allocated -. v.Ledger.v_spent -. v.Ledger.v_committed)
+        (if v.Ledger.v_retired then "  (retired)" else ""))
+    o.Loadgen.per_tenant;
+  (match o.Loadgen.overspend with
+  | [] -> print_endline "overspend      none"
+  | xs ->
+      List.iter
+        (fun (name, excess) -> Printf.printf "OVERSPEND      %s by ε %.9g\n" name excess)
+        xs)
+
+let run dir cfg =
+  Shutdown.install ();
+  let outcome =
+    Loadgen.run ~stop:Shutdown.requested ~log:prerr_endline ~dir cfg
+  in
+  print_outcome outcome;
+  if outcome.Loadgen.overspend <> [] || not outcome.Loadgen.recovered_matches then 1 else 0
+
+let cmd =
+  let doc = "serve a mixed-tenant wPINQ query load against a crash-safe ε-budget ledger" in
+  let dir, cfg = config_term in
+  Cmd.v (Cmd.info "wpinq-serve" ~doc) Term.(const run $ dir $ cfg)
+
+let () = exit (Cmd.eval' cmd)

@@ -8,7 +8,7 @@ type t = {
   kind : kind;
 }
 
-and kind = Root | Child of group
+and kind = Root | Child of { group : group; cap : float }
 and group = { parent : t; mutable max_spent : float }
 
 type exhausted = { name : string; requested : float; remaining : float }
@@ -32,10 +32,11 @@ let slack = 1e-9
 let rec remaining t =
   match t.kind with
   | Root -> t.total -. t.spent
-  | Child g ->
+  | Child { group = g; cap } ->
       (* The child may reuse the headroom other siblings already paid for
-         (up to the group maximum), plus whatever the parent still has. *)
-      remaining g.parent +. g.max_spent -. t.spent
+         (up to the group maximum), plus whatever the parent still has —
+         bounded by the child's own allocation cap, if it was given one. *)
+      Float.min (cap -. t.spent) (remaining g.parent +. g.max_spent -. t.spent)
 
 let total t = match t.kind with Root -> t.total | Child _ -> t.spent +. remaining t
 let spent t = t.spent
@@ -49,22 +50,25 @@ let rec check t eps =
       if eps > t.total -. t.spent +. slack then
         Some { name = t.name; requested = eps; remaining = t.total -. t.spent }
       else None
-  | Child g ->
-      (* Parallel composition: only the excess over the group's maximum
-         reaches the parent. *)
-      let excess = Float.max 0.0 (t.spent +. eps -. g.max_spent) in
-      if excess > 0.0 then check g.parent excess else None
+  | Child { group = g; cap } ->
+      if eps > cap -. t.spent +. slack then
+        Some { name = t.name; requested = eps; remaining = cap -. t.spent }
+      else
+        (* Parallel composition: only the excess over the group's maximum
+           reaches the parent. *)
+        let excess = Float.max 0.0 (t.spent +. eps -. g.max_spent) in
+        if excess > 0.0 then check g.parent excess else None
 
 let rec commit ~label t eps =
   (match t.kind with
   | Root -> ()
-  | Child g ->
+  | Child { group = g; _ } ->
       let excess = Float.max 0.0 (t.spent +. eps -. g.max_spent) in
       if excess > 0.0 then commit ~label:(t.name ^ "/" ^ label) g.parent excess);
   t.spent <- t.spent +. eps;
   (match t.kind with
   | Root -> ()
-  | Child g -> g.max_spent <- Float.max g.max_spent t.spent);
+  | Child { group = g; _ } -> g.max_spent <- Float.max g.max_spent t.spent);
   t.log <- (label, eps) :: t.log
 
 let charge ?(label = "noisy_count") t eps =
@@ -84,8 +88,23 @@ let try_charge ?(label = "noisy_count") t eps =
 let log t = List.rev t.log
 let parallel_group parent = { parent; max_spent = 0.0 }
 
-let parallel_child g ~name =
-  { name; total = 0.0; spent = 0.0; log = []; kind = Child g }
+let parallel_child ?allocation g ~name =
+  (* Validate the allocation at creation, exactly as [try_charge] treats
+     ε: a NaN or negative cap would silently poison every later charge
+     decision through this account, so it is a programming error here —
+     never a constructed-then-broken budget. *)
+  let cap =
+    match allocation with
+    | None -> Float.infinity
+    | Some a ->
+        if Float.is_nan a then
+          invalid_arg "Budget.parallel_child: allocation must not be NaN";
+        if not (Float.is_finite a) then
+          invalid_arg "Budget.parallel_child: allocation must be finite";
+        if a < 0.0 then invalid_arg "Budget.parallel_child: negative allocation";
+        a
+  in
+  { name; total = 0.0; spent = 0.0; log = []; kind = Child { group = g; cap } }
 
 let save t buf =
   (match t.kind with

@@ -64,9 +64,17 @@ type group
 val parallel_group : t -> group
 (** A fresh parallel account over [parent] (one per Partition operation). *)
 
-val parallel_child : group -> name:string -> t
+val parallel_child : ?allocation:float -> group -> name:string -> t
 (** A child budget for one part.  [charge child eps] forwards
     [max 0 (child_spent + eps − group_max)] to the parent — checking the
     parent {e before} recording anything, so exhaustion is atomic.  A
     child's [remaining] reflects what it could still spend given the
-    parent's state and the group maximum. *)
+    parent's state and the group maximum.
+
+    [allocation], if given, additionally caps the child's cumulative
+    spend: a charge beyond the cap is denied ({!Exhausted} names the
+    child) even when the group still has headroom.  The allocation is
+    validated at creation exactly as {!try_charge} validates ε — NaN,
+    infinite, or negative values raise [Invalid_argument] instead of
+    constructing an account whose every later charge decision is
+    silently poisoned. *)

@@ -307,11 +307,65 @@ module Store = struct
             else removed)
           0 entries
 
+  (* Quarantined evidence ("<gen>.corrupt[.<i>]" plus its ".reason"
+     sibling) follows the same retention policy as live generations:
+     the newest [keep] quarantine groups are preserved for post-mortems,
+     older ones are swept — otherwise a long-running service that keeps
+     hitting (and surviving) corruption fills its checkpoint directory
+     with evidence forever. *)
+  let is_quarantine_file name =
+    (not (Filename.check_suffix name ".reason"))
+    &&
+    let rec contains i =
+      i >= 0
+      && (String.length name - i >= 8 && String.sub name i 8 = ".corrupt"
+         || contains (i - 1))
+    in
+    contains (String.length name - 8)
+
+  let sweep_quarantine t =
+    match Sys.readdir t.dir with
+    | exception Sys_error _ -> 0
+    | entries ->
+        let groups =
+          Array.to_list entries
+          |> List.filter is_quarantine_file
+          |> List.map (fun name ->
+                 let path = Filename.concat t.dir name in
+                 let mtime =
+                   match Unix.stat path with
+                   | { Unix.st_mtime; _ } -> st_mtime
+                   | exception Unix.Unix_error _ -> 0.0
+                 in
+                 (mtime, name, path))
+          |> List.sort (fun (ma, na, _) (mb, nb, _) ->
+                 match compare mb ma with 0 -> compare nb na | c -> c)
+        in
+        List.fold_left
+          (fun (i, removed) (_, _, path) ->
+            if i >= t.keep then begin
+              let removed =
+                match Sys.remove path with
+                | () -> removed + 1
+                | exception Sys_error _ -> removed
+              in
+              let removed =
+                match Sys.remove (path ^ ".reason") with
+                | () -> removed + 1
+                | exception Sys_error _ -> removed
+              in
+              (i + 1, removed)
+            end
+            else (i + 1, removed))
+          (0, 0) groups
+        |> snd
+
   let open_dir ?(keep = 3) dir =
     if keep < 1 then invalid_arg "Store.open_dir: keep must be >= 1";
     mkdir_p dir;
     let t = { dir; keep } in
     ignore (sweep_temps t);
+    ignore (sweep_quarantine t);
     t
 
   let dir t = t.dir
@@ -338,6 +392,7 @@ module Store = struct
       (fun i (_, p) ->
         if i >= t.keep then try Sys.remove p with Sys_error _ -> ())
       (generations t);
+    ignore (sweep_quarantine t);
     path
 
   let quarantine ~path ~reason =
@@ -377,5 +432,9 @@ module Store = struct
               | Ok v -> (Some (v, step, path), List.rev rejected)
               | Error msg -> reject ("decode layer: " ^ msg)))
     in
-    walk [] (generations t)
+    let result = walk [] (generations t) in
+    (* A walk that quarantined anything just grew the evidence pile; apply
+       the same retention policy before handing the result back. *)
+    (match result with _, [] -> () | _, _ :: _ -> ignore (sweep_quarantine t));
+    result
 end

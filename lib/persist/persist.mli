@@ -173,7 +173,18 @@ module Store : sig
   val quarantine : path:string -> reason:string -> string
   (** [quarantine ~path ~reason] renames [path] to a fresh [.corrupt] name,
       records [reason] in a sibling [.reason] file, and returns the new
-      path.  The evidence is preserved, never deleted. *)
+      path.  The evidence is retained for post-mortems under the same
+      rotation policy as live generations (see {!sweep_quarantine}) —
+      never deleted by {!save}'s generation pruning. *)
+
+  val sweep_quarantine : t -> int
+  (** Applies the store's retention count to quarantined evidence: the
+      newest [keep] [.corrupt] files (newest by modification time) survive,
+      older ones are deleted along with their [.reason] siblings.  Returns
+      the number of files removed.  Runs automatically at {!open_dir}, after
+      {!save}'s rotation, and after any {!load_latest} walk that quarantined
+      something — a long-running service that keeps hitting (and surviving)
+      corruption no longer accumulates evidence without bound. *)
 
   val load_latest :
     t ->

@@ -1,0 +1,215 @@
+type refusal =
+  | Insufficient_budget of { tenant : string; requested : float; available : float }
+  | Overloaded of { waiting : int; limit : int }
+  | Timeout of { after : float }
+  | Shutting_down
+  | Rejected of Ledger.refusal
+
+let refusal_to_string = function
+  | Insufficient_budget { tenant; requested; available } ->
+      Printf.sprintf "insufficient budget for %s: requested %g, available %g" tenant
+        requested available
+  | Overloaded { waiting; limit } ->
+      Printf.sprintf "overloaded: %d waiting (limit %d)" waiting limit
+  | Timeout { after } -> Printf.sprintf "deadline expired after %.3fs" after
+  | Shutting_down -> "shutting down"
+  | Rejected r -> Ledger.refusal_to_string r
+
+type stats = {
+  admitted : int;
+  committed : int;
+  released : int;
+  refused_budget : int;
+  refused_overload : int;
+  refused_timeout : int;
+  refused_shutdown : int;
+  refused_other : int;
+}
+
+type t = {
+  ledger : Ledger.t;
+  max_per_tenant : int;
+  queue_limit : int;
+  mutex : Mutex.t;
+  running : (string, int) Hashtbl.t;  (* tenant -> evaluating now *)
+  mutable waiting : int;
+  mutable active : int;  (* escrow taken, evaluation not yet settled *)
+  mutable drain_requested : bool;
+  mutable admitted : int;
+  mutable committed : int;
+  mutable released : int;
+  mutable refused_budget : int;
+  mutable refused_overload : int;
+  mutable refused_timeout : int;
+  mutable refused_shutdown : int;
+  mutable refused_other : int;
+}
+
+let create ?(max_per_tenant = 4) ?(queue_limit = 64) ledger =
+  if max_per_tenant < 1 then invalid_arg "Admit.create: max_per_tenant must be >= 1";
+  if queue_limit < 0 then invalid_arg "Admit.create: queue_limit must be >= 0";
+  {
+    ledger;
+    max_per_tenant;
+    queue_limit;
+    mutex = Mutex.create ();
+    running = Hashtbl.create 16;
+    waiting = 0;
+    active = 0;
+    drain_requested = false;
+    admitted = 0;
+    committed = 0;
+    released = 0;
+    refused_budget = 0;
+    refused_overload = 0;
+    refused_timeout = 0;
+    refused_shutdown = 0;
+    refused_other = 0;
+  }
+
+let ledger t = t.ledger
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let draining t = locked t (fun () -> t.drain_requested)
+let in_flight t = locked t (fun () -> t.active)
+
+let stats t =
+  locked t (fun () ->
+      {
+        admitted = t.admitted;
+        committed = t.committed;
+        released = t.released;
+        refused_budget = t.refused_budget;
+        refused_overload = t.refused_overload;
+        refused_timeout = t.refused_timeout;
+        refused_shutdown = t.refused_shutdown;
+        refused_other = t.refused_other;
+      })
+
+let running_of t tenant = Option.value (Hashtbl.find_opt t.running tenant) ~default:0
+
+(* The wait loop polls rather than blocking on a condition variable: a
+   queued submitter must also wake for its own deadline and for drain,
+   and the stdlib offers no timed wait.  The poll interval bounds the
+   extra admission latency, not throughput — evaluation runs unlocked. *)
+let poll_interval = 0.0005
+
+(* Admission verdict for one locked look at the state.  [`Wait] means the
+   submitter stays queued. *)
+let try_admit t ~tenant ~cost ~label ~deadline ~started ~queued =
+  locked t (fun () ->
+      if t.drain_requested then begin
+        if !queued then begin
+          t.waiting <- t.waiting - 1;
+          queued := false
+        end;
+        t.refused_shutdown <- t.refused_shutdown + 1;
+        `Refused Shutting_down
+      end
+      else if (match deadline with Some d -> Unix.gettimeofday () > d | None -> false)
+      then begin
+        if !queued then begin
+          t.waiting <- t.waiting - 1;
+          queued := false
+        end;
+        t.refused_timeout <- t.refused_timeout + 1;
+        `Refused (Timeout { after = Unix.gettimeofday () -. started })
+      end
+      else if running_of t tenant >= t.max_per_tenant then
+        if !queued then `Wait
+        else if t.waiting >= t.queue_limit then begin
+          t.refused_overload <- t.refused_overload + 1;
+          `Refused (Overloaded { waiting = t.waiting; limit = t.queue_limit })
+        end
+        else begin
+          t.waiting <- t.waiting + 1;
+          queued := true;
+          `Wait
+        end
+      else begin
+        (* A slot is free: take the escrow while still holding the lock,
+           so the slot count and the reservation move together. *)
+        match Ledger.escrow t.ledger ~tenant ~cost ~label with
+        | Error (Ledger.Insufficient_budget { tenant; requested; available }) ->
+            if !queued then begin
+              t.waiting <- t.waiting - 1;
+              queued := false
+            end;
+            t.refused_budget <- t.refused_budget + 1;
+            `Refused (Insufficient_budget { tenant; requested; available })
+        | Error r ->
+            if !queued then begin
+              t.waiting <- t.waiting - 1;
+              queued := false
+            end;
+            t.refused_other <- t.refused_other + 1;
+            `Refused (Rejected r)
+        | Ok id ->
+            if !queued then begin
+              t.waiting <- t.waiting - 1;
+              queued := false
+            end;
+            Hashtbl.replace t.running tenant (running_of t tenant + 1);
+            t.active <- t.active + 1;
+            t.admitted <- t.admitted + 1;
+            `Admitted id
+      end)
+
+let settle t ~tenant ~escrow ~delivered =
+  locked t (fun () ->
+      (if delivered then begin
+         ignore (Ledger.commit t.ledger escrow);
+         t.committed <- t.committed + 1
+       end
+       else begin
+         ignore (Ledger.release t.ledger escrow);
+         t.released <- t.released + 1
+       end);
+      Hashtbl.replace t.running tenant (max 0 (running_of t tenant - 1));
+      t.active <- t.active - 1)
+
+let submit t ~tenant ~cost ?timeout ~label f =
+  let started = Unix.gettimeofday () in
+  let deadline = Option.map (fun s -> started +. s) timeout in
+  let queued = ref false in
+  let rec admit () =
+    match try_admit t ~tenant ~cost ~label ~deadline ~started ~queued with
+    | `Refused r -> Error r
+    | `Admitted id -> Ok id
+    | `Wait ->
+        Unix.sleepf poll_interval;
+        admit ()
+  in
+  match admit () with
+  | Error _ as e -> e
+  | Ok escrow -> (
+      match f () with
+      | exception e ->
+          settle t ~tenant ~escrow ~delivered:false;
+          raise e
+      | answer -> (
+          match deadline with
+          | Some d when Unix.gettimeofday () > d ->
+              (* Too late: the answer is discarded, never delivered, so
+                 the escrow returns — no privacy was consumed. *)
+              settle t ~tenant ~escrow ~delivered:false;
+              locked t (fun () -> t.refused_timeout <- t.refused_timeout + 1);
+              Error (Timeout { after = Unix.gettimeofday () -. started })
+          | _ ->
+              settle t ~tenant ~escrow ~delivered:true;
+              Ok answer))
+
+let drain t =
+  locked t (fun () -> t.drain_requested <- true);
+  let rec wait () =
+    let busy = locked t (fun () -> t.active > 0 || t.waiting > 0) in
+    if busy then begin
+      Unix.sleepf poll_interval;
+      wait ()
+    end
+  in
+  wait ();
+  Ledger.compact t.ledger

@@ -1,0 +1,75 @@
+(** Admission control in front of the budget ledger.
+
+    {!submit} is the one door a query goes through: per-tenant
+    concurrency caps, a bounded wait queue with backpressure, a deadline
+    that refuses late work and auto-releases its escrow, and typed
+    refusals for every way a query can be turned away.  The privacy
+    contract is delegated to {!Ledger}: the query's derived cost (from
+    {!Wpinq_core.Plan.uses}) is escrowed {e before} the evaluation thunk
+    runs, committed when the answer is handed back to the caller, and
+    released on failure, refusal, or expiry — so a crash, an exception,
+    or a timeout can never leak an un-accounted answer, and concurrent
+    submitters can never jointly overspend a shared account.
+
+    Safe to call from many domains at once; evaluation thunks run in the
+    submitting domain, outside the controller's lock. *)
+
+type t
+
+type refusal =
+  | Insufficient_budget of { tenant : string; requested : float; available : float }
+  | Overloaded of { waiting : int; limit : int }
+      (** the wait queue is full — backpressure, try again later *)
+  | Timeout of { after : float }
+      (** the deadline passed (queued too long, or the evaluation
+          finished too late); any escrow was released *)
+  | Shutting_down  (** the controller is draining *)
+  | Rejected of Ledger.refusal
+      (** every other ledger refusal (unknown tenant, invalid ε, …) *)
+
+val refusal_to_string : refusal -> string
+
+type stats = {
+  admitted : int;  (** escrows taken (queries that started evaluating) *)
+  committed : int;  (** answers delivered; escrow became spent *)
+  released : int;  (** escrows returned (failure or late answer) *)
+  refused_budget : int;
+  refused_overload : int;
+  refused_timeout : int;
+  refused_shutdown : int;
+  refused_other : int;
+}
+
+val create : ?max_per_tenant:int -> ?queue_limit:int -> Ledger.t -> t
+(** [max_per_tenant] (default 4) caps a tenant's concurrently-evaluating
+    queries; excess submitters wait.  [queue_limit] (default 64) bounds
+    the total number of waiting submitters across tenants; beyond it,
+    {!submit} refuses with [Overloaded] instead of queueing. *)
+
+val ledger : t -> Ledger.t
+
+val submit :
+  t ->
+  tenant:string ->
+  cost:float ->
+  ?timeout:float ->
+  label:string ->
+  (unit -> 'a) ->
+  ('a, refusal) result
+(** [submit t ~tenant ~cost ~label f] escrows [cost] ε against [tenant],
+    runs [f ()], commits on success and returns its answer.  If [f]
+    raises, the escrow is released and the exception re-raised (the
+    caller sees the failure; the budget does not pay for it).
+    [timeout] (seconds, measured from submission): once expired, a
+    queued query is refused and a finished-but-late answer is {e
+    discarded} — its escrow released, since an answer never delivered
+    costs no privacy. *)
+
+val drain : t -> unit
+(** Graceful shutdown: stop admitting (new and queued submissions refuse
+    with [Shutting_down]), wait for in-flight evaluations to settle
+    their escrows, then compact the ledger.  Idempotent. *)
+
+val draining : t -> bool
+val in_flight : t -> int
+val stats : t -> stats

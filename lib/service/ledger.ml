@@ -1,0 +1,509 @@
+module Codec = Wpinq_persist.Persist.Codec
+
+let slack = 1e-9
+
+type account = {
+  name : string;
+  parent : string option;
+  allocated : float;
+  mutable spent : float;
+  mutable committed : float;
+  mutable retired : bool;
+}
+
+type escrow_entry = { e_id : int; e_tenant : string; e_cost : float; e_label : string }
+
+type refusal =
+  | Insufficient_budget of { tenant : string; requested : float; available : float }
+  | Invalid_epsilon of { tenant : string; value : float }
+  | Unknown_tenant of string
+  | Duplicate_tenant of string
+  | Retired_tenant of string
+  | Unknown_escrow of int
+  | Open_escrows of { tenant : string; count : int }
+  | Has_children of { tenant : string; children : string list }
+
+let refusal_to_string = function
+  | Insufficient_budget { tenant; requested; available } ->
+      Printf.sprintf "insufficient budget for %s: requested %g, available %g" tenant
+        requested available
+  | Invalid_epsilon { tenant; value } ->
+      Printf.sprintf "invalid epsilon %g in a request against %s" value tenant
+  | Unknown_tenant t -> "unknown tenant " ^ t
+  | Duplicate_tenant t -> "tenant " ^ t ^ " already exists"
+  | Retired_tenant t -> "tenant " ^ t ^ " is retired"
+  | Unknown_escrow id -> Printf.sprintf "unknown escrow #%d (settled, or never issued)" id
+  | Open_escrows { tenant; count } ->
+      Printf.sprintf "%s still has %d open escrow(s)" tenant count
+  | Has_children { tenant; children } ->
+      Printf.sprintf "%s still has live delegation(s): %s" tenant
+        (String.concat ", " children)
+
+(* The journaled operation alphabet.  Every mutation of the ledger is one
+   of these, written to the WAL *before* it is applied — recovery is
+   "decode and re-apply", nothing more. *)
+type op =
+  | Op_create of { tenant : string; allocated : float }
+  | Op_delegate of { parent : string; tenant : string; allocated : float }
+  | Op_escrow of { id : int; tenant : string; cost : float; label : string }
+  | Op_commit of { id : int }
+  | Op_release of { id : int }
+  | Op_retire of { tenant : string }
+
+type t = {
+  accounts : (string, account) Hashtbl.t;
+  escrows : (int, escrow_entry) Hashtbl.t;
+  mutable next_escrow : int;
+  mutable seq : int;
+  wal : Wal.t option;
+  compact_every : int;
+  (* Journal records since the *oldest retained* snapshot, oldest first
+     when reversed — kept so compaction can rewrite the journal with the
+     history an older-generation snapshot fallback still needs. *)
+  mutable recent : (int * string) list;
+  mutex : Mutex.t;
+}
+
+type recovery = {
+  replayed : int;
+  charged_on_doubt : int;
+  doubt_epsilon : float;
+  torn_bytes : int;
+  snapshots_rejected : int;
+}
+
+type view = {
+  v_parent : string option;
+  v_allocated : float;
+  v_spent : float;
+  v_committed : float;
+  v_retired : bool;
+}
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* ---- codecs ---- *)
+
+let encode_record seq op =
+  let buf = Buffer.create 64 in
+  Codec.write_int buf seq;
+  (match op with
+  | Op_create { tenant; allocated } ->
+      Codec.write_int buf 0;
+      Codec.write_string buf tenant;
+      Codec.write_float buf allocated
+  | Op_delegate { parent; tenant; allocated } ->
+      Codec.write_int buf 1;
+      Codec.write_string buf parent;
+      Codec.write_string buf tenant;
+      Codec.write_float buf allocated
+  | Op_escrow { id; tenant; cost; label } ->
+      Codec.write_int buf 2;
+      Codec.write_int buf id;
+      Codec.write_string buf tenant;
+      Codec.write_float buf cost;
+      Codec.write_string buf label
+  | Op_commit { id } ->
+      Codec.write_int buf 3;
+      Codec.write_int buf id
+  | Op_release { id } ->
+      Codec.write_int buf 4;
+      Codec.write_int buf id
+  | Op_retire { tenant } ->
+      Codec.write_int buf 5;
+      Codec.write_string buf tenant);
+  Buffer.contents buf
+
+let decode_record payload =
+  let r = Codec.reader payload in
+  let seq = Codec.read_int r in
+  let op =
+    match Codec.read_int r with
+    | 0 ->
+        let tenant = Codec.read_string r in
+        let allocated = Codec.read_float r in
+        Op_create { tenant; allocated }
+    | 1 ->
+        let parent = Codec.read_string r in
+        let tenant = Codec.read_string r in
+        let allocated = Codec.read_float r in
+        Op_delegate { parent; tenant; allocated }
+    | 2 ->
+        let id = Codec.read_int r in
+        let tenant = Codec.read_string r in
+        let cost = Codec.read_float r in
+        let label = Codec.read_string r in
+        Op_escrow { id; tenant; cost; label }
+    | 3 -> Op_commit { id = Codec.read_int r }
+    | 4 -> Op_release { id = Codec.read_int r }
+    | 5 -> Op_retire { tenant = Codec.read_string r }
+    | tag -> raise (Codec.Decode_error (Printf.sprintf "unknown ledger op tag %d" tag))
+  in
+  (seq, op)
+
+let sorted_accounts t =
+  Hashtbl.fold (fun _ a acc -> a :: acc) t.accounts []
+  |> List.sort (fun a b -> compare a.name b.name)
+
+let sorted_escrows t =
+  Hashtbl.fold (fun _ e acc -> e :: acc) t.escrows []
+  |> List.sort (fun a b -> compare a.e_id b.e_id)
+
+let encode_snapshot t =
+  let buf = Buffer.create 256 in
+  Codec.write_int buf t.seq;
+  Codec.write_int buf t.next_escrow;
+  Codec.write_list
+    (fun buf (a : account) ->
+      Codec.write_string buf a.name;
+      Codec.write_bool buf (Option.is_some a.parent);
+      Codec.write_string buf (Option.value a.parent ~default:"");
+      Codec.write_float buf a.allocated;
+      Codec.write_float buf a.spent;
+      Codec.write_float buf a.committed;
+      Codec.write_bool buf a.retired)
+    buf (sorted_accounts t);
+  Codec.write_list
+    (fun buf e ->
+      Codec.write_int buf e.e_id;
+      Codec.write_string buf e.e_tenant;
+      Codec.write_float buf e.e_cost;
+      Codec.write_string buf e.e_label)
+    buf (sorted_escrows t);
+  Buffer.contents buf
+
+let decode_snapshot t payload =
+  let r = Codec.reader payload in
+  t.seq <- Codec.read_int r;
+  t.next_escrow <- Codec.read_int r;
+  let accounts =
+    Codec.read_list
+      (fun r ->
+        let name = Codec.read_string r in
+        let has_parent = Codec.read_bool r in
+        let parent_name = Codec.read_string r in
+        let allocated = Codec.read_float r in
+        let spent = Codec.read_float r in
+        let committed = Codec.read_float r in
+        let retired = Codec.read_bool r in
+        {
+          name;
+          parent = (if has_parent then Some parent_name else None);
+          allocated;
+          spent;
+          committed;
+          retired;
+        })
+      r
+  in
+  let escrows =
+    Codec.read_list
+      (fun r ->
+        let e_id = Codec.read_int r in
+        let e_tenant = Codec.read_string r in
+        let e_cost = Codec.read_float r in
+        let e_label = Codec.read_string r in
+        { e_id; e_tenant; e_cost; e_label })
+      r
+  in
+  List.iter (fun a -> Hashtbl.replace t.accounts a.name a) accounts;
+  List.iter (fun e -> Hashtbl.replace t.escrows e.e_id e) escrows
+
+(* ---- state mutation (validation already done, or replaying) ----
+
+   Returns [Error] instead of raising when a reference is dangling, so
+   replay over a damaged journal can stop conservatively instead of
+   crashing recovery. *)
+
+let apply_op t op =
+  match op with
+  | Op_create { tenant; allocated } ->
+      Hashtbl.replace t.accounts tenant
+        { name = tenant; parent = None; allocated; spent = 0.0; committed = 0.0;
+          retired = false };
+      Ok ()
+  | Op_delegate { parent; tenant; allocated } -> (
+      match Hashtbl.find_opt t.accounts parent with
+      | None -> Error (Unknown_tenant parent)
+      | Some p ->
+          p.committed <- p.committed +. allocated;
+          Hashtbl.replace t.accounts tenant
+            { name = tenant; parent = Some parent; allocated; spent = 0.0;
+              committed = 0.0; retired = false };
+          Ok ())
+  | Op_escrow { id; tenant; cost; label } -> (
+      match Hashtbl.find_opt t.accounts tenant with
+      | None -> Error (Unknown_tenant tenant)
+      | Some a ->
+          a.committed <- a.committed +. cost;
+          Hashtbl.replace t.escrows id
+            { e_id = id; e_tenant = tenant; e_cost = cost; e_label = label };
+          if id >= t.next_escrow then t.next_escrow <- id + 1;
+          Ok ())
+  | Op_commit { id } -> (
+      match Hashtbl.find_opt t.escrows id with
+      | None -> Error (Unknown_escrow id)
+      | Some e -> (
+          match Hashtbl.find_opt t.accounts e.e_tenant with
+          | None -> Error (Unknown_tenant e.e_tenant)
+          | Some a ->
+              a.committed <- a.committed -. e.e_cost;
+              a.spent <- a.spent +. e.e_cost;
+              Hashtbl.remove t.escrows id;
+              Ok ()))
+  | Op_release { id } -> (
+      match Hashtbl.find_opt t.escrows id with
+      | None -> Error (Unknown_escrow id)
+      | Some e -> (
+          match Hashtbl.find_opt t.accounts e.e_tenant with
+          | None -> Error (Unknown_tenant e.e_tenant)
+          | Some a ->
+              a.committed <- a.committed -. e.e_cost;
+              Hashtbl.remove t.escrows id;
+              Ok ()))
+  | Op_retire { tenant } -> (
+      match Hashtbl.find_opt t.accounts tenant with
+      | None -> Error (Unknown_tenant tenant)
+      | Some a ->
+          a.retired <- true;
+          (match a.parent with
+          | None -> ()
+          | Some pname -> (
+              match Hashtbl.find_opt t.accounts pname with
+              | None -> ()
+              | Some p ->
+                  (* The delegation's escrow settles: spent rolls up, the
+                     unspent remainder returns to the parent's available. *)
+                  p.committed <- p.committed -. a.allocated;
+                  p.spent <- p.spent +. a.spent));
+          Ok ())
+
+(* ---- durability ---- *)
+
+let compact_unlocked t =
+  match t.wal with
+  | None -> ()
+  | Some wal ->
+      let snapshot = encode_snapshot t in
+      (* The rewritten journal keeps every record newer than the oldest
+         snapshot generation that survives rotation, so recovery can fall
+         back past a corrupt newest snapshot and still replay forward. *)
+      Wal.compact wal ~seq:t.seq ~snapshot ~retain:(fun oldest ->
+          t.recent <- List.filter (fun (s, _) -> s > oldest) t.recent;
+          List.rev_map snd t.recent)
+
+let submit_op t op =
+  t.seq <- t.seq + 1;
+  (match t.wal with
+  | None -> ()
+  | Some wal ->
+      let record = encode_record t.seq op in
+      Wal.append wal record;
+      t.recent <- (t.seq, record) :: t.recent);
+  match apply_op t op with
+  | Ok () ->
+      (match t.wal with
+      | Some wal when Wal.records_since_compact wal >= t.compact_every ->
+          compact_unlocked t
+      | _ -> ());
+      Ok ()
+  | Error _ as e ->
+      (* Unreachable after validation; surface it rather than hide it. *)
+      e
+
+(* ---- validation ---- *)
+
+let valid_epsilon ~tenant v =
+  if Float.is_finite v && v >= 0.0 then Ok () else Error (Invalid_epsilon { tenant; value = v })
+
+let live_account t tenant =
+  match Hashtbl.find_opt t.accounts tenant with
+  | None -> Error (Unknown_tenant tenant)
+  | Some a when a.retired -> Error (Retired_tenant tenant)
+  | Some a -> Ok a
+
+let available_of (a : account) = a.allocated -. a.spent -. a.committed
+
+let ( let* ) r f = Result.bind r f
+
+(* ---- public operations ---- *)
+
+let create_root t ~tenant ~allocated =
+  locked t (fun () ->
+      let* () = valid_epsilon ~tenant allocated in
+      match Hashtbl.find_opt t.accounts tenant with
+      | Some _ -> Error (Duplicate_tenant tenant)
+      | None -> submit_op t (Op_create { tenant; allocated }))
+
+let delegate t ~parent ~tenant ~allocated =
+  locked t (fun () ->
+      let* () = valid_epsilon ~tenant allocated in
+      let* p = live_account t parent in
+      match Hashtbl.find_opt t.accounts tenant with
+      | Some _ -> Error (Duplicate_tenant tenant)
+      | None ->
+          let avail = available_of p in
+          if allocated > avail +. slack then
+            Error (Insufficient_budget { tenant = parent; requested = allocated; available = avail })
+          else submit_op t (Op_delegate { parent; tenant; allocated }))
+
+let escrow t ~tenant ~cost ~label =
+  locked t (fun () ->
+      let* () = valid_epsilon ~tenant cost in
+      let* a = live_account t tenant in
+      let avail = available_of a in
+      if cost > avail +. slack then
+        Error (Insufficient_budget { tenant; requested = cost; available = avail })
+      else begin
+        let id = t.next_escrow in
+        let* () = submit_op t (Op_escrow { id; tenant; cost; label }) in
+        Ok id
+      end)
+
+let commit t id =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.escrows id with
+      | None -> Error (Unknown_escrow id)
+      | Some _ -> submit_op t (Op_commit { id }))
+
+let release t id =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.escrows id with
+      | None -> Error (Unknown_escrow id)
+      | Some _ -> submit_op t (Op_release { id }))
+
+let retire t ~tenant =
+  locked t (fun () ->
+      let* _a = live_account t tenant in
+      let open_count =
+        Hashtbl.fold
+          (fun _ e n -> if String.equal e.e_tenant tenant then n + 1 else n)
+          t.escrows 0
+      in
+      if open_count > 0 then Error (Open_escrows { tenant; count = open_count })
+      else
+        let children =
+          Hashtbl.fold
+            (fun _ (a : account) acc ->
+              if (not a.retired) && a.parent = Some tenant then a.name :: acc else acc)
+            t.accounts []
+          |> List.sort compare
+        in
+        if children <> [] then Error (Has_children { tenant; children })
+        else submit_op t (Op_retire { tenant }))
+
+(* ---- inspection ---- *)
+
+let view_of (a : account) =
+  {
+    v_parent = a.parent;
+    v_allocated = a.allocated;
+    v_spent = a.spent;
+    v_committed = a.committed;
+    v_retired = a.retired;
+  }
+
+let tenants t =
+  locked t (fun () -> List.map (fun (a : account) -> a.name) (sorted_accounts t))
+
+let view t ~tenant =
+  locked t (fun () -> Option.map view_of (Hashtbl.find_opt t.accounts tenant))
+
+let with_account t tenant f =
+  locked t (fun () -> Option.map f (Hashtbl.find_opt t.accounts tenant))
+
+let allocated t ~tenant = with_account t tenant (fun a -> a.allocated)
+let spent t ~tenant = with_account t tenant (fun a -> a.spent)
+let committed t ~tenant = with_account t tenant (fun a -> a.committed)
+let available t ~tenant = with_account t tenant available_of
+let open_escrows t = locked t (fun () -> Hashtbl.length t.escrows)
+
+let dump t =
+  locked t (fun () -> List.map (fun a -> (a.name, view_of a)) (sorted_accounts t))
+
+let overspend t =
+  locked t (fun () ->
+      List.filter_map
+        (fun (a : account) ->
+          let burden = a.spent +. a.committed in
+          if burden > a.allocated +. slack then Some (a.name, burden -. a.allocated)
+          else None)
+        (sorted_accounts t))
+
+(* ---- construction & recovery ---- *)
+
+let fresh ?wal ?(compact_every = 1024) () =
+  {
+    accounts = Hashtbl.create 16;
+    escrows = Hashtbl.create 16;
+    next_escrow = 0;
+    seq = 0;
+    wal;
+    compact_every;
+    recent = [];
+    mutex = Mutex.create ();
+  }
+
+let create_in_memory () = fresh ()
+
+let compact t = locked t (fun () -> compact_unlocked t)
+
+let close t =
+  locked t (fun () -> match t.wal with None -> () | Some wal -> Wal.close wal)
+
+let open_dir ?keep ?fsync ?compact_every dir =
+  let wal, (wrec : Wal.recovery) = Wal.open_dir ?keep ?fsync dir in
+  let t = fresh ~wal ?compact_every () in
+  (match wrec.Wal.snapshot with
+  | Some (payload, _step) -> decode_snapshot t payload
+  | None -> ());
+  (* Replay the journal over the snapshot.  Records at or below the
+     snapshot's sequence are history the snapshot already contains; a
+     non-contiguous jump or a dangling reference means the journal's tail
+     belongs to a future the surviving snapshot never saw — stop there
+     and let charge-on-doubt resolve what remains. *)
+  let replayed = ref 0 in
+  let rec replay = function
+    | [] -> ()
+    | payload :: rest -> (
+        match decode_record payload with
+        | exception Codec.Decode_error _ -> ()
+        | seq, _ when seq <= t.seq -> replay rest
+        | seq, _ when seq > t.seq + 1 -> ()
+        | seq, op -> (
+            match apply_op t op with
+            | Ok () ->
+                t.seq <- seq;
+                t.recent <- (seq, payload) :: t.recent;
+                incr replayed;
+                replay rest
+            | Error _ -> ()))
+  in
+  replay wrec.Wal.records;
+  (* Charge-on-doubt: an escrow with no commit or release record might
+     have delivered its noisy answer just before the crash — privacy errs
+     safe and treats it as spent.  Deterministic order (by id) so a crash
+     during the post-recovery compact replays identically. *)
+  let doubtful = sorted_escrows t in
+  let doubt_epsilon =
+    List.fold_left
+      (fun acc e ->
+        ignore (apply_op t (Op_commit { id = e.e_id }));
+        acc +. e.e_cost)
+      0.0 doubtful
+  in
+  let recovery =
+    {
+      replayed = !replayed;
+      charged_on_doubt = List.length doubtful;
+      doubt_epsilon;
+      torn_bytes = wrec.Wal.torn_bytes;
+      snapshots_rejected = List.length wrec.Wal.rejected;
+    }
+  in
+  (* Make the recovered state durable immediately: the charge-on-doubt
+     resolutions exist only in memory until this snapshot lands. *)
+  locked t (fun () -> compact_unlocked t);
+  (t, recovery)

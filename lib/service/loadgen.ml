@@ -1,0 +1,212 @@
+module Prng = Wpinq_prng.Prng
+module Graph = Wpinq_graph.Graph
+module Budget = Wpinq_core.Budget
+module Batch = Wpinq_core.Batch
+module Plan = Wpinq_core.Plan
+module Datasets = Wpinq_data.Datasets
+module Qb = Wpinq_queries.Queries.Make (Batch)
+module Qp = Wpinq_queries.Queries.Make (Plan)
+
+type config = {
+  tenants : int;
+  queries : int;
+  submitters : int;
+  epsilon : float;
+  allocation : float;
+  scale : float;
+  seed : int;
+  max_per_tenant : int;
+  queue_limit : int;
+  timeout : float;
+  fsync : bool;
+  keep : int;
+}
+
+let default =
+  {
+    tenants = 8;
+    queries = 1200;
+    submitters = 4;
+    epsilon = 0.1;
+    allocation = 6.0;
+    scale = 0.06;
+    seed = 42;
+    max_per_tenant = 4;
+    queue_limit = 64;
+    timeout = 0.25;
+    fsync = true;
+    keep = 3;
+  }
+
+type outcome = {
+  admitted : int;
+  committed : int;
+  refused_budget : int;
+  refused_overload : int;
+  refused_timeout : int;
+  refused_shutdown : int;
+  errors : int;
+  wall_s : float;
+  throughput_qps : float;
+  overspend : (string * float) list;
+  recovered_matches : bool;
+  recovery : Ledger.recovery;
+  per_tenant : (string * Ledger.view) list;
+}
+
+(* The query mix, with each kind's ε multiplier derived from the reified
+   plan — never asserted by hand.  Computed once per process. *)
+let query_kinds =
+  let uses build =
+    let src = Plan.source ~name:"sym" () in
+    Plan.uses (build src)
+  in
+  [
+    ("degree_ccdf", uses Qp.degree_ccdf);
+    ("jdd", uses Qp.jdd);
+    ("tbi", uses Qp.tbi);
+    ("tbd", uses (fun s -> Qp.tbd s));
+  ]
+
+let root_tenant = "dataset"
+let tenant_name i = Printf.sprintf "tenant-%02d" i
+
+(* Idempotent account setup: on a fresh directory the accounts are
+   created; on a recovered one they already exist and the duplicate
+   refusals are the expected no-op. *)
+let ensure_accounts ledger cfg =
+  let root_allocation = cfg.allocation *. float_of_int cfg.tenants in
+  (match Ledger.create_root ledger ~tenant:root_tenant ~allocated:root_allocation with
+  | Ok () | Error (Ledger.Duplicate_tenant _) -> ()
+  | Error r -> failwith ("loadgen: " ^ Ledger.refusal_to_string r));
+  for i = 0 to cfg.tenants - 1 do
+    match
+      Ledger.delegate ledger ~parent:root_tenant ~tenant:(tenant_name i)
+        ~allocated:cfg.allocation
+    with
+    | Ok () | Error (Ledger.Duplicate_tenant _) -> ()
+    | Error r -> failwith ("loadgen: " ^ Ledger.refusal_to_string r)
+  done
+
+type tally = {
+  mutable t_committed : int;
+  mutable t_budget : int;
+  mutable t_overload : int;
+  mutable t_timeout : int;
+  mutable t_shutdown : int;
+  mutable t_other : int;
+  mutable t_errors : int;
+}
+
+let fresh_tally () =
+  {
+    t_committed = 0;
+    t_budget = 0;
+    t_overload = 0;
+    t_timeout = 0;
+    t_shutdown = 0;
+    t_other = 0;
+    t_errors = 0;
+  }
+
+let submitter ~admit ~secret ~cfg ~stop ~index ~count () =
+  let rng = Prng.create (cfg.seed + (7919 * (index + 1))) in
+  (* Each submitter evaluates against its own batch context: the ledger
+     is the shared spending authority; evaluation state is private to the
+     domain.  The context budget is a local backstop, not the ledger. *)
+  let context_budget = Budget.create ~name:(Printf.sprintf "ctx-%d" index) 1e12 in
+  let sym = Batch.source_records ~budget:context_budget (Graph.directed_edges secret) in
+  let build = function
+    | "degree_ccdf" -> fun () -> ignore (Batch.noisy_count ~rng ~epsilon:cfg.epsilon (Qb.degree_ccdf sym))
+    | "jdd" -> fun () -> ignore (Batch.noisy_count ~rng ~epsilon:cfg.epsilon (Qb.jdd sym))
+    | "tbi" -> fun () -> ignore (Batch.noisy_count ~rng ~epsilon:cfg.epsilon (Qb.tbi sym))
+    | "tbd" -> fun () -> ignore (Batch.noisy_count ~rng ~epsilon:cfg.epsilon (Qb.tbd sym))
+    | kind -> invalid_arg ("unknown query kind " ^ kind)
+  in
+  let kinds = Array.of_list query_kinds in
+  let tally = fresh_tally () in
+  (try
+     for _ = 1 to count do
+       if stop () then raise Exit;
+       let tenant = tenant_name (Prng.int rng cfg.tenants) in
+       let kind, uses = kinds.(Prng.int rng (Array.length kinds)) in
+       let cost = float_of_int uses *. cfg.epsilon in
+       let timeout = if cfg.timeout > 0.0 then Some cfg.timeout else None in
+       match
+         Admit.submit admit ~tenant ~cost ?timeout ~label:kind (build kind)
+       with
+       | Ok () -> tally.t_committed <- tally.t_committed + 1
+       | Error (Admit.Insufficient_budget _) -> tally.t_budget <- tally.t_budget + 1
+       | Error (Admit.Overloaded _) -> tally.t_overload <- tally.t_overload + 1
+       | Error (Admit.Timeout _) -> tally.t_timeout <- tally.t_timeout + 1
+       | Error Admit.Shutting_down -> tally.t_shutdown <- tally.t_shutdown + 1
+       | Error (Admit.Rejected _) -> tally.t_other <- tally.t_other + 1
+       | exception Exit -> raise Exit
+       | exception _ -> tally.t_errors <- tally.t_errors + 1
+     done
+   with Exit -> ());
+  tally
+
+let run ?(stop = fun () -> false) ?(log = fun _ -> ()) ~dir cfg =
+  if cfg.tenants < 1 then invalid_arg "Loadgen.run: tenants must be >= 1";
+  if cfg.submitters < 1 then invalid_arg "Loadgen.run: submitters must be >= 1";
+  let ledger, _initial_recovery =
+    Ledger.open_dir ~keep:cfg.keep ~fsync:cfg.fsync dir
+  in
+  ensure_accounts ledger cfg;
+  let admit = Admit.create ~max_per_tenant:cfg.max_per_tenant ~queue_limit:cfg.queue_limit ledger in
+  let secret = Datasets.load ~scale:cfg.scale Datasets.grqc in
+  log
+    (Printf.sprintf "serving %d queries from %d submitters over %d tenants (ε=%g)"
+       cfg.queries cfg.submitters cfg.tenants cfg.epsilon);
+  let share i =
+    (* Distribute queries as evenly as integer division allows. *)
+    (cfg.queries / cfg.submitters) + (if i < cfg.queries mod cfg.submitters then 1 else 0)
+  in
+  let t0 = Unix.gettimeofday () in
+  let domains =
+    List.init cfg.submitters (fun i ->
+        Domain.spawn (submitter ~admit ~secret ~cfg ~stop ~index:i ~count:(share i)))
+  in
+  let tallies = List.map Domain.join domains in
+  Admit.drain admit;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let stats = Admit.stats admit in
+  let sum f = List.fold_left (fun acc t -> acc + f t) 0 tallies in
+  let committed = sum (fun t -> t.t_committed) in
+  let errors = sum (fun t -> t.t_errors) in
+  let overspend = Ledger.overspend ledger in
+  let live_dump = Ledger.dump ledger in
+  let per_tenant =
+    List.filter (fun (name, _) -> name <> root_tenant) live_dump
+  in
+  Ledger.close ledger;
+  (* Crash-recovery self-check: reopening the directory must reproduce
+     the drained ledger exactly — same tenants, same spent bit patterns. *)
+  let reopened, recovery = Ledger.open_dir ~keep:cfg.keep ~fsync:cfg.fsync dir in
+  let recovered_matches = Ledger.dump reopened = live_dump in
+  Ledger.close reopened;
+  log
+    (Printf.sprintf
+       "settled in %.2fs: %d committed, %d refused (budget %d, overload %d, timeout %d), \
+        overspend %d, recovered_matches %b"
+       wall_s committed
+       (stats.Admit.refused_budget + stats.Admit.refused_overload
+      + stats.Admit.refused_timeout + stats.Admit.refused_shutdown)
+       stats.Admit.refused_budget stats.Admit.refused_overload stats.Admit.refused_timeout
+       (List.length overspend) recovered_matches);
+  {
+    admitted = stats.Admit.admitted;
+    committed;
+    refused_budget = stats.Admit.refused_budget;
+    refused_overload = stats.Admit.refused_overload;
+    refused_timeout = stats.Admit.refused_timeout;
+    refused_shutdown = stats.Admit.refused_shutdown;
+    errors;
+    wall_s;
+    throughput_qps = (if wall_s > 0.0 then float_of_int cfg.queries /. wall_s else 0.0);
+    overspend;
+    recovered_matches;
+    recovery;
+    per_tenant;
+  }

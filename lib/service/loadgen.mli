@@ -1,0 +1,60 @@
+(** A mixed-tenant load generator for the budget ledger and admission
+    layer — the shared engine behind [bench/main.exe --serve] and the
+    [bin/serve.exe] driver.
+
+    It opens (or recovers) a durable ledger, delegates per-tenant
+    sub-budgets out of one root dataset account, and fires a stream of
+    wPINQ queries at the admission controller from several concurrent
+    submitter domains.  Each query's ε cost is {e derived} from its
+    reified plan ({!Wpinq_core.Plan.uses} × ε), escrowed at admission,
+    and committed only when the noisy answer comes back.  Afterwards it
+    drains, checks every tenant's books for overspend, and re-opens the
+    ledger directory to prove the recovered state matches the live one
+    bit-for-bit. *)
+
+type config = {
+  tenants : int;  (** delegated analyst accounts (≥ 1) *)
+  queries : int;  (** total submissions across all submitters *)
+  submitters : int;  (** concurrent submitter domains (≥ 1) *)
+  epsilon : float;  (** per-use ε; query cost = plan uses × this *)
+  allocation : float;  (** ε delegated to each tenant *)
+  scale : float;  (** ca-GrQc scale factor for the protected graph *)
+  seed : int;
+  max_per_tenant : int;
+  queue_limit : int;
+  timeout : float;  (** per-query deadline in seconds; [0.] disables *)
+  fsync : bool;  (** fsync every WAL append (disable only to benchmark) *)
+  keep : int;  (** ledger snapshot generations retained *)
+}
+
+val default : config
+(** 8 tenants, 1200 queries, 4 submitters, ε 0.1, allocation 6.0,
+    scale 0.06, fsynced, deadline 0.25s. *)
+
+type outcome = {
+  admitted : int;
+  committed : int;
+  refused_budget : int;
+  refused_overload : int;
+  refused_timeout : int;
+  refused_shutdown : int;
+  errors : int;  (** evaluation thunks that raised *)
+  wall_s : float;
+  throughput_qps : float;  (** submissions settled per second *)
+  overspend : (string * float) list;
+      (** tenants whose spent+committed exceeds allocated — must be [] *)
+  recovered_matches : bool;
+      (** reopened ledger dump equals the live one bit-for-bit *)
+  recovery : Ledger.recovery;  (** what reopening the directory replayed *)
+  per_tenant : (string * Ledger.view) list;
+}
+
+val run : ?stop:(unit -> bool) -> ?log:(string -> unit) -> dir:string -> config -> outcome
+(** [stop] is polled between submissions (wire it to
+    {!Wpinq_infer.Shutdown.requested}): once true, submitters finish
+    their in-flight query and the controller drains.  [log] receives
+    one-line progress notes. *)
+
+val query_kinds : (string * int) list
+(** The generated query mix with each kind's plan-derived source-use
+    count (the ε multiplier) — degree CCDF 1×, JDD 4×, TbI 4×, TbD 9×. *)

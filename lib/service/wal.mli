@@ -1,0 +1,72 @@
+(** A write-ahead journal for the budget ledger: checksummed appends,
+    fsync-hardened durability, and generational snapshot compaction.
+
+    The journal is one append-only file ([wal.log]) of self-checking
+    records: [length | MD5(payload) | payload].  A record is only
+    acknowledged after it is flushed and fsynced, so an acknowledged
+    ledger mutation survives any crash.  Torn tails — a crash mid-append
+    — are detected on open (bad length, bad digest, or missing bytes) and
+    trimmed back to the last whole record; everything after the first
+    damaged record is discarded, because record order is the ledger's
+    replay order and nothing later can be trusted to apply cleanly.
+
+    Compaction bounds the journal: the caller serializes its full state
+    into a snapshot, which is written as a generation of a
+    {!Wpinq_persist.Persist.Store} ([ckpt-<seq>.wpq], checksummed,
+    retained/rotated), and the journal is atomically reset to empty.  A
+    crash between the two steps is benign as long as every record carries
+    a monotone sequence number and replay skips records at or below the
+    snapshot's — the contract {!Ledger} maintains.
+
+    Fault-injection sites (see {!Wpinq_persist.Persist.Fault}):
+    ["wal.append"] before a record's bytes are written, ["wal.fsync"]
+    before the append's fsync, ["wal.compact"] before the snapshot is
+    written, ["wal.reset"] between snapshot write and journal reset, and
+    ["wal.replay"] once per surviving record during {!open_dir} — plus
+    every [atomic.*] site under the snapshot and reset writes. *)
+
+type t
+
+type recovery = {
+  snapshot : (string * int) option;
+      (** newest valid snapshot payload and its sequence number *)
+  records : string list;
+      (** surviving journal records, append order (the valid prefix) *)
+  torn_bytes : int;
+      (** journal bytes discarded after the last whole record *)
+  rejected : Wpinq_persist.Persist.Store.rejected list;
+      (** snapshot generations quarantined while finding a valid one *)
+}
+
+val open_dir : ?keep:int -> ?fsync:bool -> string -> t * recovery
+(** [open_dir dir] creates [dir] if needed, loads the newest valid
+    snapshot (quarantining corrupt generations, exactly as checkpoint
+    recovery does), parses the journal's valid prefix, trims any torn
+    tail, and opens the journal for appending.  [keep] is the snapshot
+    retention count (default 3).  [fsync] (default [true]) may be
+    disabled for throughput experiments — never in production, since an
+    unfsynced acknowledgment can be lost by a power failure. *)
+
+val append : t -> string -> unit
+(** [append t payload] durably appends one record: the write is flushed
+    and fsynced before returning.  The payload is opaque to the journal. *)
+
+val compact : t -> seq:int -> snapshot:string -> retain:(int -> string list) -> unit
+(** [compact t ~seq ~snapshot ~retain] writes [snapshot] as generation
+    [seq] of the snapshot store, then atomically rewrites the journal to
+    [retain oldest], where [oldest] is the sequence number of the oldest
+    snapshot generation that survived rotation.  The caller must return
+    (in append order) every record newer than [oldest]: that is exactly
+    the history recovery needs if it has to fall back past a corrupted
+    newer snapshot to that oldest generation.  After a crash between the
+    two writes, the stale journal's records all carry sequence numbers
+    the new snapshot already covers, and replay skips them. *)
+
+val records_since_compact : t -> int
+(** Appends since the last {!compact} (sizing heuristic for
+    auto-compaction; the rewritten journal's retained records do not
+    count). *)
+
+val dir : t -> string
+val close : t -> unit
+(** Closes the journal channel.  Further appends raise. *)

@@ -13,6 +13,7 @@ module Batch = Wpinq_core.Batch
 module Flow = Wpinq_core.Flow
 module Measurement = Wpinq_core.Measurement
 module Mechanisms = Wpinq_core.Mechanisms
+module Plan = Wpinq_core.Plan
 module Queries = Wpinq_queries.Queries
 module Graph = Wpinq_graph.Graph
 module Gen = Wpinq_graph.Gen
@@ -27,3 +28,7 @@ module Workflow = Wpinq_infer.Workflow
 module Datasets = Wpinq_data.Datasets
 module Pinq = Wpinq_baselines.Pinq
 module Smooth = Wpinq_baselines.Smooth
+module Wal = Wpinq_service.Wal
+module Ledger = Wpinq_service.Ledger
+module Admit = Wpinq_service.Admit
+module Loadgen = Wpinq_service.Loadgen

@@ -16,6 +16,7 @@ module Persist = Wpinq_persist.Persist
 module Fault = Persist.Fault
 module W = Wpinq_infer.Workflow
 module Mcmc = Wpinq_infer.Mcmc
+module Ledger = Wpinq_service.Ledger
 
 let steps = 1500
 let every = 300
@@ -156,24 +157,251 @@ let multicore_round st round =
         round kill_at n_corrupt n_gens;
       got)
 
+(* ---------------- the budget-ledger arm of the matrix ----------------
+
+   A scripted mixed-tenant run (one root, four delegated tenants, a
+   deterministic escrow/commit/release stream) killed at every WAL and
+   atomic-layer fault-injection site, then recovered.  After every
+   kill/corrupt/recover cycle the books must satisfy, for every tenant,
+
+     spent + committed <= allocated   (zero overspend)
+
+   and every *acknowledged* commit — one whose [Ledger.commit] returned
+   [Ok] before the kill — must still be counted in the recovered spent
+   (an fsynced acknowledgment is durable).  Clean runs must replay
+   bit-identically against an in-memory serial reference. *)
+
+let ledger_ops = 160
+
+(* The deterministic program.  [acks] accumulates per-tenant ε whose
+   commit was acknowledged — the durability obligation. *)
+let ledger_program ?acks l rng =
+  let note tenant cost =
+    match acks with
+    | None -> ()
+    | Some h ->
+        Hashtbl.replace h tenant
+          (cost +. Option.value (Hashtbl.find_opt h tenant) ~default:0.0)
+  in
+  (match Ledger.create_root l ~tenant:"root" ~allocated:8.0 with
+  | Ok () | Error _ -> ());
+  for i = 0 to 3 do
+    ignore
+      (Ledger.delegate l ~parent:"root" ~tenant:(Printf.sprintf "a%d" i) ~allocated:1.5)
+  done;
+  let open_ids = ref [] in
+  for _ = 1 to ledger_ops do
+    let tenant = Printf.sprintf "a%d" (Prng.int rng 4) in
+    match Prng.int rng 4 with
+    | 0 | 1 -> (
+        let cost = 0.01 *. float_of_int (1 + Prng.int rng 10) in
+        match Ledger.escrow l ~tenant ~cost ~label:"q" with
+        | Ok id -> open_ids := (id, tenant, cost) :: !open_ids
+        | Error _ -> ())
+    | 2 -> (
+        match !open_ids with
+        | (id, tenant, cost) :: rest ->
+            (match Ledger.commit l id with Ok () -> note tenant cost | Error _ -> ());
+            open_ids := rest
+        | [] -> ())
+    | _ -> (
+        match !open_ids with
+        | (id, _, _) :: rest ->
+            ignore (Ledger.release l id);
+            open_ids := rest
+        | [] -> ())
+  done;
+  List.iter
+    (fun (id, tenant, cost) ->
+      match Ledger.commit l id with Ok () -> note tenant cost | Error _ -> ())
+    !open_ids
+
+(* Recovery may itself be killed by a still-armed fault (that, too, is a
+   crash point); a real operator would simply restart, so we do. *)
+let rec recover_with_retry dir =
+  match Ledger.open_dir dir with
+  | exception Fault.Injected _ ->
+      Fault.disarm ();
+      recover_with_retry dir
+  | opened -> opened
+
+let check_books name l ~acks =
+  (match Ledger.overspend l with
+  | [] -> ()
+  | (tenant, excess) :: _ ->
+      check (Printf.sprintf "%s: ZERO overspend (%s over by %.12g)" name tenant excess) false);
+  check (name ^ ": no escrow survives recovery open") (Ledger.open_escrows l = 0);
+  match acks with
+  | None -> ()
+  | Some h ->
+      Hashtbl.iter
+        (fun tenant eps ->
+          match Ledger.spent l ~tenant with
+          | Some s ->
+              check
+                (Printf.sprintf "%s: acknowledged ε durable for %s (%.6g >= %.6g)" name
+                   tenant s eps)
+                (s +. 1e-9 >= eps)
+          | None -> check (name ^ ": tenant " ^ tenant ^ " survives recovery") false)
+        h
+
+(* Recovery must also be *stable*: recovering the recovered state is the
+   identity, bit for bit. *)
+let check_recovery_stable name dir first_dump =
+  let l, recovery = recover_with_retry dir in
+  check (name ^ ": recovery is idempotent") (Ledger.dump l = first_dump);
+  check (name ^ ": nothing left in doubt on second open")
+    (recovery.Ledger.charged_on_doubt = 0);
+  Ledger.close l
+
+let ledger_armed_round st r site =
+  with_store_dir (fun dir ->
+      let acks = Hashtbl.create 8 in
+      let after =
+        match site with
+        | "wal.append" | "wal.fsync" -> 1 + Random.State.int st 80
+        | "wal.replay" -> 1 + Random.State.int st 30
+        | "wal.compact" | "wal.reset" -> 1 + Random.State.int st 3
+        | _ -> 1 + Random.State.int st 6 (* atomic.* fire twice per compaction *)
+      in
+      let killed =
+        if String.equal site "wal.replay" then begin
+          (* This site only fires while parsing the journal on open: run
+             the program cleanly, then kill the *recovery*. *)
+          let l, _ = Ledger.open_dir ~compact_every:8 dir in
+          ledger_program ~acks l (Prng.create ((1000 * r) + 7));
+          Ledger.close l;
+          Fault.arm ~site ~after;
+          true
+        end
+        else begin
+          Fault.arm ~site ~after;
+          match
+            let l, _ = Ledger.open_dir ~compact_every:8 dir in
+            ledger_program ~acks l (Prng.create ((1000 * r) + 7))
+            (* Simulated kill: the live ledger is abandoned un-closed. *)
+          with
+          | () -> false
+          | exception Fault.Injected _ -> true
+        end
+      in
+      let l, _recovery = recover_with_retry dir in
+      let name = Printf.sprintf "round %d [%s after %d]" r site after in
+      check_books name l ~acks:(Some acks);
+      let dump = Ledger.dump l in
+      Ledger.close l;
+      check_recovery_stable name dir dump;
+      Printf.printf "%s: %s — books safe\n%!" name
+        (if killed then "killed and recovered" else "fault never fired (clean finish)"))
+
+let ledger_corrupt_round st r =
+  with_store_dir (fun dir ->
+      let l, _ = Ledger.open_dir ~compact_every:8 dir in
+      ledger_program l (Prng.create ((500 * r) + 3));
+      Ledger.close l;
+      (* Bit rot over a random non-empty subset of the durable artifacts:
+         the journal and any snapshot generation are all fair game (even
+         all of them at once — recovery must never overspend, whatever
+         survives). *)
+      let targets =
+        Filename.concat dir "wal.log"
+        :: (Array.to_list (Sys.readdir dir)
+           |> List.filter (fun n -> Filename.check_suffix n ".wpq")
+           |> List.map (Filename.concat dir))
+      in
+      let n = 1 + Random.State.int st (List.length targets) in
+      let victims = List.filteri (fun i _ -> i < n) targets in
+      List.iter
+        (fun path ->
+          let size = max 1 (Unix.stat path).Unix.st_size in
+          Fault.corrupt ~path (random_corruption st size))
+        victims;
+      let l', _recovery = recover_with_retry dir in
+      let name = Printf.sprintf "corrupt round %d (%d/%d artifacts)" r n (List.length targets) in
+      check_books name l' ~acks:None;
+      let dump = Ledger.dump l' in
+      Ledger.close l';
+      check_recovery_stable name dir dump;
+      Printf.printf "%s — books safe\n%!" name)
+
+let ledger_clean_round r =
+  with_store_dir (fun dir ->
+      let mem = Ledger.create_in_memory () in
+      let dur, _ = Ledger.open_dir ~compact_every:8 dir in
+      let seed = (77 * r) + 5 in
+      ledger_program mem (Prng.create seed);
+      ledger_program dur (Prng.create seed);
+      let name = Printf.sprintf "clean round %d" r in
+      check (name ^ ": durable run matches in-memory serial reference")
+        (Ledger.dump dur = Ledger.dump mem);
+      check_books name dur ~acks:None;
+      let live = Ledger.dump dur in
+      Ledger.close dur;
+      let dur', recovery = recover_with_retry dir in
+      check (name ^ ": clean replay is bit-identical") (Ledger.dump dur' = live);
+      check (name ^ ": nothing charged on doubt") (recovery.Ledger.charged_on_doubt = 0);
+      Ledger.close dur';
+      Printf.printf "%s — serial reference matched\n%!" name)
+
+let ledger_sites =
+  [
+    "wal.append";
+    "wal.fsync";
+    "wal.compact";
+    "wal.reset";
+    "wal.replay";
+    "atomic.write";
+    "atomic.fsync";
+    "atomic.rename";
+    "atomic.dirsync";
+  ]
+
+let ledger_matrix st ~rounds =
+  for r = 1 to max 1 (rounds / 2) do
+    ledger_clean_round r
+  done;
+  List.iteri
+    (fun i site ->
+      for k = 1 to rounds do
+        ledger_armed_round st ((i * rounds) + k) site
+      done)
+    ledger_sites;
+  for r = 1 to rounds do
+    ledger_corrupt_round st r
+  done
+
 let () =
   let seed = ref 1 and rounds = ref 5 in
+  let ledger_only = ref false and mcmc_only = ref false in
   Arg.parse
     [
       ("--seed", Arg.Set_int seed, "N  master seed for the randomized matrix (default 1)");
       ("--rounds", Arg.Set_int rounds, "N  kill/corrupt rounds to run (default 5)");
+      ("--ledger-only", Arg.Set ledger_only, "  run only the budget-ledger arm");
+      ("--mcmc-only", Arg.Set mcmc_only, "  run only the synthesis-checkpoint arm");
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "fault_matrix [--seed N] [--rounds N]";
+    "fault_matrix [--seed N] [--rounds N] [--ledger-only | --mcmc-only]";
   let st = Random.State.make [| !seed |] in
-  let reference = with_store_dir (fun dir -> synthesize (Persist.Store.open_dir ~keep dir)) in
-  for r = 1 to !rounds do
-    check_result r reference (round st r)
-  done;
-  check_result (!rounds + 1) reference (multicore_round st (!rounds + 1));
+  if not !ledger_only then begin
+    let reference =
+      with_store_dir (fun dir -> synthesize (Persist.Store.open_dir ~keep dir))
+    in
+    for r = 1 to !rounds do
+      check_result r reference (round st r)
+    done;
+    check_result (!rounds + 1) reference (multicore_round st (!rounds + 1))
+  end;
+  if not !mcmc_only then ledger_matrix st ~rounds:!rounds;
   if !failures > 0 then begin
-    Printf.eprintf "%d mismatch(es) against the uninterrupted reference\n%!" !failures;
+    Printf.eprintf "%d failure(s) across the matrix\n%!" !failures;
     exit 1
   end;
-  Printf.printf "all %d rounds (plus 1 multicore) recovered bit-identically (seed %d)\n%!"
-    !rounds !seed
+  Printf.printf "full matrix clean (seed %d): %s%s\n%!" !seed
+    (if !ledger_only then ""
+     else Printf.sprintf "%d synthesis rounds (plus 1 multicore) bit-identical" !rounds)
+    (if !mcmc_only then ""
+     else
+       Printf.sprintf "%s%d ledger arm-point rounds, zero overspend at every site"
+         (if !ledger_only then "" else "; ")
+         ((List.length ledger_sites * !rounds) + !rounds + max 1 (!rounds / 2)))

@@ -372,6 +372,39 @@ let test_budget_save_load () =
   | exception Invalid_argument _ -> ()
   | () -> Alcotest.fail "child budget serialized"
 
+let test_parallel_child_allocation () =
+  let b = Budget.create ~name:"parent" 10.0 in
+  let g = Budget.parallel_group b in
+  (* The allocation is validated at creation, exactly as try_charge
+     validates ε: a poisoned cap must never construct an account. *)
+  List.iter
+    (fun bad ->
+      match Budget.parallel_child ~allocation:bad g ~name:"part" with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "parallel_child accepted allocation %h" bad)
+    [ Float.nan; Float.infinity; Float.neg_infinity; -0.25 ];
+  (* A valid allocation caps the child's cumulative spend even while the
+     group still has headroom. *)
+  let child = Budget.parallel_child ~allocation:0.5 g ~name:"capped" in
+  Budget.charge child 0.4;
+  (match Budget.try_charge child 0.2 with
+  | Error { Budget.name; requested; remaining } ->
+      Alcotest.(check string) "cap denial names the child" "capped" name;
+      check_close "requested" 0.2 requested;
+      check_close "remaining under cap" 0.1 remaining
+  | Ok () -> Alcotest.fail "charge beyond allocation accepted");
+  check_close "denial spent nothing" 0.4 (Budget.spent child);
+  (* A zero allocation is valid and simply refuses everything. *)
+  let frozen = Budget.parallel_child ~allocation:0.0 g ~name:"frozen" in
+  (match Budget.try_charge frozen 0.1 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "zero-allocation child accepted a charge");
+  (* An uncapped child still behaves as before: bounded by the parent and
+     the group maximum only. *)
+  let free = Budget.parallel_child g ~name:"free" in
+  Budget.charge free 1.0;
+  check_close "uncapped child spends normally" 1.0 (Budget.spent free)
+
 let test_measurement_save_load () =
   let module Codec = Wpinq_persist.Persist.Codec in
   let b = Budget.create ~name:"d" 1e9 in
@@ -412,6 +445,7 @@ let suite =
     Alcotest.test_case "batch = flow on composite query" `Quick test_batch_flow_agree;
     Alcotest.test_case "partition contents" `Quick test_partition_contents;
     Alcotest.test_case "parallel composition" `Quick test_parallel_composition;
+    Alcotest.test_case "parallel child allocation cap" `Quick test_parallel_child_allocation;
     Alcotest.test_case "noisy_sum" `Quick test_noisy_sum;
     Alcotest.test_case "noisy_sum noise scale" `Quick test_noisy_sum_noise_scale;
     Alcotest.test_case "noisy_average" `Quick test_noisy_average;

@@ -408,6 +408,53 @@ let test_store_sweeps_stale_temps_on_open () =
         "good generation untouched" [ 100 ]
         (List.map fst (Persist.Store.generations store2)))
 
+let test_store_quarantine_sweep () =
+  with_temp_dir (fun dir ->
+      let store = Persist.Store.open_dir ~keep:2 dir in
+      (* Five quarantine groups with strictly ordered mtimes (oldest
+         first), each with its reason sibling. *)
+      let quarantined =
+        List.map
+          (fun i ->
+            let path = Filename.concat dir (Printf.sprintf "ckpt-%d.wpq" i) in
+            let oc = open_out path in
+            output_string oc "junk";
+            close_out oc;
+            let dst = Persist.Store.quarantine ~path ~reason:"test evidence" in
+            let t = Unix.gettimeofday () -. (10.0 *. float_of_int (5 - i)) in
+            Unix.utimes dst t t;
+            dst)
+          [ 1; 2; 3; 4; 5 ]
+      in
+      List.iter
+        (fun dst ->
+          Alcotest.(check bool) "reason recorded" true (Sys.file_exists (dst ^ ".reason")))
+        quarantined;
+      (* Retention applies to evidence exactly as to generations: the
+         newest [keep] groups survive, older ones go — corrupt file and
+         reason sibling together. *)
+      let removed = Persist.Store.sweep_quarantine store in
+      Alcotest.(check int) "three groups swept (evidence + reason)" 6 removed;
+      let survivors =
+        Array.to_list (Sys.readdir dir)
+        |> List.filter (fun n -> not (Filename.check_suffix n ".reason"))
+        |> List.sort compare
+      in
+      Alcotest.(check (list string))
+        "newest two groups kept"
+        [ "ckpt-4.wpq.corrupt"; "ckpt-5.wpq.corrupt" ]
+        survivors;
+      List.iter
+        (fun dst ->
+          let keep = Sys.file_exists dst in
+          let base = Filename.basename dst in
+          Alcotest.(check bool) ("reason follows evidence for " ^ base) keep
+            (Sys.file_exists (dst ^ ".reason")))
+        quarantined;
+      (* Idempotent: a second sweep has nothing left to do. *)
+      Alcotest.(check int) "second sweep is a no-op" 0
+        (Persist.Store.sweep_quarantine store))
+
 let suite =
   [
     Alcotest.test_case "codec round-trip" `Quick test_codec_roundtrip;
@@ -441,4 +488,6 @@ let suite =
     Alcotest.test_case "store all generations corrupt" `Quick test_store_all_corrupt;
     Alcotest.test_case "store sweeps stale temps on open" `Quick
       test_store_sweeps_stale_temps_on_open;
+    Alcotest.test_case "store quarantine retention sweep" `Quick
+      test_store_quarantine_sweep;
   ]

@@ -21,4 +21,5 @@ let () =
       ("baselines", Test_baselines.suite);
       ("laws", Test_laws.suite);
       ("experiments", Test_experiments.suite);
+      ("ledger", Test_ledger.suite);
     ]
