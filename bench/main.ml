@@ -322,23 +322,60 @@ let multi_bench ~smoke () =
 (* ---------------- Part 5: parallel speculative lookahead -----------------
 
    The same shared-plan multi-query fit driven through [Fit.run ~jobs]: one
-   arm per lookahead width, every arm reconstructing an identical fit (same
-   secret, same measurement seed, same walk seed).  The realized chain is
-   bit-identical across widths by construction — the arms cross-check
-   accepted/invalid counts, final energies (bit patterns) and final edge
-   arrays, and [identical_walks] records the verdict (the process exits
-   nonzero if it ever goes false, which is what the CI multicore smoke job
-   asserts).  Speedups are honest wall-clock ratios on this host; the
-   [host] header block records how many domains the host recommends, so a
-   single-core container's flat curve is interpretable. *)
+   arm per (jobs, width-policy) point, every arm reconstructing an
+   identical fit (same secret, same measurement seed, same walk seed).
+   The realized chain is bit-identical across every arm by construction —
+   the arms cross-check accepted/invalid counts, final energies (bit
+   patterns) and final edge arrays, and [identical_walks] records the
+   verdict (the process exits nonzero if it ever goes false, which is what
+   the CI multicore job asserts).  Speedups are honest wall-clock ratios
+   on this host.
 
-let parallel_bench ~smoke ~arms () =
+   On a single-core host (recommended_domain_count = 1) a jobs sweep only
+   measures domain time-slicing overhead — every "speedup" is a slowdown
+   by construction and says nothing about the scheduler.  The sweep is
+   therefore skipped there ([sweep_status = "skipped_single_core"]) and
+   only the jobs = 1 arms run: the serial reference and the adaptive-width
+   policy driven inline, which still cross-checks width-invariance and
+   records the per-phase counters. *)
+
+type parallel_arm = { arm_label : string; arm_jobs : int; arm_width : Wpinq_infer.Mcmc.width }
+
+let parallel_bench ~smoke ~max_jobs () =
   banner "Part 5: parallel speculative lookahead benchmark";
+  let module Mcmc = Wpinq_infer.Mcmc in
   let scale, steps = if smoke then (0.12, 2_000) else (0.25, 8_000) in
+  let host_parallelism = Domain.recommended_domain_count () in
+  let single_core = host_parallelism < 2 in
+  let sweep_status = if single_core then "skipped_single_core" else "run" in
+  let arms =
+    if single_core then
+      [
+        { arm_label = "fixed1"; arm_jobs = 1; arm_width = Mcmc.Fixed 1 };
+        { arm_label = "adaptive1"; arm_jobs = 1; arm_width = Mcmc.Adaptive { max_width = 4 } };
+      ]
+    else
+      let fixed =
+        List.filter (fun k -> k <= max_jobs) [ 1; 2; 4 ]
+        |> fun ks ->
+        (if List.mem max_jobs ks then ks else ks @ [ max_jobs ])
+        |> List.map (fun k ->
+               { arm_label = Printf.sprintf "fixed%d" k; arm_jobs = k; arm_width = Mcmc.Fixed k })
+      in
+      fixed
+      @ [
+          {
+            arm_label = Printf.sprintf "adaptive%d" max_jobs;
+            arm_jobs = max_jobs;
+            arm_width = Mcmc.Adaptive { max_width = 4 * max_jobs };
+          };
+        ]
+  in
   Printf.printf
-    "(ca-GrQc at scale %.2f: degree CCDF + JDD + TbD shared fit, %d steps, jobs in {%s})\n%!"
-    scale steps
-    (String.concat ", " (List.map string_of_int arms));
+    "(ca-GrQc at scale %.2f: degree CCDF + JDD + TbD shared fit, %d steps, host \
+     parallelism %d, sweep %s, arms {%s})\n%!"
+    scale steps host_parallelism sweep_status
+    (String.concat ", " (List.map (fun a -> a.arm_label) arms));
   let secret = Datasets.load ~scale Datasets.grqc in
   let make () =
     let rng = Prng.create 7 in
@@ -357,12 +394,13 @@ let parallel_bench ~smoke ~arms () =
     in
     Fit.create_shared ~rng:(Prng.create 11) ~seed_graph:secret ~source ~measured ()
   in
-  let run_arm jobs =
+  let run_arm arm =
     let fit = make () in
     let batches = ref 0 and dispatched = ref 0 and consumed = ref 0 in
+    let counters = Mcmc.counters () in
     let t0 = Unix.gettimeofday () in
     let stats =
-      Fit.run fit ~steps ~pow:10_000.0 ~jobs
+      Fit.run fit ~steps ~pow:10_000.0 ~jobs:arm.arm_jobs ~width:arm.arm_width ~counters
         ~on_batch:(fun ~dispatched:d ~consumed:c ->
           incr batches;
           dispatched := !dispatched + d;
@@ -370,46 +408,76 @@ let parallel_bench ~smoke ~arms () =
         ()
     in
     let wall = Unix.gettimeofday () -. t0 in
-    (jobs, stats, wall, !batches, !dispatched, !consumed, Fit.edge_array fit)
+    (arm, stats, wall, !batches, !dispatched, !consumed, counters, Fit.edge_array fit)
   in
   let results = List.map run_arm arms in
-  let _, ref_stats, ref_wall, _, _, _, ref_edges = List.hd results in
-  let same (_, (s : Wpinq_infer.Mcmc.stats), _, _, _, _, edges) =
-    s.Wpinq_infer.Mcmc.accepted = ref_stats.Wpinq_infer.Mcmc.accepted
-    && s.Wpinq_infer.Mcmc.invalid = ref_stats.Wpinq_infer.Mcmc.invalid
-    && Int64.bits_of_float s.Wpinq_infer.Mcmc.final_energy
-       = Int64.bits_of_float ref_stats.Wpinq_infer.Mcmc.final_energy
+  let _, ref_stats, ref_wall, _, _, _, _, ref_edges = List.hd results in
+  let same (_, (s : Mcmc.stats), _, _, _, _, _, edges) =
+    s.Mcmc.accepted = ref_stats.Mcmc.accepted
+    && s.Mcmc.invalid = ref_stats.Mcmc.invalid
+    && Int64.bits_of_float s.Mcmc.final_energy = Int64.bits_of_float ref_stats.Mcmc.final_energy
     && edges = ref_edges
   in
   let identical = List.for_all same results in
   List.iter
-    (fun (jobs, (s : Wpinq_infer.Mcmc.stats), wall, batches, dispatched, consumed, _) ->
+    (fun (arm, (s : Mcmc.stats), wall, batches, dispatched, consumed, (c : Mcmc.counters), _) ->
       Printf.printf
-        "jobs=%d: %.1f steps/s (%.3fs), %d accepted, %d invalid, %d batches, lookahead \
-         efficiency %.3f, speedup %.2fx\n%!"
-        jobs
+        "%s (jobs=%d): %.1f steps/s (%.3fs), %d accepted, %d batches, efficiency %.3f, \
+         speedup %.2fx\n"
+        arm.arm_label arm.arm_jobs
         (float steps /. wall)
-        wall s.Wpinq_infer.Mcmc.accepted s.Wpinq_infer.Mcmc.invalid batches
+        wall s.Mcmc.accepted batches
         (float consumed /. float (max 1 dispatched))
-        (ref_wall /. wall))
+        (ref_wall /. wall);
+      Printf.printf
+        "  phases: dispatch %.0fus eval %.0fus resolve %.0fus commit %.0fus; realized K \
+         %d..%d (mean %.2f)\n%!"
+        c.Mcmc.dispatch_us c.Mcmc.eval_us c.Mcmc.resolve_us c.Mcmc.commit_us
+        (if c.Mcmc.batches = 0 then 0 else c.Mcmc.k_min)
+        c.Mcmc.k_max
+        (float c.Mcmc.k_sum /. float (max 1 c.Mcmc.batches)))
     results;
   if identical then Printf.printf "all arms walked bit-identically\n%!"
   else Printf.printf "ERROR: arms diverged — the lookahead walk is not width-invariant\n%!";
-  let arm_json (jobs, (s : Wpinq_infer.Mcmc.stats), wall, batches, dispatched, consumed, _) =
+  let arm_json
+      (arm, (s : Mcmc.stats), wall, batches, dispatched, consumed, (c : Mcmc.counters), _) =
+    let width_desc =
+      match arm.arm_width with
+      | Mcmc.Fixed k -> Printf.sprintf "fixed:%d" k
+      | Mcmc.Adaptive { max_width } -> Printf.sprintf "adaptive:%d" max_width
+      | Mcmc.Schedule _ -> "schedule"
+    in
     String.concat "\n"
       [
         "      {";
-        Printf.sprintf "        \"jobs\": %d," jobs;
-        Printf.sprintf "        \"accepted_steps\": %d," s.Wpinq_infer.Mcmc.accepted;
-        Printf.sprintf "        \"invalid_steps\": %d," s.Wpinq_infer.Mcmc.invalid;
+        Printf.sprintf "        \"label\": %S," arm.arm_label;
+        Printf.sprintf "        \"jobs\": %d," arm.arm_jobs;
+        Printf.sprintf "        \"width\": %S," width_desc;
+        Printf.sprintf "        \"accepted_steps\": %d," s.Mcmc.accepted;
+        Printf.sprintf "        \"invalid_steps\": %d," s.Mcmc.invalid;
         Printf.sprintf "        \"rejected_steps\": %d,"
-          (steps - s.Wpinq_infer.Mcmc.accepted - s.Wpinq_infer.Mcmc.invalid);
+          (steps - s.Mcmc.accepted - s.Mcmc.invalid);
+        Printf.sprintf "        \"acceptance_rate\": %.4f," (float s.Mcmc.accepted /. float steps);
         Printf.sprintf "        \"batches\": %d," batches;
         Printf.sprintf "        \"dispatched\": %d," dispatched;
         Printf.sprintf "        \"consumed\": %d," consumed;
         Printf.sprintf "        \"lookahead_efficiency\": %.3f,"
           (float consumed /. float (max 1 dispatched));
-        Printf.sprintf "        \"final_energy\": %.6f," s.Wpinq_infer.Mcmc.final_energy;
+        Printf.sprintf "        \"k_min\": %d," (if c.Mcmc.batches = 0 then 0 else c.Mcmc.k_min);
+        Printf.sprintf "        \"k_max\": %d," c.Mcmc.k_max;
+        Printf.sprintf "        \"k_mean\": %.3f,"
+          (float c.Mcmc.k_sum /. float (max 1 c.Mcmc.batches));
+        "        \"phase_us\": {";
+        Printf.sprintf "          \"dispatch\": %.0f," c.Mcmc.dispatch_us;
+        Printf.sprintf "          \"eval\": %.0f," c.Mcmc.eval_us;
+        Printf.sprintf "          \"resolve\": %.0f," c.Mcmc.resolve_us;
+        Printf.sprintf "          \"commit\": %.0f" c.Mcmc.commit_us;
+        "        },";
+        Printf.sprintf "        \"commit_us_per_accept\": %.3f,"
+          (c.Mcmc.commit_us /. float (max 1 s.Mcmc.accepted));
+        Printf.sprintf "        \"eval_us_per_dispatched\": %.3f,"
+          (c.Mcmc.eval_us /. float (max 1 dispatched));
+        Printf.sprintf "        \"final_energy\": %.6f," s.Mcmc.final_energy;
         Printf.sprintf "        \"wall_s\": %.3f," wall;
         Printf.sprintf "        \"steps_per_sec\": %.1f," (float steps /. wall);
         Printf.sprintf "        \"speedup_vs_jobs1\": %.3f" (ref_wall /. wall);
@@ -424,6 +492,8 @@ let parallel_bench ~smoke ~arms () =
         Printf.sprintf "    \"scale\": %.2f," scale;
         "    \"queries\": [\"degree_ccdf\", \"jdd\", \"tbd\"],";
         Printf.sprintf "    \"steps\": %d," steps;
+        Printf.sprintf "    \"host_parallelism\": %d," host_parallelism;
+        Printf.sprintf "    \"sweep_status\": %S," sweep_status;
         Printf.sprintf "    \"identical_walks\": %b," identical;
         "    \"arms\": [";
         String.concat ",\n" (List.map arm_json results);
@@ -625,7 +695,8 @@ let () =
       ( "--jobs",
         Arg.Set_int jobs,
         "N Widest lookahead arm for the parallel benchmark (default: 4, or 2 in smoke \
-         mode; arms are {1, 2, 4} capped at N)." );
+         mode; arms are {1, 2, 4} capped at N plus an adaptive-width arm at N; on a \
+         single-core host the sweep is skipped and only the jobs=1 arms run)." );
       ("--json", Arg.Set_string json_path, "PATH Where to write the benchmark JSON.");
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
@@ -649,10 +720,8 @@ let () =
       let max_jobs =
         if !jobs >= 1 then !jobs else if !smoke then 2 else 4
       in
-      let arms = List.filter (fun k -> k <= max_jobs) [ 1; 2; 4 ] in
-      let arms = if List.mem max_jobs arms then arms else arms @ [ max_jobs ] in
       let multi_fragment = multi_bench ~smoke:!smoke () in
-      let parallel_fragment, identical = parallel_bench ~smoke:!smoke ~arms () in
+      let parallel_fragment, identical = parallel_bench ~smoke:!smoke ~max_jobs () in
       if !smoke || !multi then ([ multi_fragment; parallel_fragment ], identical)
       else begin
         let serve_fragment, ok = serve_bench () in

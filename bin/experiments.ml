@@ -111,6 +111,17 @@ let synthesize_cmd =
                    bit-identical for every width; only wall-clock time changes.  \
                    Defaults to the machine's recommended domain count.")
   in
+  let lookahead =
+    Arg.(value & opt (some string) None
+         & info [ "lookahead" ] ~docv:"POLICY"
+             ~doc:"Lookahead batch-width policy for phase 2: an integer dispatches \
+                   exactly that many speculative proposals per batch (spread across \
+                   the $(b,--jobs) workers); $(b,adaptive) (or $(b,adaptive:MAX)) \
+                   deepens the lookahead while batches run accept-free and shrinks \
+                   it on acceptance, up to MAX (default 8 times $(b,--jobs)).  \
+                   Defaults to a fixed width of $(b,--jobs).  The realized walk is \
+                   bit-identical under every policy; only wall-clock changes.")
+  in
   let deadline =
     Arg.(value & opt (some float) None
          & info [ "deadline" ] ~docv:"SECONDS"
@@ -132,7 +143,8 @@ let synthesize_cmd =
                    falling back past them.")
   in
   let run cfg input dataset query also_query bucket output checkpoint_dir checkpoint_every
-      keep_checkpoints refresh_every audit_every jobs deadline resume resume_latest =
+      keep_checkpoints refresh_every audit_every jobs lookahead deadline resume resume_latest
+      =
     let module Graph = Wpinq_graph.Graph in
     let module Io = Wpinq_graph.Io in
     let module W = Wpinq_infer.Workflow in
@@ -146,6 +158,29 @@ let synthesize_cmd =
       | Some j -> failwith (Printf.sprintf "--jobs must be at least 1 (got %d)" j)
       | None -> Domain.recommended_domain_count ()
     in
+    let width =
+      match lookahead with
+      | None -> None
+      | Some s -> (
+          let module M = Wpinq_infer.Mcmc in
+          match String.lowercase_ascii s with
+          | "adaptive" -> Some (M.Adaptive { max_width = 8 * jobs })
+          | s when String.length s > 9 && String.sub s 0 9 = "adaptive:" -> (
+              match int_of_string_opt (String.sub s 9 (String.length s - 9)) with
+              | Some m when m >= 1 -> Some (M.Adaptive { max_width = m })
+              | _ ->
+                  failwith
+                    (Printf.sprintf "--lookahead adaptive:MAX needs MAX >= 1 (got %S)" s))
+          | s -> (
+              match int_of_string_opt s with
+              | Some k when k >= 1 -> Some (M.Fixed k)
+              | _ ->
+                  failwith
+                    (Printf.sprintf
+                       "--lookahead must be a positive integer, 'adaptive', or \
+                        'adaptive:MAX' (got %S)"
+                       s)))
+    in
     let store () =
       match checkpoint_dir with
       | Some dir -> Wpinq_persist.Persist.Store.open_dir ~keep:keep_checkpoints dir
@@ -156,9 +191,9 @@ let synthesize_cmd =
       | Some path, _ ->
           Printf.printf "resuming from %s (%d steps completed)\n" path
             (W.checkpoint_step path);
-          W.resume ~stop ?deadline ~jobs ~path ()
+          W.resume ~stop ?deadline ~jobs ?width ~path ()
       | None, true ->
-          W.resume_latest ~log:print_endline ~stop ?deadline ~jobs ~store:(store ()) ()
+          W.resume_latest ~log:print_endline ~stop ?deadline ~jobs ?width ~store:(store ()) ()
       | None, false ->
           let secret =
             match input with
@@ -196,6 +231,7 @@ let synthesize_cmd =
             | Some _ -> Some { W.every = checkpoint_every; sink = W.Store (store ()) }
           in
           W.synthesize ~pow:cfg.E.pow ~steps:cfg.E.steps ~refresh_every ~audit_every ~jobs
+            ?width
             ?checkpoint ~stop ?deadline ~rng:(Wpinq_prng.Prng.create cfg.E.seed)
             ~epsilon:cfg.E.epsilon ~query ~queries ~secret ()
     in
@@ -229,7 +265,8 @@ let synthesize_cmd =
        ~doc:"Run the full measure-and-synthesize workflow on an edge-list file.")
     Term.(
       const run $ config_term $ input $ dataset $ query $ also_query $ bucket $ output $ checkpoint_dir
-      $ checkpoint_every $ keep_checkpoints $ refresh_every $ audit_every $ jobs $ deadline
+      $ checkpoint_every $ keep_checkpoints $ refresh_every $ audit_every $ jobs
+      $ lookahead $ deadline
       $ resume $ resume_latest)
 
 let cmds =

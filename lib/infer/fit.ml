@@ -164,6 +164,18 @@ let abort_swap t swap =
   Graph.Mutable.apply t.graph (Graph.Mutable.invert swap);
   Dataflow.Engine.abort t.engine
 
+(* Commit a swap that has already won: the same graph edit + 8-record feed
+   as [speculate_swap], but propagated {e outside} any speculation, so no
+   undo closures are recorded and no commit drain is paid.  The mutation
+   path through the engine is byte-identical to speculate-then-commit
+   (speculation only adds undo logging around it), which is what lets
+   replicas absorb winning swaps as O(delta) committed deltas instead of a
+   second full speculative evaluation. *)
+let delta_commit t swap ~proposed =
+  Graph.Mutable.apply t.graph swap;
+  Flow.feed t.handle (Graph.Mutable.delta swap);
+  t.energy <- proposed
+
 let step ?(pow = 1.0) t =
   match Graph.Mutable.propose_swap t.graph t.rng with
   | None -> false
@@ -221,7 +233,7 @@ let audit_and_recover ?tolerance t =
       ~edges:(Graph.Mutable.edge_array t.graph) ~builder:t.builder;
   report
 
-(* ---- The replica pool: K engine clones for parallel lookahead --------- *)
+(* ---- The replica pool: engine clones for parallel lookahead ----------- *)
 
 module Pool = struct
   type fit = t
@@ -229,8 +241,13 @@ module Pool = struct
   (* One worker owns one replica and is the only domain that ever touches
      it; the scheduler (main domain) hands closures across a
      mutex/condition mailbox, so every access is ordered by a
-     happens-before edge.  With [jobs = 1] no domain is spawned and the
-     single replica is driven inline — the serial reference walk. *)
+     happens-before edge.  The mailbox carries a whole batch slice per
+     publication — one lock acquisition (and at most one futex wakeup)
+     per worker per batch, however deep the lookahead — and completion is
+     collected the same way, so the handshake cost is amortized over the
+     slice instead of paid per proposal.  With [jobs = 1] no domain is
+     spawned and the single replica is driven inline — the serial
+     reference walk. *)
   type worker = {
     mutex : Mutex.t;
     has_job : Condition.t;
@@ -247,6 +264,21 @@ module Pool = struct
     replicas : fit array;
     workers : worker array; (* length [jobs] when jobs > 1, else empty *)
     domains : unit Domain.t array;
+    counters : Mcmc.counters option;
+    (* The committed-delta log: every winning swap, in commit order, with
+       its post-commit energy.  The owner applies a winning swap
+       immediately (it is the canonical state checkpoints and audits
+       read); each replica absorbs its backlog lazily, piggybacked on the
+       next batch publication to its worker — so a commit costs the
+       scheduler exactly one O(delta) owner feed and {e zero} worker
+       handshakes.  [applied.(i)] counts the log prefix replica [i] has
+       absorbed; the log is compacted once every replica has caught up.
+       Happens-before: a worker only touches the log inside a posted job,
+       and the scheduler only appends/compacts between [await]s, so every
+       access is ordered by the mailbox mutexes. *)
+    mutable log : (Graph.Mutable.swap * float) array;
+    mutable log_len : int;
+    applied : int array;
   }
 
   let worker_loop w =
@@ -332,7 +364,17 @@ module Pool = struct
       energy = Flow.Target.energy built;
     }
 
-  let create owner ~jobs =
+  let shutdown pool =
+    Array.iter
+      (fun w ->
+        Mutex.lock w.mutex;
+        w.stopping <- true;
+        Condition.broadcast w.has_job;
+        Mutex.unlock w.mutex)
+      pool.workers;
+    Array.iter Domain.join pool.domains
+
+  let create ?counters owner ~jobs =
     if jobs < 1 then invalid_arg "Fit.Pool.create: jobs must be at least 1";
     (match owner.replicate with
     | Some _ -> ()
@@ -355,31 +397,67 @@ module Pool = struct
             })
     in
     let domains = Array.map (fun w -> Domain.spawn (fun () -> worker_loop w)) workers in
-    let pool = { owner; jobs; replicas = Array.make jobs owner; workers; domains } in
+    let pool =
+      {
+        owner;
+        jobs;
+        replicas = Array.make jobs owner;
+        workers;
+        domains;
+        counters;
+        log = [||];
+        log_len = 0;
+        applied = Array.make jobs 0;
+      }
+    in
     (* Builders (and their measurement copies) are made in the scheduler
        domain; each replica is then built by its owning worker so its
-       engine's memory lands in the domain that will drive it. *)
-    let builders = Array.init jobs (fun _ -> replica_builder owner) in
-    on_replicas pool (fun i -> pool.replicas.(i) <- fresh_replica ~builder:builders.(i) owner);
+       engine's memory lands in the domain that will drive it.  If any
+       builder or replica construction raises, the spawned domains are
+       stopped and joined before the exception escapes — [create] never
+       leaks a domain. *)
+    (try
+       let builders = Array.init jobs (fun _ -> replica_builder owner) in
+       on_replicas pool (fun i -> pool.replicas.(i) <- fresh_replica ~builder:builders.(i) owner)
+     with e ->
+       shutdown pool;
+       raise e);
     pool
 
-  let shutdown pool =
-    Array.iter
-      (fun w ->
-        Mutex.lock w.mutex;
-        w.stopping <- true;
-        Condition.broadcast w.has_job;
-        Mutex.unlock w.mutex)
-      pool.workers;
-    Array.iter Domain.join pool.domains
+  let energy pool = pool.owner.energy
 
-  let energy pool = pool.replicas.(0).energy
+  let now () = Unix.gettimeofday ()
 
-  (* Evaluate one per-step stream per replica, speculatively, against the
-     shared committed state.  Every evaluation aborts before reporting —
-     rollback includes the undo-logged lazy measurement draws — so the
-     pool is back at the base state whatever the verdicts say, and the
-     scheduler is free to commit any prefix of them. *)
+  (* Absorb replica [i]'s backlog of committed deltas: apply every log
+     entry it has not yet seen, in commit order, through the same
+     non-speculative feed the owner used — byte-identical state, O(delta)
+     per entry.  Runs on the replica's owning domain (worker, or the
+     scheduler when inline / resyncing). *)
+  let flush_replica pool i =
+    let upto = pool.log_len in
+    if pool.applied.(i) < upto then begin
+      let r = pool.replicas.(i) in
+      for e = pool.applied.(i) to upto - 1 do
+        let swap, proposed = pool.log.(e) in
+        delta_commit r swap ~proposed
+      done;
+      pool.applied.(i) <- upto
+    end
+
+  (* Contiguous balanced slice of a [k]-wide batch owned by worker [j]:
+     the first [k mod jobs] workers take one extra stream.  Sequential
+     multi-eval on one replica is equivalent to separate replicas because
+     every evaluation aborts residue-free before the next begins. *)
+  let slice pool k j =
+    let q = k / pool.jobs and r = k mod pool.jobs in
+    let lo = (j * q) + min j r in
+    (lo, lo + q + if j < r then 1 else 0)
+
+  (* Evaluate one per-step stream per batch position, speculatively,
+     against the shared committed state.  Every evaluation aborts before
+     reporting — rollback includes the undo-logged lazy measurement draws
+     — so the pool is back at the base state whatever the verdicts say,
+     and the scheduler is free to commit any prefix of them. *)
   let eval_replica r stream ~pow ~energy =
     match Graph.Mutable.propose_swap r.graph stream with
     | None -> Mcmc.Invalid
@@ -400,45 +478,83 @@ module Pool = struct
   let eval pool ~pow ~energy streams =
     let k = Array.length streams in
     let verdicts = Array.make k Mcmc.Invalid in
-    if Array.length pool.workers = 0 then
+    if Array.length pool.workers = 0 then begin
+      let t0 = match pool.counters with Some _ -> now () | None -> 0.0 in
+      flush_replica pool 0;
+      let r = pool.replicas.(0) in
       for i = 0 to k - 1 do
-        verdicts.(i) <- eval_replica pool.replicas.(i) streams.(i) ~pow ~energy
-      done
-    else begin
-      for i = 0 to k - 1 do
-        post pool.workers.(i) (fun () ->
-            verdicts.(i) <- eval_replica pool.replicas.(i) streams.(i) ~pow ~energy)
+        verdicts.(i) <- eval_replica r streams.(i) ~pow ~energy
       done;
-      for i = 0 to k - 1 do
-        await pool.workers.(i)
-      done
+      match pool.counters with
+      | Some c -> c.Mcmc.eval_us <- c.Mcmc.eval_us +. (1e6 *. (now () -. t0))
+      | None -> ()
+    end
+    else begin
+      (* One publication per worker: its contiguous slice of the batch,
+         prefixed by its backlog flush.  Workers whose slice is empty
+         (k < jobs) are not woken; their backlog waits for a wider batch.
+         Verdict writes are disjoint by index, and each is ordered before
+         the scheduler's read by the worker's own completion handshake. *)
+      let t0 = match pool.counters with Some _ -> now () | None -> 0.0 in
+      for j = 0 to pool.jobs - 1 do
+        let lo, hi = slice pool k j in
+        if hi > lo then
+          post pool.workers.(j) (fun () ->
+              flush_replica pool j;
+              let r = pool.replicas.(j) in
+              for i = lo to hi - 1 do
+                verdicts.(i) <- eval_replica r streams.(i) ~pow ~energy
+              done)
+      done;
+      let t1 = match pool.counters with Some _ -> now () | None -> 0.0 in
+      for j = 0 to pool.jobs - 1 do
+        let lo, hi = slice pool k j in
+        if hi > lo then await pool.workers.(j)
+      done;
+      match pool.counters with
+      | Some c ->
+          c.Mcmc.dispatch_us <- c.Mcmc.dispatch_us +. (1e6 *. (t1 -. t0));
+          c.Mcmc.eval_us <- c.Mcmc.eval_us +. (1e6 *. (now () -. t1))
+      | None -> ()
     end;
     verdicts
 
-  (* Replay an accepted swap everywhere: each replica re-speculates the
-     winning move (re-drawing the identical lazy observations its abort
-     rolled back) and commits; the owner — the canonical fit checkpoints
-     and audits read — replays it in the scheduler domain. *)
+  (* Commit a winning swap: the owner — the canonical fit checkpoints and
+     audits read — absorbs it immediately as an O(delta) committed delta;
+     replicas only get a log entry to absorb at their next dispatch.  No
+     worker handshake, no speculative re-evaluation, no undo log. *)
   let commit pool swap ~proposed =
-    on_replicas pool (fun i ->
-        let r = pool.replicas.(i) in
-        speculate_swap r swap;
-        commit_swap r;
-        r.energy <- proposed);
-    speculate_swap pool.owner swap;
-    commit_swap pool.owner;
-    pool.owner.energy <- proposed
+    (* Compact once every replica has caught up — between batches the log
+       is usually empty again, so it stays a few entries long. *)
+    if pool.log_len > 0 && Array.for_all (fun a -> a = pool.log_len) pool.applied then begin
+      pool.log_len <- 0;
+      Array.fill pool.applied 0 pool.jobs 0
+    end;
+    if pool.log_len = Array.length pool.log then begin
+      let grown = Array.make (max 16 (2 * pool.log_len)) (swap, proposed) in
+      Array.blit pool.log 0 grown 0 pool.log_len;
+      pool.log <- grown
+    end;
+    pool.log.(pool.log_len) <- (swap, proposed);
+    pool.log_len <- pool.log_len + 1;
+    delta_commit pool.owner swap ~proposed
 
   let refresh_pool pool =
-    on_replicas pool (fun i -> refresh pool.replicas.(i));
+    on_replicas pool (fun i ->
+        flush_replica pool i;
+        refresh pool.replicas.(i));
     refresh pool.owner;
     energy pool
 
   (* Rebuild every replica from the owner's current state — after a
      checkpoint rebase or an audit recovery replaced the owner's engine —
      through the same deterministic path [create] used, so a live rebased
-     walk and a future resume land on byte-identical replicas. *)
+     walk and a future resume land on byte-identical replicas.  The
+     rebuilt replicas embody every committed delta, so the log restarts
+     empty. *)
   let resync pool =
+    pool.log_len <- 0;
+    Array.fill pool.applied 0 pool.jobs 0;
     let builders = Array.init pool.jobs (fun _ -> replica_builder pool.owner) in
     on_replicas pool (fun i ->
         pool.replicas.(i) <- fresh_replica ~builder:builders.(i) pool.owner);
@@ -456,7 +572,7 @@ module Pool = struct
 end
 
 let run t ~steps ?start ?(pow = 1.0) ?(refresh_every = 100_000) ?audit_every ?audit_tolerance
-    ?should_stop ?checkpoint_every ?on_checkpoint ?on_step ?jobs ?on_batch () =
+    ?should_stop ?checkpoint_every ?on_checkpoint ?on_step ?jobs ?on_batch ?width ?counters () =
   let audit () =
     let report = audit_and_recover ?tolerance:audit_tolerance t in
     List.length report.Dataflow.Audit.divergences
@@ -485,14 +601,14 @@ let run t ~steps ?start ?(pow = 1.0) ?(refresh_every = 100_000) ?audit_every ?au
          byte-identical state), and [t] — the canonical state that
          checkpoints, audits and callers read — only ever replays committed
          moves. *)
-      let pool = Pool.create t ~jobs in
+      let pool = Pool.create ?counters t ~jobs in
       Fun.protect
         ~finally:(fun () -> Pool.shutdown pool)
         (fun () ->
           let stats =
             Mcmc.run_lookahead ~rng:t.rng ~lookahead:(Pool.lookahead pool) ~steps ?start ~pow
               ~refresh_every ~audit ?audit_every ?should_stop ?checkpoint_every ?on_checkpoint
-              ?on_batch ?on_step ()
+              ?on_batch ?on_step ?width ?counters ()
           in
           t.energy <- stats.Mcmc.final_energy;
           stats)

@@ -156,6 +156,8 @@ val run :
   ?on_step:(step:int -> energy:float -> unit) ->
   ?jobs:int ->
   ?on_batch:(dispatched:int -> consumed:int -> unit) ->
+  ?width:Mcmc.width ->
+  ?counters:Mcmc.counters ->
   unit ->
   Mcmc.stats
 (** Runs the walk for iterations [start + 1 .. steps] (default [start] 0,
@@ -172,9 +174,15 @@ val run :
     the fit itself).  [Some k] with [k >= 1]: the {e parallel speculative
     lookahead} walk ({!Mcmc.run_lookahead}) over a pool of [k] replica
     engines, one per domain when [k > 1] — requires a {!replicable} fit
-    (raises [Invalid_argument] otherwise).  The realized chain under
-    [Some k] is bit-identical for every [k] (the per-step split-stream
-    discipline), but differs from the legacy [None] walk, whose rng-draw
-    order is data-dependent; checkpoints record which discipline a chain
-    uses.  [on_batch] (lookahead only) reports each batch's dispatched
-    width and consumed prefix, for throughput/efficiency accounting. *)
+    (raises [Invalid_argument] otherwise).  The pool is torn down (worker
+    domains joined) on every exit path, including exceptions raised by
+    hooks or pool construction.  The realized chain under [Some k] is
+    bit-identical for every [k] {e and} every [width] policy (the
+    per-step split-stream discipline; default width [Fixed jobs]), but
+    differs from the legacy [None] walk, whose rng-draw order is
+    data-dependent; checkpoints record which discipline a chain uses.
+    [on_batch] (lookahead only) reports each batch's dispatched width and
+    consumed prefix, for throughput/efficiency accounting.  [counters]
+    (lookahead only) accumulates per-phase wall time — dispatch/eval in
+    the pool, resolve/commit in the driver — and the realized width
+    trajectory. *)

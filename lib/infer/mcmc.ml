@@ -44,29 +44,77 @@ type 'swap lookahead = {
   la_resync : unit -> float;
 }
 
-(* The lookahead walk: dispatch up to [la_jobs] per-step split streams at
-   once, all evaluated against the same base state, then resolve in
-   serial proposal order — the consumed prefix runs up to and including
-   the first accept (or non-finite energy), and later positions are
-   discarded and re-evaluated in a later batch against the new state.
-   Because step s's proposal stream is [split_nth rng] at offset s minus
-   steps-taken (a pure function of the step index), and the master cursor
-   advances only by consumed steps, the realized chain is bit-identical
-   for every jobs count: same proposals, same energies, same acceptance
-   decisions, same final edge arrays.
+(* How wide each lookahead batch is allowed to be.  The realized chain is
+   invariant to the policy (each step's streams are dealt by absolute step
+   index and the master cursor advances only by consumed steps), so the
+   policy is purely a throughput knob — which is what makes online
+   adaptation safe. *)
+type width =
+  | Fixed of int
+  | Adaptive of { max_width : int }
+  | Schedule of (int -> int)
 
-   Batches are clamped to cadence boundaries (refresh / audit /
+(* Per-phase accounting for one lookahead run, accumulated by both the
+   scheduler (resolve/commit, realized width trajectory) and the replica
+   pool (dispatch/eval — see [Fit.Pool]).  All wall-clock, in
+   microseconds. *)
+type counters = {
+  mutable dispatch_us : float;
+  mutable eval_us : float;
+  mutable resolve_us : float;
+  mutable commit_us : float;
+  mutable batches : int;
+  mutable k_min : int;
+  mutable k_max : int;
+  mutable k_sum : int;
+}
+
+let counters () =
+  {
+    dispatch_us = 0.0;
+    eval_us = 0.0;
+    resolve_us = 0.0;
+    commit_us = 0.0;
+    batches = 0;
+    k_min = max_int;
+    k_max = 0;
+    k_sum = 0;
+  }
+
+(* The lookahead walk: dispatch a batch of per-step split streams at once,
+   all evaluated against the same base state, then resolve in serial
+   proposal order — the consumed prefix runs up to and including the first
+   accept (or non-finite energy), and later positions are discarded and
+   re-evaluated in a later batch against the new state.  Because step s's
+   proposal stream is [split_nth rng] at offset s minus steps-taken (a
+   pure function of the step index), and the master cursor advances only
+   by consumed steps, the realized chain is bit-identical for every jobs
+   count AND every width policy: same proposals, same energies, same
+   acceptance decisions, same final edge arrays.
+
+   The batch width is chosen by [width]: [Fixed k] dispatches k streams
+   per batch; [Adaptive] grows the width multiplicatively while batches
+   run accept-free (deep lookahead is nearly free when almost everything
+   is rejected) and halves it when an acceptance cuts a batch short;
+   [Schedule] is the test hook — any width sequence whatsoever.  All
+   widths are clamped to cadence boundaries (refresh / audit /
    checkpoint), and the stop poll and fault-injection points fire once
    per batch, so interrupts, kills and snapshots only ever observe
    committed, batch-aligned state. *)
 let run_lookahead ~rng ~lookahead:la ~steps ?(start = 0) ?(pow = 1.0)
     ?(refresh_every = 100_000) ?audit ?(audit_every = 0) ?should_stop ?checkpoint_every
-    ?on_checkpoint ?on_batch ?on_step () =
+    ?on_checkpoint ?on_batch ?on_step ?width ?counters:ctrs () =
   if start < 0 || start > steps then
     invalid_arg "Mcmc.run_lookahead: start must be within [0, steps]";
   if la.la_jobs < 1 then invalid_arg "Mcmc.run_lookahead: jobs must be at least 1";
   if refresh_every < 1 then invalid_arg "Mcmc.run_lookahead: refresh_every must be positive";
   if audit_every < 0 then invalid_arg "Mcmc.run_lookahead: audit_every must be non-negative";
+  let width = match width with Some w -> w | None -> Fixed la.la_jobs in
+  (match width with
+  | Fixed k when k < 1 -> invalid_arg "Mcmc.run_lookahead: Fixed width must be at least 1"
+  | Adaptive { max_width } when max_width < 1 ->
+      invalid_arg "Mcmc.run_lookahead: Adaptive max_width must be at least 1"
+  | _ -> ());
   let accepted = ref 0 and invalid = ref 0 and nonfinite = ref 0 in
   let audits = ref 0 and diverged = ref 0 in
   let initial_energy = la.la_energy () in
@@ -89,21 +137,34 @@ let run_lookahead ~rng ~lookahead:la ~steps ?(start = 0) ?(pow = 1.0)
   (* Steps until the next multiple of cadence [c] strictly after [base]:
      a batch may touch a boundary only with its last consumed step. *)
   let until_boundary base c = if c <= 0 then max_int else c - (base mod c) in
+  (* Adaptive width state: start at the worker count (narrower wastes
+     domains), never exceed [max_width]. *)
+  let adaptive_k = ref la.la_jobs in
+  let batch_index = ref 0 in
+  let now () = Unix.gettimeofday () in
   while (not !stopped) && !step < steps do
     Fault.point "mcmc.signal";
     match should_stop with
     | Some f when f () -> stopped := true
     | _ ->
         let base = !step in
-        let k = min la.la_jobs (steps - base) in
+        let intent =
+          match width with
+          | Fixed k -> k
+          | Adaptive { max_width } -> min max_width !adaptive_k
+          | Schedule f -> max 1 (f !batch_index)
+        in
+        incr batch_index;
+        let k = min intent (steps - base) in
         let k = min k (until_boundary base refresh_every) in
         let k = min k (until_boundary base audit_every) in
         let k =
           match checkpoint_every with Some c -> min k (until_boundary base c) | None -> k
         in
         Fault.point "mcmc.step";
-        let streams = Array.init k (fun i -> Prng.split_nth rng i) in
+        let streams = Prng.deal rng k in
         let verdicts = la.la_eval ~pow ~energy:!current streams in
+        let t_resolve = match ctrs with Some _ -> now () | None -> 0.0 in
         let consumed =
           let rec scan i =
             if i >= k then k
@@ -114,10 +175,34 @@ let run_lookahead ~rng ~lookahead:la ~steps ?(start = 0) ?(pow = 1.0)
           in
           scan 0
         in
+        (* Did an acceptance (or a nonfinite reading) cut this batch?  The
+           adaptive policy reads the verdicts, not the clamps: cadence
+           clamping says nothing about the acceptance structure. *)
+        let cut =
+          consumed > 0
+          &&
+          match verdicts.(consumed - 1) with
+          | Accepted _ | Nonfinite -> true
+          | Invalid | Rejected -> false
+        in
+        (match width with
+        | Adaptive { max_width } ->
+            adaptive_k :=
+              if cut then max la.la_jobs (!adaptive_k / 2)
+              else min max_width (2 * !adaptive_k)
+        | Fixed _ | Schedule _ -> ());
         Prng.advance rng consumed;
+        (match ctrs with
+        | Some c ->
+            c.batches <- c.batches + 1;
+            c.k_sum <- c.k_sum + k;
+            if k < c.k_min then c.k_min <- k;
+            if k > c.k_max then c.k_max <- k
+        | None -> ());
         (match on_batch with
         | Some f -> f ~dispatched:k ~consumed
         | None -> ());
+        let commit_in_batch = ref 0.0 in
         for j = 0 to consumed - 1 do
           incr step;
           let step = !step in
@@ -125,7 +210,12 @@ let run_lookahead ~rng ~lookahead:la ~steps ?(start = 0) ?(pow = 1.0)
           | Invalid -> incr invalid
           | Rejected -> ()
           | Accepted { swap; proposed } ->
-              la.la_commit swap ~proposed;
+              (match ctrs with
+              | Some _ ->
+                  let t0 = now () in
+                  la.la_commit swap ~proposed;
+                  commit_in_batch := !commit_in_batch +. (now () -. t0)
+              | None -> la.la_commit swap ~proposed);
               current := proposed;
               incr accepted
           | Nonfinite ->
@@ -156,7 +246,16 @@ let run_lookahead ~rng ~lookahead:la ~steps ?(start = 0) ?(pow = 1.0)
                  future resume continue from literally the same state. *)
               current := la.la_resync ()
           | _ -> ()
-        done
+        done;
+        (match ctrs with
+        | Some c ->
+            c.commit_us <- c.commit_us +. (1e6 *. !commit_in_batch);
+            (* Resolution = everything after the verdicts return that is not
+               a commit: the prefix scan, rng advance, and the cadence hooks
+               (refresh/audit/checkpoint, when they fire). *)
+            c.resolve_us <-
+              c.resolve_us +. (1e6 *. (now () -. t_resolve -. !commit_in_batch))
+        | None -> ())
   done;
   interim !step
 

@@ -56,6 +56,45 @@ type 'swap lookahead = {
 (** The replica-pool interface {!run_lookahead} drives — implemented by
     [Fit.Pool]. *)
 
+type width =
+  | Fixed of int  (** every batch dispatches exactly this many streams *)
+  | Adaptive of { max_width : int }
+      (** start at [la_jobs]; double the width after every accept-free
+          batch, halve it (floored at [la_jobs]) when an acceptance cuts a
+          batch short; never exceed [max_width].  With low acceptance
+          rates the walk settles into deep lookahead, where speculative
+          evaluation is almost never discarded. *)
+  | Schedule of (int -> int)
+      (** arbitrary width per batch index (clamped to at least 1) — the
+          property-test hook for schedule-invariance *)
+(** The batch-width policy.  The realized chain is {e invariant} to the
+    policy: each step's streams are dealt by absolute step index and the
+    master cursor advances only by consumed steps, so policies only move
+    wall-clock, never the walk. *)
+
+type counters = {
+  mutable dispatch_us : float;
+      (** publishing batches to the worker mailboxes (scheduler side) *)
+  mutable eval_us : float;
+      (** waiting for the workers' verdicts (or inline evaluation when
+          [jobs = 1]) *)
+  mutable resolve_us : float;
+      (** verdict prefix scan, rng advance, cadence hooks *)
+  mutable commit_us : float;
+      (** committing winning swaps to the canonical fit (the owner's
+          O(delta) feed; replicas absorb theirs into the next dispatch) *)
+  mutable batches : int;
+  mutable k_min : int;  (** narrowest realized batch ([max_int] if none) *)
+  mutable k_max : int;  (** widest realized batch *)
+  mutable k_sum : int;  (** total dispatched width, for the mean *)
+}
+(** Per-phase wall-clock attribution and the realized width trajectory of
+    one lookahead run.  Passed to both {!run_lookahead} and the replica
+    pool, each of which accumulates the phases it owns. *)
+
+val counters : unit -> counters
+(** A fresh, zeroed counter record. *)
+
 val run_lookahead :
   rng:Wpinq_prng.Prng.t ->
   lookahead:'swap lookahead ->
@@ -70,9 +109,11 @@ val run_lookahead :
   ?on_checkpoint:(step:int -> stats:stats -> unit) ->
   ?on_batch:(dispatched:int -> consumed:int -> unit) ->
   ?on_step:(step:int -> energy:float -> unit) ->
+  ?width:width ->
+  ?counters:counters ->
   unit ->
   stats
-(** The lookahead walk: dispatch up to [la_jobs] per-step split streams at
+(** The lookahead walk: dispatch a batch of per-step split streams at
     once, all evaluated against the same base state, then resolve in serial
     proposal order — the consumed prefix runs up to and including the first
     accept (or non-finite energy); later positions are discarded and
@@ -82,17 +123,20 @@ val run_lookahead :
     [Prng.split_nth rng (s - base)], a pure function of the step index, and
     the master cursor advances only by consumed steps
     ({!Wpinq_prng.Prng.advance}); the realized chain is therefore
-    bit-identical for every [la_jobs], including 1 — same proposals, same
-    energies, same acceptance decisions, same final edge arrays, same
-    checkpoint bytes.
+    bit-identical for every [la_jobs] {e and} every [width] policy,
+    including [Fixed 1] — same proposals, same energies, same acceptance
+    decisions, same final edge arrays, same checkpoint bytes.
 
-    Batches are clamped to refresh / audit / checkpoint cadence boundaries,
-    and the stop poll and fault-injection points ("mcmc.signal",
-    "mcmc.step") fire once per batch, so interrupts, kills and snapshots
-    only ever observe committed, batch-aligned state.  [on_batch] reports
-    each batch's dispatched width and consumed prefix (lookahead
-    efficiency = consumed / dispatched).  All other parameters behave as in
-    {!run}. *)
+    [width] (default [Fixed la_jobs]) chooses how many streams each batch
+    dispatches; widths beyond [la_jobs] are evaluated by giving each
+    worker a slice of the batch.  Batches are clamped to refresh / audit /
+    checkpoint cadence boundaries, and the stop poll and fault-injection
+    points ("mcmc.signal", "mcmc.step") fire once per batch, so
+    interrupts, kills and snapshots only ever observe committed,
+    batch-aligned state.  [on_batch] reports each batch's dispatched width
+    and consumed prefix (lookahead efficiency = consumed / dispatched).
+    [counters] accumulates per-phase wall time and the width trajectory.
+    All other parameters behave as in {!run}. *)
 
 val run :
   rng:Wpinq_prng.Prng.t ->

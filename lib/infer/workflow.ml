@@ -376,7 +376,7 @@ let combined_stop ?stop ?deadline () =
    uninterrupted run bit for bit.  A stop request ([should_stop], from a
    signal or a deadline) additionally writes one final snapshot of the
    stopped state, so the partial run is immediately resumable. *)
-let continue_fit ~fit ~rng ~ck ~sink ?should_stop () =
+let continue_fit ~fit ~rng ~ck ~sink ?should_stop ?width ?counters () =
   let trace = ref ck.ck_trace in
   (* The measurements attached to the live fit: each rebase swaps them for
      the copies decoded from the snapshot's own bytes, and the walk keeps
@@ -437,11 +437,13 @@ let continue_fit ~fit ~rng ~ck ~sink ?should_stop () =
     (* Always the lookahead walk (jobs >= 1), so the realized chain — and
        the checkpoint bytes — use one rng discipline regardless of width,
        and a run checkpointed at one width resumes bit-identically at
-       another. *)
+       another.  [width] (the batch-width policy) and [counters] are
+       runtime tuning/observability only and are deliberately {e not}
+       persisted: the chain is invariant to both. *)
     Fit.run fit ~steps:ck.ck_steps ~start:ck.ck_step ~pow:ck.ck_pow
       ~refresh_every:ck.ck_refresh_every ~audit_every:ck.ck_audit_every
       ~audit_tolerance:ck.ck_audit_tolerance ?should_stop ?checkpoint_every ?on_checkpoint
-      ~on_step ~jobs:ck.ck_jobs ()
+      ~on_step ~jobs:ck.ck_jobs ?width ?counters ()
   in
   let completed = ck.ck_step + seg.Mcmc.steps in
   (match (seg.Mcmc.interrupted, sink) with
@@ -476,7 +478,8 @@ let continue_fit ~fit ~rng ~ck ~sink ?should_stop () =
 
 let synthesize ?(pow = 10_000.0) ?(steps = 100_000) ?trace_every
     ?(refresh_every = 100_000) ?(audit_every = 0) ?(audit_tolerance = 1e-6) ?(jobs = 1)
-    ?checkpoint ?stop ?deadline ?(queries = []) ~rng ~epsilon ~query ~secret () =
+    ?width ?counters ?checkpoint ?stop ?deadline ?(queries = []) ~rng ~epsilon ~query ~secret
+    () =
   let trace_every =
     match trace_every with Some t -> max 1 t | None -> max 1 (steps / 20)
   in
@@ -546,7 +549,9 @@ let synthesize ?(pow = 10_000.0) ?(steps = 100_000) ?trace_every
         }
       in
       let sink = match checkpoint with Some c -> Some c.sink | None -> None in
-      continue_fit ~fit ~rng ~ck:ck0 ~sink ?should_stop:(combined_stop ?stop ?deadline ()) ()
+      continue_fit ~fit ~rng ~ck:ck0 ~sink
+        ?should_stop:(combined_stop ?stop ?deadline ())
+        ?width ?counters ()
 
 let load_ck path =
   match Persist.File.load ~path ~magic:ckpt_magic ~version:ckpt_version with
@@ -559,24 +564,24 @@ let load_ck path =
       with Codec.Decode_error msg ->
         raise (Corrupt_checkpoint (Printf.sprintf "%s: decode layer: %s" path msg)))
 
-let resume_fit ?jobs ~ck ~sink ?should_stop () =
+let resume_fit ?jobs ?width ?counters ~ck ~sink ?should_stop () =
   (* The realized chain is invariant to the lookahead width, so a resume may
-     run wider (or narrower) than the original without breaking the
-     bit-identical retrace; the override is also recorded in subsequent
-     snapshots. *)
+     run wider (or narrower) than the original — or under a different width
+     policy — without breaking the bit-identical retrace; the jobs override
+     is also recorded in subsequent snapshots. *)
   let ck = match jobs with Some j -> { ck with ck_jobs = max 1 j } | None -> ck in
   let rng = Prng.restore ck.ck_rng in
   let source, measured = shared_measured ck.ck_qms in
   let fit = Fit.restore_shared ~rng ~n:ck.ck_n ~edges:ck.ck_edges ~source ~measured () in
-  continue_fit ~fit ~rng ~ck ~sink ?should_stop ()
+  continue_fit ~fit ~rng ~ck ~sink ?should_stop ?width ?counters ()
 
-let resume ?stop ?deadline ?jobs ~path () =
+let resume ?stop ?deadline ?jobs ?width ?counters ~path () =
   let ck = load_ck path in
-  resume_fit ?jobs ~ck ~sink:(Some (Single path))
+  resume_fit ?jobs ?width ?counters ~ck ~sink:(Some (Single path))
     ?should_stop:(combined_stop ?stop ?deadline ())
     ()
 
-let resume_latest ?(log = fun _ -> ()) ?stop ?deadline ?jobs ~store () =
+let resume_latest ?(log = fun _ -> ()) ?stop ?deadline ?jobs ?width ?counters ~store () =
   let decode payload =
     match decode_ck payload with
     | ck -> Ok ck
@@ -592,7 +597,7 @@ let resume_latest ?(log = fun _ -> ()) ?stop ?deadline ?jobs ~store () =
   match found with
   | Some (ck, step, path) ->
       log (Printf.sprintf "resuming from generation %s (step %d)" path step);
-      resume_fit ?jobs ~ck ~sink:(Some (Store store))
+      resume_fit ?jobs ?width ?counters ~ck ~sink:(Some (Store store))
         ?should_stop:(combined_stop ?stop ?deadline ())
         ()
   | None ->

@@ -129,6 +129,8 @@ val synthesize :
   ?audit_every:int ->
   ?audit_tolerance:float ->
   ?jobs:int ->
+  ?width:Mcmc.width ->
+  ?counters:Mcmc.counters ->
   ?checkpoint:checkpoint_spec ->
   ?stop:(unit -> bool) ->
   ?deadline:float ->
@@ -178,15 +180,19 @@ val synthesize :
     persisted in checkpoints), and divergent state is rebuilt from batch
     before the walk continues.  A clean audit is bit-neutral.
 
-    [jobs] (default 1) is the parallel speculative-lookahead width: Phase 2
-    evaluates up to [jobs] consecutive proposals concurrently, one replica
-    engine per domain ({!Fit.run}'s lookahead walk — always the lookahead
-    walk, whatever the width).  The realized chain, the trace, the final
-    graph and the checkpoint bytes are bit-identical for every [jobs]
-    value; only wall-clock time changes.  The width is recorded in
-    checkpoints as the resume default.
+    [jobs] (default 1) is the parallel speculative-lookahead worker count:
+    Phase 2 evaluates batches of consecutive proposals concurrently, one
+    replica engine per domain ({!Fit.run}'s lookahead walk — always the
+    lookahead walk, whatever the width).  [width] (default
+    [Mcmc.Fixed jobs]) is the batch-width policy — [Mcmc.Adaptive] lets
+    the walk deepen its lookahead when acceptances are rare.  The realized
+    chain, the trace, the final graph and the checkpoint bytes are
+    bit-identical for every [jobs] value {e and} every [width] policy;
+    only wall-clock time changes.  [jobs] is recorded in checkpoints as
+    the resume default; [width] and [counters] (per-phase timing) are
+    runtime-only and never persisted.
 
-    [stop] (polled between batches of at most [jobs] steps) and [deadline]
+    [stop] (polled between batches) and [deadline]
     (wall-clock seconds from run start) request a graceful stop: the
     in-flight batch finishes, one final snapshot of the stopped state is
     written to the checkpoint sink (if any), and the partial result is
@@ -194,21 +200,30 @@ val synthesize :
     {!Shutdown.requested} for SIGINT/SIGTERM handling. *)
 
 val resume :
-  ?stop:(unit -> bool) -> ?deadline:float -> ?jobs:int -> path:string -> unit -> result
+  ?stop:(unit -> bool) ->
+  ?deadline:float ->
+  ?jobs:int ->
+  ?width:Mcmc.width ->
+  ?counters:Mcmc.counters ->
+  path:string ->
+  unit ->
+  result
 (** [resume ~path ()] loads the snapshot at [path] and continues the
     interrupted walk to completion, checkpointing onward with the original
     cadence to the same [path].  The returned {!result} — graph, stats,
     trace, energies — is bit-identical to what the uninterrupted run would
     have returned.  Raises {!Corrupt_checkpoint} on any invalid file.
-    [stop]/[deadline] as in {!synthesize}.  [jobs] overrides the snapshot's
-    recorded lookahead width — safe at any value, since the realized chain
-    is width-invariant. *)
+    [stop]/[deadline]/[width]/[counters] as in {!synthesize}.  [jobs]
+    overrides the snapshot's recorded worker count — safe at any value,
+    since the realized chain is width-invariant. *)
 
 val resume_latest :
   ?log:(string -> unit) ->
   ?stop:(unit -> bool) ->
   ?deadline:float ->
   ?jobs:int ->
+  ?width:Mcmc.width ->
+  ?counters:Mcmc.counters ->
   store:Wpinq_persist.Persist.Store.t ->
   unit ->
   result

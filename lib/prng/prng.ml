@@ -40,6 +40,18 @@ let split_nth t i =
   if i < 0 then invalid_arg "Prng.split_nth: negative index";
   { state = mix64 (mix64 (Int64.add t.state (Int64.mul (Int64.of_int (i + 1)) golden_gamma))) }
 
+(* Deal the first [n] lookahead streams in one call: [deal t n] equals
+   [Array.init n (split_nth t)] but walks the lattice with one running
+   cursor instead of recomputing the offset product per stream.  The
+   scheduler re-deals per batch with a batch-dependent [n] (adaptive
+   lookahead width), so this is on the dispatch hot path. *)
+let deal t n =
+  if n < 0 then invalid_arg "Prng.deal: negative count";
+  let cursor = ref t.state in
+  Array.init n (fun _ ->
+      cursor := Int64.add !cursor golden_gamma;
+      { state = mix64 (mix64 !cursor) })
+
 (* Advance the cursor as if [k] draws ([bits64] or [split]) had been
    taken, in O(1).  After [advance t k], [split t] returns exactly what
    [split_nth t k] returned before. *)

@@ -53,6 +53,14 @@ val split_nth : t -> int -> t
     the foundation of the parallel speculative walk.  The dealt streams are
     pairwise distinct and independent of both each other and the parent. *)
 
+val deal : t -> int -> t array
+(** [deal t n] deals the first [n] lookahead streams without moving [t]'s
+    cursor: element [i] equals [split_nth t i], but the whole batch is
+    produced with one pass over the lattice ([n >= 0]; raises
+    [Invalid_argument] otherwise).  This is the per-batch dispatch
+    primitive of the parallel lookahead scheduler, whose batch width
+    varies between batches. *)
+
 val advance : t -> int -> unit
 (** [advance t k] moves the cursor as if [k] draws ({!bits64} or {!split})
     had been taken, in O(1) ([k >= 0]).  After [advance t k], [split t]

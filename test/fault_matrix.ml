@@ -65,8 +65,8 @@ let with_store_dir f =
       try Unix.rmdir dir with Unix.Unix_error _ -> ())
     (fun () -> f dir)
 
-let synthesize ?jobs store =
-  W.synthesize ?jobs ~steps ~trace_every ~pow:100.0
+let synthesize ?jobs ?width store =
+  W.synthesize ?jobs ?width ~steps ~trace_every ~pow:100.0
     ~checkpoint:{ W.every; sink = W.Store store }
     ~rng:(Prng.create 123) ~epsilon:0.5 ~query:(Some W.Tbi)
     ~secret:(Gen.clustered ~n:40 ~community:8 ~p_in:0.7 ~extra:20 (Prng.create 5))
@@ -126,18 +126,26 @@ let round st round =
    (--jobs 2) and recovers at yet another width (--jobs 4); the result must
    still be bit-identical to the *serial* uninterrupted reference.  Faults
    only fire at lookahead-batch boundaries, and the "mcmc.step" site fires
-   once per batch: at jobs=2 a batch consumes up to 2 steps, so over
-   [steps] steps the site fires at least [steps/2] times.  The kill is
-   armed inside that budget, past the first checkpoint. *)
-let multicore_round st round =
+   once per batch: a batch consumes between 1 and [max_consumed] steps
+   (2 for fixed jobs=2; the max_width for an adaptive policy), so over
+   [steps] steps the site fires at least [steps / max_consumed] times —
+   the kill budget.  Each firing also completes at least one step, so any
+   kill past [every] firings lands after the first checkpoint generation.
+   The adaptive variant ([width = Adaptive]) kills mid-walk while the
+   realized K is swinging between 1 and max_width, which exercises
+   batch-aligned snapshots under every batch shape the controller can
+   produce. *)
+let multicore_round ?width ~max_consumed ~label st round =
   with_store_dir (fun dir ->
       let store = Persist.Store.open_dir ~keep dir in
-      let kill_at = every + 1 + Random.State.int st ((steps / 2) - (2 * every)) in
+      let budget = (steps / max_consumed) - every - 5 in
+      assert (budget > 0);
+      let kill_at = every + 1 + Random.State.int st budget in
       Fault.arm ~site:"mcmc.step" ~after:kill_at;
-      (match synthesize ~jobs:2 store with
+      (match synthesize ~jobs:2 ?width store with
       | exception Fault.Injected _ -> ()
       | _ ->
-          Printf.eprintf "round %d: multicore kill at batch %d never fired\n%!" round kill_at;
+          Printf.eprintf "round %d: %s kill at batch %d never fired\n%!" round label kill_at;
           incr failures);
       let gens = Persist.Store.generations store in
       let n_gens = List.length gens in
@@ -149,12 +157,12 @@ let multicore_round st round =
             let size = (Unix.stat path).Unix.st_size in
             Fault.corrupt ~path (random_corruption st size))
         gens;
-      let got = W.resume_latest ~jobs:4 ~store () in
+      let got = W.resume_latest ~jobs:4 ?width ~store () in
       Printf.printf
-        "round %d: jobs=2 killed at batch %d, corrupted %d/%d generation(s), jobs=4 \
-         recovery — recovered\n\
+        "round %d: %s killed at batch %d, corrupted %d/%d generation(s), jobs=4 recovery \
+         — recovered\n\
          %!"
-        round kill_at n_corrupt n_gens;
+        round label kill_at n_corrupt n_gens;
       got)
 
 (* ---------------- the budget-ledger arm of the matrix ----------------
@@ -390,7 +398,12 @@ let () =
     for r = 1 to !rounds do
       check_result r reference (round st r)
     done;
-    check_result (!rounds + 1) reference (multicore_round st (!rounds + 1))
+    check_result (!rounds + 1) reference
+      (multicore_round ~max_consumed:2 ~label:"jobs=2 fixed" st (!rounds + 1));
+    check_result (!rounds + 2) reference
+      (multicore_round
+         ~width:(Mcmc.Adaptive { max_width = 4 })
+         ~max_consumed:4 ~label:"jobs=2 adaptive" st (!rounds + 2))
   end;
   if not !mcmc_only then ledger_matrix st ~rounds:!rounds;
   if !failures > 0 then begin
@@ -399,7 +412,9 @@ let () =
   end;
   Printf.printf "full matrix clean (seed %d): %s%s\n%!" !seed
     (if !ledger_only then ""
-     else Printf.sprintf "%d synthesis rounds (plus 1 multicore) bit-identical" !rounds)
+     else
+       Printf.sprintf "%d synthesis rounds (plus 2 multicore: fixed + adaptive) bit-identical"
+         !rounds)
     (if !mcmc_only then ""
      else
        Printf.sprintf "%s%d ledger arm-point rounds, zero overspend at every site"

@@ -70,13 +70,15 @@ type arm = {
   batches : int;
   dispatched : int;
   consumed : int;
+  counters : Mcmc.counters;
 }
 
-let run_arm ?(steps = 200) ?audit_every ?pow ~jobs fit =
+let run_arm ?(steps = 200) ?audit_every ?pow ?width ~jobs fit =
   let energies = ref [] in
   let batches = ref 0 and dispatched = ref 0 and consumed = ref 0 in
+  let counters = Mcmc.counters () in
   let stats =
-    Fit.run fit ~steps ?pow ?audit_every ~jobs
+    Fit.run fit ~steps ?pow ?audit_every ~jobs ?width ~counters
       ~on_step:(fun ~step ~energy ->
         energies := (step, Int64.bits_of_float energy) :: !energies)
       ~on_batch:(fun ~dispatched:d ~consumed:c ->
@@ -92,6 +94,7 @@ let run_arm ?(steps = 200) ?audit_every ?pow ~jobs fit =
     batches = !batches;
     dispatched = !dispatched;
     consumed = !consumed;
+    counters;
   }
 
 let check_same_walk name (a : arm) (b : arm) =
@@ -208,7 +211,9 @@ let test_resume_across_widths () =
         in
         let partial = synth ~jobs:2 ~stop p in
         Alcotest.(check bool) "stopped early" true partial.W.stats.Mcmc.interrupted;
-        W.resume ~jobs:4 ~path:p ())
+        (* Resume wider AND under a different width policy: the chain is
+           invariant to both. *)
+        W.resume ~jobs:4 ~width:(Mcmc.Adaptive { max_width = 16 }) ~path:p ())
   in
   Alcotest.(check int) "accepted" expect.W.stats.Mcmc.accepted
     resumed.W.stats.Mcmc.accepted;
@@ -218,6 +223,114 @@ let test_resume_across_widths () =
   Alcotest.(check (list (pair int int)))
     "synthetic edges"
     (Graph.edges expect.W.synthetic) (Graph.edges resumed.W.synthetic)
+
+(* The adaptive-width policy must leave the chain untouched: only
+   wall-clock (and the batch structure) may differ from the serial
+   reference.  The counters prove the policy actually adapted — the
+   realized width grew past the worker count. *)
+let test_adaptive_invariance () =
+  let seed, ms = problem () in
+  let serial = run_arm ~steps:200 ~jobs:1 (shared_fit ~rng_seed:7 ~seed_graph:seed ms) in
+  let adaptive jobs =
+    run_arm ~steps:200 ~jobs
+      ~width:(Mcmc.Adaptive { max_width = 8 })
+      (shared_fit ~rng_seed:7 ~seed_graph:seed ms)
+  in
+  let a1 = adaptive 1 and a2 = adaptive 2 in
+  check_same_walk "serial vs adaptive jobs=1" serial a1;
+  check_same_walk "serial vs adaptive jobs=2" serial a2;
+  Alcotest.(check bool)
+    (Printf.sprintf "adaptive width grew past jobs (k_max %d)" a2.counters.Mcmc.k_max)
+    true
+    (a2.counters.Mcmc.k_max > 2);
+  Alcotest.(check bool) "adaptive width bounded" true (a2.counters.Mcmc.k_max <= 8);
+  Alcotest.(check bool)
+    (Printf.sprintf "adaptive takes fewer batches (%d < %d)" a2.batches serial.batches)
+    true
+    (a2.batches < serial.batches)
+
+(* Schedule is the adversarial width policy: force shrink-to-1, regrow,
+   oscillate — with audits in the loop — and the chain must still match
+   the serial reference bit for bit. *)
+let test_schedule_invariance () =
+  let seed, ms = problem () in
+  let serial =
+    run_arm ~steps:150 ~audit_every:50 ~jobs:1 (shared_fit ~rng_seed:11 ~seed_graph:seed ms)
+  in
+  let schedules =
+    [
+      ("shrink-to-1 and regrow", fun i -> match i mod 4 with 0 -> 1 | 1 -> 7 | 2 -> 1 | _ -> 3);
+      ("sawtooth", fun i -> 1 + (i mod 6));
+      ("always wide", fun _ -> 9);
+    ]
+  in
+  List.iter
+    (fun (name, f) ->
+      let a =
+        run_arm ~steps:150 ~audit_every:50 ~jobs:2 ~width:(Mcmc.Schedule f)
+          (shared_fit ~rng_seed:11 ~seed_graph:seed ms)
+      in
+      check_same_walk ("serial vs schedule " ^ name) serial a;
+      Alcotest.(check int) (name ^ ": audits ran") 3 a.stats.Mcmc.audits)
+    schedules
+
+(* Counters sanity: phases accumulate, the width trajectory is recorded,
+   and the accepted-swap commit path is O(delta) cheap relative to a full
+   speculative evaluation (per-event, commit must not dwarf eval). *)
+let test_counters_recorded () =
+  let seed, ms = problem () in
+  let a =
+    run_arm ~steps:200 ~jobs:2
+      ~width:(Mcmc.Adaptive { max_width = 8 })
+      (shared_fit ~rng_seed:7 ~seed_graph:seed ms)
+  in
+  let c = a.counters in
+  Alcotest.(check int) "batches counted" a.batches c.Mcmc.batches;
+  Alcotest.(check int) "k_sum = dispatched" a.dispatched c.Mcmc.k_sum;
+  Alcotest.(check bool) "k_min >= 1" true (c.Mcmc.k_min >= 1);
+  Alcotest.(check bool) "k_min <= k_max" true (c.Mcmc.k_min <= c.Mcmc.k_max);
+  Alcotest.(check bool) "eval time recorded" true (c.Mcmc.eval_us > 0.0);
+  Alcotest.(check bool) "resolve time recorded" true (c.Mcmc.resolve_us > 0.0);
+  Alcotest.(check bool) "dispatch time recorded" true (c.Mcmc.dispatch_us > 0.0);
+  Alcotest.(check bool) "commit time non-negative" true (c.Mcmc.commit_us >= 0.0);
+  Alcotest.(check bool) "walk accepted something" true (a.stats.Mcmc.accepted > 0);
+  (* The tentpole's point: committing an accepted swap (one 8-record delta
+     feed) costs far less than speculatively evaluating a proposal (the
+     same propagation plus undo logging, commit/abort drain, and Metropolis
+     bookkeeping).  Give it 3x headroom against timer noise. *)
+  let commit_per_event = c.Mcmc.commit_us /. float (max 1 a.stats.Mcmc.accepted) in
+  let eval_per_event = c.Mcmc.eval_us /. float (max 1 a.dispatched) in
+  Alcotest.(check bool)
+    (Printf.sprintf "commit O(delta) cheap (%.1fus/commit vs %.1fus/eval)" commit_per_event
+       eval_per_event)
+    true
+    (commit_per_event < 3.0 *. eval_per_event)
+
+(* Exception safety: a hook that raises mid-walk must propagate out of
+   [Fit.run ~jobs] with the worker domains joined — a leaked domain would
+   hang the runtime at exit (and a prompt second run proves the fit and
+   the pool teardown are clean). *)
+exception Boom
+
+let test_hook_exception_joins_workers () =
+  let seed, ms = problem () in
+  let fit = shared_fit ~rng_seed:7 ~seed_graph:seed ms in
+  let raised =
+    try
+      ignore
+        (Fit.run fit ~steps:200 ~jobs:2
+           ~width:(Mcmc.Adaptive { max_width = 8 })
+           ~on_step:(fun ~step ~energy:_ -> if step = 57 then raise Boom)
+           ());
+      false
+    with Boom -> true
+  in
+  Alcotest.(check bool) "hook exception propagated" true raised;
+  (* The pool (and its domains) are gone; the owner fit is still a valid
+     committed state and can stand up a fresh pool immediately. *)
+  let again = run_arm ~steps:50 ~jobs:2 fit in
+  Alcotest.(check bool) "fit usable after teardown" true
+    (Float.is_finite again.stats.Mcmc.final_energy)
 
 (* Fits built from opaque target closures share measurement state across
    instances and cannot be replicated: the pool must refuse them. *)
@@ -244,6 +357,13 @@ let suite =
       test_width_invariance;
     Alcotest.test_case "width invariance under self-audits" `Quick
       test_width_invariance_with_audits;
+    Alcotest.test_case "adaptive width invariance + actually adapts" `Quick
+      test_adaptive_invariance;
+    Alcotest.test_case "schedule invariance (shrink-to-1, regrow, audits)" `Quick
+      test_schedule_invariance;
+    Alcotest.test_case "phase counters + O(delta) commit" `Quick test_counters_recorded;
+    Alcotest.test_case "hook exception joins worker domains" `Quick
+      test_hook_exception_joins_workers;
     Alcotest.test_case "workflow width invariance + snapshot reproducibility" `Quick
       test_workflow_width_invariance;
     Alcotest.test_case "resume at a different width" `Quick test_resume_across_widths;

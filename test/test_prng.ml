@@ -174,6 +174,29 @@ let test_split_nth_pure () =
   (* ...and re-dealing the same index yields the identical stream. *)
   Alcotest.(check string) "re-deal is stable" s2_cursor (Prng.save (Prng.split_nth r 2))
 
+let test_deal_matches_split_nth =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"deal n = pointwise split_nth"
+       QCheck.(pair int (int_bound 32))
+       (fun (seed, n) ->
+         let r = Prng.create seed in
+         ignore (Prng.bits64 r);
+         let before = Prng.save r in
+         let dealt = Prng.deal r n in
+         (* The batch equals the pointwise deal, and neither moves the
+            master cursor. *)
+         Array.length dealt = n
+         && Prng.save r = before
+         && Array.for_all
+              (fun ok -> ok)
+              (Array.mapi (fun i s -> Prng.save s = Prng.save (Prng.split_nth r i)) dealt)))
+
+let test_deal_validates () =
+  let r = Prng.create 5 in
+  Alcotest.(check int) "deal 0 is empty" 0 (Array.length (Prng.deal r 0));
+  Alcotest.check_raises "negative count rejected"
+    (Invalid_argument "Prng.deal: negative count") (fun () -> ignore (Prng.deal r (-1)))
+
 let test_dealt_streams_disjoint () =
   (* 8 dealt streams, 64 draws each: all 512 values distinct.  Overlapping
      or duplicated streams would collide immediately; for honest 64-bit
@@ -275,6 +298,8 @@ let suite =
       test_split_nth_matches_sequential_splits;
     test_advance_equals_draws;
     Alcotest.test_case "split_nth leaves master untouched" `Quick test_split_nth_pure;
+    test_deal_matches_split_nth;
+    Alcotest.test_case "deal validates" `Quick test_deal_validates;
     Alcotest.test_case "dealt streams disjoint" `Quick test_dealt_streams_disjoint;
     Alcotest.test_case "mark/rewind roundtrip" `Quick test_mark_rewind_roundtrip;
     Alcotest.test_case "lookahead fixed vectors" `Quick test_lookahead_fixed_vectors;
