@@ -567,6 +567,183 @@ let serve_bench () =
   in
   (fragment, ok)
 
+(* ---------------- Part 7: continual-observation benchmark --------------
+
+   A supervised three-epoch stream with an injected transient failure and
+   an exhausted schedule, so every branch of the degradation taxonomy
+   (completed / merged / refused) appears in the record; then a
+   head-to-head warm-vs-cold re-synthesis against the post-churn secret.
+   The recorded verdicts: zero budget overspend across the degraded
+   stream, and the warm start reaching the cold walk's final energy in
+   strictly fewer steps. *)
+
+module Sup = Wpinq_stream.Supervisor
+module Sevent = Wpinq_stream.Event
+module Workflow = Wpinq_infer.Workflow
+
+let rec remove_tree path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> remove_tree (Filename.concat path e)) (Sys.readdir path);
+      try Sys.rmdir path with Sys_error _ -> ()
+    end
+    else try Sys.remove path with Sys_error _ -> ()
+
+let stream_bench ~smoke () =
+  banner "Part 7: continual-observation stream benchmark";
+  let steps = if smoke then 400 else 2_000 in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "wpinq-stream-bench-%d" (Unix.getpid ()))
+  in
+  remove_tree dir;
+  (* Epoch 1 fails every attempt: a forced transient failure that
+     exhausts its retries and degrades to a merged epoch. *)
+  let chaos ~epoch ~attempt:_ =
+    if epoch = 1 then Some "injected transient fault" else None
+  in
+  let cfg =
+    Sup.config ~steps ~pow:100.0
+      ~checkpoint_every:(max 1 (steps / 4))
+      ~trace_every:(max 1 (steps / 10))
+      ~retries:1 ~per_epoch:2.0 ~epochs:3 ~seed:5 ()
+  in
+  let sup, _ = Sup.open_dir ~chaos ~config:cfg dir in
+  let n = 32 in
+  let secret = Gen.clustered ~n ~community:8 ~p_in:0.8 ~extra:14 (Prng.create 19) in
+  let clock = ref 0 in
+  let submit ?(op = Sevent.Arrive) u v =
+    incr clock;
+    ignore (Sup.submit sup (Sevent.make ~time:(float !clock) ~op ~u ~v))
+  in
+  let wall0 = Unix.gettimeofday () in
+  List.iter (fun (u, v) -> submit u v) (Graph.edges secret);
+  ignore (Sup.tick sup) (* epoch 0: completed (cold start) *);
+  let du, dv = List.hd (Graph.edges secret) in
+  submit ~op:Sevent.Depart du dv;
+  submit 0 31;
+  submit 3 29;
+  ignore (Sup.tick sup) (* epoch 1: chaos → merged, budget rolled *);
+  submit 5 27;
+  submit 2 26;
+  ignore (Sup.tick sup) (* epoch 2: completed (warm start, carried ε) *);
+  ignore (Sup.tick sup) (* epoch 3: schedule exhausted → typed refusal *);
+  let wall = Unix.gettimeofday () -. wall0 in
+  let outcomes = Sup.outcomes sup in
+  List.iter (fun o -> Printf.printf "  %s\n" (Sup.outcome_to_string o)) outcomes;
+  let count p = List.length (List.filter p outcomes) in
+  let n_completed = count (function Sup.Completed _ -> true | _ -> false) in
+  let n_merged = count (function Sup.Merged _ -> true | _ -> false) in
+  let n_refused = count (function Sup.Refused _ -> true | _ -> false) in
+  let merged_reason, merged_rolled =
+    match
+      List.find_opt (function Sup.Merged _ -> true | _ -> false) outcomes
+    with
+    | Some (Sup.Merged m) -> (m.Sup.reason, m.Sup.rolled)
+    | _ -> ("", 0.0)
+  in
+  let books = Sup.books sup in
+  let overspend = Sup.overspend sup in
+  let head = Sup.head sup and consumed = Sup.consumed sup in
+  Printf.printf
+    "taxonomy: %d completed, %d merged, %d refused; ε granted %.2f spent %.2f \
+     (overspend %.3f)\n%!"
+    n_completed n_merged n_refused books.Budget.Schedule.granted
+    books.Budget.Schedule.spent overspend;
+  (* Warm-vs-cold re-synthesis: fit the post-churn secret twice from the
+     same fresh measurements — once from a cold configuration-model seed,
+     once warm-started from the stream's released synthetic — and record
+     the steps each walk needs to reach the cold walk's final energy. *)
+  let previous =
+    match Sup.synthetic sup with
+    | Some g -> g
+    | None -> failwith "stream bench: no released synthetic"
+  in
+  let next_secret = Graph.of_edges ~n (Sup.protected_edges sup) in
+  Sup.close sup;
+  remove_tree dir;
+  let rng = Prng.create 23 in
+  let budget = Budget.create ~name:"stream-bench" 1e9 in
+  let sym = Batch.source_records ~budget (Graph.directed_edges next_secret) in
+  let seed_ms = Workflow.measure_seed ~rng ~epsilon:0.1 ~sym in
+  let degrees = Workflow.fit_degrees seed_ms in
+  let qms = Workflow.measure_queries ~rng ~epsilon:0.1 ~sym [ Workflow.Tbi ] in
+  let fit_steps = if smoke then 2_000 else 10_000 in
+  let run_arm seedg =
+    let source, measured = Workflow.shared_measured qms in
+    let fit =
+      Fit.create_shared ~rng:(Prng.create 31) ~seed_graph:seedg ~source ~measured ()
+    in
+    let energies = Array.make (fit_steps + 1) (Fit.energy fit) in
+    for s = 1 to fit_steps do
+      ignore (Fit.step ~pow:100.0 fit);
+      energies.(s) <- Fit.energy fit
+    done;
+    energies
+  in
+  let cold = run_arm (Workflow.seed_graph ~rng:(Prng.split_nth rng 7) ~degrees) in
+  let warm = run_arm (Sup.warm_seed ~rng:(Prng.split_nth rng 8) ~degrees ~previous) in
+  let tau = cold.(fit_steps) in
+  let steps_to arr =
+    let rec go i = if i > fit_steps then None else if arr.(i) <= tau then Some i else go (i + 1) in
+    go 0
+  in
+  let cold_steps = Option.value ~default:fit_steps (steps_to cold) in
+  let warm_steps = steps_to warm in
+  let warm_beats_cold =
+    match warm_steps with Some w -> w < cold_steps | None -> false
+  in
+  Printf.printf
+    "warm vs cold (target energy %.4f): cold %d steps from energy %.4f, warm %s from \
+     energy %.4f\n%!"
+    tau cold_steps cold.(0)
+    (match warm_steps with
+    | Some w -> Printf.sprintf "%d steps" w
+    | None -> "never reached it")
+    warm.(0);
+  let ok =
+    overspend = 0.0 && n_completed >= 2 && n_merged >= 1 && n_refused >= 1
+    && warm_beats_cold
+  in
+  let fragment =
+    String.concat "\n"
+      [
+        "  \"stream\": {";
+        Printf.sprintf "    \"epoch_steps\": %d," steps;
+        Printf.sprintf "    \"per_epoch_epsilon\": %g," 2.0;
+        Printf.sprintf "    \"schedule_epochs\": %d," 3;
+        Printf.sprintf "    \"events_acknowledged\": %d," head;
+        Printf.sprintf "    \"events_committed\": %d," consumed;
+        Printf.sprintf "    \"wall_s\": %.3f," wall;
+        "    \"taxonomy\": {";
+        Printf.sprintf "      \"completed\": %d," n_completed;
+        Printf.sprintf "      \"merged\": %d," n_merged;
+        Printf.sprintf "      \"refused\": %d" n_refused;
+        "    },";
+        Printf.sprintf "    \"merged_reason\": %S," merged_reason;
+        Printf.sprintf "    \"merged_rolled_epsilon\": %g," merged_rolled;
+        "    \"books\": {";
+        Printf.sprintf "      \"granted\": %g," books.Budget.Schedule.granted;
+        Printf.sprintf "      \"spent\": %g," books.Budget.Schedule.spent;
+        Printf.sprintf "      \"carried\": %g," books.Budget.Schedule.carried;
+        Printf.sprintf "      \"forfeited\": %g" books.Budget.Schedule.forfeited;
+        "    },";
+        Printf.sprintf "    \"overspend\": %g," overspend;
+        "    \"warm_start\": {";
+        Printf.sprintf "      \"fit_steps\": %d," fit_steps;
+        Printf.sprintf "      \"target_energy\": %.6f," tau;
+        Printf.sprintf "      \"cold_initial_energy\": %.6f," cold.(0);
+        Printf.sprintf "      \"warm_initial_energy\": %.6f," warm.(0);
+        Printf.sprintf "      \"cold_steps_to_target\": %d," cold_steps;
+        Printf.sprintf "      \"warm_steps_to_target\": %s,"
+          (match warm_steps with Some w -> string_of_int w | None -> "null");
+        Printf.sprintf "      \"warm_beats_cold\": %b" warm_beats_cold;
+        "    }";
+        "  }";
+      ]
+  in
+  (fragment, ok)
+
 let walk_bench ~smoke ~json_path ?(fragments = []) () =
   banner "Part 3: speculative-walk benchmark (machine-readable)";
   let scale, warmup, steps = if smoke then (0.15, 500, 3_000) else (0.4, 2_000, 20_000) in
@@ -679,6 +856,7 @@ let () =
   let walk_only = ref false in
   let multi = ref false in
   let serve = ref false in
+  let stream = ref false in
   let jobs = ref 0 in
   let json_path = ref "BENCH_wpinq.json" in
   Arg.parse
@@ -692,6 +870,11 @@ let () =
         Arg.Set serve,
         " Run only the budget-ledger service benchmark (plus a reduced walk for the \
          JSON envelope); exits nonzero on overspend or recovery mismatch." );
+      ( "--stream",
+        Arg.Set stream,
+        " Run only the continual-observation stream benchmark (plus a reduced walk for \
+         the JSON envelope); exits nonzero on overspend, a missing degradation branch, \
+         or a warm start that fails to beat the cold start." );
       ( "--jobs",
         Arg.Set_int jobs,
         "N Widest lookahead arm for the parallel benchmark (default: 4, or 2 in smoke \
@@ -700,21 +883,26 @@ let () =
       ("--json", Arg.Set_string json_path, "PATH Where to write the benchmark JSON.");
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "bench [--smoke | --walk | --multi | --serve] [--jobs N] [--json PATH]";
+    "bench [--smoke | --walk | --multi | --serve | --stream] [--jobs N] [--json PATH]";
   let t0 = Unix.gettimeofday () in
-  if not (!smoke || !walk_only || !multi || !serve) then begin
+  if not (!smoke || !walk_only || !multi || !serve || !stream) then begin
     experiments ();
     run_benchmarks ()
   end;
   (* The walk benchmark always runs; the shared-plan comparison and the
-     parallel-lookahead arms ride along in every mode except walk-only and
-     serve-only; the service load benchmark rides along in every mode
-     except walk-only, multi-only and smoke. *)
+     parallel-lookahead arms ride along in every mode except walk-only,
+     serve-only and stream-only; the service load and stream benchmarks
+     ride along only in the full run (each also has its own CI-sized
+     mode). *)
   let fragments, identical =
     if !walk_only then ([], true)
     else if !serve then begin
       let serve_fragment, ok = serve_bench () in
       ([ serve_fragment ], ok)
+    end
+    else if !stream then begin
+      let stream_fragment, ok = stream_bench ~smoke:true () in
+      ([ stream_fragment ], ok)
     end
     else begin
       let max_jobs =
@@ -724,16 +912,18 @@ let () =
       let parallel_fragment, identical = parallel_bench ~smoke:!smoke ~max_jobs () in
       if !smoke || !multi then ([ multi_fragment; parallel_fragment ], identical)
       else begin
-        let serve_fragment, ok = serve_bench () in
-        ([ multi_fragment; parallel_fragment; serve_fragment ], identical && ok)
+        let serve_fragment, serve_ok = serve_bench () in
+        let stream_fragment, stream_ok = stream_bench ~smoke:false () in
+        ( [ multi_fragment; parallel_fragment; serve_fragment; stream_fragment ],
+          identical && serve_ok && stream_ok )
       end
     end
   in
-  walk_bench ~smoke:(!smoke || !serve) ~json_path:!json_path ~fragments ();
+  walk_bench ~smoke:(!smoke || !serve || !stream) ~json_path:!json_path ~fragments ();
   Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0);
   if not identical then begin
     prerr_endline
       "FATAL: a benchmark safety property failed (lookahead arms diverged, ledger \
-       overspend, or recovery mismatch)";
+       overspend, recovery mismatch, stream overspend, or warm start losing to cold)";
     exit 1
   end

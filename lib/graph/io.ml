@@ -19,6 +19,7 @@ let read path =
     ~finally:(fun () -> close_in ic)
     (fun () ->
       let edges = ref [] in
+      let seen = Hashtbl.create 256 in
       let n = ref 0 in
       let header_n = ref None in
       let lineno = ref 0 in
@@ -48,6 +49,15 @@ let read path =
              with
              | [ Some u; Some v ] -> (
                  if u < 0 || v < 0 then fail line "negative vertex id";
+                 (* Simple undirected graphs only: a self-loop or repeated
+                    edge would silently become a multigraph the engine
+                    does not model (Graph.of_edges would drop it, hiding
+                    malformed streaming deltas).  Reject at parse time
+                    with the line number instead. *)
+                 if u = v then fail line "self-loop";
+                 let key = if u < v then (u, v) else (v, u) in
+                 if Hashtbl.mem seen key then fail line "duplicate edge";
+                 Hashtbl.add seen key ();
                  match !header_n with
                  | Some hn when u >= hn || v >= hn ->
                      fail line

@@ -15,4 +15,7 @@ val read : string -> Graph.t
 (** [read path] parses an edge list.  Blank lines are skipped; a ["# nodes
     N"] header, when present, fixes the vertex count and makes ids [>= N]
     errors.  Raises {!Parse_error} (with line number and offending text) on
-    non-edge lines, negative ids, or ids out of the declared range. *)
+    non-edge lines, negative ids, ids out of the declared range, self-loops,
+    and duplicate edges (in either orientation) — the engine models simple
+    undirected graphs, and silently collapsing a multigraph would hide
+    malformed streaming deltas. *)

@@ -1,20 +1,25 @@
 module Fault = Wpinq_persist.Persist.Fault
 
-let flag = ref false
+let signals = ref 0
 let installed = ref false
 
 let request () =
   Fault.point "shutdown.request";
-  flag := true
+  incr signals
 
-let requested () = !flag
-let reset () = flag := false
+let requested () = !signals >= 1
+let forced () = !signals >= 2
+let reset () = signals := 0
 
-(* A handler must only set a flag: the walk polls it between steps, so the
-   in-flight step finishes and a final checkpoint is written from a
-   complete post-step state.  Installation is idempotent and tolerates
-   environments where a signal cannot be caught (e.g. sigterm under some
-   test runners). *)
+(* A handler must only bump a counter: the walk polls it between steps, so
+   the in-flight step finishes and a final checkpoint is written from a
+   complete post-step state.  The counter gives the conventional
+   double-signal escalation — the first Ctrl-C starts a graceful drain
+   (finish the in-flight epoch, then stop), a second one during the drain
+   forces an immediate stop at the next batch boundary (still leaving a
+   final interrupt snapshot, so even a forced exit resumes bit-identically).
+   Installation is idempotent and tolerates environments where a signal
+   cannot be caught (e.g. sigterm under some test runners). *)
 let install () =
   if not !installed then begin
     installed := true;

@@ -1,23 +1,35 @@
-(** Graceful signal-driven shutdown for long fits.
+(** Graceful signal-driven shutdown for long fits, with double-signal
+    escalation.
 
-    {!install} registers SIGINT/SIGTERM handlers that do nothing but raise
-    a flag; the MCMC walk polls {!requested} between steps (via
+    {!install} registers SIGINT/SIGTERM handlers that do nothing but bump
+    a counter; the MCMC walk polls {!requested} between steps (via
     [should_stop]), finishes the in-flight step, writes a final checkpoint,
     and returns an [interrupted] result — so an operator's Ctrl-C or a
     scheduler's SIGTERM costs at most one step of work, never a corrupted
-    or missing checkpoint. *)
+    or missing checkpoint.
+
+    A {e second} signal during the graceful drain escalates: {!forced}
+    becomes true, and loops that drain gracefully on {!requested} (the
+    stream supervisor finishing its in-flight epoch) poll {!forced} as
+    their [should_stop] instead, stopping at the next batch boundary.  The
+    final interrupt snapshot is still written, so even a forced exit
+    resumes bit-identically. *)
 
 val install : unit -> unit
 (** Register the SIGINT/SIGTERM handlers.  Idempotent; signals that cannot
     be caught in the current environment are skipped silently. *)
 
 val request : unit -> unit
-(** Raise the shutdown flag programmatically (what the handlers call; also
-    the deterministic-test entry point).  Passes the ["shutdown.request"]
-    fault-injection site. *)
+(** Record one shutdown signal programmatically (what the handlers call;
+    also the deterministic-test entry point).  Passes the
+    ["shutdown.request"] fault-injection site. *)
 
 val requested : unit -> bool
-(** Whether shutdown has been requested. *)
+(** Whether shutdown has been requested at least once (graceful drain). *)
+
+val forced : unit -> bool
+(** Whether shutdown has been requested at least twice (stop now: abandon
+    the drain at the next poll, leaving a final interrupt snapshot). *)
 
 val reset : unit -> unit
-(** Lower the flag (between runs, or in tests). *)
+(** Clear the signal count (between runs, or in tests). *)

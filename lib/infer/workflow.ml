@@ -153,12 +153,15 @@ exception Corrupt_checkpoint of string
 
 let ckpt_magic = "wpinq-checkpoint\n"
 
-(* Version 5: the walk switched to the per-step split-stream discipline of
-   the parallel speculative lookahead (and records [ck_jobs], the lookahead
-   width the run was started with).  Older snapshots advance the walk PRNG
-   with a different draw order, so resuming one under the new discipline
-   would not retrace the original chain — the version gate refuses them. *)
-let ckpt_version = 5
+(* Version 6: continual observation.  A snapshot now records its stream
+   position — the re-release epoch index and the ingest-journal sequence
+   number consumed by that epoch — so a stream supervisor killed mid-epoch
+   can resume the in-flight fit and land mid-stream bit-identically.
+   Plain (non-stream) runs write epoch -1 / sequence 0.  (Version 5
+   introduced the per-step split-stream discipline of the parallel
+   speculative lookahead and [ck_jobs].)  Older snapshots are refused by
+   the version gate. *)
+let ckpt_version = 6
 
 (* Everything a resumed chain needs, and nothing protected: the released
    query measurement (noisy counts + noise-stream cursor), the public seed
@@ -179,6 +182,8 @@ type ck = {
       (* lookahead width the run was started with.  Informational default
          for a resume: the realized chain is invariant to the width, so a
          resume may override it freely without breaking bit-identity. *)
+  ck_epoch : int; (* re-release epoch index; -1 for non-stream runs *)
+  ck_stream_seq : int; (* ingest-journal sequence consumed by this epoch *)
   ck_step : int; (* completed steps at snapshot time *)
   ck_budget : Budget.t;
   ck_seed : Graph.t;
@@ -276,6 +281,8 @@ let encode_ck ck =
   Codec.write_int buf ck.ck_audit_every;
   Codec.write_float buf ck.ck_audit_tolerance;
   Codec.write_int buf ck.ck_jobs;
+  Codec.write_int buf ck.ck_epoch;
+  Codec.write_int buf ck.ck_stream_seq;
   Codec.write_int buf ck.ck_step;
   Budget.save ck.ck_budget buf;
   write_graph buf ck.ck_seed;
@@ -305,6 +312,10 @@ let decode_ck payload =
   let ck_jobs = Codec.read_int r in
   if ck_jobs < 1 then
     raise (Codec.Decode_error "checkpoint: jobs must be at least 1");
+  let ck_epoch = Codec.read_int r in
+  let ck_stream_seq = Codec.read_int r in
+  if ck_stream_seq < 0 then
+    raise (Codec.Decode_error "checkpoint: negative stream sequence");
   let ck_step = Codec.read_int r in
   let ck_budget = Budget.load r in
   let ck_seed = read_graph r in
@@ -329,6 +340,8 @@ let decode_ck payload =
     ck_audit_every;
     ck_audit_tolerance;
     ck_jobs;
+    ck_epoch;
+    ck_stream_seq;
     ck_step;
     ck_budget;
     ck_seed;
@@ -376,7 +389,8 @@ let combined_stop ?stop ?deadline () =
    uninterrupted run bit for bit.  A stop request ([should_stop], from a
    signal or a deadline) additionally writes one final snapshot of the
    stopped state, so the partial run is immediately resumable. *)
-let continue_fit ~fit ~rng ~ck ~sink ?should_stop ?width ?counters () =
+let continue_fit ?(initial_snapshot = false) ~fit ~rng ~ck ~sink ?should_stop ?width
+    ?counters () =
   let trace = ref ck.ck_trace in
   (* The measurements attached to the live fit: each rebase swaps them for
      the copies decoded from the snapshot's own bytes, and the walk keeps
@@ -416,6 +430,43 @@ let continue_fit ~fit ~rng ~ck ~sink ?should_stop ?width ?counters () =
              payload));
     payload
   in
+  (* Rebase: re-derive the continuation state from the snapshot bytes so
+     this run and any future resume from the file continue from literally
+     the same state. *)
+  let rebase payload =
+    let ck2 = decode_ck payload in
+    let source, measured = shared_measured ck2.ck_qms in
+    Fit.rebuild_shared fit ~n:ck2.ck_n ~edges:ck2.ck_edges ~source ~measured;
+    live_qms := ck2.ck_qms;
+    trace := ck2.ck_trace
+  in
+  (* A stream epoch snapshots its state *before* the first step: the
+     measurement noise is spent the moment it is drawn, so the epoch must
+     be resumable from a state that already contains it — a crash after
+     measurement then re-reads the released values instead of re-drawing
+     (same bytes either way, since the epoch rng is a pure function of
+     (seed, epoch), but the snapshot makes it durable without re-touching
+     the secret).  Rebasing onto the step-0 snapshot keeps the
+     continuation a pure function of the file, exactly as at cadence
+     checkpoints. *)
+  (match sink with
+  | Some sink when initial_snapshot ->
+      let e = Fit.energy fit in
+      let interim =
+        {
+          Mcmc.steps = 0;
+          accepted = 0;
+          invalid = 0;
+          refreshed_on_nonfinite = 0;
+          audits = 0;
+          audit_divergences = 0;
+          interrupted = false;
+          initial_energy = e;
+          final_energy = e;
+        }
+      in
+      rebase (write_snapshot sink (snapshot ~step:ck.ck_step ~interim))
+  | _ -> ());
   let checkpoint_every, on_checkpoint =
     match sink with
     | None -> (None, None)
@@ -423,15 +474,7 @@ let continue_fit ~fit ~rng ~ck ~sink ?should_stop ?width ?counters () =
         ( Some ck.ck_every,
           Some
             (fun ~step ~stats:(interim : Mcmc.stats) ->
-              let payload = write_snapshot sink (snapshot ~step ~interim) in
-              (* Rebase: re-derive the continuation state from the snapshot
-                 bytes so this run and any future resume from the file
-                 continue from literally the same state. *)
-              let ck2 = decode_ck payload in
-              let source, measured = shared_measured ck2.ck_qms in
-              Fit.rebuild_shared fit ~n:ck2.ck_n ~edges:ck2.ck_edges ~source ~measured;
-              live_qms := ck2.ck_qms;
-              trace := ck2.ck_trace) )
+              rebase (write_snapshot sink (snapshot ~step ~interim))) )
   in
   let seg =
     (* Always the lookahead walk (jobs >= 1), so the realized chain — and
@@ -532,6 +575,8 @@ let synthesize ?(pow = 10_000.0) ?(steps = 100_000) ?trace_every
           ck_audit_every = max 0 audit_every;
           ck_audit_tolerance = audit_tolerance;
           ck_jobs = max 1 jobs;
+          ck_epoch = -1;
+          ck_stream_seq = 0;
           ck_step = 0;
           ck_budget = budget;
           ck_seed = seed;
@@ -615,3 +660,65 @@ let resume_latest ?(log = fun _ -> ()) ?stop ?deadline ?jobs ?width ?counters ~s
               detail))
 
 let checkpoint_step path = (load_ck path).ck_step
+
+let checkpoint_stream path =
+  let ck = load_ck path in
+  (ck.ck_epoch, ck.ck_stream_seq)
+
+let checkpoint_epsilon path = Budget.spent (load_ck path).ck_budget
+
+(* ---- Continual observation: one re-release epoch ---------------------- *)
+
+(* One warm-started re-release epoch of the continual-observation stream.
+   The caller (the stream supervisor) has already measured this epoch's
+   queries against the evolved secret under the epoch's budget allowance;
+   this runs the fit from [warm] — the previous epoch's synthetic graph
+   adapted to the new degree sequence — instead of a cold
+   configuration-model seed.  When a checkpoint sink is given, a step-0
+   snapshot is written (and rebased onto) before the walk, so a crash at
+   any point after measurement resumes from durable state; every snapshot
+   records [epoch] and [stream_seq], landing a killed supervisor back
+   mid-stream bit-identically. *)
+let fit_stream ?(pow = 10_000.0) ?(steps = 100_000) ?trace_every ?(refresh_every = 100_000)
+    ?(audit_every = 0) ?(audit_tolerance = 1e-6) ?(jobs = 1) ?width ?counters ?checkpoint
+    ?stop ?deadline ~rng ~budget ~epsilon ~warm ~qms ~epoch ~stream_seq () =
+  let trace_every =
+    match trace_every with Some t -> max 1 t | None -> max 1 (steps / 20)
+  in
+  let source, measured = shared_measured qms in
+  let fit = Fit.create_shared ~rng ~seed_graph:warm ~source ~measured () in
+  let ck0 =
+    {
+      ck_epsilon = epsilon;
+      ck_pow = pow;
+      ck_steps = steps;
+      ck_trace_every = trace_every;
+      ck_refresh_every = max 1 refresh_every;
+      ck_every = (match checkpoint with Some c -> max 1 c.every | None -> 0);
+      ck_audit_every = max 0 audit_every;
+      ck_audit_tolerance = audit_tolerance;
+      ck_jobs = max 1 jobs;
+      ck_epoch = epoch;
+      ck_stream_seq = stream_seq;
+      ck_step = 0;
+      ck_budget = budget;
+      ck_seed = warm;
+      ck_n = Graph.n warm;
+      ck_edges = [||];
+      ck_rng = "";
+      ck_accepted = 0;
+      ck_invalid = 0;
+      ck_nonfinite = 0;
+      ck_audits = 0;
+      ck_divergences = 0;
+      ck_initial_energy = 0.0;
+      ck_trace = [ trace_of ~step:0 ~energy:(Fit.energy fit) warm ];
+      ck_qms = qms;
+    }
+  in
+  let sink = match checkpoint with Some c -> Some c.sink | None -> None in
+  continue_fit
+    ~initial_snapshot:(Option.is_some sink)
+    ~fit ~rng ~ck:ck0 ~sink
+    ?should_stop:(combined_stop ?stop ?deadline ())
+    ?width ?counters ()

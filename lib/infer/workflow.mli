@@ -239,3 +239,58 @@ val checkpoint_step : string -> int
 (** [checkpoint_step path] is the number of completed MCMC steps recorded
     in the snapshot at [path] (diagnostic; raises {!Corrupt_checkpoint} on
     an invalid file). *)
+
+val checkpoint_stream : string -> int * int
+(** [checkpoint_stream path] is the stream position recorded in the
+    snapshot at [path]: the re-release epoch index and the ingest-journal
+    sequence number that epoch consumed ([(-1, 0)] for snapshots written
+    by plain, non-stream runs).  Raises {!Corrupt_checkpoint} on an
+    invalid file. *)
+
+val checkpoint_epsilon : string -> float
+(** [checkpoint_epsilon path] is the privacy budget already spent by the
+    run recorded in the snapshot at [path].  The stream supervisor uses it
+    to settle a degraded epoch honestly: noise recorded in a durable
+    snapshot has been released and must be accounted as spent even though
+    the epoch never completed.  Raises {!Corrupt_checkpoint}. *)
+
+val fit_stream :
+  ?pow:float ->
+  ?steps:int ->
+  ?trace_every:int ->
+  ?refresh_every:int ->
+  ?audit_every:int ->
+  ?audit_tolerance:float ->
+  ?jobs:int ->
+  ?width:Mcmc.width ->
+  ?counters:Mcmc.counters ->
+  ?checkpoint:checkpoint_spec ->
+  ?stop:(unit -> bool) ->
+  ?deadline:float ->
+  rng:Wpinq_prng.Prng.t ->
+  budget:Wpinq_core.Budget.t ->
+  epsilon:float ->
+  warm:Wpinq_graph.Graph.t ->
+  qms:query_measurement list ->
+  epoch:int ->
+  stream_seq:int ->
+  unit ->
+  result
+(** One warm-started re-release epoch of the continual-observation
+    stream (driven by the [Wpinq_stream.Supervisor]).  The caller has
+    already measured this epoch's queries ([qms], via {!measure_seed} /
+    {!measure_queries}) against the evolved secret under the epoch's
+    budget allowance ([budget], with [epsilon] the per-use ε recorded
+    for diagnostics); [fit_stream] runs the Phase-2 walk from [warm] —
+    the previous epoch's synthetic graph adapted to the new degree
+    sequence — instead of a cold configuration-model seed.
+
+    With [checkpoint], a step-0 snapshot is written {e before} the first
+    step (and the live state rebased onto it, exactly as at cadence
+    checkpoints): measurement noise is spent the moment it is drawn, so
+    the epoch must be resumable from durable state from that moment on —
+    a supervisor crash after measurement re-reads the released values
+    instead of re-touching the secret.  Every snapshot records [epoch]
+    and [stream_seq] (checkpoint v6), so kill/resume lands mid-stream
+    bit-identically; {!resume}/{!resume_latest} continue an interrupted
+    epoch unchanged.  All other parameters as in {!synthesize}. *)

@@ -1,0 +1,219 @@
+module Fault = Persist.Fault
+
+exception Io_error of { path : string; op : string; cause : string }
+
+let () =
+  Printexc.register_printer (function
+    | Io_error { path; op; cause } ->
+        Some (Printf.sprintf "Journal.Io_error(%s on %s: %s)" op path cause)
+    | _ -> None)
+
+(* Wrap real I/O failures in the typed exception so supervisors can
+   retry them; injected faults model crashes and must escape unwrapped
+   (they are a distinct constructor, so this catch never sees them). *)
+let io ~path ~op f =
+  try f () with
+  | Sys_error cause -> raise (Io_error { path; op; cause })
+  | Unix.Unix_error (err, fn, arg) ->
+      let cause =
+        Printf.sprintf "%s: %s%s" fn (Unix.error_message err)
+          (if arg = "" then "" else " (" ^ arg ^ ")")
+      in
+      raise (Io_error { path; op; cause })
+
+(* Journal layout: an 8-byte magic, then records of
+   [u64-le payload length | 16-byte MD5(payload) | payload].  The digest
+   makes every record self-checking: bit rot anywhere inside a record is
+   detected, not replayed. *)
+
+type t = {
+  dir : string;
+  journal_path : string;
+  store : Persist.Store.t;
+  magic : string;
+  snapshot_magic : string;
+  snapshot_version : int;
+  site_replay : string;
+  site_append : string;
+  site_fsync : string;
+  site_compact : string;
+  site_reset : string;
+  fsync : bool;
+  mutable oc : out_channel option;
+  mutable since_compact : int;
+}
+
+type recovery = {
+  snapshot : (string * int) option;
+  records : string list;
+  torn_bytes : int;
+  rejected : Persist.Store.rejected list;
+}
+
+let dir t = t.dir
+let records_since_compact t = t.since_compact
+
+(* Parse the journal's valid prefix.  Returns the surviving records, the
+   byte offset of the end of the last whole record, and how many trailing
+   bytes were discarded.  A missing or foreign-magic file counts as fully
+   torn: the caller's state then rests on the snapshot alone, which is
+   the conservative reading of an unreadable journal. *)
+let parse_journal t contents =
+  let len = String.length contents in
+  let mlen = String.length t.magic in
+  if len < mlen || String.sub contents 0 mlen <> t.magic then ([], 0, len)
+  else begin
+    let records = ref [] in
+    let pos = ref mlen in
+    let valid_end = ref mlen in
+    let ok = ref true in
+    while !ok && !pos + 24 <= len do
+      Fault.point t.site_replay;
+      let n = Int64.to_int (String.get_int64_le contents !pos) in
+      if n < 0 || !pos + 24 + n > len then ok := false
+      else begin
+        let digest = String.sub contents (!pos + 8) 16 in
+        let payload = String.sub contents (!pos + 24) n in
+        if not (String.equal (Digest.string payload) digest) then ok := false
+        else begin
+          records := payload :: !records;
+          pos := !pos + 24 + n;
+          valid_end := !pos
+        end
+      end
+    done;
+    (List.rev !records, !valid_end, len - !valid_end)
+  end
+
+let write_header t oc = output_string oc t.magic
+
+let open_append t =
+  io ~path:t.journal_path ~op:"open" (fun () ->
+      let oc =
+        open_out_gen
+          [ Open_wronly; Open_append; Open_binary; Open_creat ]
+          0o644 t.journal_path
+      in
+      t.oc <- Some oc)
+
+let open_dir ?(keep = 3) ?(fsync = true) ~sites ~magic ~snapshot_magic ~snapshot_version dir
+    =
+  if String.length magic <> 8 then invalid_arg "Journal.open_dir: magic must be 8 bytes";
+  let store = io ~path:dir ~op:"open" (fun () -> Persist.Store.open_dir ~keep dir) in
+  let journal_path = Filename.concat dir "wal.log" in
+  let t =
+    {
+      dir;
+      journal_path;
+      store;
+      magic;
+      snapshot_magic;
+      snapshot_version;
+      site_replay = sites ^ ".replay";
+      site_append = sites ^ ".append";
+      site_fsync = sites ^ ".fsync";
+      site_compact = sites ^ ".compact";
+      site_reset = sites ^ ".reset";
+      fsync;
+      oc = None;
+      since_compact = 0;
+    }
+  in
+  let snapshot, rejected =
+    match
+      Persist.Store.load_latest store ~magic:snapshot_magic ~version:snapshot_version
+        ~decode:(fun payload -> Ok payload)
+    with
+    | Some (payload, seq, _path), rejected -> (Some (payload, seq), rejected)
+    | None, rejected -> (None, rejected)
+  in
+  let contents =
+    if not (Sys.file_exists journal_path) then None
+    else
+      io ~path:journal_path ~op:"read" (fun () ->
+          let ic = open_in_bin journal_path in
+          Some
+            (Fun.protect
+               ~finally:(fun () -> close_in_noerr ic)
+               (fun () -> really_input_string ic (in_channel_length ic))))
+  in
+  let records, torn_bytes =
+    match contents with
+    | None ->
+        (* Fresh journal: write the header through the atomic layer so a
+           crash mid-creation leaves either nothing or a whole header. *)
+        io ~path:journal_path ~op:"trim" (fun () ->
+            Persist.Atomic.write ~path:journal_path (write_header t));
+        ([], 0)
+    | Some raw ->
+        let records, valid_end, torn = parse_journal t raw in
+        if torn > 0 then
+          (* Trim the torn tail before appending: new records must land
+             immediately after the last whole one, never after garbage. *)
+          io ~path:journal_path ~op:"trim" (fun () ->
+              Persist.Atomic.write ~path:journal_path (fun oc ->
+                  output_string oc (String.sub raw 0 (max valid_end 0));
+                  if valid_end = 0 then write_header t oc));
+        (records, torn)
+  in
+  open_append t;
+  t.since_compact <- List.length records;
+  (t, { snapshot; records; torn_bytes; rejected })
+
+let channel t =
+  match t.oc with Some oc -> oc | None -> invalid_arg "Journal: journal is closed"
+
+let frame_record oc payload =
+  let header = Bytes.create 8 in
+  Bytes.set_int64_le header 0 (Int64.of_int (String.length payload));
+  output_bytes oc header;
+  output_string oc (Digest.string payload);
+  output_string oc payload
+
+let append t payload =
+  let oc = channel t in
+  Fault.point t.site_append;
+  io ~path:t.journal_path ~op:"append" (fun () ->
+      frame_record oc payload;
+      flush oc);
+  Fault.point t.site_fsync;
+  if t.fsync then
+    io ~path:t.journal_path ~op:"fsync" (fun () ->
+        Unix.fsync (Unix.descr_of_out_channel oc));
+  t.since_compact <- t.since_compact + 1
+
+let compact t ~seq ~snapshot ~retain =
+  Fault.point t.site_compact;
+  io ~path:t.dir ~op:"snapshot" (fun () ->
+      ignore
+        (Persist.Store.save t.store ~step:seq ~magic:t.snapshot_magic
+           ~version:t.snapshot_version snapshot));
+  (* The store's rotation just ran: ask the caller which records the
+     *oldest* surviving snapshot generation still needs, and rewrite the
+     journal to exactly those — so recovery can fall back past a corrupt
+     newest snapshot and still replay forward to the present. *)
+  let oldest_retained =
+    match List.rev (Persist.Store.generations t.store) with
+    | (step, _) :: _ -> step
+    | [] -> seq
+  in
+  let kept = retain oldest_retained in
+  Fault.point t.site_reset;
+  (match t.oc with
+  | Some oc ->
+      close_out_noerr oc;
+      t.oc <- None
+  | None -> ());
+  io ~path:t.journal_path ~op:"reset" (fun () ->
+      Persist.Atomic.write ~path:t.journal_path (fun oc ->
+          write_header t oc;
+          List.iter (frame_record oc) kept));
+  open_append t;
+  t.since_compact <- 0
+
+let close t =
+  match t.oc with
+  | Some oc ->
+      close_out_noerr oc;
+      t.oc <- None
+  | None -> ()

@@ -1,0 +1,103 @@
+(** A generic checksummed append-only journal with snapshot compaction.
+
+    This is the payload-polymorphic core shared by the budget ledger's
+    write-ahead log ([Wpinq_service.Wal]) and the continual-observation
+    stream's ingestion and epoch journals ([Wpinq_stream.Ingest],
+    [Wpinq_stream.Supervisor]).  Payloads are opaque strings; callers
+    layer their own record encoding (and sequence-number discipline) on
+    top.
+
+    On disk a journal is one append-only file ([wal.log]) of
+    self-checking records: [u64-le length | 16-byte MD5(payload) |
+    payload], preceded by a caller-chosen 8-byte magic.  A record is only
+    acknowledged after it is flushed and fsynced, so an acknowledged
+    append survives any crash.  Torn tails — a crash mid-append — are
+    detected on open (bad length, bad digest, missing bytes) and trimmed
+    back to the last whole record; everything after the first damaged
+    record is discarded, because record order is the replay order and
+    nothing later can be trusted to apply cleanly.
+
+    Compaction bounds the journal: the caller serializes its full state
+    into a snapshot written as a generation of a {!Persist.Store}
+    ([ckpt-<seq>.wpq], checksummed, retained/rotated), and the journal is
+    atomically rewritten to the records the {e oldest retained}
+    generation still needs — so recovery can fall back past a corrupt
+    newest snapshot and still replay forward to the present.  A crash
+    between the two writes is benign as long as every record carries a
+    monotone sequence number and replay skips records at or below the
+    snapshot's.
+
+    Fault-injection sites are namespaced per instance by [sites]: with
+    [~sites:"wal"] the journal fires ["wal.append"], ["wal.fsync"],
+    ["wal.compact"], ["wal.reset"] and ["wal.replay"] — the exact sites
+    the ledger fault matrix arms — while a [~sites:"stream"] instance
+    gets its own independent ["stream.*"] family.  Every [atomic.*] site
+    under the snapshot and reset writes fires as well. *)
+
+exception Io_error of { path : string; op : string; cause : string }
+(** A real I/O failure (disk full, permission, unplugged volume) during a
+    journal operation, wrapping the underlying [Sys_error] or
+    [Unix.Unix_error] message.  [op] is one of ["open"], ["read"],
+    ["trim"], ["append"], ["fsync"], ["snapshot"] or ["reset"], so retry
+    logic can distinguish a transient append/fsync failure from a
+    corrupted-directory open.  Injected test faults
+    ({!Persist.Fault.Injected}) are never wrapped: they model crashes,
+    not errors, and must escape unchanged. *)
+
+type t
+
+type recovery = {
+  snapshot : (string * int) option;
+      (** newest valid snapshot payload and its sequence number *)
+  records : string list;
+      (** surviving journal records, append order (the valid prefix) *)
+  torn_bytes : int;
+      (** journal bytes discarded after the last whole record *)
+  rejected : Persist.Store.rejected list;
+      (** snapshot generations quarantined while finding a valid one *)
+}
+
+val open_dir :
+  ?keep:int ->
+  ?fsync:bool ->
+  sites:string ->
+  magic:string ->
+  snapshot_magic:string ->
+  snapshot_version:int ->
+  string ->
+  t * recovery
+(** [open_dir ~sites ~magic ~snapshot_magic ~snapshot_version dir]
+    creates [dir] if needed, loads the newest valid snapshot
+    (quarantining corrupt generations, exactly as checkpoint recovery
+    does), parses the journal's valid prefix, trims any torn tail, and
+    opens the journal for appending.  [magic] must be exactly 8 bytes and
+    prefixes the journal file; [snapshot_magic]/[snapshot_version] frame
+    the snapshot container.  [sites] prefixes this instance's
+    fault-injection site names.  [keep] is the snapshot retention count
+    (default 3).  [fsync] (default [true]) may be disabled for throughput
+    experiments — never in production, since an unfsynced acknowledgment
+    can be lost by a power failure. *)
+
+val append : t -> string -> unit
+(** [append t payload] durably appends one record: the write is flushed
+    and fsynced before returning.  The payload is opaque to the journal. *)
+
+val compact : t -> seq:int -> snapshot:string -> retain:(int -> string list) -> unit
+(** [compact t ~seq ~snapshot ~retain] writes [snapshot] as generation
+    [seq] of the snapshot store, then atomically rewrites the journal to
+    [retain oldest], where [oldest] is the sequence number of the oldest
+    snapshot generation that survived rotation.  The caller must return
+    (in append order) every record newer than [oldest]: that is exactly
+    the history recovery needs if it has to fall back past a corrupted
+    newer snapshot to that oldest generation.  After a crash between the
+    two writes, the stale journal's records all carry sequence numbers
+    the new snapshot already covers, and replay skips them. *)
+
+val records_since_compact : t -> int
+(** Appends since the last {!compact} (sizing heuristic for
+    auto-compaction; the rewritten journal's retained records do not
+    count). *)
+
+val dir : t -> string
+val close : t -> unit
+(** Closes the journal channel.  Further appends raise. *)

@@ -1,164 +1,29 @@
-module Persist = Wpinq_persist.Persist
-module Fault = Persist.Fault
+module Journal = Wpinq_persist.Journal
 
-(* Journal layout: an 8-byte magic, then records of
-   [u64-le payload length | 16-byte MD5(payload) | payload].  The digest
-   makes every record self-checking: bit rot anywhere inside a record is
-   detected, not replayed. *)
-let journal_magic = "WPQWAL1\x00"
-let snapshot_magic = "wPINQLGR"
-let snapshot_version = 1
+(* The ledger WAL is now a thin instantiation of the generic
+   payload-polymorphic journal in [Wpinq_persist.Journal]: same on-disk
+   bytes (magic, framing, snapshot container) and the same fault-site
+   names ("wal.append", "wal.fsync", "wal.compact", "wal.reset",
+   "wal.replay") the ledger fault matrix arms, so existing journals and
+   tests carry over unchanged. *)
 
-type t = {
-  dir : string;
-  journal_path : string;
-  store : Persist.Store.t;
-  fsync : bool;
-  mutable oc : out_channel option;
-  mutable since_compact : int;
-}
+exception Io_error = Journal.Io_error
 
-type recovery = {
+type t = Journal.t
+
+type recovery = Journal.recovery = {
   snapshot : (string * int) option;
   records : string list;
   torn_bytes : int;
-  rejected : Persist.Store.rejected list;
+  rejected : Wpinq_persist.Persist.Store.rejected list;
 }
 
-let dir t = t.dir
-let records_since_compact t = t.since_compact
+let open_dir ?keep ?fsync dir =
+  Journal.open_dir ?keep ?fsync ~sites:"wal" ~magic:"WPQWAL1\x00"
+    ~snapshot_magic:"wPINQLGR" ~snapshot_version:1 dir
 
-(* Parse the journal's valid prefix.  Returns the surviving records, the
-   byte offset of the end of the last whole record, and how many trailing
-   bytes were discarded.  A missing or foreign-magic file counts as fully
-   torn: the ledger's state then rests on the snapshot alone, which is the
-   conservative reading of an unreadable journal. *)
-let parse_journal contents =
-  let len = String.length contents in
-  let mlen = String.length journal_magic in
-  if len < mlen || String.sub contents 0 mlen <> journal_magic then ([], 0, len)
-  else begin
-    let records = ref [] in
-    let pos = ref mlen in
-    let valid_end = ref mlen in
-    let ok = ref true in
-    while !ok && !pos + 24 <= len do
-      Fault.point "wal.replay";
-      let n = Int64.to_int (String.get_int64_le contents !pos) in
-      if n < 0 || !pos + 24 + n > len then ok := false
-      else begin
-        let digest = String.sub contents (!pos + 8) 16 in
-        let payload = String.sub contents (!pos + 24) n in
-        if not (String.equal (Digest.string payload) digest) then ok := false
-        else begin
-          records := payload :: !records;
-          pos := !pos + 24 + n;
-          valid_end := !pos
-        end
-      end
-    done;
-    (List.rev !records, !valid_end, len - !valid_end)
-  end
-
-let write_header oc = output_string oc journal_magic
-
-let open_append t =
-  let oc =
-    open_out_gen [ Open_wronly; Open_append; Open_binary; Open_creat ] 0o644 t.journal_path
-  in
-  t.oc <- Some oc
-
-let open_dir ?(keep = 3) ?(fsync = true) dir =
-  let store = Persist.Store.open_dir ~keep dir in
-  let journal_path = Filename.concat dir "wal.log" in
-  let t = { dir; journal_path; store; fsync; oc = None; since_compact = 0 } in
-  let snapshot, rejected =
-    match
-      Persist.Store.load_latest store ~magic:snapshot_magic ~version:snapshot_version
-        ~decode:(fun payload -> Ok payload)
-    with
-    | Some (payload, seq, _path), rejected -> (Some (payload, seq), rejected)
-    | None, rejected -> (None, rejected)
-  in
-  let contents =
-    match open_in_bin journal_path with
-    | exception Sys_error _ -> None
-    | ic ->
-        Some
-          (Fun.protect
-             ~finally:(fun () -> close_in_noerr ic)
-             (fun () -> really_input_string ic (in_channel_length ic)))
-  in
-  let records, torn_bytes =
-    match contents with
-    | None ->
-        (* Fresh journal: write the header through the atomic layer so a
-           crash mid-creation leaves either nothing or a whole header. *)
-        Persist.Atomic.write ~path:journal_path write_header;
-        ([], 0)
-    | Some raw ->
-        let records, valid_end, torn = parse_journal raw in
-        if torn > 0 then
-          (* Trim the torn tail before appending: new records must land
-             immediately after the last whole one, never after garbage. *)
-          Persist.Atomic.write ~path:journal_path (fun oc ->
-              output_string oc (String.sub raw 0 (max valid_end 0));
-              if valid_end = 0 then write_header oc);
-        (records, torn)
-  in
-  open_append t;
-  t.since_compact <- List.length records;
-  (t, { snapshot; records; torn_bytes; rejected })
-
-let channel t =
-  match t.oc with Some oc -> oc | None -> invalid_arg "Wal: journal is closed"
-
-let frame_record oc payload =
-  let header = Bytes.create 8 in
-  Bytes.set_int64_le header 0 (Int64.of_int (String.length payload));
-  output_bytes oc header;
-  output_string oc (Digest.string payload);
-  output_string oc payload
-
-let append t payload =
-  let oc = channel t in
-  Fault.point "wal.append";
-  frame_record oc payload;
-  flush oc;
-  Fault.point "wal.fsync";
-  if t.fsync then Unix.fsync (Unix.descr_of_out_channel oc);
-  t.since_compact <- t.since_compact + 1
-
-let compact t ~seq ~snapshot ~retain =
-  Fault.point "wal.compact";
-  ignore
-    (Persist.Store.save t.store ~step:seq ~magic:snapshot_magic ~version:snapshot_version
-       snapshot);
-  (* The store's rotation just ran: ask the caller which records the
-     *oldest* surviving snapshot generation still needs, and rewrite the
-     journal to exactly those — so recovery can fall back past a corrupt
-     newest snapshot and still replay forward to the present. *)
-  let oldest_retained =
-    match List.rev (Persist.Store.generations t.store) with
-    | (step, _) :: _ -> step
-    | [] -> seq
-  in
-  let kept = retain oldest_retained in
-  Fault.point "wal.reset";
-  (match t.oc with
-  | Some oc ->
-      close_out_noerr oc;
-      t.oc <- None
-  | None -> ());
-  Persist.Atomic.write ~path:t.journal_path (fun oc ->
-      write_header oc;
-      List.iter (frame_record oc) kept);
-  open_append t;
-  t.since_compact <- 0
-
-let close t =
-  match t.oc with
-  | Some oc ->
-      close_out_noerr oc;
-      t.oc <- None
-  | None -> ()
+let append = Journal.append
+let compact = Journal.compact
+let records_since_compact = Journal.records_since_compact
+let dir = Journal.dir
+let close = Journal.close

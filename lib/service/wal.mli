@@ -23,7 +23,22 @@
     before the append's fsync, ["wal.compact"] before the snapshot is
     written, ["wal.reset"] between snapshot write and journal reset, and
     ["wal.replay"] once per surviving record during {!open_dir} — plus
-    every [atomic.*] site under the snapshot and reset writes. *)
+    every [atomic.*] site under the snapshot and reset writes.
+
+    The WAL is an instantiation of the generic
+    {!Wpinq_persist.Journal}; the continual-observation stream layers
+    its own journals on the same machinery. *)
+
+exception Io_error of { path : string; op : string; cause : string }
+(** A real I/O failure (disk full, permission, unplugged volume) during
+    a journal operation — an alias of {!Wpinq_persist.Journal.Io_error},
+    wrapping the underlying [Sys_error] or [Unix.Unix_error].  [op] is
+    one of ["open"], ["read"], ["trim"], ["append"], ["fsync"],
+    ["snapshot"] or ["reset"], so retry logic (the ledger's callers, the
+    stream supervisor) can distinguish a transient append/fsync failure
+    from a corrupted-directory open.  Propagates unchanged through
+    {!Ledger} recovery and mutation paths.  Injected test faults
+    ({!Wpinq_persist.Persist.Fault.Injected}) are never wrapped. *)
 
 type t
 

@@ -1,0 +1,36 @@
+module Codec = Wpinq_persist.Persist.Codec
+
+type op = Arrive | Depart
+type t = { time : float; op : op; u : int; v : int }
+
+let make ~time ~op ~u ~v =
+  if not (Float.is_finite time) then invalid_arg "Event.make: timestamp must be finite";
+  if u < 0 || v < 0 then invalid_arg "Event.make: negative vertex id";
+  if u = v then invalid_arg "Event.make: self-loop";
+  let u, v = if u < v then (u, v) else (v, u) in
+  { time; op; u; v }
+
+let encode ~seq e =
+  let buf = Buffer.create 48 in
+  Codec.write_int buf seq;
+  Codec.write_float buf e.time;
+  Codec.write_bool buf (e.op = Arrive);
+  Codec.write_int buf e.u;
+  Codec.write_int buf e.v;
+  Buffer.contents buf
+
+let decode payload =
+  let r = Codec.reader payload in
+  let seq = Codec.read_int r in
+  let time = Codec.read_float r in
+  let op = if Codec.read_bool r then Arrive else Depart in
+  let u = Codec.read_int r in
+  let v = Codec.read_int r in
+  match make ~time ~op ~u ~v with
+  | e -> (seq, e)
+  | exception Invalid_argument msg -> raise (Codec.Decode_error ("event: " ^ msg))
+
+let to_string e =
+  Printf.sprintf "%s %d-%d @%g"
+    (match e.op with Arrive -> "arrive" | Depart -> "depart")
+    e.u e.v e.time

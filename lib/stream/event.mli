@@ -1,0 +1,31 @@
+(** Timestamped edge arrival/departure events — the continual-observation
+    stream's input alphabet.
+
+    An event names one undirected edge of the protected graph.  Events are
+    normalized at construction ([u < v]) and validated: self-loops and
+    negative ids are programming errors here, never acknowledged stream
+    state (the parse-time strictness of [Graph.Io] applied to deltas).
+    Application is tolerant, though: an arrival of an edge already present,
+    or a departure of an absent one, is a counted no-op when the supervisor
+    applies it — at-least-once clients may safely re-submit an event whose
+    acknowledgment a crash swallowed. *)
+
+type op = Arrive | Depart
+
+type t = private { time : float; op : op; u : int; v : int }
+
+val make : time:float -> op:op -> u:int -> v:int -> t
+(** Normalizes the endpoints ([u < v]).  Raises [Invalid_argument] on a
+    self-loop, a negative id, or a non-finite timestamp. *)
+
+val encode : seq:int -> t -> string
+(** Journal payload: the event tagged with its ingest sequence number. *)
+
+val decode : string -> int * t
+(** Inverse of {!encode}.  Raises
+    [Wpinq_persist.Persist.Codec.Decode_error] on malformed payloads
+    (including ones whose fields fail {!make}'s validation — a checksummed
+    journal can only contain what {!encode} wrote, so damage beyond the
+    checksum's reach is still refused, not replayed). *)
+
+val to_string : t -> string

@@ -1,0 +1,93 @@
+module Journal = Wpinq_persist.Journal
+module Codec = Wpinq_persist.Persist.Codec
+
+let magic = "WPQSTRM\x00"
+let snapshot_magic = "wPINQSTM"
+let snapshot_version = 1
+
+type t = {
+  j : Journal.t;
+  mutable head : int;
+  mutable base_seq : int;
+  mutable base : (int * int) list;
+  (* Every event still in the journal, newest first.  This reaches back to
+     the oldest retained snapshot generation, not just [base_seq], because
+     compaction must be able to rewrite the journal for recovery fallback
+     past a corrupt newest snapshot. *)
+  mutable tail : (int * Event.t) list;
+}
+
+type recovery = {
+  replayed : (int * Event.t) list;
+  torn_bytes : int;
+  rejected : Wpinq_persist.Persist.Store.rejected list;
+}
+
+let encode_snapshot ~seq edges =
+  let buf = Buffer.create 256 in
+  Codec.write_int buf seq;
+  Codec.write_list
+    (fun buf (u, v) ->
+      Codec.write_int buf u;
+      Codec.write_int buf v)
+    buf edges;
+  Buffer.contents buf
+
+let decode_snapshot payload =
+  let r = Codec.reader payload in
+  let seq = Codec.read_int r in
+  let edges =
+    Codec.read_list
+      (fun r ->
+        let u = Codec.read_int r in
+        let v = Codec.read_int r in
+        (u, v))
+      r
+  in
+  (seq, edges)
+
+let open_dir ?keep ?fsync dirname =
+  let j, rec_ =
+    Journal.open_dir ?keep ?fsync ~sites:"stream" ~magic ~snapshot_magic
+      ~snapshot_version dirname
+  in
+  let base_seq, base =
+    match rec_.Journal.snapshot with
+    | None -> (0, [])
+    | Some (payload, _seq) -> decode_snapshot payload
+  in
+  let all = List.map Event.decode rec_.Journal.records in
+  let head = List.fold_left (fun acc (seq, _) -> max acc seq) base_seq all in
+  let t = { j; head; base_seq; base; tail = List.rev all } in
+  let replayed = List.filter (fun (seq, _) -> seq > base_seq) all in
+  (t, { replayed; torn_bytes = rec_.Journal.torn_bytes; rejected = rec_.Journal.rejected })
+
+let append t e =
+  let seq = t.head + 1 in
+  Journal.append t.j (Event.encode ~seq e);
+  t.head <- seq;
+  t.tail <- (seq, e) :: t.tail;
+  seq
+
+let head t = t.head
+let base t = (t.base_seq, t.base)
+let events_after t after = List.rev (List.filter (fun (seq, _) -> seq > after) t.tail)
+
+let compact t ~upto ~edges =
+  if upto < t.base_seq then
+    invalid_arg
+      (Printf.sprintf "Ingest.compact: upto %d precedes base %d" upto t.base_seq);
+  let floor = ref upto in
+  let retain oldest =
+    floor := oldest;
+    List.filter_map
+      (fun (seq, e) -> if seq > oldest then Some (Event.encode ~seq e) else None)
+      (events_after t oldest)
+  in
+  Journal.compact t.j ~seq:upto ~snapshot:(encode_snapshot ~seq:upto edges) ~retain;
+  t.base_seq <- upto;
+  t.base <- edges;
+  t.tail <- List.filter (fun (seq, _) -> seq > !floor) t.tail
+
+let dir t = Journal.dir t.j
+let close t = Journal.close t.j

@@ -1,0 +1,55 @@
+(** Durable ingestion: the checksummed event journal.
+
+    An instantiation of the generic [Wpinq_persist.Journal] (the same
+    machinery behind [Wpinq_service.Wal]) for {!Event} payloads.  Every
+    event is framed, checksummed, and fsynced before {!append} returns its
+    sequence number — an acknowledged event survives any crash.  Recovery
+    trims a torn tail (an unacknowledged partial append) and replays the
+    rest; a record whose checksum fails is refused, never guessed at.
+
+    Compaction is driven by the supervisor: once an epoch {e commits}
+    events (its outcome record is durable in the epochs journal), the
+    ingest journal folds them into a snapshot of the committed edge set and
+    truncates.  Events that were fed to the live secret but not yet
+    committed (a merged epoch's deferred tail) stay in the journal. *)
+
+type t
+
+type recovery = {
+  replayed : (int * Event.t) list;  (** uncommitted events, oldest first *)
+  torn_bytes : int;  (** bytes of torn tail trimmed from the journal *)
+  rejected : Wpinq_persist.Persist.Store.rejected list;
+      (** snapshot generations refused during recovery *)
+}
+
+val open_dir : ?keep:int -> ?fsync:bool -> string -> t * recovery
+(** Opens (creating if needed) the ingest journal in [dir].  [keep]
+    (default 3) snapshot generations are retained across compactions;
+    [fsync] (default [true]) may be disabled for tests.  Raises
+    {!Wpinq_persist.Journal.Io_error} on I/O failure. *)
+
+val append : t -> Event.t -> int
+(** Durably appends one event and returns its sequence number.  The event
+    is fsynced before this returns: the returned seq is an acknowledgment.
+    Raises {!Wpinq_persist.Journal.Io_error} on failure, in which case the
+    event may or may not be durable — re-submitting is safe because
+    application is idempotent per (seq, event). *)
+
+val head : t -> int
+(** Sequence number of the newest acknowledged event (0 when empty). *)
+
+val base : t -> int * (int * int) list
+(** The compaction base: [(seq, edges)] — the committed undirected edge
+    set as of sequence [seq].  [(0, [])] before any compaction. *)
+
+val events_after : t -> int -> (int * Event.t) list
+(** Acknowledged events with sequence number strictly greater than the
+    argument, oldest first. *)
+
+val compact : t -> upto:int -> edges:(int * int) list -> unit
+(** Folds all events with seq [<= upto] into a snapshot recording [edges]
+    (the committed edge set at [upto]) and rewrites the journal to hold
+    only later events.  Raises {!Wpinq_persist.Journal.Io_error}. *)
+
+val dir : t -> string
+val close : t -> unit

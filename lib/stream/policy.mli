@@ -1,0 +1,31 @@
+(** Degradation policy for the continual-observation supervisor.
+
+    Two questions have typed answers here: what happens to a degraded
+    epoch's budget (re-exported from {!Wpinq_core.Budget.Schedule}), and
+    what counts as a transient failure worth a bounded retry versus a
+    reason to degrade the epoch immediately. *)
+
+type degrade = Wpinq_core.Budget.Schedule.policy = Roll_forward | Forfeit
+(** Disposition of a degraded (or completed-under-budget) epoch's unspent
+    allowance — see {!Wpinq_core.Budget.Schedule.policy}. *)
+
+val degrade_to_string : degrade -> string
+val degrade_of_string : string -> degrade option
+(** ["roll-forward"]/["roll"] and ["forfeit"] (CLI spellings). *)
+
+(** Why an epoch attempt failed. *)
+type failure =
+  | Deadline  (** the fit ran past the per-epoch wall-clock deadline *)
+  | Io of { op : string; path : string; cause : string }
+      (** a journal/checkpoint I/O failure
+          ({!Wpinq_persist.Journal.Io_error}) *)
+  | Chaos of string  (** injected transient failure (tests, bench) *)
+
+val transient : failure -> bool
+(** Whether a bounded retry-with-backoff is worth attempting: I/O errors
+    and injected chaos are transient (the next attempt resumes from the
+    epoch's durable checkpoint, or re-derives the epoch deterministically);
+    a blown deadline is not — the epoch is already late, so it degrades
+    immediately rather than getting later. *)
+
+val describe : failure -> string

@@ -17,6 +17,8 @@ module Fault = Persist.Fault
 module W = Wpinq_infer.Workflow
 module Mcmc = Wpinq_infer.Mcmc
 module Ledger = Wpinq_service.Ledger
+module Event = Wpinq_stream.Event
+module Sup = Wpinq_stream.Supervisor
 
 let steps = 1500
 let every = 300
@@ -378,45 +380,286 @@ let ledger_matrix st ~rounds =
     ledger_corrupt_round st r
   done
 
+(* ---------------- the continual-observation arm ----------------
+
+   A scripted three-epoch stream (arrivals building a clustered secret,
+   then two rounds of churn) killed at every journal, checkpoint, and
+   walk fault site mid-stream, then recovered and re-run.  The harness
+   plays an at-least-once client: a submit whose acknowledgment the kill
+   swallowed is re-submitted only if it provably never became durable
+   (the head sequence did not advance), and a tick whose settle was
+   already journalled is not repeated.  After every round the recovered
+   stream's outcomes, released graphs, protected edge set, and budget
+   books must be bit-identical to the uninterrupted reference — and the
+   schedule must show zero overspend. *)
+
+let rec remove_tree path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> remove_tree (Filename.concat path e)) (Sys.readdir path);
+      try Sys.rmdir path with Sys_error _ -> ()
+    end
+    else try Sys.remove path with Sys_error _ -> ()
+
+let with_tree_dir f =
+  let dir = Filename.temp_file "wpinq_stream_matrix" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.disarm ();
+      remove_tree dir)
+    (fun () -> f dir)
+
+let stream_cfg () =
+  Sup.config ~steps:300 ~pow:100.0 ~checkpoint_every:100 ~trace_every:100 ~per_epoch:2.0
+    ~epochs:3 ~seed:3 ()
+
+let stream_phases =
+  lazy
+    (let ev ?(op = Event.Arrive) t u v = Event.make ~time:(float_of_int t) ~op ~u ~v in
+     let base =
+       Graph.edges (Gen.clustered ~n:24 ~community:6 ~p_in:0.8 ~extra:10 (Prng.create 9))
+     in
+     let u0, v0 = List.nth base 0 in
+     let phase1 = List.mapi (fun i (u, v) -> ev (i + 1) u v) base in
+     let phase2 =
+       [ ev 1001 u0 v0 ~op:Event.Depart; ev 1002 0 23; ev 1003 3 21; ev 1004 5 19 ]
+     in
+     let phase3 = [ ev 2001 5 19 ~op:Event.Depart; ev 2002 7 22; ev 2003 2 18 ] in
+     [ phase1; phase2; phase3 ])
+
+type stream_state = {
+  s_outcomes : Sup.outcome list;
+  s_synthetic : (int * int) list option;
+  s_edges : (int * int) list;
+  s_books : Sup.Schedule.books;
+  s_consumed : int;
+  s_overspend : float;
+}
+
+let stream_state sup =
+  {
+    s_outcomes = Sup.outcomes sup;
+    s_synthetic = Option.map Graph.edges (Sup.synthetic sup);
+    s_edges = Sup.protected_edges sup;
+    s_books = Sup.books sup;
+    s_consumed = Sup.consumed sup;
+    s_overspend = Sup.overspend sup;
+  }
+
+let check_stream_state name (expect : stream_state) (got : stream_state) =
+  check (name ^ ": outcomes bit-identical") (got.s_outcomes = expect.s_outcomes);
+  check (name ^ ": released synthetic identical") (got.s_synthetic = expect.s_synthetic);
+  check (name ^ ": acknowledged events all applied") (got.s_edges = expect.s_edges);
+  check (name ^ ": budget books identical") (got.s_books = expect.s_books);
+  check (name ^ ": stream position identical") (got.s_consumed = expect.s_consumed);
+  check (name ^ ": ZERO budget overspend") (got.s_overspend = 0.0)
+
+let stream_reference () =
+  with_tree_dir (fun dir ->
+      let sup, _ = Sup.open_dir ~config:(stream_cfg ()) dir in
+      List.iter
+        (fun phase ->
+          List.iter (fun e -> ignore (Sup.submit sup e)) phase;
+          ignore (Sup.tick sup))
+        (Lazy.force stream_phases);
+      let state = stream_state sup in
+      Sup.close sup;
+      state)
+
+let stream_armed_round st r site reference =
+  with_tree_dir (fun dir ->
+      let cfg = stream_cfg () in
+      let rec reopen () =
+        match Sup.open_dir ~config:cfg dir with
+        | sup, _ -> sup
+        | exception Fault.Injected _ ->
+            Fault.disarm ();
+            reopen ()
+      in
+      let sup = ref (reopen ()) in
+      let killed = ref false in
+      let submit_safe e =
+        let h0 = Sup.head !sup in
+        try ignore (Sup.submit !sup e)
+        with Fault.Injected _ ->
+          killed := true;
+          Fault.disarm ();
+          sup := reopen ();
+          (* At-least-once client: re-submit only if the acknowledgment
+             provably never became durable. *)
+          if Sup.head !sup = h0 then ignore (Sup.submit !sup e)
+      in
+      let tick_safe () =
+        let before = List.length (Sup.outcomes !sup) in
+        let rec go () =
+          try ignore (Sup.tick !sup)
+          with Fault.Injected _ ->
+            killed := true;
+            Fault.disarm ();
+            sup := reopen ();
+            (* A kill in the settle window can land after the outcome is
+               durable; only an unsettled epoch is ticked again. *)
+            if List.length (Sup.outcomes !sup) <= before then go ()
+        in
+        go ()
+      in
+      let after =
+        match site with
+        | "stream.append" | "stream.fsync" -> 1 + Random.State.int st 40
+        | "mcmc.step" -> 50 + Random.State.int st 500
+        | "epoch.append" | "epoch.fsync" | "epoch.compact" | "epoch.reset" ->
+            1 + Random.State.int st 5
+        | _ -> 1 + Random.State.int st 12 (* atomic.*: fire on every durable write *)
+      in
+      Fault.arm ~site ~after;
+      List.iter
+        (fun phase ->
+          List.iter submit_safe phase;
+          tick_safe ())
+        (Lazy.force stream_phases);
+      Fault.disarm ();
+      (* Read the final state through a fresh open: recovery of the
+         recovered state must be the identity. *)
+      Sup.close !sup;
+      let sup', _ = Sup.open_dir ~config:cfg dir in
+      let name = Printf.sprintf "stream round %d [%s after %d]" r site after in
+      check_stream_state name reference (stream_state sup');
+      Sup.close sup';
+      Printf.printf "%s: %s — stream bit-identical\n%!" name
+        (if !killed then "killed and recovered" else "fault never fired (clean finish)"))
+
+let stream_corrupt_round st r reference =
+  with_tree_dir (fun dir ->
+      let cfg = stream_cfg () in
+      let sup, _ = Sup.open_dir ~config:cfg dir in
+      let phases = Lazy.force stream_phases in
+      (* Two clean epochs, then a kill mid-walk in the third. *)
+      List.iteri
+        (fun i phase ->
+          List.iter (fun e -> ignore (Sup.submit sup e)) phase;
+          if i < 2 then ignore (Sup.tick sup))
+        phases;
+      Fault.arm ~site:"mcmc.step" ~after:(50 + Random.State.int st 200);
+      (match Sup.tick sup with
+      | exception Fault.Injected _ -> ()
+      | _ -> check (Printf.sprintf "stream corrupt round %d: kill fired" r) false);
+      Fault.disarm ();
+      (* Bit rot while the process is down.  Every fit checkpoint is fair
+         game — even all of them, since the epoch re-derives
+         deterministically from its measurement — but each journal keeps
+         at least one valid snapshot generation (recovery falls back past
+         the corrupt ones and replays the retained records). *)
+      let corrupt_subset ~strict dirpath =
+        if Sys.file_exists dirpath then begin
+          let gens =
+            Sys.readdir dirpath |> Array.to_list
+            |> List.filter (fun n -> Filename.check_suffix n ".wpq")
+            |> List.map (Filename.concat dirpath)
+          in
+          let n_gens = List.length gens in
+          let n =
+            if strict then if n_gens <= 1 then 0 else Random.State.int st n_gens
+            else Random.State.int st (n_gens + 1)
+          in
+          List.iteri
+            (fun i path ->
+              if i < n then
+                let size = max 1 (Unix.stat path).Unix.st_size in
+                Fault.corrupt ~path (random_corruption st size))
+            gens;
+          n
+        end
+        else 0
+      in
+      let n_fit = corrupt_subset ~strict:false (Filename.concat dir "fit-2") in
+      let n_epochs = corrupt_subset ~strict:true (Filename.concat dir "epochs") in
+      let n_events = corrupt_subset ~strict:true (Filename.concat dir "events") in
+      let sup', _ = Sup.open_dir ~config:cfg dir in
+      ignore (Sup.tick sup');
+      let name =
+        Printf.sprintf "stream corrupt round %d (%d fit, %d epoch, %d event snapshots)" r
+          n_fit n_epochs n_events
+      in
+      check_stream_state name reference (stream_state sup');
+      Sup.close sup';
+      Printf.printf "%s — stream bit-identical\n%!" name)
+
+let stream_sites =
+  [
+    "stream.append";
+    "stream.fsync";
+    "epoch.append";
+    "epoch.fsync";
+    "epoch.compact";
+    "epoch.reset";
+    "mcmc.step";
+    "atomic.write";
+    "atomic.rename";
+  ]
+
+let stream_matrix st ~rounds =
+  let reference = stream_reference () in
+  List.iteri
+    (fun i site ->
+      for k = 1 to rounds do
+        stream_armed_round st ((i * rounds) + k) site reference
+      done)
+    stream_sites;
+  for r = 1 to rounds do
+    stream_corrupt_round st r reference
+  done
+
 let () =
   let seed = ref 1 and rounds = ref 5 in
-  let ledger_only = ref false and mcmc_only = ref false in
+  let ledger_only = ref false and mcmc_only = ref false and stream_only = ref false in
   Arg.parse
     [
       ("--seed", Arg.Set_int seed, "N  master seed for the randomized matrix (default 1)");
       ("--rounds", Arg.Set_int rounds, "N  kill/corrupt rounds to run (default 5)");
       ("--ledger-only", Arg.Set ledger_only, "  run only the budget-ledger arm");
       ("--mcmc-only", Arg.Set mcmc_only, "  run only the synthesis-checkpoint arm");
+      ("--stream-only", Arg.Set stream_only, "  run only the continual-observation arm");
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "fault_matrix [--seed N] [--rounds N] [--ledger-only | --mcmc-only]";
+    "fault_matrix [--seed N] [--rounds N] [--ledger-only | --mcmc-only | --stream-only]";
   let st = Random.State.make [| !seed |] in
-  if not !ledger_only then begin
-    let reference =
-      with_store_dir (fun dir -> synthesize (Persist.Store.open_dir ~keep dir))
-    in
-    for r = 1 to !rounds do
-      check_result r reference (round st r)
-    done;
-    check_result (!rounds + 1) reference
-      (multicore_round ~max_consumed:2 ~label:"jobs=2 fixed" st (!rounds + 1));
-    check_result (!rounds + 2) reference
-      (multicore_round
-         ~width:(Mcmc.Adaptive { max_width = 4 })
-         ~max_consumed:4 ~label:"jobs=2 adaptive" st (!rounds + 2))
+  if !stream_only then stream_matrix st ~rounds:!rounds
+  else begin
+    if not !ledger_only then begin
+      let reference =
+        with_store_dir (fun dir -> synthesize (Persist.Store.open_dir ~keep dir))
+      in
+      for r = 1 to !rounds do
+        check_result r reference (round st r)
+      done;
+      check_result (!rounds + 1) reference
+        (multicore_round ~max_consumed:2 ~label:"jobs=2 fixed" st (!rounds + 1));
+      check_result (!rounds + 2) reference
+        (multicore_round
+           ~width:(Mcmc.Adaptive { max_width = 4 })
+           ~max_consumed:4 ~label:"jobs=2 adaptive" st (!rounds + 2))
+    end;
+    if not !mcmc_only then ledger_matrix st ~rounds:!rounds;
+    if not !ledger_only && not !mcmc_only then stream_matrix st ~rounds:!rounds
   end;
-  if not !mcmc_only then ledger_matrix st ~rounds:!rounds;
   if !failures > 0 then begin
     Printf.eprintf "%d failure(s) across the matrix\n%!" !failures;
     exit 1
   end;
-  Printf.printf "full matrix clean (seed %d): %s%s\n%!" !seed
-    (if !ledger_only then ""
+  Printf.printf "full matrix clean (seed %d)%s%s%s\n%!" !seed
+    (if !ledger_only || !stream_only then ""
      else
-       Printf.sprintf "%d synthesis rounds (plus 2 multicore: fixed + adaptive) bit-identical"
+       Printf.sprintf
+         ": %d synthesis rounds (plus 2 multicore: fixed + adaptive) bit-identical"
          !rounds)
-    (if !mcmc_only then ""
+    (if !mcmc_only || !stream_only then ""
      else
-       Printf.sprintf "%s%d ledger arm-point rounds, zero overspend at every site"
-         (if !ledger_only then "" else "; ")
+       Printf.sprintf "; %d ledger arm-point rounds, zero overspend at every site"
          ((List.length ledger_sites * !rounds) + !rounds + max 1 (!rounds / 2)))
+    (if !ledger_only || !mcmc_only then ""
+     else
+       Printf.sprintf
+         "; %d stream rounds bit-identical mid-stream, zero overspend"
+         ((List.length stream_sites * !rounds) + !rounds))

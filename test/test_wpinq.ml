@@ -22,4 +22,5 @@ let () =
       ("laws", Test_laws.suite);
       ("experiments", Test_experiments.suite);
       ("ledger", Test_ledger.suite);
+      ("stream", Test_stream.suite);
     ]
