@@ -12,9 +12,14 @@ let create ~rng ~epsilon ~true_data =
     invalid_arg "Measurement.create: epsilon must be finite and positive";
   let rng = Prng.split rng in
   let values = Hashtbl.create (max 16 (Wdata.support_size true_data)) in
-  Wdata.iter
-    (fun x w -> Hashtbl.replace values x (w +. Prng.laplace rng ~scale:(1.0 /. epsilon)))
-    true_data;
+  (* Noise is assigned in canonical (sorted-record) order, not hashtable
+     order: together with Wdata's canonical accumulation this makes the
+     released values — noise draws included — a function of the true
+     multiset alone, so a measurement taken through an optimizer-rewritten
+     plan is bit-identical to one taken through the original. *)
+  List.iter
+    (fun (x, w) -> Hashtbl.replace values x (w +. Prng.laplace rng ~scale:(1.0 /. epsilon)))
+    (Wdata.to_sorted_list true_data);
   { epsilon; rng; values }
 
 let epsilon t = t.epsilon

@@ -1,32 +1,40 @@
-(** Reified wPINQ query plans: one DAG, many execution targets.
+(** Reified wPINQ query plans: one hash-consed DAG, many execution targets.
 
     {!Batch} and {!Flow} both implement {!Lang.S} directly, so a query
     functor can run against either — but each instantiation {e is} its
     execution: building [Queries.Make (Flow)] twice builds two physical
     dataflow pipelines even when the query texts coincide.  A {!t} instead
-    {e reifies} the query as a first-class value: a typed operator DAG with
-    a unique id per node, built once and lowered as many times — and into as
-    many interpreters — as needed.
+    {e reifies} the query as a first-class value: a typed operator DAG,
+    built once and lowered as many times — and into as many interpreters —
+    as needed.
 
-    Because [Plan] itself implements {!Lang.S}, the paper's queries run over
-    plans with no textual change ([Queries.Make (Plan)]); what changes is
-    what a query {e value} means.  Reusing a plan value twice is structural
-    sharing: the node keeps its id, so a memoizing lowering ({!Lower})
-    reconstructs the diamond instead of duplicating the subtree.  Two
-    measurement targets whose plans share a prefix therefore share one
-    physical sub-DAG in the incremental engine — deltas propagate through
-    the common prefix once per MCMC step, feeding both distance sinks.
+    Nodes are {e hash-consed}: constructing a node whose operator, embedded
+    closures (compared physically — a closed lambda is allocated once,
+    statically, even across functor instantiations) and children all match
+    an existing node returns that node.  Equal subtrees therefore get equal
+    ids automatically; [Queries.Make (Plan)] instantiated twice yields
+    physically identical DAGs, and cross-query sharing no longer depends on
+    analysts reusing values by hand.  Only {!source} leaves are exempt: a
+    source is a binding point, and distinct leaves express deliberately
+    unshared inputs.
 
     Reification also makes the privacy bookkeeping a checkable artifact
     rather than a documentation claim: {!uses} derives the number of times a
     plan touches each protected source — the multiplier sequential
     composition applies to ε (paper, Section 2.3) and the exact quantity
     {!Batch.charge} debits.  The per-query costs documented in
-    {!Wpinq_queries.Queries} are property-tested against this function. *)
+    {!Wpinq_queries.Queries} are property-tested against this function.
+
+    On top of the canonical DAG sits {!optimize}: cost-guided, privacy-sound
+    rewrites (filter fusion and pushdown, distinct fusion, join operand
+    reordering, and opt-in select fusion), each preserving {!uses} and
+    {!source_uses} exactly — derived ε charges never move — and, for
+    {!exact_rules}, preserving released measurement values bit for bit. *)
 
 type 'a t
-(** A reified query over records of type ['a]: one node of a typed operator
-    DAG.  Immutable; cheap to build; interpreter-independent. *)
+(** A reified query over records of type ['a]: one node of a typed,
+    hash-consed operator DAG.  Immutable; cheap to build;
+    interpreter-independent. *)
 
 include Lang.S with type 'a t := 'a t
 
@@ -34,12 +42,17 @@ val source : ?name:string -> unit -> 'a t
 (** A fresh source leaf — the placeholder a lowering later binds to a
     concrete collection ({!Batch.Plans.bind} to a protected batch
     collection, {!Flow.Plans.bind} to a synthetic dataflow input).  [name]
-    (default ["source"]) appears in diagnostics and {!source_uses}. *)
+    (default ["source"]) appears in diagnostics and {!source_uses}.
+    Sources are never hash-consed: every call returns a distinct leaf, so
+    deliberately unshared analyses stay unshared.  To share one input
+    across many fits, hold on to a single source value and build every
+    pipeline over it. *)
 
 val id : 'a t -> int
 (** The node's unique id.  Ids are allocated from one global counter, so
     equal ids imply physical equality; lowerings key their memo tables on
-    this. *)
+    this.  Hash-consing makes the converse useful too: structurally equal
+    plans (same operators, same closures, same children) have equal ids. *)
 
 val is_source : 'a t -> bool
 
@@ -47,13 +60,19 @@ val operator : 'a t -> string
 (** The root operator's name ("source", "select", "join", …), for
     diagnostics. *)
 
+val consumers : 'a t -> int
+(** How many distinct parent nodes have been interned over this node, over
+    the life of the process.  The optimizer's cost guards use this to
+    refuse rewrites that would split a shared subtree. *)
+
 val uses : 'a t -> int
 (** How many times evaluating this plan touches source leaves, counted with
     path multiplicity: a shared subplan reached through [k] paths
     contributes [k] times its own count, exactly as wPINQ's sequential
     composition charges it.  This is the multiplier {!Batch.charge} applies
     to ε when the plan is lowered and aggregated (property-tested to
-    agree). *)
+    agree).  Counts are memoized per node for the life of the process, so
+    deep diamond ladders cost linear work, not one walk per path. *)
 
 val source_uses : 'a t -> (string * int) list
 (** Per-source breakdown of {!uses}, one entry per distinct source leaf in
@@ -62,6 +81,88 @@ val source_uses : 'a t -> (string * int) list
 val size : 'a t -> int
 (** Number of {e distinct} nodes in the DAG ([size] counts a diamond once;
     {!uses} counts its paths). *)
+
+val canonical_hash : 'a t -> string
+(** A hex digest of the plan's structure: operators, scalar parameters,
+    source names and wiring.  Embedded closures are {e not} represented
+    (they have no canonical form), so the hash identifies the plan's shape
+    — equal plans share a hash, and hash-equal plans share a shape but may
+    differ in their functions.  Checkpoints record the hash of each
+    optimized plan so a resume can verify it re-lowered the same dataflow;
+    the {!optimize} cache keys on it (and double-checks node identity). *)
+
+val estimated_size : 'a t -> float
+(** A deterministic, structure-only cardinality estimate.  Absolute values
+    are meaningless; the optimizer compares siblings to order join
+    operands, and ties never reorder. *)
+
+val pp : Format.formatter -> 'a t -> unit
+(** Prints the DAG as a deduplicated let-listing, leaves first: one line
+    per distinct node, [#id operator scalars <- #child …].  A shared
+    subtree appears once and is referenced by id thereafter. *)
+
+val to_dot : ?label:string -> 'a t -> string
+(** Graphviz export of the DAG: one node per distinct plan node (sources
+    boxed), edges in dataflow direction, each edge labelled [xk] where [k]
+    is the number of root-to-parent paths — the multiplicity that edge
+    contributes to the child's ε multiplier.  Summing the labels of a
+    source leaf's outgoing edges gives its {!source_uses} entry. *)
+
+(** {1 The optimizer} *)
+
+type rule =
+  | Fuse_where  (** [where p (where q u)] → [where (q && p) u]. *)
+  | Push_where_below_select
+      (** [where p (select f u)] → [select f (where (p ∘ f) u)]: filters
+          run before projections, shrinking every downstream delta. *)
+  | Fuse_distinct
+      (** [distinct b1 (distinct b2 u)] → [distinct (min b1 b2) u]. *)
+  | Reorder_join
+      (** Puts the operand with the smaller {!estimated_size} on the left
+          (flipping the reduce), canonicalizing join order; fires only on a
+          strict inequality. *)
+  | Fuse_select  (** [select f (select g u)] → [select (f ∘ g) u]. *)
+  | Fuse_select_into_join
+      (** [select f (join ~reduce u v)] → [join ~reduce:(f ∘∘ reduce) u v]. *)
+
+val rule_name : rule -> string
+
+val exact_rules : rule list
+(** [Fuse_where; Push_where_below_select; Fuse_distinct; Reorder_join] —
+    the default rule set.  These rewrites never regroup a floating-point
+    summation (filters copy weights, distinct bounds combine through exact
+    min, a join swap only commutes IEEE [+.] and [*.]), so together with
+    the canonical accumulation order in {!Wpinq_weighted.Wdata} they
+    preserve released measurements — noise draws included — bit for bit. *)
+
+val all_rules : rule list
+(** {!exact_rules} plus [Fuse_select] and [Fuse_select_into_join].  The
+    select fusions collapse a two-stage weight accumulation into one: the
+    same real number, but potentially different in the last ulps, so they
+    are opt-in and validated to a tolerance rather than bitwise. *)
+
+val optimize : ?rules:rule list -> 'a t -> 'a t
+(** Rewrites the plan bottom-up to a fixpoint under the given rules
+    (default {!exact_rules}).  Every rule preserves {!uses} and
+    {!source_uses} — derived ε charges never move (property-tested) — and
+    fusion rules are cost-guarded: they only fire when the fused child has
+    a single consumer, so shared subtrees are never split.  Results are
+    cached globally, keyed on {!canonical_hash} plus the rule set: the same
+    submitted plan — across fits, tenants, stream epochs — optimizes once
+    and lowers to the same physical dataflow.  Deterministic: the same
+    plan and rule set always yield the same optimized DAG, which is what
+    lets checkpoints resume onto bit-identical pipelines. *)
+
+val plan_cache_stats : unit -> int * int
+(** [(hits, misses)] of the {!optimize} cache, cumulative for the
+    process. *)
+
+val optimizer_fires : unit -> (string * int) list
+(** Cumulative count of rewrites applied, per rule name. *)
+
+val hashcons_stats : unit -> int * int
+(** [(hits, nodes)]: constructor calls answered from the hash-cons table,
+    and distinct nodes allocated (sources included). *)
 
 (** Memoized lowering of plans into any {!Lang.S} interpreter.
 
@@ -83,9 +184,10 @@ module type LOWERING = sig
   val bind : ctx -> 'a t -> 'a target -> unit
   (** [bind ctx src v] routes the source leaf [src] to the concrete
       collection [v].  Raises [Invalid_argument] if [src] is not a source
-      leaf.  Binding the same leaf again replaces the binding (the memo
-      table of already-lowered nodes is {e not} invalidated; bind before
-      lowering). *)
+      leaf, or if any node has already been lowered through [ctx] —
+      rebinding after a lower would leave memoized nodes silently reading
+      the old source, so every source must be bound before the first
+      {!lower}. *)
 
   val lower : ctx -> 'a t -> 'a target
   (** Lowers a plan, reusing every node already lowered in this context.

@@ -63,18 +63,26 @@ let seed_graph ~rng ~degrees = Gen.configuration_model ~degrees rng
 
 type query = Tbd of int | Tbi | Sbi | Jdd
 
-(* The per-query privacy cost is *derived*: reify the query over a fresh
-   plan source and count root-to-source paths — the multiplier sequential
-   composition applies to epsilon.  (The historical hand-verified constants,
-   9/4/6/4, are what this computes; the property tests pin that.) *)
+(* One module-level source leaf for every workflow-built plan.  Sources are
+   deliberately not hash-consed (a leaf is a binding point), so sharing the
+   canonical DAG across calls requires sharing the leaf: with one leaf,
+   [Qp.tbd shared_src] is the *same node* in every fit, tenant admission,
+   and stream epoch of the process, and [Plan.optimize]'s cache answers
+   every re-submission after the first.  Bindings are per-lowering-context,
+   so concurrent fits over different data never collide on the leaf. *)
+let shared_src = Plan.source ~name:"sym" ()
+
+(* The per-query privacy cost is *derived*: reify the query and count
+   root-to-source paths — the multiplier sequential composition applies to
+   epsilon.  (The historical hand-verified constants, 9/4/6/4, are what
+   this computes; the property tests pin that.) *)
 let query_uses q =
-  let src = Plan.source ~name:"sym" () in
   let uses (p : _ Plan.t) = Plan.uses p in
   match q with
-  | Tbd bucket -> uses (Qp.tbd ~bucket src)
-  | Tbi -> uses (Qp.tbi src)
-  | Sbi -> uses (Qp.sbi src)
-  | Jdd -> uses (Qp.jdd src)
+  | Tbd bucket -> uses (Qp.tbd ~bucket shared_src)
+  | Tbi -> uses (Qp.tbi shared_src)
+  | Sbi -> uses (Qp.sbi shared_src)
+  | Jdd -> uses (Qp.jdd shared_src)
 
 let query_cost q eps = float_of_int (query_uses q) *. eps
 
@@ -85,21 +93,21 @@ type query_measurement =
   | Mjdd of (int * int) Measurement.t
 
 (* Measures several queries through one shared plan-lowering context: the
-   pipelines are reified over one fresh source, lowered into Batch where
-   shared prefixes become shared lazy datasets (evaluated once), and each
-   root is aggregated separately — the budget debit per query still equals
-   [Plan.uses q × epsilon]. *)
+   pipelines are reified over the shared source, *optimized* (exact rules —
+   uses preserved, so the budget debit per query still equals
+   [Plan.uses q × epsilon]; released values preserved bit for bit), and
+   lowered into Batch where shared prefixes become shared lazy datasets
+   (evaluated once).  Each root is aggregated separately. *)
 let measure_queries ~rng ~epsilon ~sym qs =
-  let src = Plan.source ~name:"sym" () in
   let ctx = Batch.Plans.create () in
-  Batch.Plans.bind ctx src sym;
-  let count p = Batch.noisy_count ~rng ~epsilon (Batch.Plans.lower ctx p) in
+  Batch.Plans.bind ctx shared_src sym;
+  let count p = Batch.noisy_count ~rng ~epsilon (Batch.Plans.lower ctx (Plan.optimize p)) in
   List.map
     (function
-      | Tbd bucket -> Mtbd (bucket, count (Qp.tbd ~bucket src))
-      | Tbi -> Mtbi (count (Qp.tbi src))
-      | Sbi -> Msbi (count (Qp.sbi src))
-      | Jdd -> Mjdd (count (Qp.jdd src)))
+      | Tbd bucket -> Mtbd (bucket, count (Qp.tbd ~bucket shared_src))
+      | Tbi -> Mtbi (count (Qp.tbi shared_src))
+      | Sbi -> Msbi (count (Qp.sbi shared_src))
+      | Jdd -> Mjdd (count (Qp.jdd shared_src)))
     qs
 
 let measure_query ~rng ~epsilon ~sym q =
@@ -112,23 +120,27 @@ let target_of_query qm sym =
   | Msbi m -> Flow.Target.create (Qf.sbi sym) m
   | Mjdd m -> Flow.Target.create (Qf.jdd sym) m
 
-(* One fresh source + the measured plans over it, ready for
-   [Fit.create_shared]/[restore_shared]/[rebuild_shared].  Queries.Make's
-   physical-identity memoization makes the per-query plans share their
-   common prefixes automatically (degrees between JDD and TbD, paths2 and
-   the path-degree join between TbD and SbD, ...). *)
+(* The shared source + the measured plans over it, optimized, ready for
+   [Fit.create_shared]/[restore_shared]/[rebuild_shared].  Hash-consing
+   makes the per-query plans share their common prefixes automatically
+   (degrees between JDD and TbD, paths2 and the path-degree join between
+   TbD and SbD, ...), and [Plan.optimize] both canonicalizes the DAG
+   (deterministically — a resume re-derives the identical pipeline) and
+   answers repeat submissions from its cache. *)
 let shared_measured qms =
-  let src = Plan.source ~name:"sym" () in
   let measured =
     List.map
       (function
-        | Mtbd (bucket, m) -> Fit.Measured (Qp.tbd ~bucket src, m)
-        | Mtbi m -> Fit.Measured (Qp.tbi src, m)
-        | Msbi m -> Fit.Measured (Qp.sbi src, m)
-        | Mjdd m -> Fit.Measured (Qp.jdd src, m))
+        | Mtbd (bucket, m) -> Fit.Measured (Plan.optimize (Qp.tbd ~bucket shared_src), m)
+        | Mtbi m -> Fit.Measured (Plan.optimize (Qp.tbi shared_src), m)
+        | Msbi m -> Fit.Measured (Plan.optimize (Qp.sbi shared_src), m)
+        | Mjdd m -> Fit.Measured (Plan.optimize (Qp.jdd shared_src), m))
       qms
   in
-  (src, measured)
+  (shared_src, measured)
+
+let plan_hashes measured =
+  List.map (fun (Fit.Measured (p, _)) -> Plan.canonical_hash p) measured
 
 type trace_point = { step : int; triangles : int; assortativity : float; energy : float }
 
@@ -153,15 +165,17 @@ exception Corrupt_checkpoint of string
 
 let ckpt_magic = "wpinq-checkpoint\n"
 
-(* Version 6: continual observation.  A snapshot now records its stream
-   position — the re-release epoch index and the ingest-journal sequence
-   number consumed by that epoch — so a stream supervisor killed mid-epoch
-   can resume the in-flight fit and land mid-stream bit-identically.
-   Plain (non-stream) runs write epoch -1 / sequence 0.  (Version 5
+(* Version 7: the plan optimizer.  A snapshot now records the canonical
+   hash of each optimized fit plan, in target order; a resume re-reifies
+   and re-optimizes the plans from [ck_qms] and *verifies* the hashes
+   match before continuing — catching a changed optimizer or query
+   definition that would silently walk a different dataflow than the
+   checkpointed chain.  (Version 6 added the stream position: epoch index
+   and ingest-journal sequence, [-1]/[0] for non-stream runs.  Version 5
    introduced the per-step split-stream discipline of the parallel
    speculative lookahead and [ck_jobs].)  Older snapshots are refused by
    the version gate. *)
-let ckpt_version = 6
+let ckpt_version = 7
 
 (* Everything a resumed chain needs, and nothing protected: the released
    query measurement (noisy counts + noise-stream cursor), the public seed
@@ -198,6 +212,9 @@ type ck = {
   ck_initial_energy : float;
   ck_trace : trace_point list; (* newest first, as accumulated *)
   ck_qms : query_measurement list; (* fit targets, in target order *)
+  ck_plan_hashes : string list;
+      (* canonical hash of each optimized fit plan, in target order —
+         verified against the re-derived plans on every resume/rebase *)
 }
 
 let write_edge buf (u, v) =
@@ -297,6 +314,7 @@ let encode_ck ck =
   Codec.write_float buf ck.ck_initial_energy;
   Codec.write_list write_trace_point buf ck.ck_trace;
   Codec.write_list write_qm buf ck.ck_qms;
+  Codec.write_list Codec.write_string buf ck.ck_plan_hashes;
   Buffer.contents buf
 
 let decode_ck payload =
@@ -330,6 +348,12 @@ let decode_ck payload =
   let ck_initial_energy = Codec.read_float r in
   let ck_trace = Codec.read_list read_trace_point r in
   let ck_qms = Codec.read_list read_qm r in
+  let ck_plan_hashes = Codec.read_list Codec.read_string r in
+  if List.length ck_plan_hashes <> List.length ck_qms then
+    raise
+      (Codec.Decode_error
+         (Printf.sprintf "checkpoint: %d plan hashes for %d fit targets"
+            (List.length ck_plan_hashes) (List.length ck_qms)));
   {
     ck_epsilon;
     ck_pow;
@@ -356,7 +380,27 @@ let decode_ck payload =
     ck_initial_energy;
     ck_trace;
     ck_qms;
+    ck_plan_hashes;
   }
+
+(* Rebuilds a checkpoint's fit plans and verifies they canonicalize to the
+   hashes the snapshot recorded.  A mismatch means this binary would walk
+   a different dataflow than the checkpointed chain — a changed rewrite
+   rule, query definition, or estimate — so resuming would silently break
+   the bit-identical-retrace guarantee; refuse instead. *)
+let shared_measured_verified ~origin ck =
+  let source, measured = shared_measured ck.ck_qms in
+  let got = plan_hashes measured in
+  if got <> ck.ck_plan_hashes then
+    raise
+      (Corrupt_checkpoint
+         (Printf.sprintf
+            "%s: optimized plan hashes diverge from checkpoint (recorded %s; re-derived %s) \
+             — the optimizer or query definitions changed since the snapshot was written"
+            origin
+            (String.concat "," ck.ck_plan_hashes)
+            (String.concat "," got)));
+  (source, measured)
 
 (* ---- The fitting driver ---------------------------------------------- *)
 
@@ -435,7 +479,7 @@ let continue_fit ?(initial_snapshot = false) ~fit ~rng ~ck ~sink ?should_stop ?w
      the same state. *)
   let rebase payload =
     let ck2 = decode_ck payload in
-    let source, measured = shared_measured ck2.ck_qms in
+    let source, measured = shared_measured_verified ~origin:"rebase" ck2 in
     Fit.rebuild_shared fit ~n:ck2.ck_n ~edges:ck2.ck_edges ~source ~measured;
     live_qms := ck2.ck_qms;
     trace := ck2.ck_trace
@@ -591,6 +635,7 @@ let synthesize ?(pow = 10_000.0) ?(steps = 100_000) ?trace_every
           ck_initial_energy = 0.0;
           ck_trace = [ trace_of ~step:0 ~energy:(Fit.energy fit) seed ];
           ck_qms = qms;
+          ck_plan_hashes = plan_hashes measured;
         }
       in
       let sink = match checkpoint with Some c -> Some c.sink | None -> None in
@@ -616,7 +661,7 @@ let resume_fit ?jobs ?width ?counters ~ck ~sink ?should_stop () =
      is also recorded in subsequent snapshots. *)
   let ck = match jobs with Some j -> { ck with ck_jobs = max 1 j } | None -> ck in
   let rng = Prng.restore ck.ck_rng in
-  let source, measured = shared_measured ck.ck_qms in
+  let source, measured = shared_measured_verified ~origin:"resume" ck in
   let fit = Fit.restore_shared ~rng ~n:ck.ck_n ~edges:ck.ck_edges ~source ~measured () in
   continue_fit ~fit ~rng ~ck ~sink ?should_stop ?width ?counters ()
 
@@ -714,6 +759,7 @@ let fit_stream ?(pow = 10_000.0) ?(steps = 100_000) ?trace_every ?(refresh_every
       ck_initial_energy = 0.0;
       ck_trace = [ trace_of ~step:0 ~energy:(Fit.energy fit) warm ];
       ck_qms = qms;
+      ck_plan_hashes = plan_hashes measured;
     }
   in
   let sink = match checkpoint with Some c -> Some c.sink | None -> None in

@@ -72,9 +72,13 @@ val measure_queries :
   query list ->
   query_measurement list
 (** Measures several queries through one shared plan-lowering context
-    ({!Wpinq_core.Batch.Plans}): shared pipeline prefixes evaluate once,
-    while each query's aggregation still debits its own
-    [{!Wpinq_core.Plan.uses} × epsilon] from the source budget. *)
+    ({!Wpinq_core.Batch.Plans}): the pipelines are reified over the
+    workflow's shared plan source, optimized
+    ({!Wpinq_core.Plan.optimize}, exact rules — released values are
+    bit-identical to the unoptimized plans'), and lowered so that shared
+    pipeline prefixes evaluate once.  Each query's aggregation still
+    debits its own [{!Wpinq_core.Plan.uses} × epsilon] from the source
+    budget (the optimizer preserves [uses] exactly). *)
 
 val target_of_query :
   query_measurement -> (int * int) Wpinq_core.Flow.t -> Wpinq_core.Flow.Target.t
@@ -83,10 +87,14 @@ val target_of_query :
 
 val shared_measured :
   query_measurement list -> (int * int) Wpinq_core.Plan.t * Fit.measured list
-(** [shared_measured qms] reifies the measured queries over one fresh plan
-    source, ready for {!Fit.create_shared} — common prefixes (degrees,
-    paths, the path-degree join) become shared plan nodes, so the fit
-    propagates each MCMC delta through them once per step. *)
+(** [shared_measured qms] reifies the measured queries over the workflow's
+    shared plan source and optimizes them, ready for {!Fit.create_shared}
+    — common prefixes (degrees, paths, the path-degree join) become shared
+    plan nodes, so the fit propagates each MCMC delta through them once
+    per step.  Because the source leaf is shared module-wide and
+    {!Wpinq_core.Plan.optimize} caches on the canonical hash, every fit,
+    tenant, and stream epoch of the process lowers the {e same} optimized
+    DAG — repeat submissions are answered from the plan cache. *)
 
 type trace_point = {
   step : int;
@@ -119,7 +127,10 @@ exception Corrupt_checkpoint of string
 (** Raised by {!resume}/{!resume_latest} when no usable checkpoint exists.
     The message names the file, the failing layer (container verification
     vs. payload decode), and — for a generational store — every generation
-    tried and why each was rejected. *)
+    tried and why each was rejected.  Also raised when a snapshot decodes
+    but its recorded optimized-plan hashes disagree with the plans this
+    binary re-derives (checkpoint v7): resuming would silently walk a
+    different dataflow than the checkpointed chain. *)
 
 val synthesize :
   ?pow:float ->
@@ -291,6 +302,9 @@ val fit_stream :
     the epoch must be resumable from durable state from that moment on —
     a supervisor crash after measurement re-reads the released values
     instead of re-touching the secret.  Every snapshot records [epoch]
-    and [stream_seq] (checkpoint v6), so kill/resume lands mid-stream
-    bit-identically; {!resume}/{!resume_latest} continue an interrupted
-    epoch unchanged.  All other parameters as in {!synthesize}. *)
+    and [stream_seq] (checkpoint v6) plus the canonical hashes of the
+    optimized fit plans (v7), so kill/resume lands mid-stream
+    bit-identically — and refuses to land at all if the optimizer would
+    now produce different plans; {!resume}/{!resume_latest} continue an
+    interrupted epoch unchanged.  All other parameters as in
+    {!synthesize}. *)

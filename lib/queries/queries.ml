@@ -1,3 +1,30 @@
+(* Per-record helpers that close over other bindings live at module level,
+   OUTSIDE the functor: OCaml statically allocates a closed lambda once,
+   but a lambda referencing a functor-local binding is re-allocated per
+   instantiation.  Keeping these global means two instantiations of [Make]
+   embed physically identical closures in their plans — which is what lets
+   {!Wpinq_core.Plan}'s hash-consing recognize [Make (Plan)] built twice
+   as one DAG. *)
+let rotate3 (a, b, c) = (b, c, a)
+let rotate3_keyed (p, d) = (rotate3 p, d)
+let rotate2 (a, b, c, d) = (c, d, a, b)
+let rotate2_keyed (p, db, dc) = (rotate2 p, db, dc)
+
+(* Bucketed reduces capture the bucket width, so they are interned by it:
+   [tbd ~bucket:2] over two functor instances must embed the same closure.
+   Guarded by a mutex — plans are built from service worker domains too. *)
+let bucket_reduce_tbl : (int, (int * int) list -> int) Hashtbl.t = Hashtbl.create 8
+let bucket_reduce_lock = Mutex.create ()
+
+let bucket_reduce bucket =
+  Mutex.protect bucket_reduce_lock (fun () ->
+      match Hashtbl.find_opt bucket_reduce_tbl bucket with
+      | Some f -> f
+      | None ->
+          let f l = List.length l / bucket in
+          Hashtbl.add bucket_reduce_tbl bucket f;
+          f)
+
 module Make (L : Wpinq_core.Lang.S) = struct
   type edge = int * int
 
@@ -89,7 +116,7 @@ module Make (L : Wpinq_core.Lang.S) = struct
 
   let bucketed_degrees_raw =
     memo_bucket (fun ~bucket sym ->
-        L.group_by ~key:fst ~reduce:(fun l -> List.length l / bucket) sym)
+        L.group_by ~key:fst ~reduce:(bucket_reduce bucket) sym)
 
   let bucketed_degrees ~bucket sym =
     if bucket < 1 then invalid_arg "Queries: bucket must be >= 1";
@@ -114,9 +141,8 @@ module Make (L : Wpinq_core.Lang.S) = struct
         let abc = path_middle_degree ~bucket sym in
         (* Rotations carry the same degree to the other two positions:
            bca holds 〈(b,c,a), d_b〉 (first vertex), cab 〈(c,a,b), d_b〉 (last). *)
-        let rotate (a, b, c) = (b, c, a) in
-        let bca = L.select (fun (p, d) -> (rotate p, d)) abc in
-        let cab = L.select (fun (p, d) -> (rotate p, d)) bca in
+        let bca = L.select rotate3_keyed abc in
+        let cab = L.select rotate3_keyed bca in
         (* Joining all three on the path key matches exactly when all rotations
            exist, i.e. on triangles; the degrees collected are those of the
            middle, first and last vertices of the shared path. *)
@@ -159,8 +185,7 @@ module Make (L : Wpinq_core.Lang.S) = struct
                ~reduce:(fun ((a, b, c), db) ((_, _, d), dc) -> ((a, b, c, d), db, dc))
                abc abc)
         in
-        let rotate2 (a, b, c, d) = (c, d, a, b) in
-        let cdab = L.select (fun (p, db, dc) -> (rotate2 p, db, dc)) abcd in
+        let cdab = L.select rotate2_keyed abcd in
         (* A record (a,b,c,d) in cdab descends from the path (c,d,a,b), so it
            carries (d_d, d_a); matching it with abcd's (d_b, d_c) collects all
            four degrees of the square. *)
@@ -180,7 +205,7 @@ module Make (L : Wpinq_core.Lang.S) = struct
   let tbi =
     memo1 (fun sym ->
         let paths = paths2 sym in
-        let rotated = L.select (fun (a, b, c) -> (b, c, a)) paths in
+        let rotated = L.select rotate3 paths in
         let triangles = L.intersect rotated paths in
         L.select (fun _ -> ()) triangles)
 
@@ -204,7 +229,7 @@ module Make (L : Wpinq_core.Lang.S) = struct
         (* A length-3 path a-b-c-d closes into a square exactly when c-d-a-b is
            also a path; intersecting with the double rotation keeps only
            those. *)
-        let rotated = L.select (fun (a, b, c, d) -> (c, d, a, b)) paths in
+        let rotated = L.select rotate2 paths in
         let squares = L.intersect rotated paths in
         L.select (fun _ -> ()) squares)
 end

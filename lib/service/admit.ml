@@ -24,6 +24,8 @@ type stats = {
   refused_timeout : int;
   refused_shutdown : int;
   refused_other : int;
+  plan_submissions : int;
+  plan_reused : int;
 }
 
 type t = {
@@ -43,6 +45,11 @@ type t = {
   mutable refused_timeout : int;
   mutable refused_shutdown : int;
   mutable refused_other : int;
+  seen_plans : (string, unit) Hashtbl.t;
+      (* canonical hashes of optimized plans this controller has admitted —
+         the denominator of cross-tenant plan reuse *)
+  mutable plan_submissions : int;
+  mutable plan_reused : int;
 }
 
 let create ?(max_per_tenant = 4) ?(queue_limit = 64) ledger =
@@ -65,6 +72,9 @@ let create ?(max_per_tenant = 4) ?(queue_limit = 64) ledger =
     refused_timeout = 0;
     refused_shutdown = 0;
     refused_other = 0;
+    seen_plans = Hashtbl.create 16;
+    plan_submissions = 0;
+    plan_reused = 0;
   }
 
 let ledger t = t.ledger
@@ -87,6 +97,8 @@ let stats t =
         refused_timeout = t.refused_timeout;
         refused_shutdown = t.refused_shutdown;
         refused_other = t.refused_other;
+        plan_submissions = t.plan_submissions;
+        plan_reused = t.plan_reused;
       })
 
 let running_of t tenant = Option.value (Hashtbl.find_opt t.running tenant) ~default:0
@@ -201,6 +213,29 @@ let submit t ~tenant ~cost ?timeout ~label f =
           | _ ->
               settle t ~tenant ~escrow ~delivered:true;
               Ok answer))
+
+module Plan = Wpinq_core.Plan
+
+let submit_plan t ~tenant ~epsilon ?timeout ?label plan f =
+  if not (Float.is_finite epsilon) || epsilon <= 0.0 then
+    invalid_arg "Admit.submit_plan: epsilon must be finite and positive";
+  (* Canonicalize before costing: the optimizer preserves [Plan.uses]
+     exactly, so the ε charge is the same either way, but every tenant
+     submitting a structurally equal query lands on the *same* optimized
+     DAG (one optimizer run, one cache entry, one lowering downstream). *)
+  let optimized = Plan.optimize plan in
+  let cost = float_of_int (Plan.uses optimized) *. epsilon in
+  let key = Plan.canonical_hash optimized in
+  let label =
+    match label with
+    | Some l -> l
+    | None -> Printf.sprintf "plan:%s" (String.sub key 0 (min 12 (String.length key)))
+  in
+  locked t (fun () ->
+      t.plan_submissions <- t.plan_submissions + 1;
+      if Hashtbl.mem t.seen_plans key then t.plan_reused <- t.plan_reused + 1
+      else Hashtbl.replace t.seen_plans key ());
+  submit t ~tenant ~cost ?timeout ~label (fun () -> f optimized)
 
 let drain t =
   locked t (fun () -> t.drain_requested <- true);

@@ -38,6 +38,11 @@ type stats = {
   refused_timeout : int;
   refused_shutdown : int;
   refused_other : int;
+  plan_submissions : int;  (** queries that entered through {!submit_plan} *)
+  plan_reused : int;
+      (** of those, how many canonicalized to a plan this controller had
+          already admitted (for any tenant) — the cross-tenant sharing the
+          optimizer's plan cache converts into saved work *)
 }
 
 val create : ?max_per_tenant:int -> ?queue_limit:int -> Ledger.t -> t
@@ -64,6 +69,26 @@ val submit :
     queued query is refused and a finished-but-late answer is {e
     discarded} — its escrow released, since an answer never delivered
     costs no privacy. *)
+
+val submit_plan :
+  t ->
+  tenant:string ->
+  epsilon:float ->
+  ?timeout:float ->
+  ?label:string ->
+  'a Wpinq_core.Plan.t ->
+  ('a Wpinq_core.Plan.t -> 'b) ->
+  ('b, refusal) result
+(** [submit_plan t ~tenant ~epsilon plan f] admits a {e reified} query:
+    the plan is canonicalized with {!Wpinq_core.Plan.optimize}, its cost
+    {e derived} as [Plan.uses × epsilon] (the optimizer preserves [uses],
+    so canonicalization never changes the charge), and [f] is run on the
+    optimized plan under the same escrow discipline as {!submit}.  Tenants
+    submitting structurally equal queries converge on one optimized DAG —
+    the optimizer caches on the canonical hash — and {!stats} counts how
+    often that happens ([plan_reused]).  [label] defaults to a prefix of
+    the canonical hash.  Raises [Invalid_argument] on a non-positive or
+    non-finite [epsilon]. *)
 
 val drain : t -> unit
 (** Graceful shutdown: stop admitting (new and queued submissions refuse

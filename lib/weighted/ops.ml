@@ -64,15 +64,27 @@ let concat a b = merge_with ( +. ) a b
 let except a b = merge_with ( -. ) a b
 
 let join ~kl ~kr ~reduce a b =
+  (* Per-key norms are summed over the canonically-sorted part, not in
+     table-iteration order: like [Wdata.of_list]'s sort, this makes the
+     denominator (and so every emitted weight) a function of the part's
+     multiset, so structurally different but equivalent plans agree bit
+     for bit. *)
   let index key d =
     let parts = Hashtbl.create 16 in
     Wdata.iter
       (fun x w ->
         let k = key x in
-        let cur = Option.value ~default:(0.0, []) (Hashtbl.find_opt parts k) in
-        Hashtbl.replace parts k (fst cur +. Float.abs w, (x, w) :: snd cur))
+        let cur = Option.value ~default:[] (Hashtbl.find_opt parts k) in
+        Hashtbl.replace parts k ((x, w) :: cur))
       d;
-    parts
+    let normed = Hashtbl.create (Hashtbl.length parts) in
+    Hashtbl.iter
+      (fun k part ->
+        let part = List.sort compare part in
+        let n = List.fold_left (fun acc (_, w) -> acc +. Float.abs w) 0.0 part in
+        Hashtbl.replace normed k (n, part))
+      parts;
+    normed
   in
   let pa = index kl a and pb = index kr b in
   let out = ref [] in

@@ -21,7 +21,17 @@ let bump h x w =
       let w' = w0 +. w in
       if is_zero w' then Hashtbl.remove h x else Hashtbl.replace h x w'
 
+(* Canonical construction: the emission list is sorted (by record, then
+   weight bits) before accumulation, so the resulting record -> weight
+   mapping is a function of the *multiset* of emissions alone — not of
+   the order an operator happened to produce them in.  Float addition is
+   commutative but not associative, so without the sort two pipelines
+   computing the same multiset in different orders would disagree in the
+   last ulps; with it, any semantics-preserving plan rewrite yields
+   bit-identical weights, which is what lets the optimizer promise
+   bit-identical released measurements. *)
 let of_list assoc =
+  let assoc = List.sort compare assoc in
   let h = Hashtbl.create (max 8 (List.length assoc)) in
   List.iter (fun (x, w) -> bump h x w) assoc;
   h

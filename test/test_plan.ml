@@ -115,6 +115,98 @@ let contains ~sub s =
   let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
   go 0
 
+(* Hash-consing: structurally equal nodes — same operator, same closures
+   (physical), same children — are the same node, even when built through
+   two separate functor instantiations; sources stay distinct. *)
+let test_hashcons () =
+  let s : int Plan.t = Plan.source ~name:"xs" () in
+  let f x = x + 1 in
+  Alcotest.(check int) "same select interned"
+    (Plan.id (Plan.select f s))
+    (Plan.id (Plan.select f s));
+  let d1 = Plan.concat s s and d2 = Plan.concat s s in
+  Alcotest.(check int) "same diamond interned" (Plan.id d1) (Plan.id d2);
+  Alcotest.(check bool) "fresh sources stay distinct" true
+    (Plan.id (Plan.source ~name:"xs" ()) <> Plan.id (Plan.source ~name:"xs" ()));
+  Alcotest.(check bool) "consumers counted once per distinct parent" true
+    (Plan.consumers s >= 1)
+
+let test_hashcons_cross_instance () =
+  let src = Plan.source ~name:"sym" () in
+  let module A = Queries.Make (Plan) in
+  let module B = Queries.Make (Plan) in
+  let same name (Any p) (Any q) = Alcotest.(check int) name (Plan.id p) (Plan.id q) in
+  same "tbd" (Any (A.tbd src)) (Any (B.tbd src));
+  same "tbd bucket 2" (Any (A.tbd ~bucket:2 src)) (Any (B.tbd ~bucket:2 src));
+  same "jdd" (Any (A.jdd src)) (Any (B.jdd src));
+  same "tbi" (Any (A.tbi src)) (Any (B.tbi src));
+  same "sbi" (Any (A.sbi src)) (Any (B.sbi src));
+  same "sbd" (Any (A.sbd src)) (Any (B.sbd src));
+  same "nodes" (Any (A.nodes src)) (Any (B.nodes src))
+
+(* A 40-deep diamond ladder has 2^40 root-to-source paths; memoized counts
+   make [uses] linear in nodes, so this must return instantly (a per-path
+   walk would outlive the heat death of the CI job). *)
+let test_diamond_ladder () =
+  let s : int Plan.t = Plan.source ~name:"xs" () in
+  let p = ref s in
+  for _ = 1 to 40 do
+    p := Plan.concat !p !p
+  done;
+  Alcotest.(check bool) "uses = 2^40" true (Plan.uses !p = 1 lsl 40);
+  Alcotest.(check int) "size = 41" 41 (Plan.size !p);
+  Alcotest.(check (list (pair string int))) "source_uses = 2^40"
+    [ ("xs", 1 lsl 40) ]
+    (Plan.source_uses !p)
+
+(* Binding a source after any lowering has happened would leave memoized
+   nodes silently reading the old binding — it must raise instead. *)
+let test_bind_after_lower () =
+  let s1 : int Plan.t = Plan.source ~name:"a" () in
+  let s2 : int Plan.t = Plan.source ~name:"b" () in
+  let ctx = Batch.Plans.create () in
+  Batch.Plans.bind ctx s1 (Batch.public [ (1, 1.0); (2, 1.0) ]);
+  ignore (Batch.Plans.lower ctx (Plan.select (fun x -> x + 1) s1));
+  match Batch.Plans.bind ctx s2 (Batch.public [ (3, 1.0) ]) with
+  | () -> Alcotest.fail "bind after lower should raise"
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "error explains the footgun" true
+        (contains ~sub:"after lowering" msg)
+
+let test_pp_and_dot () =
+  let s : int Plan.t = Plan.source ~name:"xs" () in
+  let f x = x + 1 in
+  let dia = Plan.concat (Plan.select f s) (Plan.select f s) in
+  let listing = Format.asprintf "%a" Plan.pp dia in
+  Alcotest.(check bool) "pp names the source" true (contains ~sub:{|source "xs"|} listing);
+  Alcotest.(check bool) "pp lists concat" true (contains ~sub:"concat" listing);
+  (* The shared select appears once: three distinct nodes, three lines. *)
+  let lines = String.split_on_char '\n' (String.trim listing) in
+  Alcotest.(check int) "pp dedups the diamond" 3 (List.length lines);
+  let dot = Plan.to_dot ~label:"dia" dia in
+  Alcotest.(check bool) "dot is a digraph" true (contains ~sub:{|digraph "dia"|} dot);
+  Alcotest.(check bool) "dot boxes the source" true (contains ~sub:"shape=box" dot);
+  Alcotest.(check bool) "dot labels edge multiplicity" true (contains ~sub:{|label="x1"|} dot)
+
+let test_canonical_hash () =
+  let src = Plan.source ~name:"sym" () in
+  Alcotest.(check string) "hash is stable"
+    (Plan.canonical_hash (Qp.tbd src))
+    (Plan.canonical_hash (Qp.tbd src));
+  (* Shape-equal plans with different closures share a hash... *)
+  let h1 = Plan.canonical_hash (Plan.select (fun (a, b) -> (a + 1, b)) src) in
+  let h2 = Plan.canonical_hash (Plan.select (fun (_, b) -> (b, b)) src) in
+  Alcotest.(check string) "closures are not represented" h1 h2;
+  (* ...but operators, scalars and wiring are. *)
+  Alcotest.(check bool) "operator changes the hash" true
+    (Plan.canonical_hash (Plan.where (fun _ -> true) src) <> h1);
+  Alcotest.(check bool) "scalar changes the hash" true
+    (Plan.canonical_hash (Plan.shave_const 1.0 src)
+    <> Plan.canonical_hash (Plan.shave_const 0.5 src));
+  let other : (int * int) Plan.t = Plan.source ~name:"other" () in
+  Alcotest.(check bool) "source name changes the hash" true
+    (Plan.canonical_hash (Plan.select (fun (a, b) -> (a + 1, b)) other) <> h1)
+
 let test_lowering_errors () =
   let s : int Plan.t = Plan.source ~name:"xs" () in
   let ctx = Batch.Plans.create () in
@@ -207,4 +299,11 @@ let suite =
     Alcotest.test_case "lowering errors" `Quick test_lowering_errors;
     Alcotest.test_case "lowering memoization" `Quick test_lowering_memoization;
     Alcotest.test_case "flow lowering counters" `Quick test_flow_lowering_counters;
+    Alcotest.test_case "hash-consing" `Quick test_hashcons;
+    Alcotest.test_case "hash-consing across functor instances" `Quick
+      test_hashcons_cross_instance;
+    Alcotest.test_case "40-deep diamond ladder" `Quick test_diamond_ladder;
+    Alcotest.test_case "bind after lower raises" `Quick test_bind_after_lower;
+    Alcotest.test_case "pp and to_dot" `Quick test_pp_and_dot;
+    Alcotest.test_case "canonical hash" `Quick test_canonical_hash;
   ]

@@ -9,6 +9,7 @@ let () =
       ("audit", Test_audit.suite);
       ("core", Test_core.suite);
       ("plan", Test_plan.suite);
+      ("optimizer", Test_optimizer.suite);
       ("graph", Test_graph.suite);
       ("queries", Test_queries.suite);
       ("postprocess", Test_postprocess.suite);
