@@ -179,6 +179,53 @@ let run_benchmarks () =
 
 module Dataflow = Wpinq_dataflow.Dataflow
 
+(* ---------------- Memory reporting (every machine-readable part) --------
+
+   Each recorded part carries a [memory] block: precise heap words from
+   [Gc.stat] (a full-heap walk — called once per part, after measurement)
+   and the kernel's view of the process via /proc/self/status.  RSS is
+   what a paper-scale budget is stated against; live words say how much
+   of it is reachable state rather than GC slack. *)
+
+let proc_status_kb () =
+  let rss = ref 0 and hwm = ref 0 in
+  (try
+     let ic = open_in "/proc/self/status" in
+     Fun.protect
+       ~finally:(fun () -> close_in ic)
+       (fun () ->
+         try
+           while true do
+             let line = input_line ic in
+             let grab prefix cell =
+               let pl = String.length prefix in
+               if String.length line > pl && String.sub line 0 pl = prefix then
+                 try Scanf.sscanf (String.sub line pl (String.length line - pl)) " %d kB"
+                       (fun v -> cell := v)
+                 with Scanf.Scan_failure _ | Failure _ | End_of_file -> ()
+             in
+             grab "VmRSS:" rss;
+             grab "VmHWM:" hwm
+           done
+         with End_of_file -> ())
+   with Sys_error _ -> ());
+  (!rss, !hwm)
+
+let memory_json indent =
+  let st = Gc.stat () in
+  let rss_kb, peak_rss_kb = proc_status_kb () in
+  let pad = String.make indent ' ' in
+  String.concat "\n"
+    [
+      Printf.sprintf "%s\"memory\": {" pad;
+      Printf.sprintf "%s  \"live_words\": %d," pad st.Gc.live_words;
+      Printf.sprintf "%s  \"heap_words\": %d," pad st.Gc.heap_words;
+      Printf.sprintf "%s  \"top_heap_words\": %d," pad st.Gc.top_heap_words;
+      Printf.sprintf "%s  \"rss_kb\": %d," pad rss_kb;
+      Printf.sprintf "%s  \"peak_rss_kb\": %d" pad peak_rss_kb;
+      Printf.sprintf "%s}" pad;
+    ]
+
 (* Recorded on this repository's engine before the speculative
    propose/commit/abort rewrite (same config as the full run below:
    ca-GrQc at scale 0.4, seed 7, epsilon 0.1, pow 10^4, 2k warmup steps,
@@ -473,7 +520,8 @@ let multi_bench ~smoke () =
       Printf.sprintf "    \"walk_wall_ratio\": %.3f," (s_us /. u_us);
       Printf.sprintf "    \"optimized_records_ratio\": %.3f," (o_prop /. u_prop);
       Printf.sprintf "    \"optimized_wall_ratio\": %.3f," (lower_o /. lower_u);
-      Printf.sprintf "    \"optimized_walk_wall_ratio\": %.3f" (o_us /. u_us);
+      Printf.sprintf "    \"optimized_walk_wall_ratio\": %.3f," (o_us /. u_us);
+      memory_json 4;
       "  }";
     ]
 
@@ -655,7 +703,8 @@ let parallel_bench ~smoke ~max_jobs () =
         Printf.sprintf "    \"identical_walks\": %b," identical;
         "    \"arms\": [";
         String.concat ",\n" (List.map arm_json results);
-        "    ]";
+        "    ],";
+        memory_json 4;
         "  }";
       ]
   in
@@ -719,7 +768,8 @@ let serve_bench () =
         Printf.sprintf "      \"torn_bytes\": %d," o.Loadgen.recovery.Ledger.torn_bytes;
         Printf.sprintf "      \"snapshots_rejected\": %d"
           o.Loadgen.recovery.Ledger.snapshots_rejected;
-        "    }";
+        "    },";
+        memory_json 4;
         "  }";
       ]
   in
@@ -896,11 +946,96 @@ let stream_bench ~smoke () =
         Printf.sprintf "      \"warm_steps_to_target\": %s,"
           (match warm_steps with Some w -> string_of_int w | None -> "null");
         Printf.sprintf "      \"warm_beats_cold\": %b" warm_beats_cold;
-        "    }";
+        "    },";
+        memory_json 4;
         "  }";
       ]
   in
   (fragment, ok)
+
+(* ---------------- Part 8: paper-scale walk arms -------------------------
+
+   The acceptance configuration of the interned hot path: the full-scale
+   ca-GrQc stand-in (scale 1.0) driven by TbI, and an Epinions-sized
+   synthetic (75,879 nodes / 1,017,674 edges — the paper's Table 1 shape,
+   from Gen.epinions_like) driven by degree CCDF + JDD (TbI state is
+   ~Σ d² and is not a sensible incremental workload at that density).
+   Runs only under --walk: the point is the recorded memory envelope and
+   per-step cost at paper scale, not CI latency. *)
+
+let paper_scale_bench () =
+  banner "Part 8: paper-scale walk arms";
+  let arm ~label ~dataset ~queries ~warmup ~steps make =
+    Printf.printf "(%s: building fixture...)\n%!" label;
+    let t_setup0 = Unix.gettimeofday () in
+    let fit, nodes, edges = make () in
+    let setup_s = Unix.gettimeofday () -. t_setup0 in
+    for _ = 1 to warmup do
+      ignore (Fit.step ~pow:10_000.0 fit)
+    done;
+    let minor0 = Gc.minor_words () in
+    let accepted = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to steps do
+      if Fit.step ~pow:10_000.0 fit then incr accepted
+    done;
+    let wall = Unix.gettimeofday () -. t0 in
+    let minor = Gc.minor_words () -. minor0 in
+    let us = 1e6 *. wall /. float steps in
+    Printf.printf
+      "%s (%d nodes, %d edges): setup %.1fs, %.1f us/step, %.1f minor words/step, %d/%d \
+       accepted\n%!"
+      label nodes edges setup_s us
+      (minor /. float steps)
+      !accepted steps;
+    String.concat "\n"
+      [
+        "    {";
+        Printf.sprintf "      \"label\": %S," label;
+        Printf.sprintf "      \"dataset\": %S," dataset;
+        Printf.sprintf "      \"nodes\": %d," nodes;
+        Printf.sprintf "      \"edges\": %d," edges;
+        Printf.sprintf "      \"queries\": [%s],"
+          (String.concat ", " (List.map (Printf.sprintf "%S") queries));
+        Printf.sprintf "      \"setup_s\": %.3f," setup_s;
+        Printf.sprintf "      \"warmup_steps\": %d," warmup;
+        Printf.sprintf "      \"measured_steps\": %d," steps;
+        Printf.sprintf "      \"accepted_steps\": %d," !accepted;
+        Printf.sprintf "      \"us_per_step\": %.3f," us;
+        Printf.sprintf "      \"steps_per_sec\": %.1f," (float steps /. wall);
+        Printf.sprintf "      \"minor_words_per_step\": %.1f," (minor /. float steps);
+        memory_json 6;
+        "    }";
+      ]
+  in
+  let grqc_arm =
+    arm ~label:"ca-grqc-full" ~dataset:"ca-GrQc (stand-in, scale 1.0)" ~queries:[ "tbi" ]
+      ~warmup:300 ~steps:2_000 (fun () ->
+        let secret = Datasets.load ~scale:1.0 Datasets.grqc in
+        (make_fit ~tbd:false 1.0, Graph.n secret, Graph.m secret))
+  in
+  let epinions_arm =
+    arm ~label:"epinions-synthetic" ~dataset:"Epinions-like (Gen.epinions_like)"
+      ~queries:[ "degree_ccdf"; "jdd" ] ~warmup:50 ~steps:300 (fun () ->
+        let g = Gen.epinions_like ~n:75_879 ~m:1_017_674 (Prng.create 0xe919) in
+        let rng = Prng.create 7 in
+        let budget = Budget.create ~name:"bench" 1e9 in
+        let sym = Batch.source_records ~budget (Graph.directed_edges g) in
+        let mc = Batch.noisy_count ~rng ~epsilon:0.1 (Qb.degree_ccdf sym) in
+        let mj = Batch.noisy_count ~rng ~epsilon:0.1 (Qb.jdd sym) in
+        let fit =
+          Fit.create ~rng ~seed_graph:g
+            ~targets:
+              [
+                (fun flow -> Flow.Target.create (Qf.degree_ccdf flow) mc);
+                (fun flow -> Flow.Target.create (Qf.jdd flow) mj);
+              ]
+            ()
+        in
+        (fit, Graph.n g, Graph.m g))
+  in
+  String.concat "\n"
+    [ "  \"paper_scale\": ["; String.concat ",\n" [ grqc_arm; epinions_arm ]; "  ]" ]
 
 let walk_bench ~smoke ~json_path ?(fragments = []) () =
   banner "Part 3: speculative-walk benchmark (machine-readable)";
@@ -994,7 +1129,8 @@ let walk_bench ~smoke ~json_path ?(fragments = []) () =
     audit_report.Dataflow.Audit.cells_checked;
   Printf.fprintf oc "    \"audit_divergences\": %d,\n"
     (List.length audit_report.Dataflow.Audit.divergences);
-  Printf.fprintf oc "    \"audit_ms\": %.3f\n" audit_ms;
+  Printf.fprintf oc "    \"audit_ms\": %.3f,\n" audit_ms;
+  Printf.fprintf oc "%s\n" (memory_json 4);
   (match fragments with
   | [] -> Printf.fprintf oc "  }\n"
   | frags -> Printf.fprintf oc "  },\n%s\n" (String.concat ",\n" frags));
@@ -1053,7 +1189,7 @@ let () =
      ride along only in the full run (each also has its own CI-sized
      mode). *)
   let fragments, identical =
-    if !walk_only then ([], true)
+    if !walk_only then ([ paper_scale_bench () ], true)
     else if !serve then begin
       let serve_fragment, ok = serve_bench () in
       ([ serve_fragment ], ok)

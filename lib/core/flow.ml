@@ -83,60 +83,80 @@ module Target = struct
   let create (type a) (q : a collection) (m : a Measurement.t) =
     let sink = Dataflow.Sink.attach q in
     let engine = Dataflow.Sink.engine sink in
-    (* tracked: record -> (observation, counts_baseline).  [counts_baseline]
-       is true for records observed at measurement time, whose |0 - m x| is
-       part of the initial distance. *)
-    let tracked : (a, float * bool) Hashtbl.t = Hashtbl.create 64 in
-    (* [from_scratch] and [audit_distance] must not iterate [tracked]
-       directly: a hashtable's iteration order keeps residue from aborted
-       speculations (a speculative insert can resize the bucket array and
-       the undoing remove does not shrink it back), which would make the
-       recomputed distance's rounding order depend on abort history.  The
-       dense [order] array records committed first-seen order instead; the
-       speculative undo pops it exactly. *)
-    let order = ref ([||] : a array) in
+    (* Tracked state is indexed by the sink's interned record ids —
+       struct-of-arrays instead of a record-keyed hashtable: [obs] holds
+       the drawn observation, [status] distinguishes untracked (0),
+       baseline (1: observed at measurement time, whose |0 - m x| is part
+       of the initial distance) and lazily-drawn (2) records.  Intern ids
+       are monotone and never recycled, so direct indexing needs no
+       hashing and leaves no abort residue to iterate over. *)
+    let obs = ref [||] in
+    let status = ref Bytes.empty in
+    let ensure id =
+      let cap = Bytes.length !status in
+      if id >= cap then begin
+        let cap' = max 64 (max (2 * cap) (id + 1)) in
+        let o = Array.make cap' 0.0 and s = Bytes.make cap' '\000' in
+        Array.blit !obs 0 o 0 cap;
+        Bytes.blit !status 0 s 0 cap;
+        obs := o;
+        status := s
+      end
+    in
+    (* [from_scratch] and [audit_distance] must not iterate the sink's
+       state directly: its entry order keeps residue from aborted
+       speculations, which would make the recomputed distance's rounding
+       order depend on abort history.  The dense [order] array records
+       committed first-seen order of ids instead; the speculative undo
+       pops it exactly. *)
+    let order = ref ([||] : int array) in
     let tracked_n = ref 0 in
-    let note x =
+    let note id =
       let n = !tracked_n in
       let cap = Array.length !order in
       if n = cap then begin
-        let arr = Array.make (if cap = 0 then 64 else 2 * cap) x in
+        let arr = Array.make (if cap = 0 then 64 else 2 * cap) 0 in
         Array.blit !order 0 arr 0 n;
         order := arr
       end;
-      !order.(n) <- x;
+      !order.(n) <- id;
       tracked_n := n + 1
     in
     let distance = ref 0.0 in
     List.iter
       (fun (x, v) ->
-        Hashtbl.replace tracked x (v, true);
-        note x;
+        let id = Dataflow.Sink.intern_id sink x in
+        ensure id;
+        !obs.(id) <- v;
+        Bytes.set !status id '\001';
+        note id;
         distance := !distance +. Float.abs v)
       (Measurement.observed m);
-    Dataflow.Sink.on_change sink (fun x ~old_weight ~new_weight ->
-        let obs =
-          match Hashtbl.find_opt tracked x with
-          | Some (v, _) -> v
-          | None ->
-              (* A record first seen during a speculative propagation draws
-                 its observation under the undo log: an abort removes it
-                 from the tracked set and rewinds the measurement's private
-                 noise cursor, so the tracked set and the noise stream are
-                 pure functions of the committed walk prefix.  (A replica
-                 engine evaluating a discarded lookahead speculation
-                 therefore leaves no trace, which is what keeps K replicas
-                 bit-identical to each other and to the serial walk.) *)
-              (if Dataflow.Engine.speculating engine then
-                 let mk = Measurement.mark m in
-                 Dataflow.Engine.log_undo engine (fun () ->
-                     Hashtbl.remove tracked x;
-                     decr tracked_n;
-                     Measurement.undo_draw m x mk));
-              let v = Measurement.value m x in
-              Hashtbl.replace tracked x (v, false);
-              note x;
-              v
+    Dataflow.Sink.on_change_id sink (fun id x ~old_weight ~new_weight ->
+        ensure id;
+        let obs_x =
+          if Bytes.get !status id <> '\000' then !obs.(id)
+          else begin
+            (* A record first seen during a speculative propagation draws
+               its observation under the undo log: an abort removes it
+               from the tracked set and rewinds the measurement's private
+               noise cursor, so the tracked set and the noise stream are
+               pure functions of the committed walk prefix.  (A replica
+               engine evaluating a discarded lookahead speculation
+               therefore leaves no trace, which is what keeps K replicas
+               bit-identical to each other and to the serial walk.) *)
+            (if Dataflow.Engine.speculating engine then
+               let mk = Measurement.mark m in
+               Dataflow.Engine.log_undo engine (fun () ->
+                   Bytes.set !status id '\000';
+                   decr tracked_n;
+                   Measurement.undo_draw m x mk));
+            let v = Measurement.value m x in
+            !obs.(id) <- v;
+            Bytes.set !status id '\002';
+            note id;
+            v
+          end
         in
         (* Enroll the maintained distance in the speculative rollback: the
            undo log restores the pre-speculation value directly instead of
@@ -144,15 +164,15 @@ module Target = struct
         (if Dataflow.Engine.speculating engine then
            let d0 = !distance in
            Dataflow.Engine.log_undo engine (fun () -> distance := d0));
-        distance := !distance +. Float.abs (new_weight -. obs) -. Float.abs (old_weight -. obs));
+        distance := !distance +. Float.abs (new_weight -. obs_x) -. Float.abs (old_weight -. obs_x));
     let from_scratch () =
       let d = ref 0.0 in
       for i = 0 to !tracked_n - 1 do
-        let x = !order.(i) in
-        let v, baseline = Hashtbl.find tracked x in
-        let q = Dataflow.Sink.weight sink x in
+        let id = !order.(i) in
+        let v = !obs.(id) in
+        let q = Dataflow.Sink.weight_id sink id in
         d := !d +. Float.abs (q -. v);
-        if not baseline then d := !d -. Float.abs v
+        if Bytes.get !status id = '\002' then d := !d -. Float.abs v
       done;
       !d
     in
@@ -167,9 +187,8 @@ module Target = struct
     let audit_distance () =
       let d = ref 0.0 in
       for i = 0 to !tracked_n - 1 do
-        let x = !order.(i) in
-        let v, _ = Hashtbl.find tracked x in
-        d := !d +. Float.abs (Dataflow.Sink.weight sink x -. v)
+        let id = !order.(i) in
+        d := !d +. Float.abs (Dataflow.Sink.weight_id sink id -. !obs.(id))
       done;
       !d
     in

@@ -107,6 +107,78 @@ let table1 = [ grqc; hepph; hepth; caltech; epinions ]
 let load ?(scale = 1.0) spec = spec.generate scale
 let random_counterpart ?(seed = 0x5eed) g = Rewire.randomize g (Prng.create seed)
 
+exception Checksum_mismatch of { path : string; expected : string; actual : string }
+
+let () =
+  Printexc.register_printer (function
+    | Checksum_mismatch { path; expected; actual } ->
+        Some
+          (Printf.sprintf "Datasets.Checksum_mismatch(%s: expected md5 %s, got %s)" path expected
+             actual)
+    | _ -> None)
+
+let load_snap ?md5 path =
+  (match md5 with
+  | None -> ()
+  | Some expected ->
+      let actual = Digest.to_hex (Digest.file path) in
+      if not (String.equal (String.lowercase_ascii expected) actual) then
+        raise (Checksum_mismatch { path; expected; actual }));
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      (* SNAP edge lists are directed, tab- or space-separated, with '#'
+         comment lines and arbitrary (sparse, non-contiguous) vertex ids.
+         Project onto the simple undirected graph the engine models:
+         remap ids densely in first-seen order, drop self-loops, and
+         keep one copy of each {u,v} pair. *)
+      let remap = Hashtbl.create 1024 in
+      let next_id = ref 0 in
+      let id_of v =
+        match Hashtbl.find_opt remap v with
+        | Some i -> i
+        | None ->
+            let i = !next_id in
+            Hashtbl.replace remap v i;
+            incr next_id;
+            i
+      in
+      let seen = Hashtbl.create 1024 in
+      let edges = ref [] in
+      let lineno = ref 0 in
+      (try
+         while true do
+           let line = String.trim (input_line ic) in
+           incr lineno;
+           if line = "" || line.[0] = '#' then ()
+           else
+             let fields =
+               String.split_on_char '\t' line
+               |> List.concat_map (String.split_on_char ' ')
+               |> List.filter (fun s -> s <> "")
+             in
+             match List.map int_of_string_opt fields with
+             | [ Some u; Some v ] ->
+                 if u < 0 || v < 0 then
+                   invalid_arg
+                     (Printf.sprintf "Datasets.load_snap: %s:%d: negative vertex id" path !lineno);
+                 if u <> v then begin
+                   let u = id_of u and v = id_of v in
+                   let e = if u < v then (u, v) else (v, u) in
+                   if not (Hashtbl.mem seen e) then begin
+                     Hashtbl.replace seen e ();
+                     edges := e :: !edges
+                   end
+                 end
+             | _ ->
+                 invalid_arg
+                   (Printf.sprintf "Datasets.load_snap: %s:%d: expected two integer vertex ids"
+                      path !lineno)
+         done
+       with End_of_file -> ());
+      Graph.of_edges ~n:!next_id !edges)
+
 type ba_spec = {
   label : string;
   beta : float;

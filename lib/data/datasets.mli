@@ -49,6 +49,19 @@ val load : ?scale:float -> spec -> Wpinq_graph.Graph.t
 val random_counterpart : ?seed:int -> Wpinq_graph.Graph.t -> Wpinq_graph.Graph.t
 (** Degree-preserving rewiring of a graph — Table 1's [Random(G)] rows. *)
 
+exception Checksum_mismatch of { path : string; expected : string; actual : string }
+
+val load_snap : ?md5:string -> string -> Wpinq_graph.Graph.t
+(** [load_snap ?md5 path] reads a SNAP-format edge list (directed, tab- or
+    space-separated [u v] pairs, ['#'] comments, arbitrary vertex ids) and
+    projects it onto the simple undirected graph the engine models: ids are
+    remapped densely in first-seen order, self-loops dropped, and each
+    {u,v} pair kept once.  When [md5] is given (hex digest), the file is
+    checksummed first and {!Checksum_mismatch} raised on disagreement — so
+    experiment configs can pin the exact bytes of a downloaded
+    [soc-Epinions1.txt] without trusting the filename.  Raises
+    [Invalid_argument] on malformed lines (with path and line number). *)
+
 (** {1 Table 3: the Barabási–Albert scalability sweep} *)
 
 type ba_spec = {

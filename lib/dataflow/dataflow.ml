@@ -134,6 +134,7 @@ module Engine = struct
   let add_shared_nodes t n =
     if n < 0 then invalid_arg "Dataflow.Engine.add_shared_nodes: negative count";
     t.nodes_shared <- t.nodes_shared + n
+
   let commits t = t.commits
   let aborts t = t.aborts
   let undo_cells t = t.undo_cells
@@ -210,81 +211,231 @@ module Engine = struct
     t.aborts <- t.aborts + 1
 end
 
-(* Reusable per-operator output buffers — the scratch arena.  Operators
-   accumulate their output changes in parallel record/weight arrays
-   (weights unboxed) instead of consing fresh lists, and coalesce through
-   a persistent hashtable whose bucket array survives across batches.
-   Safe to reuse across a DAG propagation because every handler fully
-   drains its scratch before emitting downstream, and the DAG is acyclic,
-   so a handler can never be re-entered while its scratch is live. *)
-module Scratch = struct
+(* Record interning: each distinct record value an operator sees is mapped
+   to a dense [int] id at first sight, and everything downstream of the
+   mapping — weight tables, membership arrays, the undo log's slot
+   captures — works on ids.  The table is a monotone cache of a pure
+   function (record -> id), so it is deliberately *not* enrolled in the
+   undo log: an id assigned during an aborted speculation stays assigned,
+   which is unobservable because no emission or iteration order anywhere
+   follows id order (state tables iterate in committed insertion order;
+   measurement/grouping emissions sort canonically).  Keeping interning
+   monotone is what lets every other structure be plain int arrays. *)
+module Intern = struct
   type 'a t = {
-    engine : Engine.t;
-    mutable xs : 'a array;
-    mutable ws : float array;
+    mutable xs : 'a array; (* id -> value *)
     mutable len : int;
-    acc : ('a, float) Hashtbl.t;
+    (* open-addressing index over [xs]: 0 = empty, else id + 1.  Linear
+       probing; capacity is a power of two kept under 3/4 full. *)
+    mutable slots : int array;
+    mutable mask : int;
   }
 
-  let create engine = { engine; xs = [||]; ws = [||]; len = 0; acc = Hashtbl.create 32 }
+  let create () = { xs = [||]; len = 0; slots = Array.make 16 0; mask = 15 }
+  let size t = t.len
+  let value t id = t.xs.(id)
 
-  let push t x w =
-    let cap = Array.length t.xs in
-    if t.len = cap then begin
-      t.engine.Engine.arena_grows <- t.engine.Engine.arena_grows + 1;
-      let cap' = if cap = 0 then 64 else 2 * cap in
-      let xs = Array.make cap' x in
-      let ws = Array.make cap' 0.0 in
-      Array.blit t.xs 0 xs 0 t.len;
+  let rehash t =
+    let cap = 2 * (t.mask + 1) in
+    let slots = Array.make cap 0 in
+    let mask = cap - 1 in
+    for id = 0 to t.len - 1 do
+      let i = ref (Hashtbl.hash t.xs.(id) land mask) in
+      while slots.(!i) <> 0 do
+        i := (!i + 1) land mask
+      done;
+      slots.(!i) <- id + 1
+    done;
+    t.slots <- slots;
+    t.mask <- mask
+
+  (* Returns the slot holding [x], or the empty slot where it belongs. *)
+  let probe t x =
+    let mask = t.mask in
+    let i = ref (Hashtbl.hash x land mask) in
+    let s = ref t.slots.(!i) in
+    while !s <> 0 && t.xs.(!s - 1) <> x do
+      i := (!i + 1) land mask;
+      s := t.slots.(!i)
+    done;
+    !i
+
+  let find t x =
+    let s = t.slots.(probe t x) in
+    s - 1
+
+  let intern t x =
+    let i = probe t x in
+    let s = t.slots.(i) in
+    if s <> 0 then s - 1
+    else begin
+      let id = t.len in
+      if id = Array.length t.xs then begin
+        let xs = Array.make (max 16 (2 * id)) x in
+        Array.blit t.xs 0 xs 0 id;
+        t.xs <- xs
+      end;
+      t.xs.(id) <- x;
+      t.len <- id + 1;
+      t.slots.(i) <- id + 1;
+      if 4 * t.len > 3 * (t.mask + 1) then rehash t;
+      id
+    end
+end
+
+(* A weight table over dense interned ids: the struct-of-arrays successor
+   of the old record-keyed [Wtbl].  [pos] is a direct-index array (id ->
+   dense slot), so lookups touch no hash function at all; entries live in
+   [ids]/[ws] in committed insertion order, which makes every derived
+   float accumulation order a pure function of the committed operation
+   sequence.  Under speculation each mutation logs its exact structural
+   inverse; removal swaps the last entry down exactly as the old table
+   did, and the undo replays in reverse order so captured slot indices
+   stay valid.  Backing-array growth needs no undo: contents beyond [len]
+   (or [pos] cells holding -1) are invisible. *)
+module Itbl = struct
+  type t = {
+    engine : Engine.t;
+    mutable pos : int array; (* id -> dense slot, -1 when absent *)
+    mutable ids : int array;
+    mutable ws : float array;
+    mutable len : int;
+  }
+
+  let create engine = { engine; pos = [||]; ids = [||]; ws = [||]; len = 0 }
+  let size t = t.len
+
+  let mem t id =
+    if id < 0 then invalid_arg "Dataflow.Itbl: negative id";
+    id < Array.length t.pos && t.pos.(id) >= 0
+
+  let get t id =
+    if id < 0 then invalid_arg "Dataflow.Itbl: negative id";
+    if id < Array.length t.pos then
+      let p = t.pos.(id) in
+      if p >= 0 then t.ws.(p) else 0.0
+    else 0.0
+
+  let ensure_pos t id =
+    let cap = Array.length t.pos in
+    if id >= cap then begin
+      let cap' = max 16 (max (2 * cap) (id + 1)) in
+      let pos = Array.make cap' (-1) in
+      Array.blit t.pos 0 pos 0 cap;
+      t.pos <- pos
+    end
+
+  let ensure_dense t =
+    if t.len = Array.length t.ids then begin
+      let cap = Array.length t.ids in
+      let cap' = if cap = 0 then 8 else 2 * cap in
+      let ids = Array.make cap' 0 and ws = Array.make cap' 0.0 in
+      Array.blit t.ids 0 ids 0 t.len;
       Array.blit t.ws 0 ws 0 t.len;
-      t.xs <- xs;
+      t.ids <- ids;
       t.ws <- ws
-    end;
-    t.xs.(t.len) <- x;
-    t.ws.(t.len) <- w;
-    t.len <- t.len + 1
+    end
 
-  (* Coalesces the buffered changes into a delta list and resets the
-     buffer for the next batch. *)
-  let drain t =
-    match t.len with
-    | 0 -> []
-    | 1 ->
-        t.len <- 0;
-        let w = t.ws.(0) in
-        if near_zero w then [] else [ (t.xs.(0), w) ]
-    | n ->
-        t.engine.Engine.arena_reuses <- t.engine.Engine.arena_reuses + 1;
-        for i = 0 to n - 1 do
-          let x = t.xs.(i) in
-          match Hashtbl.find_opt t.acc x with
-          | None -> Hashtbl.replace t.acc x t.ws.(i)
-          | Some w0 -> Hashtbl.replace t.acc x (w0 +. t.ws.(i))
-        done;
-        (* Build the output and empty [acc] in one O(batch) pass over the
-           pushed keys (removal marks a key as drained, so duplicates emit
-           once).  Folding or clearing [acc] instead would be
-           O(bucket-array capacity) and make every small batch pay for the
-           largest batch ever drained — e.g. the initial dataset load. *)
-        let out = ref [] in
-        for i = 0 to n - 1 do
-          let x = t.xs.(i) in
-          match Hashtbl.find_opt t.acc x with
-          | None -> () (* duplicate of an already-drained key *)
-          | Some w ->
-              Hashtbl.remove t.acc x;
-              if not (near_zero w) then out := (x, w) :: !out
-        done;
-        t.len <- 0;
-        !out
+  let set t id w =
+    if id < 0 then invalid_arg "Dataflow.Itbl: negative id";
+    let engine = t.engine in
+    ensure_pos t id;
+    let p = t.pos.(id) in
+    if p < 0 then begin
+      if not (near_zero w) then begin
+        ensure_dense t;
+        let i = t.len in
+        t.ids.(i) <- id;
+        t.ws.(i) <- w;
+        t.len <- i + 1;
+        t.pos.(id) <- i;
+        engine.Engine.state_records <- engine.Engine.state_records + 1;
+        if engine.Engine.speculating then
+          Engine.log_undo engine (fun () ->
+              t.pos.(id) <- -1;
+              t.len <- i)
+      end
+    end
+    else if near_zero w then begin
+      (* Remove by swapping the last entry into the vacated slot; the
+         logged inverse puts both entries back in their exact slots. *)
+      let last = t.len - 1 in
+      let w0 = t.ws.(p) in
+      let idl = t.ids.(last) and wl = t.ws.(last) in
+      if p <> last then begin
+        t.ids.(p) <- idl;
+        t.ws.(p) <- wl;
+        t.pos.(idl) <- p
+      end;
+      t.len <- last;
+      t.pos.(id) <- -1;
+      engine.Engine.state_records <- engine.Engine.state_records - 1;
+      if engine.Engine.speculating then
+        Engine.log_undo engine (fun () ->
+            t.len <- last + 1;
+            if p <> last then begin
+              t.ids.(last) <- idl;
+              t.ws.(last) <- wl;
+              t.pos.(idl) <- last
+            end;
+            t.ids.(p) <- id;
+            t.ws.(p) <- w0;
+            t.pos.(id) <- p)
+    end
+    else begin
+      let w0 = t.ws.(p) in
+      t.ws.(p) <- w;
+      if engine.Engine.speculating then Engine.log_undo engine (fun () -> t.ws.(p) <- w0)
+    end
+
+  (* Adds [dw] and returns the old weight. *)
+  let bump t id dw =
+    let old = get t id in
+    set t id (old +. dw);
+    old
+
+  let iter f t =
+    for i = 0 to t.len - 1 do
+      f t.ids.(i) t.ws.(i)
+    done
+
+  let fold f t acc =
+    let acc = ref acc in
+    for i = 0 to t.len - 1 do
+      acc := f t.ids.(i) t.ws.(i) !acc
+    done;
+    !acc
+
+  let to_list t =
+    let rec go i acc = if i < 0 then acc else go (i - 1) ((t.ids.(i), t.ws.(i)) :: acc) in
+    go (t.len - 1) []
+end
+
+(* Record-keyed convenience shim over [Intern] + [Itbl] for the places
+   that genuinely deal in values (input roots, sinks). *)
+module Wtbl = struct
+  type 'a t = { intern : 'a Intern.t; it : Itbl.t }
+
+  let create engine = { intern = Intern.create (); it = Itbl.create engine }
+  let bump t x dw = Itbl.bump t.it (Intern.intern t.intern x) dw
+
+  let to_list t =
+    List.map (fun (id, w) -> (Intern.value t.intern id, w)) (Itbl.to_list t.it)
 end
 
 type 'a delta = ('a * float) list
 
+(* Internally deltas travel as borrowed parallel-array slices
+   ([xs]/[ws]/[len]) instead of [('a * float) list]: no pair or list-cell
+   allocation per propagated record.  A subscriber must fully retire the
+   slice before returning and must not mutate it (several subscribers may
+   receive the same arrays); both hold because propagation is a
+   synchronous walk of an acyclic DAG.  The list type survives only at
+   the public [Input.feed]/[coalesce] boundary. *)
 type 'a node = {
   engine : Engine.t;
-  mutable subs_rev : ('a delta -> unit) list;
-  mutable subs : ('a delta -> unit) array;
+  mutable subs_rev : ('a array -> float array -> int -> unit) list;
+  mutable subs : ('a array -> float array -> int -> unit) array;
 }
 
 let engine_of n = n.engine
@@ -303,13 +454,12 @@ let subscribe n f =
   n.subs_rev <- f :: n.subs_rev;
   n.subs <- Array.of_list (List.rev n.subs_rev)
 
-let emit n d =
-  if d <> [] then begin
+let emit n xs ws len =
+  if len > 0 then begin
     let nsubs = Array.length n.subs in
-    n.engine.Engine.records_propagated <-
-      n.engine.Engine.records_propagated + (List.length d * nsubs);
+    n.engine.Engine.records_propagated <- n.engine.Engine.records_propagated + (len * nsubs);
     for i = 0 to nsubs - 1 do
-      n.subs.(i) d
+      n.subs.(i) xs ws len
     done
   end
 
@@ -327,127 +477,138 @@ let coalesce d =
         d;
       Hashtbl.fold (fun x w acc -> if near_zero w then acc else (x, w) :: acc) h []
 
-let count_work (engine : Engine.t) d = engine.work <- engine.work + List.length d
+let count_work (engine : Engine.t) len = engine.work <- engine.work + len
 
-(* A mutable weight table whose entry count is reported to the engine's
-   state-size statistic.  Under speculation, every mutation records its
-   exact structural inverse in the engine's undo log.
+(* Reusable per-operator output accumulator — the scratch arena.  Output
+   changes accumulate by *output intern id* in a direct-index float array
+   ([acc], membership in [inacc], first-touch order in [touched]);
+   [flush] walks the touched ids once, drops net-~zero entries, converts
+   ids back to values and emits one parallel-array slice.  Safe to reuse
+   across a DAG propagation because every handler fully drains its
+   scratch before emitting downstream, and the DAG is acyclic, so a
+   handler can never be re-entered while its scratch is live. *)
+module Scratch = struct
+  type 'a t = {
+    engine : Engine.t;
+    intern : 'a Intern.t;
+    mutable acc : float array; (* out-id -> accumulated weight this batch *)
+    mutable inacc : bool array; (* out-id -> currently in [touched] *)
+    mutable touched : int array; (* out-ids in first-touch order *)
+    mutable tlen : int;
+    mutable out_xs : 'a array;
+    mutable out_ws : float array;
+  }
 
-   Entries live in dense arrays in committed insertion order and the hash
-   index maps records to slots; the index is never iterated, so its
-   internal layout is irrelevant.  This makes iteration order — and with
-   it the rounding order of every float accumulation derived from a
-   table scan (join rescales, group re-emissions, refresh recomputes) —
-   a pure function of the committed operation sequence.  Iterating a
-   stdlib [Hashtbl] instead would not be abort-safe: a speculative insert
-   can resize the bucket array and [Hashtbl.remove] keeps the larger
-   array, so an aborted speculation would permanently perturb iteration
-   order and replicas with different abort histories would drift apart
-   at the ULP level. *)
-module Wtbl = struct
+  let create ?intern engine =
+    let intern = match intern with Some i -> i | None -> Intern.create () in
+    {
+      engine;
+      intern;
+      acc = [||];
+      inacc = [||];
+      touched = [||];
+      tlen = 0;
+      out_xs = [||];
+      out_ws = [||];
+    }
+
+  let ensure_id t id =
+    let cap = Array.length t.acc in
+    if id >= cap then begin
+      t.engine.Engine.arena_grows <- t.engine.Engine.arena_grows + 1;
+      let cap' = max 64 (max (2 * cap) (id + 1)) in
+      let acc = Array.make cap' 0.0 and inacc = Array.make cap' false in
+      Array.blit t.acc 0 acc 0 cap;
+      Array.blit t.inacc 0 inacc 0 cap;
+      t.acc <- acc;
+      t.inacc <- inacc
+    end
+
+  let push_id t id w =
+    ensure_id t id;
+    if t.inacc.(id) then t.acc.(id) <- t.acc.(id) +. w
+    else begin
+      t.inacc.(id) <- true;
+      t.acc.(id) <- w;
+      if t.tlen = Array.length t.touched then begin
+        t.engine.Engine.arena_grows <- t.engine.Engine.arena_grows + 1;
+        let cap' = max 64 (2 * t.tlen) in
+        let touched = Array.make cap' 0 in
+        Array.blit t.touched 0 touched 0 t.tlen;
+        t.touched <- touched
+      end;
+      t.touched.(t.tlen) <- id;
+      t.tlen <- t.tlen + 1
+    end
+
+  let push t x w = push_id t (Intern.intern t.intern x) w
+
+  (* Emits the coalesced batch in first-push order and resets for the
+     next batch. *)
+  let flush t out =
+    let n = t.tlen in
+    if n > 0 then begin
+      if n > 1 then t.engine.Engine.arena_reuses <- t.engine.Engine.arena_reuses + 1;
+      let k = ref 0 in
+      for i = 0 to n - 1 do
+        let id = t.touched.(i) in
+        let w = t.acc.(id) in
+        t.inacc.(id) <- false;
+        if not (near_zero w) then begin
+          let j = !k in
+          if j >= Array.length t.out_xs then begin
+            t.engine.Engine.arena_grows <- t.engine.Engine.arena_grows + 1;
+            let cap' = max 64 (2 * Array.length t.out_xs) in
+            let xs = Array.make cap' (Intern.value t.intern id) in
+            let ws = Array.make cap' 0.0 in
+            Array.blit t.out_xs 0 xs 0 j;
+            Array.blit t.out_ws 0 ws 0 j;
+            t.out_xs <- xs;
+            t.out_ws <- ws
+          end;
+          t.out_xs.(j) <- Intern.value t.intern id;
+          t.out_ws.(j) <- w;
+          k := j + 1
+        end
+      done;
+      t.tlen <- 0;
+      emit out t.out_xs t.out_ws !k
+    end
+end
+
+(* Raw slice buffer for operators that neither coalesce nor re-key
+   (filtering, negation, input roots): no interning, no hashing. *)
+module Buf = struct
   type 'a t = {
     engine : Engine.t;
     mutable xs : 'a array;
     mutable ws : float array;
     mutable len : int;
-    idx : ('a, int) Hashtbl.t;
   }
 
-  let create engine = { engine; xs = [||]; ws = [||]; len = 0; idx = Hashtbl.create 16 }
-  let size t = t.len
-  let get t x = match Hashtbl.find_opt t.idx x with Some i -> t.ws.(i) | None -> 0.0
+  let create engine = { engine; xs = [||]; ws = [||]; len = 0 }
+  let clear b = b.len <- 0
 
-  let ensure_capacity t seed =
-    if t.len = Array.length t.xs then begin
-      let cap = Array.length t.xs in
-      let cap' = if cap = 0 then 8 else 2 * cap in
-      let xs = Array.make cap' seed and ws = Array.make cap' 0.0 in
-      Array.blit t.xs 0 xs 0 t.len;
-      Array.blit t.ws 0 ws 0 t.len;
-      t.xs <- xs;
-      t.ws <- ws
-    end
-
-  let set t x w =
-    let engine = t.engine in
-    match Hashtbl.find_opt t.idx x with
-    | None ->
-        if not (near_zero w) then begin
-          ensure_capacity t x;
-          let i = t.len in
-          t.xs.(i) <- x;
-          t.ws.(i) <- w;
-          t.len <- i + 1;
-          Hashtbl.replace t.idx x i;
-          engine.Engine.state_records <- engine.Engine.state_records + 1;
-          if engine.Engine.speculating then
-            Engine.log_undo engine (fun () ->
-                Hashtbl.remove t.idx x;
-                t.len <- i)
-        end
-    | Some i ->
-        if near_zero w then begin
-          (* Remove by swapping the last entry into the vacated slot; the
-             logged inverse puts both entries back in their exact slots.
-             Slot indices captured by other undo entries stay valid
-             because the log replays in reverse order. *)
-          let last = t.len - 1 in
-          let w0 = t.ws.(i) in
-          let xl = t.xs.(last) and wl = t.ws.(last) in
-          if i <> last then begin
-            t.xs.(i) <- xl;
-            t.ws.(i) <- wl;
-            Hashtbl.replace t.idx xl i
-          end;
-          t.len <- last;
-          Hashtbl.remove t.idx x;
-          engine.Engine.state_records <- engine.Engine.state_records - 1;
-          if engine.Engine.speculating then
-            Engine.log_undo engine (fun () ->
-                t.len <- last + 1;
-                if i <> last then begin
-                  t.xs.(last) <- xl;
-                  t.ws.(last) <- wl;
-                  Hashtbl.replace t.idx xl last
-                end;
-                t.xs.(i) <- x;
-                t.ws.(i) <- w0;
-                Hashtbl.replace t.idx x i)
-        end
-        else begin
-          let w0 = t.ws.(i) in
-          t.ws.(i) <- w;
-          if engine.Engine.speculating then
-            Engine.log_undo engine (fun () -> t.ws.(i) <- w0)
-        end
-
-  (* Adds [dw] and returns the old weight. *)
-  let bump t x dw =
-    let old = get t x in
-    set t x (old +. dw);
-    old
-
-  let iter f t =
-    for i = 0 to t.len - 1 do
-      f t.xs.(i) t.ws.(i)
-    done
-
-  let fold f t acc =
-    let acc = ref acc in
-    for i = 0 to t.len - 1 do
-      acc := f t.xs.(i) t.ws.(i) !acc
-    done;
-    !acc
-
-  let to_list t =
-    let rec go i acc = if i < 0 then acc else go (i - 1) ((t.xs.(i), t.ws.(i)) :: acc) in
-    go (t.len - 1) []
+  let push b x w =
+    let cap = Array.length b.xs in
+    if b.len = cap then begin
+      b.engine.Engine.arena_grows <- b.engine.Engine.arena_grows + 1;
+      let cap' = if cap = 0 then 64 else 2 * cap in
+      let xs = Array.make cap' x and ws = Array.make cap' 0.0 in
+      Array.blit b.xs 0 xs 0 b.len;
+      Array.blit b.ws 0 ws 0 b.len;
+      b.xs <- xs;
+      b.ws <- ws
+    end;
+    b.xs.(b.len) <- x;
+    b.ws.(b.len) <- w;
+    b.len <- b.len + 1
 end
 
 module Input = struct
-  type 'a t = { node : 'a node; state : 'a Wtbl.t }
+  type 'a t = { node : 'a node; state : 'a Wtbl.t; buf : 'a Buf.t }
 
-  let create engine = { node = make engine; state = Wtbl.create engine }
+  let create engine = { node = make engine; state = Wtbl.create engine; buf = Buf.create engine }
   let node t = t.node
 
   let feed t delta =
@@ -459,8 +620,13 @@ module Input = struct
       ~finally:(fun () -> engine.Engine.in_feed <- false)
       (fun () ->
         let delta = coalesce delta in
-        List.iter (fun (x, w) -> ignore (Wtbl.bump t.state x w)) delta;
-        emit t.node delta)
+        Buf.clear t.buf;
+        List.iter
+          (fun (x, w) ->
+            ignore (Wtbl.bump t.state x w);
+            Buf.push t.buf x w)
+          delta;
+        emit t.node t.buf.Buf.xs t.buf.Buf.ws t.buf.Buf.len)
 
   let current t = Wdata.of_list (Wtbl.to_list t.state)
 end
@@ -468,32 +634,38 @@ end
 let select f up =
   let out = make up.engine in
   let scratch = Scratch.create up.engine in
-  subscribe up (fun d ->
-      count_work up.engine d;
-      List.iter (fun (x, w) -> Scratch.push scratch (f x) w) d;
-      emit out (Scratch.drain scratch));
+  subscribe up (fun xs ws len ->
+      count_work up.engine len;
+      for i = 0 to len - 1 do
+        Scratch.push scratch (f xs.(i)) ws.(i)
+      done;
+      Scratch.flush scratch out);
   out
 
 let where p up =
   let out = make up.engine in
-  subscribe up (fun d ->
-      count_work up.engine d;
-      emit out (List.filter (fun (x, _) -> p x) d));
+  let buf = Buf.create up.engine in
+  subscribe up (fun xs ws len ->
+      count_work up.engine len;
+      Buf.clear buf;
+      for i = 0 to len - 1 do
+        if p xs.(i) then Buf.push buf xs.(i) ws.(i)
+      done;
+      emit out buf.Buf.xs buf.Buf.ws buf.Buf.len);
   out
 
 let select_many f up =
   let out = make up.engine in
   let scratch = Scratch.create up.engine in
-  subscribe up (fun d ->
-      count_work up.engine d;
-      List.iter
-        (fun (x, w) ->
-          let ys = f x in
-          let n = List.fold_left (fun acc (_, wy) -> acc +. Float.abs wy) 0.0 ys in
-          let scale = w /. Float.max 1.0 n in
-          List.iter (fun (y, wy) -> Scratch.push scratch y (wy *. scale)) ys)
-        d;
-      emit out (Scratch.drain scratch));
+  subscribe up (fun xs ws len ->
+      count_work up.engine len;
+      for i = 0 to len - 1 do
+        let ys = f xs.(i) in
+        let n = List.fold_left (fun acc (_, wy) -> acc +. Float.abs wy) 0.0 ys in
+        let scale = ws.(i) /. Float.max 1.0 n in
+        List.iter (fun (y, wy) -> Scratch.push scratch y (wy *. scale)) ys
+      done;
+      Scratch.flush scratch out);
   out
 
 let select_many_list f up = select_many (fun x -> List.map (fun y -> (y, 1.0)) (f x)) up
@@ -505,9 +677,9 @@ let same_engine a b =
 let concat a b =
   let engine = same_engine a b in
   let out = make engine in
-  let pass d =
-    count_work engine d;
-    emit out d
+  let pass xs ws len =
+    count_work engine len;
+    emit out xs ws len
   in
   subscribe a pass;
   subscribe b pass;
@@ -516,34 +688,43 @@ let concat a b =
 let except a b =
   let engine = same_engine a b in
   let out = make engine in
-  subscribe a (fun d ->
-      count_work engine d;
-      emit out d);
-  subscribe b (fun d ->
-      count_work engine d;
-      emit out (List.rev_map (fun (x, w) -> (x, -.w)) d));
+  subscribe a (fun xs ws len ->
+      count_work engine len;
+      emit out xs ws len);
+  let buf = Buf.create engine in
+  subscribe b (fun xs ws len ->
+      count_work engine len;
+      Buf.clear buf;
+      for i = 0 to len - 1 do
+        Buf.push buf xs.(i) (-.ws.(i))
+      done;
+      emit out buf.Buf.xs buf.Buf.ws buf.Buf.len);
   out
 
 (* Union and Intersect keep both sides' weights per record and emit the
-   change to max/min when either side moves. *)
+   change to max/min when either side moves.  One shared intern serves
+   both side tables and the output scratch, so each incoming record is
+   hashed exactly once. *)
 let merge_node fop a b =
   let engine = same_engine a b in
   let out = make engine in
-  let wa = Wtbl.create engine and wb = Wtbl.create engine in
-  let scratch = Scratch.create engine in
-  let handle mine other flip d =
-    count_work engine d;
-    List.iter
-      (fun (x, dw) ->
-        let old_mine = Wtbl.bump mine x dw in
-        let v_other = Wtbl.get other x in
-        let old_out = if flip then fop v_other old_mine else fop old_mine v_other in
-        let new_mine = old_mine +. dw in
-        let new_out = if flip then fop v_other new_mine else fop new_mine v_other in
-        let diff = new_out -. old_out in
-        if not (near_zero diff) then Scratch.push scratch x diff)
-      d;
-    emit out (Scratch.drain scratch)
+  let intern = Intern.create () in
+  let wa = Itbl.create engine and wb = Itbl.create engine in
+  let scratch = Scratch.create ~intern engine in
+  let handle mine other flip xs ws len =
+    count_work engine len;
+    for i = 0 to len - 1 do
+      let dw = ws.(i) in
+      let id = Intern.intern intern xs.(i) in
+      let old_mine = Itbl.bump mine id dw in
+      let v_other = Itbl.get other id in
+      let old_out = if flip then fop v_other old_mine else fop old_mine v_other in
+      let new_mine = old_mine +. dw in
+      let new_out = if flip then fop v_other new_mine else fop new_mine v_other in
+      let diff = new_out -. old_out in
+      if not (near_zero diff) then Scratch.push_id scratch id diff
+    done;
+    Scratch.flush scratch out
   in
   subscribe a (handle wa wb false);
   subscribe b (handle wb wa true);
@@ -552,13 +733,99 @@ let merge_node fop a b =
 let union a b = merge_node Float.max a b
 let intersect a b = merge_node Float.min a b
 
-(* Per-key state of one Join input.  [recs] is a [Wtbl] so that the
-   rescale scans below iterate in committed insertion order — abort-exact
-   and width-independent. *)
-type 'r part = { recs : 'r Wtbl.t; mutable norm : float }
+(* Keyed-operator side state (Join inputs, GroupBy), fully
+   struct-of-arrays.  Every record belongs to exactly one key (the key
+   function is pure), so weights live in one flat [Itbl] per side and
+   each key's part is just an insertion-ordered array of member record
+   ids; [key_of] caches the interned key per record so re-deliveries of a
+   known record never hash its key again, and [mpos] gives O(1) swap-last
+   removal with exact structural undo — the same abort-residue guarantee
+   the old record-keyed tables gave. *)
+type kpart = { mutable members : int array; mutable mlen : int; mutable norm : float }
 
-let part_get p x = Wtbl.get p.recs x
-let part_set (_engine : Engine.t) p x w = Wtbl.set p.recs x w
+type 'r kside = {
+  ri : 'r Intern.t;
+  w : Itbl.t;
+  mutable key_of : int array; (* rid -> kid, -1 unknown *)
+  mutable mpos : int array; (* rid -> slot in its part's members, -1 absent *)
+  mutable parts : kpart option array; (* kid -> part *)
+}
+
+let kside_create engine =
+  { ri = Intern.create (); w = Itbl.create engine; key_of = [||]; mpos = [||]; parts = [||] }
+
+let grow_int_array arr n fill =
+  let cap = Array.length arr in
+  if n <= cap then arr
+  else begin
+    let arr' = Array.make (max 16 (max (2 * cap) n)) fill in
+    Array.blit arr 0 arr' 0 cap;
+    arr'
+  end
+
+let kside_ensure_rid side rid =
+  side.key_of <- grow_int_array side.key_of (rid + 1) (-1);
+  side.mpos <- grow_int_array side.mpos (rid + 1) (-1)
+
+(* A part created during an aborted speculation stays allocated (empty,
+   norm zero) — observably identical to the old dropped-part behavior
+   because an absent part and an empty one behave the same. *)
+let kside_part side kid =
+  let cap = Array.length side.parts in
+  if kid >= cap then begin
+    let parts = Array.make (max 16 (max (2 * cap) (kid + 1))) None in
+    Array.blit side.parts 0 parts 0 cap;
+    side.parts <- parts
+  end;
+  match side.parts.(kid) with
+  | Some p -> p
+  | None ->
+      let p = { members = [||]; mlen = 0; norm = 0.0 } in
+      side.parts.(kid) <- Some p;
+      p
+
+let kside_peek side kid = if kid < Array.length side.parts then side.parts.(kid) else None
+
+let member_add (engine : Engine.t) side part rid =
+  if part.mlen = Array.length part.members then
+    part.members <- grow_int_array part.members (max 8 (2 * part.mlen + 1)) 0;
+  let i = part.mlen in
+  part.members.(i) <- rid;
+  part.mlen <- i + 1;
+  side.mpos.(rid) <- i;
+  if engine.Engine.speculating then
+    Engine.log_undo engine (fun () ->
+        side.mpos.(rid) <- -1;
+        part.mlen <- i)
+
+let member_remove (engine : Engine.t) side part rid =
+  let i = side.mpos.(rid) in
+  let last = part.mlen - 1 in
+  let rl = part.members.(last) in
+  if i <> last then begin
+    part.members.(i) <- rl;
+    side.mpos.(rl) <- i
+  end;
+  part.mlen <- last;
+  side.mpos.(rid) <- -1;
+  if engine.Engine.speculating then
+    Engine.log_undo engine (fun () ->
+        part.mlen <- last + 1;
+        if i <> last then begin
+          part.members.(last) <- rl;
+          side.mpos.(rl) <- last
+        end;
+        part.members.(i) <- rid;
+        side.mpos.(rid) <- i)
+
+(* Absolute set of one record's weight within its part, maintaining the
+   membership array alongside the weight table. *)
+let kside_set (engine : Engine.t) side part rid w =
+  let was = Itbl.mem side.w rid in
+  Itbl.set side.w rid w;
+  let now = Itbl.mem side.w rid in
+  if now && not was then member_add engine side part rid
+  else if was && not now then member_remove engine side part rid
 
 let part_add_norm (engine : Engine.t) p dn =
   if engine.Engine.speculating then begin
@@ -567,219 +834,417 @@ let part_add_norm (engine : Engine.t) p dn =
   end;
   p.norm <- p.norm +. dn
 
-let find_part (engine : Engine.t) index k =
-  match Hashtbl.find_opt index k with
-  | Some p -> p
-  | None ->
-      let p = { recs = Wtbl.create engine; norm = 0.0 } in
-      Hashtbl.replace index k p;
-      if engine.Engine.speculating then
-        Engine.log_undo engine (fun () -> Hashtbl.remove index k);
-      p
+let part_set_norm (engine : Engine.t) p n =
+  if engine.Engine.speculating then begin
+    let n0 = p.norm in
+    Engine.log_undo engine (fun () -> p.norm <- n0)
+  end;
+  p.norm <- n
 
-let drop_part (engine : Engine.t) index k p =
-  Hashtbl.remove index k;
-  if engine.Engine.speculating then
-    Engine.log_undo engine (fun () -> Hashtbl.replace index k p)
+(* Per-batch grouping buffers: incoming slice entries are chained per
+   interned key id in plain int arrays (no per-batch hashtable, no list
+   cells).  [dacc]/[din] net per-record changes for Join; [crid]/[cdw]
+   carry raw entries for GroupBy.  Shared by both handlers of one
+   operator — they never overlap because propagation is synchronous. *)
+type gbatch = {
+  mutable dacc : float array; (* rid -> net weight change this batch *)
+  mutable din : bool array; (* rid -> has a chain node this batch *)
+  mutable khead : int array; (* kid -> chain head, -1 *)
+  mutable crid : int array; (* chain nodes: record id *)
+  mutable cdw : float array; (* chain nodes: raw weight change (GroupBy) *)
+  mutable cnext : int array;
+  mutable clen : int;
+  mutable keys : int array; (* kids touched, first-touch order *)
+  mutable klen : int;
+}
 
-(* Groups a delta batch into a caller-owned reusable table; the caller
-   iterates and must [Hashtbl.clear] it afterwards. *)
-let group_into by_key key d =
-  List.iter
-    (fun (x, w) ->
-      let k = key x in
-      match Hashtbl.find_opt by_key k with
-      | None -> Hashtbl.replace by_key k [ (x, w) ]
-      | Some cur -> Hashtbl.replace by_key k ((x, w) :: cur))
-    d
+let gbatch_create () =
+  {
+    dacc = [||];
+    din = [||];
+    khead = [||];
+    crid = [||];
+    cdw = [||];
+    cnext = [||];
+    clen = 0;
+    keys = [||];
+    klen = 0;
+  }
+
+let gbatch_chain gb kid rid dw =
+  gb.khead <- grow_int_array gb.khead (kid + 1) (-1);
+  if gb.clen = Array.length gb.crid then begin
+    let cap' = max 64 (2 * gb.clen) in
+    gb.crid <- grow_int_array gb.crid cap' 0;
+    gb.cnext <- grow_int_array gb.cnext cap' 0;
+    let cdw = Array.make cap' 0.0 in
+    Array.blit gb.cdw 0 cdw 0 gb.clen;
+    gb.cdw <- cdw
+  end;
+  let node = gb.clen in
+  gb.crid.(node) <- rid;
+  gb.cdw.(node) <- dw;
+  gb.cnext.(node) <- gb.khead.(kid);
+  if gb.khead.(kid) < 0 then begin
+    if gb.klen = Array.length gb.keys then gb.keys <- grow_int_array gb.keys (max 16 (2 * gb.klen)) 0;
+    gb.keys.(gb.klen) <- kid;
+    gb.klen <- gb.klen + 1
+  end;
+  gb.khead.(kid) <- node;
+  gb.clen <- node + 1
+
+let gbatch_reset gb =
+  for i = 0 to gb.klen - 1 do
+    gb.khead.(gb.keys.(i)) <- -1
+  done;
+  (* [din] is only grown (and set) by operators that net per record;
+     chain nodes from operators that never touch it can carry rids past
+     its length. *)
+  let dn = Array.length gb.din in
+  for i = 0 to gb.clen - 1 do
+    let rid = gb.crid.(i) in
+    if rid < dn then gb.din.(rid) <- false
+  done;
+  gb.klen <- 0;
+  gb.clen <- 0
+
+let grow_float_array arr n =
+  let cap = Array.length arr in
+  if n <= cap then arr
+  else begin
+    let arr' = Array.make (max 16 (max (2 * cap) n)) 0.0 in
+    Array.blit arr 0 arr' 0 cap;
+    arr'
+  end
+
+let grow_bool_array arr n =
+  let cap = Array.length arr in
+  if n <= cap then arr
+  else begin
+    let arr' = Array.make (max 16 (max (2 * cap) n)) false in
+    Array.blit arr 0 arr' 0 cap;
+    arr'
+  end
 
 let join ~kl ~kr ~reduce a b =
   let engine = same_engine a b in
   let out = make engine in
-  let ia : ('k, 'ra part) Hashtbl.t = Hashtbl.create 64 in
-  let ib : ('k, 'rb part) Hashtbl.t = Hashtbl.create 64 in
-  (* Each key's [norm] is maintained incrementally alongside [recs]; the
-     audit recomputes it as Σ|w| over the part's records and flags drift. *)
+  let sa = kside_create engine and sb = kside_create engine in
+  let kintern = Intern.create () in
+  (* Each key's [norm] is maintained incrementally alongside the member
+     array; the audit recomputes it as Σ|w| over the part's records and
+     flags drift. *)
   let op = Engine.fresh_op_id engine in
-  let audit_side side index ~tolerance =
-    Hashtbl.fold
-      (fun k p (n, ds) ->
-        let recomputed = Wtbl.fold (fun _ w acc -> acc +. Float.abs w) p.recs 0.0 in
-        let cell = Printf.sprintf "join#%d.%s.norm[key#%d]" op side (Hashtbl.hash k) in
-        let n = n + 1 in
-        match Audit.check ~tolerance ~cell ~maintained:p.norm ~recomputed with
-        | None -> (n, ds)
-        | Some d -> (n, d :: ds))
-      index (0, [])
+  let audit_side name side ~tolerance =
+    let n = ref 0 and ds = ref [] in
+    Array.iteri
+      (fun kid part ->
+        match part with
+        | None -> ()
+        | Some p ->
+            incr n;
+            let recomputed = ref 0.0 in
+            for i = 0 to p.mlen - 1 do
+              recomputed := !recomputed +. Float.abs (Itbl.get side.w p.members.(i))
+            done;
+            let cell = Printf.sprintf "join#%d.%s.norm[key#%d]" op name kid in
+            (match Audit.check ~tolerance ~cell ~maintained:p.norm ~recomputed:!recomputed with
+            | None -> ()
+            | Some d -> ds := d :: !ds))
+      side.parts;
+    (!n, !ds)
   in
   Engine.register_audit engine (fun ~tolerance ->
-      let nl, dl = audit_side "left" ia ~tolerance in
-      let nr, dr = audit_side "right" ib ~tolerance in
+      let nl, dl = audit_side "left" sa ~tolerance in
+      let nr, dr = audit_side "right" sb ~tolerance in
       (nl + nr, dl @ dr));
   let scratch = Scratch.create engine in
-  (* Retire a batch arriving on one side.  [cross changed_rec other_rec]
-     orients the output pair correctly for whichever side changed.  Each
-     side owns its reusable grouping table ([by_key]); the output scratch
-     is shared because the two handlers never overlap. *)
-  let handle mine_index other_index by_key key_of cross d =
-    count_work engine d;
-    group_into by_key key_of d;
-    Hashtbl.iter
-      (fun k entries ->
-        let mine = find_part engine mine_index k in
-        let other =
-          match Hashtbl.find_opt other_index k with
-          | Some p -> p
-          | None -> { recs = Wtbl.create engine; norm = 0.0 }
-        in
-        let net = coalesce entries in
-        let norm_change =
-          List.fold_left
-            (fun acc (x, dw) ->
-              let old = part_get mine x in
-              acc +. (Float.abs (old +. dw) -. Float.abs old))
-            0.0 net
-        in
-        let denom_old = mine.norm +. other.norm in
-        let denom_new = denom_old +. norm_change in
-        (* [norm] is updated exactly once on every path: the fast path
-           folds the sub-threshold dust in directly, the full path applies
-           the real change — so a sub-threshold change on an
-           empty-normalizer key (which takes the full path) is not
-           accumulated twice. *)
-        if Float.abs norm_change < Wdata.epsilon_weight && denom_old > Wdata.epsilon_weight
-        then begin
-          (* Appendix B optimization: the normalizer is unchanged, so only
-             pairs involving changed records move. *)
-          engine.join_fast <- engine.join_fast + 1;
-          List.iter
-            (fun (x, dw) ->
-              let old = part_get mine x in
-              part_set engine mine x (old +. dw);
-              Wtbl.iter
-                (fun y wy -> Scratch.push scratch (cross x y) (dw *. wy /. denom_old))
-                other.recs)
-            net;
-          part_add_norm engine mine norm_change
-        end
-        else begin
-          (* The normalizer moved: every pair under this key is rescaled. *)
-          engine.join_full <- engine.join_full + 1;
-          if denom_old > Wdata.epsilon_weight then
-            Wtbl.iter
-              (fun x wx ->
-                Wtbl.iter
-                  (fun y wy -> Scratch.push scratch (cross x y) (-.(wx *. wy) /. denom_old))
-                  other.recs)
-              mine.recs;
-          List.iter
-            (fun (x, dw) ->
-              let old = part_get mine x in
-              part_set engine mine x (old +. dw))
-            net;
-          part_add_norm engine mine norm_change;
-          if denom_new > Wdata.epsilon_weight then
-            Wtbl.iter
-              (fun x wx ->
-                Wtbl.iter
-                  (fun y wy -> Scratch.push scratch (cross x y) (wx *. wy /. denom_new))
-                  other.recs)
-              mine.recs
-        end;
-        if Wtbl.size mine.recs = 0 && Float.abs mine.norm < Wdata.epsilon_weight then
-          drop_part engine mine_index k mine)
-      by_key;
-    (* [reset], not [clear]: shrink the bucket array back so a one-off huge
-       batch (the initial load) doesn't tax every later small batch. *)
-    Hashtbl.reset by_key;
-    emit out (Scratch.drain scratch)
+  (* Output pairs are interned by (left rid, right rid) in an insert-only
+     open-addressing pair cache, so the steady-state inner loops allocate
+     no tuples and hash no records — [reduce] runs once per distinct pair
+     ever matched. *)
+  let pk = ref (Array.make 32 (-1)) in
+  let pv = ref (Array.make 16 0) in
+  let pmask = ref 15 in
+  let plen = ref 0 in
+  let pair_hash ra rb = ((ra * 0x9E3779B1) lxor rb) land max_int in
+  let pair_rehash () =
+    let cap = 2 * (!pmask + 1) in
+    let mask = cap - 1 in
+    let pk' = Array.make (2 * cap) (-1) and pv' = Array.make cap 0 in
+    for i = 0 to !pmask do
+      let ra = !pk.(2 * i) in
+      if ra >= 0 then begin
+        let rb = !pk.((2 * i) + 1) in
+        let j = ref (pair_hash ra rb land mask) in
+        while pk'.(2 * !j) >= 0 do
+          j := (!j + 1) land mask
+        done;
+        pk'.(2 * !j) <- ra;
+        pk'.((2 * !j) + 1) <- rb;
+        pv'.(!j) <- !pv.(i)
+      end
+    done;
+    pk := pk';
+    pv := pv';
+    pmask := mask
   in
-  let by_key_a = Hashtbl.create 16 and by_key_b = Hashtbl.create 16 in
-  subscribe a (handle ia ib by_key_a kl (fun x y -> reduce x y));
-  subscribe b (handle ib ia by_key_b kr (fun y x -> reduce x y));
+  let out_id_of ra rb =
+    let mask = !pmask in
+    let i = ref (pair_hash ra rb land mask) in
+    let res = ref (-1) in
+    while !res < 0 && !pk.(2 * !i) >= 0 do
+      if !pk.(2 * !i) = ra && !pk.((2 * !i) + 1) = rb then res := !pv.(!i)
+      else i := (!i + 1) land mask
+    done;
+    if !res >= 0 then !res
+    else begin
+      let oid =
+        Intern.intern scratch.Scratch.intern (reduce (Intern.value sa.ri ra) (Intern.value sb.ri rb))
+      in
+      !pk.(2 * !i) <- ra;
+      !pk.((2 * !i) + 1) <- rb;
+      !pv.(!i) <- oid;
+      incr plen;
+      if 4 * !plen > 3 * (!pmask + 1) then pair_rehash ();
+      oid
+    end
+  in
+  let gb = gbatch_create () in
+  let eps = Wdata.epsilon_weight in
+  (* Retire a batch arriving on one side.  [epair changed_rid other_rid w]
+     orients the output pair correctly for whichever side changed.  The
+     per-key protocol — net the batch per record, decide fast vs. full
+     path on whether the key's normalizer moves, fold sub-threshold dust
+     into the stored norm exactly once per branch — is unchanged from the
+     record-keyed implementation; only the representation is flat now. *)
+  let handle mine other epair keyf xs ws len =
+    count_work engine len;
+    (* Net the batch per record and chain distinct records per key. *)
+    for i = 0 to len - 1 do
+      let x = xs.(i) in
+      let rid = Intern.intern mine.ri x in
+      kside_ensure_rid mine rid;
+      gb.dacc <- grow_float_array gb.dacc (rid + 1);
+      gb.din <- grow_bool_array gb.din (rid + 1);
+      if gb.din.(rid) then gb.dacc.(rid) <- gb.dacc.(rid) +. ws.(i)
+      else begin
+        gb.din.(rid) <- true;
+        gb.dacc.(rid) <- ws.(i);
+        let kid =
+          let k = mine.key_of.(rid) in
+          if k >= 0 then k
+          else begin
+            let k = Intern.intern kintern (keyf x) in
+            mine.key_of.(rid) <- k;
+            k
+          end
+        in
+        gbatch_chain gb kid rid 0.0
+      end
+    done;
+    for ki = 0 to gb.klen - 1 do
+      let kid = gb.keys.(ki) in
+      let mine_p = kside_part mine kid in
+      let other_p = kside_peek other kid in
+      let other_norm = match other_p with Some p -> p.norm | None -> 0.0 in
+      (* Σ (|old+dw| − |old|) over the key's netted records; near-zero
+         nets are skipped exactly as [coalesce] used to drop them. *)
+      let norm_change = ref 0.0 in
+      let node = ref gb.khead.(kid) in
+      while !node >= 0 do
+        let rid = gb.crid.(!node) in
+        let dw = gb.dacc.(rid) in
+        if not (near_zero dw) then begin
+          let old = Itbl.get mine.w rid in
+          norm_change := !norm_change +. (Float.abs (old +. dw) -. Float.abs old)
+        end;
+        node := gb.cnext.(!node)
+      done;
+      let norm_change = !norm_change in
+      let denom_old = mine_p.norm +. other_norm in
+      let denom_new = denom_old +. norm_change in
+      (* [norm] is updated exactly once on every path: the fast path
+         folds the sub-threshold dust in directly, the full path applies
+         the real change — so a sub-threshold change on an
+         empty-normalizer key (which takes the full path) is not
+         accumulated twice. *)
+      (if Float.abs norm_change < eps && denom_old > eps then begin
+         (* Appendix B optimization: the normalizer is unchanged, so only
+            pairs involving changed records move. *)
+         engine.Engine.join_fast <- engine.Engine.join_fast + 1;
+         let node = ref gb.khead.(kid) in
+         while !node >= 0 do
+           let rid = gb.crid.(!node) in
+           let dw = gb.dacc.(rid) in
+           (if not (near_zero dw) then begin
+              let old = Itbl.get mine.w rid in
+              kside_set engine mine mine_p rid (old +. dw);
+              match other_p with
+              | Some op ->
+                  for mi = 0 to op.mlen - 1 do
+                    let ry = op.members.(mi) in
+                    epair rid ry (dw *. Itbl.get other.w ry /. denom_old)
+                  done
+              | None -> ()
+            end);
+           node := gb.cnext.(!node)
+         done;
+         part_add_norm engine mine_p norm_change
+       end
+       else begin
+         (* The normalizer moved: every pair under this key is rescaled. *)
+         engine.Engine.join_full <- engine.Engine.join_full + 1;
+         (if denom_old > eps then
+            match other_p with
+            | Some op ->
+                for xi = 0 to mine_p.mlen - 1 do
+                  let rx = mine_p.members.(xi) in
+                  let wx = Itbl.get mine.w rx in
+                  for yi = 0 to op.mlen - 1 do
+                    let ry = op.members.(yi) in
+                    epair rx ry (-.(wx *. Itbl.get other.w ry) /. denom_old)
+                  done
+                done
+            | None -> ());
+         let node = ref gb.khead.(kid) in
+         while !node >= 0 do
+           let rid = gb.crid.(!node) in
+           let dw = gb.dacc.(rid) in
+           if not (near_zero dw) then begin
+             let old = Itbl.get mine.w rid in
+             kside_set engine mine mine_p rid (old +. dw)
+           end;
+           node := gb.cnext.(!node)
+         done;
+         part_add_norm engine mine_p norm_change;
+         if denom_new > eps then
+           match other_p with
+           | Some op ->
+               for xi = 0 to mine_p.mlen - 1 do
+                 let rx = mine_p.members.(xi) in
+                 let wx = Itbl.get mine.w rx in
+                 for yi = 0 to op.mlen - 1 do
+                   let ry = op.members.(yi) in
+                   epair rx ry (wx *. Itbl.get other.w ry /. denom_new)
+                 done
+               done
+           | None -> ()
+       end);
+      (* Retire a drained key: an empty part whose norm is dust resets to
+         exactly 0.0, so the key's next delta sees a genuinely empty
+         normalizer (and takes the full path), as dropping the part from
+         the old key index used to guarantee. *)
+      if mine_p.mlen = 0 && Float.abs mine_p.norm < eps && mine_p.norm <> 0.0 then
+        part_set_norm engine mine_p 0.0
+    done;
+    gbatch_reset gb;
+    Scratch.flush scratch out
+  in
+  subscribe a (handle sa sb (fun rm ro w -> Scratch.push_id scratch (out_id_of rm ro) w) kl);
+  subscribe b (handle sb sa (fun rm ro w -> Scratch.push_id scratch (out_id_of ro rm) w) kr);
   out
 
 let group_by ~key ~reduce up =
   let engine = up.engine in
   let out = make engine in
-  let index : ('k, 'a Wtbl.t) Hashtbl.t = Hashtbl.create 64 in
+  let side = kside_create engine in
+  let kintern = Intern.create () in
   let scratch = Scratch.create engine in
-  let by_key = Hashtbl.create 16 in
-  let positive_part tbl =
-    Wtbl.fold (fun x w acc -> if w > 0.0 then (x, w) :: acc else acc) tbl []
-  in
-  let emit_part sign k tbl =
+  let gb = gbatch_create () in
+  let emit_part sign kid part =
+    let k = Intern.value kintern kid in
+    (* Reverse-insertion-order fold, as the old [Wtbl.fold] gave;
+       [Ops.group_emissions] sorts canonically, so any order that is a
+       pure function of committed state preserves the released bits. *)
+    let positive = ref [] in
+    for i = part.mlen - 1 downto 0 do
+      let rid = part.members.(i) in
+      let w = Itbl.get side.w rid in
+      if w > 0.0 then positive := (Intern.value side.ri rid, w) :: !positive
+    done;
     List.iter
       (fun (members, w) -> Scratch.push scratch (k, reduce members) (sign *. w))
-      (Ops.group_emissions (positive_part tbl))
+      (Ops.group_emissions !positive)
   in
-  subscribe up (fun d ->
-      count_work engine d;
-      group_into by_key key d;
-      Hashtbl.iter
-        (fun k entries ->
-          let tbl =
-            match Hashtbl.find_opt index k with
-            | Some t -> t
-            | None ->
-                let t = Wtbl.create engine in
-                Hashtbl.replace index k t;
-                if engine.Engine.speculating then
-                  Engine.log_undo engine (fun () -> Hashtbl.remove index k);
-                t
-          in
-          emit_part (-1.0) k tbl;
-          List.iter (fun (x, dw) -> ignore (Wtbl.bump tbl x dw)) (coalesce entries);
-          emit_part 1.0 k tbl;
-          if Wtbl.size tbl = 0 then begin
-            Hashtbl.remove index k;
-            if engine.Engine.speculating then
-              Engine.log_undo engine (fun () -> Hashtbl.replace index k tbl)
-          end)
-        by_key;
-      Hashtbl.reset by_key;
-      emit out (Scratch.drain scratch));
+  subscribe up (fun xs ws len ->
+      count_work engine len;
+      for i = 0 to len - 1 do
+        let x = xs.(i) in
+        let rid = Intern.intern side.ri x in
+        kside_ensure_rid side rid;
+        let kid =
+          let k = side.key_of.(rid) in
+          if k >= 0 then k
+          else begin
+            let k = Intern.intern kintern (key x) in
+            side.key_of.(rid) <- k;
+            k
+          end
+        in
+        gbatch_chain gb kid rid ws.(i)
+      done;
+      for ki = 0 to gb.klen - 1 do
+        let kid = gb.keys.(ki) in
+        let part = kside_part side kid in
+        emit_part (-1.0) kid part;
+        let node = ref gb.khead.(kid) in
+        while !node >= 0 do
+          let rid = gb.crid.(!node) in
+          let old = Itbl.get side.w rid in
+          kside_set engine side part rid (old +. gb.cdw.(!node));
+          node := gb.cnext.(!node)
+        done;
+        emit_part 1.0 kid part
+      done;
+      gbatch_reset gb;
+      Scratch.flush scratch out);
   out
 
 let distinct ?(bound = 1.0) up =
   if bound <= 0.0 then invalid_arg "Dataflow.distinct: bound must be positive";
   let engine = up.engine in
   let out = make engine in
-  let state = Wtbl.create engine in
-  let scratch = Scratch.create engine in
+  let intern = Intern.create () in
+  let state = Itbl.create engine in
+  let scratch = Scratch.create ~intern engine in
   let cap w = Float.max 0.0 (Float.min bound w) in
-  subscribe up (fun d ->
-      count_work engine d;
-      List.iter
-        (fun (x, dw) ->
-          let old = Wtbl.bump state x dw in
-          let diff = cap (old +. dw) -. cap old in
-          if not (near_zero diff) then Scratch.push scratch x diff)
-        (coalesce d);
-      emit out (Scratch.drain scratch));
+  subscribe up (fun xs ws len ->
+      count_work engine len;
+      for i = 0 to len - 1 do
+        let dw = ws.(i) in
+        let id = Intern.intern intern xs.(i) in
+        let old = Itbl.bump state id dw in
+        let diff = cap (old +. dw) -. cap old in
+        if not (near_zero diff) then Scratch.push_id scratch id diff
+      done;
+      Scratch.flush scratch out);
   out
 
 let shave f up =
   let engine = up.engine in
   let out = make engine in
-  let state = Wtbl.create engine in
+  let intern = Intern.create () in
+  let state = Itbl.create engine in
   let scratch = Scratch.create engine in
-  subscribe up (fun d ->
-      count_work engine d;
-      List.iter
-        (fun (x, dw) ->
-          let old = Wtbl.bump state x dw in
-          let w = old +. dw in
-          if old > 0.0 then
-            List.iter
-              (fun (i, wi) -> Scratch.push scratch (x, i) (-.wi))
-              (Ops.shave_emissions (f x) old);
-          if w > 0.0 then
-            List.iter
-              (fun (i, wi) -> Scratch.push scratch (x, i) wi)
-              (Ops.shave_emissions (f x) w))
-        (coalesce d);
-      emit out (Scratch.drain scratch));
+  subscribe up (fun xs ws len ->
+      count_work engine len;
+      for i = 0 to len - 1 do
+        let x = xs.(i) in
+        let dw = ws.(i) in
+        let id = Intern.intern intern x in
+        let old = Itbl.bump state id dw in
+        let w = old +. dw in
+        if old > 0.0 then
+          List.iter
+            (fun (slab, wi) -> Scratch.push scratch (x, slab) (-.wi))
+            (Ops.shave_emissions (f x) old);
+        if w > 0.0 then
+          List.iter
+            (fun (slab, wi) -> Scratch.push scratch (x, slab) wi)
+            (Ops.shave_emissions (f x) w)
+      done;
+      Scratch.flush scratch out);
   out
 
 let shave_const w up =
@@ -788,32 +1253,55 @@ let shave_const w up =
 
 module Sink = struct
   type 'a t = {
-    state : 'a Wtbl.t;
-    mutable callbacks_rev : ('a -> old_weight:float -> new_weight:float -> unit) list;
-    mutable callbacks : ('a -> old_weight:float -> new_weight:float -> unit) array;
+    engine : Engine.t;
+    intern : 'a Intern.t;
+    state : Itbl.t;
+    mutable callbacks_rev : (int -> 'a -> old_weight:float -> new_weight:float -> unit) list;
+    mutable callbacks : (int -> 'a -> old_weight:float -> new_weight:float -> unit) array;
   }
 
   let attach node =
-    let t = { state = Wtbl.create node.engine; callbacks_rev = []; callbacks = [||] } in
-    subscribe node (fun d ->
-        List.iter
-          (fun (x, dw) ->
-            let old = Wtbl.bump t.state x dw in
-            let nw = old +. dw in
-            let nw = if near_zero nw then 0.0 else nw in
-            for i = 0 to Array.length t.callbacks - 1 do
-              t.callbacks.(i) x ~old_weight:old ~new_weight:nw
-            done)
-          d);
+    let e = engine_of node in
+    let t =
+      {
+        engine = e;
+        intern = Intern.create ();
+        state = Itbl.create e;
+        callbacks_rev = [];
+        callbacks = [||];
+      }
+    in
+    subscribe node (fun xs ws len ->
+        for i = 0 to len - 1 do
+          let x = xs.(i) in
+          let dw = ws.(i) in
+          let id = Intern.intern t.intern x in
+          let old = Itbl.bump t.state id dw in
+          let nw = old +. dw in
+          let nw = if near_zero nw then 0.0 else nw in
+          for c = 0 to Array.length t.callbacks - 1 do
+            t.callbacks.(c) id x ~old_weight:old ~new_weight:nw
+          done
+        done);
     t
 
-  let engine t = t.state.Wtbl.engine
-  let weight t x = Wtbl.get t.state x
-  let support_size t = Wtbl.size t.state
-  let current t = Wdata.of_list (Wtbl.to_list t.state)
-  let to_list t = Wtbl.to_list t.state
+  let engine t = t.engine
 
-  let on_change t f =
+  let weight t x =
+    let id = Intern.find t.intern x in
+    if id < 0 then 0.0 else Itbl.get t.state id
+
+  let weight_id t id = Itbl.get t.state id
+  let intern_id t x = Intern.intern t.intern x
+  let record_of_id t id = Intern.value t.intern id
+  let support_size t = Itbl.size t.state
+  let to_list t = List.map (fun (id, w) -> (Intern.value t.intern id, w)) (Itbl.to_list t.state)
+  let current t = Wdata.of_list (to_list t)
+
+  let on_change_id t f =
     t.callbacks_rev <- f :: t.callbacks_rev;
     t.callbacks <- Array.of_list (List.rev t.callbacks_rev)
+
+  let on_change t f =
+    on_change_id t (fun _id x ~old_weight ~new_weight -> f x ~old_weight ~new_weight)
 end

@@ -197,6 +197,67 @@ module Engine : sig
   (** A unique id for naming an operator's audit cells. *)
 end
 
+(** {1 Interned ids and int-keyed state}
+
+    The hot path works on {e interned dense record ids}: each operator maps
+    every distinct record value it sees to a dense [int] once at first
+    sight, and all downstream state — weight tables, key membership, the
+    undo log's captured slots — is struct-of-arrays over those ids.  Both
+    layers are exposed for property testing; see DESIGN.md, "Record
+    interning & struct-of-arrays state". *)
+
+module Intern : sig
+  type 'a t
+  (** A monotone bijection between record values and dense ids
+      [0 .. size-1].  Deliberately append-only and {e not} enrolled in the
+      undo log: an id assigned during an aborted speculation stays
+      assigned, which is unobservable because no emission or iteration
+      order anywhere follows id order. *)
+
+  val create : unit -> 'a t
+  val size : 'a t -> int
+
+  val intern : 'a t -> 'a -> int
+  (** Returns the id of [x], assigning the next dense id at first sight. *)
+
+  val find : 'a t -> 'a -> int
+  (** The id of [x], or [-1] if it was never interned (never assigns). *)
+
+  val value : 'a t -> int -> 'a
+  (** Inverse of {!intern} for assigned ids. *)
+end
+
+module Itbl : sig
+  type t
+  (** A weight table over dense ids: direct-index lookup (no hashing),
+      entries stored in committed insertion order, removal by swap-last.
+      Under speculation every mutation records its exact structural
+      inverse in the engine's undo log, so an abort restores contents,
+      insertion order, and {!Engine.state_records} bit-identically —
+      the same residue-free guarantee the record-keyed tables gave. *)
+
+  val create : Engine.t -> t
+
+  val size : t -> int
+  (** Number of entries (records with non-negligible weight). *)
+
+  val mem : t -> int -> bool
+  val get : t -> int -> float
+
+  val set : t -> int -> float -> unit
+  (** [set t id w] stores [w]; a near-zero [w] removes the entry.  All
+      functions raise [Invalid_argument] on a negative id. *)
+
+  val bump : t -> int -> float -> float
+  (** Adds the change and returns the {e old} weight. *)
+
+  val iter : (int -> float -> unit) -> t -> unit
+  (** Insertion-order iteration. *)
+
+  val fold : (int -> float -> 'acc -> 'acc) -> t -> 'acc -> 'acc
+  val to_list : t -> (int * float) list
+end
+
 type 'a node
 (** A stream of weight changes for records of type ['a]; one vertex of the
     query DAG. *)
@@ -284,6 +345,20 @@ module Sink : sig
   val current : 'a t -> 'a Wpinq_weighted.Wdata.t
   val to_list : 'a t -> ('a * float) list
 
+  (** {2 Interned-id access}
+
+      The sink interns every record it sees; derived layers (the scoring
+      targets) index their own state by these ids and never hash a record
+      in the hot path. *)
+
+  val intern_id : 'a t -> 'a -> int
+  (** The sink's dense id for [x], assigned on first use (the record need
+      not have appeared in the output yet — measurement-time records get
+      ids before the walk starts). *)
+
+  val record_of_id : 'a t -> int -> 'a
+  val weight_id : 'a t -> int -> float
+
   val on_change : 'a t -> ('a -> old_weight:float -> new_weight:float -> unit) -> unit
   (** Registers a callback fired on every record weight change reaching the
       sink (after the sink's own state is updated).  This is the hook the
@@ -291,6 +366,9 @@ module Sink : sig
       Callbacks fire during speculative propagation too (and are {e not}
       re-fired on abort — state a callback derives must be enrolled in the
       undo log via {!Engine.log_undo} to survive rollback). *)
+
+  val on_change_id : 'a t -> (int -> 'a -> old_weight:float -> new_weight:float -> unit) -> unit
+  (** Like {!on_change}, with the record's sink id passed first. *)
 end
 
 val coalesce : 'a delta -> 'a delta

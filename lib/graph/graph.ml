@@ -252,90 +252,179 @@ let tbi_signal g =
 module Mutable = struct
   type graph = t
 
+  (* Struct-of-arrays edge store: endpoints live in two parallel [int]
+     arrays (normalized [u < v]) and the membership index is an
+     open-addressing table over the packed key [u * n + v] — no tuple is
+     allocated per probed candidate, and no polymorphic hash runs on the
+     hot path of the proposal generator. *)
   type t = {
     n : int;
-    mutable edges : (int * int) array; (* normalized u < v *)
-    index : (int * int, int) Hashtbl.t; (* edge -> position in [edges] *)
+    eu : int array; (* endpoint u at each edge slot, u < v *)
+    ev : int array; (* endpoint v at each edge slot *)
+    m : int;
+    mutable keys : int array; (* 0 = empty, -1 = tombstone, else packed key + 1 *)
+    mutable vals : int array; (* edge slot for the key at the same index *)
+    mutable mask : int;
+    mutable tombs : int;
     deg : int array;
   }
 
   type swap = { remove : (int * int) * (int * int); add : (int * int) * (int * int) }
 
-  let of_graph (g : graph) =
-    let es = Array.of_list (edges g) in
-    let index = Hashtbl.create (Array.length es * 2) in
-    Array.iteri (fun i e -> Hashtbl.replace index e i) es;
-    { n = g.n; edges = es; index; deg = degrees g }
+  let pack t u v = (u * t.n) + v
+  let slot_of t key = key * 0x9E3779B1 land max_int land t.mask
 
-  let edge_array t = Array.copy t.edges
+  (* Linear probing.  Lookups must skip tombstones; inserts may fill
+     them.  Returns the index holding [key], or -1. *)
+  let idx_find t key =
+    let stored = key + 1 in
+    let s = ref (slot_of t key) in
+    let r = ref (-2) in
+    while !r = -2 do
+      let k = t.keys.(!s) in
+      if k = stored then r := !s
+      else if k = 0 then r := -1
+      else s := (!s + 1) land t.mask
+    done;
+    !r
+
+  let idx_mem t key = idx_find t key >= 0
+
+  let idx_insert t key v =
+    let stored = key + 1 in
+    let s = ref (slot_of t key) in
+    while t.keys.(!s) <> 0 && t.keys.(!s) <> -1 do
+      s := (!s + 1) land t.mask
+    done;
+    if t.keys.(!s) = -1 then t.tombs <- t.tombs - 1;
+    t.keys.(!s) <- stored;
+    t.vals.(!s) <- v
+
+  let idx_remove t key =
+    let i = idx_find t key in
+    if i >= 0 then begin
+      t.keys.(i) <- -1;
+      t.tombs <- t.tombs + 1
+    end
+
+  (* Rebuild the table in edge-slot order once tombstones crowd it.  The
+     trigger and the rebuild order are both deterministic functions of
+     the edge state, so resumed chains probe identically. *)
+  let idx_rebuild t =
+    Array.fill t.keys 0 (Array.length t.keys) 0;
+    t.tombs <- 0;
+    for i = 0 to t.m - 1 do
+      idx_insert t (pack t t.eu.(i) t.ev.(i)) i
+    done
+
+  let idx_maybe_rehash t = if 4 * (t.m + t.tombs) > 3 * (t.mask + 1) then idx_rebuild t
+
+  let index_capacity m =
+    let cap = ref 16 in
+    while !cap < 4 * m do
+      cap := !cap * 2
+    done;
+    !cap
 
   let of_edge_array ~n edges =
     if n < 0 then invalid_arg "Mutable.of_edge_array: negative n";
-    let edges = Array.map normalize edges in
-    let index = Hashtbl.create (max 16 (Array.length edges * 2)) in
-    let deg = Array.make (max n 1) 0 in
+    let m = Array.length edges in
+    let eu = Array.make (max m 1) 0 and ev = Array.make (max m 1) 0 in
+    let cap = index_capacity m in
+    let t =
+      {
+        n;
+        eu;
+        ev;
+        m;
+        keys = Array.make cap 0;
+        vals = Array.make cap 0;
+        mask = cap - 1;
+        tombs = 0;
+        deg = Array.make (max n 1) 0;
+      }
+    in
     Array.iteri
-      (fun i (u, v) ->
+      (fun i e ->
+        let u, v = normalize e in
         if u < 0 || v >= n then invalid_arg "Mutable.of_edge_array: vertex id out of range";
         if u = v then invalid_arg "Mutable.of_edge_array: self-loop";
-        if Hashtbl.mem index (u, v) then invalid_arg "Mutable.of_edge_array: duplicate edge";
-        Hashtbl.replace index (u, v) i;
-        deg.(u) <- deg.(u) + 1;
-        deg.(v) <- deg.(v) + 1)
+        let key = pack t u v in
+        if idx_mem t key then invalid_arg "Mutable.of_edge_array: duplicate edge";
+        eu.(i) <- u;
+        ev.(i) <- v;
+        idx_insert t key i;
+        t.deg.(u) <- t.deg.(u) + 1;
+        t.deg.(v) <- t.deg.(v) + 1)
       edges;
-    { n; edges; index; deg }
+    t
 
-  let to_graph t = of_edges ~n:t.n (Array.to_list t.edges)
+  let of_graph (g : graph) = of_edge_array ~n:g.n (Array.of_list (edges g))
+  let edge_array t = Array.init t.m (fun i -> (t.eu.(i), t.ev.(i)))
+  let to_graph t = of_edges ~n:t.n (Array.to_list (edge_array t))
 
   let copy t =
-    { n = t.n; edges = Array.copy t.edges; index = Hashtbl.copy t.index; deg = Array.copy t.deg }
+    {
+      t with
+      eu = Array.copy t.eu;
+      ev = Array.copy t.ev;
+      keys = Array.copy t.keys;
+      vals = Array.copy t.vals;
+      deg = Array.copy t.deg;
+    }
 
   let n t = t.n
-  let m t = Array.length t.edges
-  let has_edge t u v = Hashtbl.mem t.index (normalize (u, v))
+  let m t = t.m
+
+  let has_edge t u v =
+    let u, v = if u < v then (u, v) else (v, u) in
+    idx_mem t (pack t u v)
+
   let degree t v = t.deg.(v)
 
   let propose_swap t rng =
-    let m = Array.length t.edges in
+    let m = t.m in
     if m < 2 then None
     else
       let i = Prng.int rng m in
       let j = Prng.int rng m in
       if i = j then None
       else
-        let a, b = t.edges.(i) in
-        let c, d = t.edges.(j) in
+        let a = t.eu.(i) and b = t.ev.(i) in
+        let c0 = t.eu.(j) and d0 = t.ev.(j) in
         (* Randomly orient the second edge so both re-pairings are
            reachable. *)
-        let c, d = if Prng.bool rng then (c, d) else (d, c) in
-        let e1 = (a, d) and e2 = (c, b) in
+        let orient = Prng.bool rng in
+        let c = if orient then c0 else d0 in
+        let d = if orient then d0 else c0 in
         if a = d || c = b then None
         else
-          let e1 = normalize e1 and e2 = normalize e2 in
-          if e1 = e2 || Hashtbl.mem t.index e1 || Hashtbl.mem t.index e2 then None
-          else Some { remove = ((a, b), (c, d)); add = (e1, e2) }
+          let u1 = if a < d then a else d and v1 = if a < d then d else a in
+          let u2 = if c < b then c else b and v2 = if c < b then b else c in
+          let k1 = pack t u1 v1 and k2 = pack t u2 v2 in
+          if k1 = k2 || idx_mem t k1 || idx_mem t k2 then None
+          else Some { remove = ((a, b), (c, d)); add = ((u1, v1), (u2, v2)) }
 
   let apply t { remove = r1, r2; add = a1, a2 } =
-    let r1 = normalize r1 and r2 = normalize r2 in
-    let a1 = normalize a1 and a2 = normalize a2 in
-    let i =
-      match Hashtbl.find_opt t.index r1 with
-      | Some i -> i
-      | None -> invalid_arg "Mutable.apply: removed edge absent"
-    in
-    let j =
-      match Hashtbl.find_opt t.index r2 with
-      | Some j -> j
-      | None -> invalid_arg "Mutable.apply: removed edge absent"
-    in
-    if Hashtbl.mem t.index a1 || Hashtbl.mem t.index a2 then
-      invalid_arg "Mutable.apply: added edge already present";
-    Hashtbl.remove t.index r1;
-    Hashtbl.remove t.index r2;
-    t.edges.(i) <- a1;
-    t.edges.(j) <- a2;
-    Hashtbl.replace t.index a1 i;
-    Hashtbl.replace t.index a2 j
+    let ru1, rv1 = normalize r1 and ru2, rv2 = normalize r2 in
+    let au1, av1 = normalize a1 and au2, av2 = normalize a2 in
+    let kr1 = pack t ru1 rv1 and kr2 = pack t ru2 rv2 in
+    let ka1 = pack t au1 av1 and ka2 = pack t au2 av2 in
+    let i = idx_find t kr1 in
+    if i < 0 then invalid_arg "Mutable.apply: removed edge absent";
+    let j = idx_find t kr2 in
+    if j < 0 then invalid_arg "Mutable.apply: removed edge absent";
+    if idx_mem t ka1 || idx_mem t ka2 then invalid_arg "Mutable.apply: added edge already present";
+    let i = t.vals.(i) and j = t.vals.(j) in
+    idx_remove t kr1;
+    idx_remove t kr2;
+    t.eu.(i) <- au1;
+    t.ev.(i) <- av1;
+    t.eu.(j) <- au2;
+    t.ev.(j) <- av2;
+    idx_insert t ka1 i;
+    idx_insert t ka2 j;
+    idx_maybe_rehash t
 
   let invert { remove; add } = { remove = add; add = remove }
 

@@ -96,9 +96,51 @@ let test_microdata_generator () =
         Alcotest.(check bool) ("coast richer than " ^ r) true (mean_of "coast" > mean_of r))
     Microdata.regions
 
+let test_epinions_like () =
+  let module Gen = Wpinq_graph.Gen in
+  let g = Gen.epinions_like ~n:2000 ~m:12000 (Prng.create 0xe91) in
+  Alcotest.(check int) "vertex count" 2000 (Graph.n g);
+  Alcotest.(check int) "exact edge count" 12000 (Graph.m g);
+  (* Heavy tail: the max degree should dwarf the mean (12), and the
+     degree-squared sum should be far above the Erdős–Rényi ballpark. *)
+  let degs = Graph.degrees g in
+  let dmax = Array.fold_left max 0 degs in
+  Alcotest.(check bool) "heavy-tailed dmax" true (dmax > 100);
+  (* Deterministic per seed. *)
+  let again = Gen.epinions_like ~n:2000 ~m:12000 (Prng.create 0xe91) in
+  Alcotest.(check (list (pair int int)))
+    "deterministic" (Graph.edges g) (Graph.edges again);
+  Alcotest.check_raises "bad exponent"
+    (Invalid_argument "Gen.epinions_like: exponent must exceed 1") (fun () ->
+      ignore (Gen.epinions_like ~n:10 ~m:5 ~exponent:1.0 (Prng.create 1)))
+
+let test_load_snap () =
+  let path = Filename.temp_file "snap" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      (* SNAP style: comments, tabs, directed duplicates, sparse ids,
+         self-loop. *)
+      output_string oc "# Directed graph: toy\n# FromNodeId\tToNodeId\n";
+      output_string oc "10\t20\n20\t10\n10\t30\n30\t30\n40 10\n";
+      close_out oc;
+      let g = Datasets.load_snap path in
+      Alcotest.(check int) "dense remap" 4 (Graph.n g);
+      Alcotest.(check int) "undirected dedup, self-loop dropped" 3 (Graph.m g);
+      (* Checksum pin: correct digest loads, wrong digest raises. *)
+      let md5 = Digest.to_hex (Digest.file path) in
+      let g2 = Datasets.load_snap ~md5 path in
+      Alcotest.(check int) "checksum ok" 3 (Graph.m g2);
+      match Datasets.load_snap ~md5:(String.make 32 '0') path with
+      | exception Datasets.Checksum_mismatch _ -> ()
+      | _ -> Alcotest.fail "expected Checksum_mismatch")
+
 let suite =
   [
     Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "epinions-like generator" `Quick test_epinions_like;
+    Alcotest.test_case "snap loader" `Quick test_load_snap;
     Alcotest.test_case "qualitative profiles" `Slow test_profiles;
     Alcotest.test_case "scale parameter" `Quick test_scale;
     Alcotest.test_case "table 3 skew" `Slow test_table3_skew_monotone;

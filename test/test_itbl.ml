@@ -1,0 +1,194 @@
+(* Model-based property tests for the interned-id state layer: [Itbl]
+   (the struct-of-arrays weight table every operator now keeps) checked
+   against a reference association-list model, and [Intern] (the
+   value→dense-id layer) against a plain list.  The properties mirror the
+   abort-residue guarantees the record-keyed [Wtbl] used to carry:
+   speculative inserts that resize the table must vanish without trace on
+   abort, committed insertion order must survive aborted speculations
+   bit-for-bit, and interleaved commit/abort blocks must leave exactly
+   the committed suffix. *)
+
+module Dataflow = Wpinq_dataflow.Dataflow
+module Engine = Dataflow.Engine
+module Itbl = Dataflow.Itbl
+module Intern = Dataflow.Intern
+
+let eps = Wpinq_weighted.Wdata.epsilon_weight
+
+(* Reference model: insertion-ordered (id, weight) assoc list, dropping
+   entries whose weight lands within the near-zero dead band, exactly as
+   [Itbl.set] does — including swap-last removal, so the entry order is a
+   deterministic function of the committed operation history. *)
+module Model = struct
+  type t = (int * float) list (* dense-slot order *)
+
+  let empty : t = []
+  let get m id = match List.assoc_opt id m with Some w -> w | None -> 0.0
+
+  let set m id w =
+    let present = List.mem_assoc id m in
+    if Float.abs w < eps then
+      if not present then m
+      else begin
+        let arr = Array.of_list m in
+        let n = Array.length arr in
+        let p = ref 0 in
+        Array.iteri (fun i (j, _) -> if j = id then p := i) arr;
+        arr.(!p) <- arr.(n - 1);
+        Array.to_list (Array.sub arr 0 (n - 1))
+      end
+    else if present then List.map (fun (i, w0) -> if i = id then (i, w) else (i, w0)) m
+    else m @ [ (id, w) ]
+
+  let bump m id dw = set m id (get m id +. dw)
+end
+
+type op = Set of int * float | Bump of int * float
+
+let apply_op tbl model op =
+  match op with
+  | Set (id, w) ->
+      Itbl.set tbl id w;
+      Model.set model id w
+  | Bump (id, dw) ->
+      let old = Itbl.bump tbl id dw in
+      Alcotest.(check (float 0.0)) "bump returns old weight" (Model.get model id) old;
+      Model.bump model id dw
+
+let check_agrees ~msg tbl model =
+  Alcotest.(check int) (msg ^ ": size") (List.length model) (Itbl.size tbl);
+  List.iter
+    (fun (id, w) ->
+      Alcotest.(check bool) (msg ^ ": mem") true (Itbl.mem tbl id);
+      Alcotest.(check (float 0.0)) (msg ^ ": weight") w (Itbl.get tbl id))
+    model;
+  (* Probe a band of ids beyond the model to catch stale residue. *)
+  for id = 0 to 80 do
+    if not (List.mem_assoc id model) then begin
+      Alcotest.(check bool) (msg ^ ": absent mem") false (Itbl.mem tbl id);
+      Alcotest.(check (float 0.0)) (msg ^ ": absent weight") 0.0 (Itbl.get tbl id)
+    end
+  done
+
+(* Weight generator that exercises the dead band: exact zeros, sub-epsilon
+   dust, and ordinary magnitudes, both signs. *)
+let gen_weight =
+  QCheck2.Gen.oneof
+    [
+      QCheck2.Gen.return 0.0;
+      QCheck2.Gen.map (fun w -> w *. 1e-14) (QCheck2.Gen.float_range (-1.0) 1.0);
+      QCheck2.Gen.float_range (-100.0) 100.0;
+    ]
+
+(* Ids are drawn wide enough (0..63) that op sequences trigger several
+   [pos]-array doublings from the 16-slot start — the speculative-resize
+   path the Wtbl tests pinned. *)
+let gen_op =
+  QCheck2.Gen.(
+    oneof
+      [
+        map2 (fun id w -> Set (id, w)) (int_bound 63) gen_weight;
+        map2 (fun id dw -> Bump (id, dw)) (int_bound 63) gen_weight;
+      ])
+
+let gen_ops = QCheck2.Gen.(list_size (int_bound 120) gen_op)
+
+let test_model_agreement =
+  QCheck2.Test.make ~name:"itbl = assoc model (non-speculative)" ~count:200 gen_ops (fun ops ->
+      let engine = Engine.create () in
+      let tbl = Itbl.create engine in
+      let model = List.fold_left (fun m op -> apply_op tbl m op) Model.empty ops in
+      check_agrees ~msg:"final" tbl model;
+      (* Insertion order: [to_list] must equal the model exactly, not just
+         as a set. *)
+      Alcotest.(check (list (pair int (float 0.0)))) "insertion order" model (Itbl.to_list tbl);
+      true)
+
+let test_abort_residue =
+  QCheck2.Test.make ~name:"abort leaves no residue (incl. resize)" ~count:200
+    QCheck2.Gen.(pair gen_ops gen_ops)
+    (fun (committed, speculative) ->
+      let engine = Engine.create () in
+      let tbl = Itbl.create engine in
+      let model = List.fold_left (fun m op -> apply_op tbl m op) Model.empty committed in
+      let snapshot = Itbl.to_list tbl in
+      Engine.begin_speculation engine;
+      (* Apply the speculative block against a throwaway model copy, then
+         abort: the table must be bit-identical to the pre-speculation
+         snapshot, including entry order (resizes grow arrays but the
+         logged inverses restore every slot exactly). *)
+      let _spec_model = List.fold_left (fun m op -> apply_op tbl m op) model speculative in
+      Engine.abort engine;
+      Alcotest.(check (list (pair int (float 0.0))))
+        "order and contents restored" snapshot (Itbl.to_list tbl);
+      check_agrees ~msg:"post-abort" tbl model;
+      true)
+
+let test_interleaved_blocks =
+  QCheck2.Test.make ~name:"interleaved commit/abort blocks" ~count:100
+    QCheck2.Gen.(list_size (int_bound 8) (pair bool gen_ops))
+    (fun blocks ->
+      let engine = Engine.create () in
+      let tbl = Itbl.create engine in
+      let model = ref Model.empty in
+      List.iter
+        (fun (commit, ops) ->
+          Engine.begin_speculation engine;
+          let m' = List.fold_left (fun m op -> apply_op tbl m op) !model ops in
+          if commit then begin
+            Engine.commit engine;
+            model := m'
+          end
+          else Engine.abort engine)
+        blocks;
+      check_agrees ~msg:"after blocks" tbl !model;
+      Alcotest.(check (list (pair int (float 0.0)))) "final order" !model (Itbl.to_list tbl);
+      true)
+
+let test_intern_model =
+  QCheck2.Test.make ~name:"intern assigns dense first-sight ids" ~count:200
+    QCheck2.Gen.(list_size (int_bound 200) (int_bound 40))
+    (fun values ->
+      let intern = Intern.create () in
+      (* Model: first-sight order of distinct values. *)
+      let seen = ref [] in
+      List.iter
+        (fun v ->
+          (match List.assoc_opt v !seen with
+          | Some id -> Alcotest.(check int) "find hits known value" id (Intern.find intern v)
+          | None -> Alcotest.(check int) "find misses new value" (-1) (Intern.find intern v));
+          let expected =
+            match List.assoc_opt v !seen with
+            | Some id -> id
+            | None ->
+                let id = List.length !seen in
+                seen := !seen @ [ (v, id) ];
+                id
+          in
+          Alcotest.(check int) "stable dense id" expected (Intern.intern intern v))
+        values;
+      Alcotest.(check int) "size = distinct count" (List.length !seen) (Intern.size intern);
+      List.iter
+        (fun (v, id) -> Alcotest.(check bool) "value roundtrip" true (Intern.value intern id = v))
+        !seen;
+      Alcotest.(check int) "find misses" (-1) (Intern.find intern 4096);
+      true)
+
+let test_negative_id () =
+  let engine = Engine.create () in
+  let tbl = Itbl.create engine in
+  Alcotest.check_raises "get" (Invalid_argument "Dataflow.Itbl: negative id") (fun () ->
+      ignore (Itbl.get tbl (-1)));
+  Alcotest.check_raises "set" (Invalid_argument "Dataflow.Itbl: negative id") (fun () ->
+      Itbl.set tbl (-3) 1.0);
+  Alcotest.check_raises "mem" (Invalid_argument "Dataflow.Itbl: negative id") (fun () ->
+      ignore (Itbl.mem tbl (-2)))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest test_model_agreement;
+    QCheck_alcotest.to_alcotest test_abort_residue;
+    QCheck_alcotest.to_alcotest test_interleaved_blocks;
+    QCheck_alcotest.to_alcotest test_intern_model;
+    Alcotest.test_case "negative ids rejected" `Quick test_negative_id;
+  ]

@@ -5,6 +5,7 @@ let () =
       ("persist", Test_persist.suite);
       ("weighted", Test_weighted.suite);
       ("dataflow", Test_dataflow.suite);
+      ("itbl", Test_itbl.suite);
       ("speculation", Test_speculation.suite);
       ("audit", Test_audit.suite);
       ("core", Test_core.suite);
